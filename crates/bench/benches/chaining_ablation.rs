@@ -1,0 +1,28 @@
+//! §3.2 ablation: per-object (local) checksum chains vs one global chain.
+//!
+//! The paper argues for local chaining because a global chain forces a
+//! total order (a lock) across all participants. One iteration = 4
+//! participants each appending updates — either to their own objects
+//! (local, parallel) or through a mutex-serialized shared chain (global).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tep_bench::experiments::{run_chaining, ExperimentConfig};
+use tep_core::prelude::HashAlgorithm;
+
+fn bench_chaining(c: &mut Criterion) {
+    let cfg = ExperimentConfig {
+        alg: HashAlgorithm::Sha1,
+        key_bits: 512,
+        runs: 1,
+        seed: 2009,
+    };
+    let mut group = c.benchmark_group("chaining_3_2");
+    group.sample_size(10);
+    group.bench_function("local_vs_global_4threads_16ops", |b| {
+        b.iter(|| run_chaining(&cfg, 4, 16))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_chaining);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Micro-benchmarks of the crypto substrate: hash throughput and RSA
+//! sign/verify latency — the constants behind every macro number.
+//!
+//! The paper's per-record cost is one hash walk plus one RSA-1024 signature
+//! (its 128-byte `Checksum` column); these benches isolate each primitive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tep_crypto::digest::HashAlgorithm;
+use tep_crypto::rsa::KeyPair;
+use tep_crypto::sha1::Sha1;
+use tep_crypto::sha256::Sha256;
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_throughput");
+    for size in [64usize, 1024, 65_536] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("sha1", size), &data, |b, d| {
+            b.iter(|| Sha1::digest(d))
+        });
+        group.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, d| {
+            b.iter(|| Sha256::digest(d))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rsa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rsa");
+    group.sample_size(20);
+    for bits in [512usize, 1024, 2048] {
+        let mut rng = StdRng::seed_from_u64(2009);
+        let kp = KeyPair::generate(bits, &mut rng);
+        let msg = b"provenance checksum message";
+        let sig = kp.sign(HashAlgorithm::Sha1, msg).unwrap();
+        group.bench_function(BenchmarkId::new("sign_sha1", bits), |b| {
+            b.iter(|| kp.sign(HashAlgorithm::Sha1, msg).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("verify_sha1", bits), |b| {
+            b.iter(|| kp.public().verify(HashAlgorithm::Sha1, msg, &sig).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashing, bench_rsa);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figures 10 & 11: checksum overhead for mixed operations (Setup C).
+//!
+//! One iteration = one 500-operation mix on a fresh copy of the paper's
+//! table 1. The paper's shape: overhead decreases as the delete share
+//! grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tep_bench::experiments::{run_setup_c_once, ExperimentConfig};
+use tep_core::prelude::HashAlgorithm;
+use tep_workloads::PAPER_C_MIXES;
+
+fn bench_fig10(c: &mut Criterion) {
+    let cfg = ExperimentConfig {
+        alg: HashAlgorithm::Sha1,
+        key_bits: 512,
+        runs: 1,
+        seed: 2009,
+    };
+    let (signer, _) = cfg.make_signer();
+    let mut group = c.benchmark_group("fig10_setup_c");
+    group.sample_size(10);
+    for mix in PAPER_C_MIXES {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{:.1}pct_deletes", mix.delete_pct())),
+            &mix,
+            |b, &mix| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    run_setup_c_once(&cfg, &signer, mix, seed)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 6: average hashing time for a database, vs database size.
+//!
+//! Hashes each of the paper's four synthetic databases (36k–118k nodes)
+//! from scratch. The paper's shape: time grows roughly linearly with node
+//! count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tep_core::hashing::{forest_hash, HashCache};
+use tep_core::prelude::HashAlgorithm;
+use tep_workloads::paper_database;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_database_hashing");
+    group.sample_size(10);
+    for k in 1..=4usize {
+        let db = paper_database(k, 2009);
+        group.throughput(Throughput::Elements(db.node_count() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("sha1_full_hash", format!("{}nodes", db.node_count())),
+            &db,
+            |b, db| {
+                b.iter(|| {
+                    let mut cache = HashCache::new(HashAlgorithm::Sha1);
+                    forest_hash(HashAlgorithm::Sha1, &db.forest, &mut cache)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

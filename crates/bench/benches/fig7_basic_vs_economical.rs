@@ -1,0 +1,62 @@
+//! Figure 7: hashing the output tree with the Basic vs Economical
+//! strategies, as the number of updated cells grows (Setup A).
+//!
+//! The paper's shape: Basic is roughly constant (always a full-tree walk);
+//! Economical grows with the update footprint and sits far below Basic for
+//! small updates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tep_core::hashing::HashCache;
+use tep_core::prelude::HashAlgorithm;
+use tep_model::ObjectId;
+use tep_workloads::{paper_database, setup_a_updates};
+
+const ALG: HashAlgorithm = HashAlgorithm::Sha1;
+
+/// Representative points from the paper's sweep.
+const POINTS: [(usize, usize); 4] = [(1, 1), (400, 400), (4000, 4000), (16_000, 4000)];
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_output_tree_hashing");
+    group.sample_size(10);
+    for (cells, rows) in POINTS {
+        // Pre-state database + updates applied; dirty set recorded.
+        let db = paper_database(1, 2009);
+        let mut forest = db.forest;
+        let ops = setup_a_updates(&db.tables[0], cells, rows, 7);
+        let mut warm = HashCache::new(ALG);
+        warm.get_or_compute(&forest, db.root);
+        let mut dirty: Vec<ObjectId> = Vec::new();
+        for op in &ops {
+            dirty.push(op.apply(&mut forest).unwrap().primary_object());
+        }
+
+        group.bench_with_input(
+            BenchmarkId::new("economical", format!("{cells}cells")),
+            &(&forest, &warm, &dirty, db.root),
+            |b, (forest, warm, dirty, root)| {
+                b.iter(|| {
+                    let mut cache = (*warm).clone();
+                    for &id in dirty.iter() {
+                        cache.invalidate_path(forest, id);
+                    }
+                    cache.get_or_compute(forest, *root)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("basic", format!("{cells}cells")),
+            &(&forest, db.root),
+            |b, (forest, root)| {
+                b.iter(|| {
+                    let mut cache = HashCache::new(ALG);
+                    cache.get_or_compute(forest, *root)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figures 8 & 9: checksum overhead by operation type (Setup B).
+//!
+//! One iteration = a full Setup B workload (e.g. 500 row-delete complex
+//! operations) on a fresh copy of the paper's table 1, including hashing,
+//! signing, and record storage. The paper's shape: all-deletes cheapest;
+//! all-inserts ≈ all-updates.
+//!
+//! Keys are 512-bit here to keep bench wall-time reasonable; the `repro`
+//! binary defaults to the paper's 1024-bit keys.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tep_bench::experiments::{run_setup_b_once, ExperimentConfig, SetupBWorkload};
+use tep_core::prelude::HashAlgorithm;
+
+fn bench_fig8(c: &mut Criterion) {
+    let cfg = ExperimentConfig {
+        alg: HashAlgorithm::Sha1,
+        key_bits: 512,
+        runs: 1,
+        seed: 2009,
+    };
+    let (signer, _) = cfg.make_signer();
+    let mut group = c.benchmark_group("fig8_setup_b");
+    group.sample_size(10);
+    for workload in SetupBWorkload::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workload.label().replace(' ', "_")),
+            &workload,
+            |b, &workload| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    run_setup_b_once(&cfg, &signer, workload, seed)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Extension: recipient-side verification cost as history length grows.
+//!
+//! Verification is linear in record count (one signature verification per
+//! record); this bench pins that down for chains of 10–1000 records.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use tep_core::prelude::*;
+use tep_model::Value;
+
+fn bench_verify(c: &mut Criterion) {
+    let cfg = tep_bench::ExperimentConfig {
+        alg: HashAlgorithm::Sha1,
+        key_bits: 512,
+        runs: 1,
+        seed: 2009,
+    };
+    let (signer, keys) = cfg.make_signer();
+    let mut group = c.benchmark_group("verify_cost");
+    group.sample_size(10);
+    for len in [10usize, 100, 1000] {
+        let mut ledger = AtomicLedger::new(cfg.alg, Arc::new(ProvenanceDb::in_memory()));
+        let obj = ledger.insert(&signer, Value::Int(0)).unwrap();
+        for i in 1..len as i64 {
+            ledger.update(&signer, obj, Value::Int(i)).unwrap();
+        }
+        let hash = ledger.object_hash(obj).unwrap();
+        let prov = ledger.provenance_of(obj).unwrap();
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(len), &prov, |b, prov| {
+            let verifier = Verifier::new(&keys, cfg.alg);
+            b.iter(|| {
+                let v = verifier.verify(&hash, prov);
+                assert!(v.verified());
+                v.records_checked
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_proofs(c: &mut Criterion) {
+    use tep_core::hashing::HashCache;
+    use tep_core::{prove, SubtreeProof};
+    use tep_model::ObjectId;
+    use tep_workloads::paper_database;
+
+    let alg = HashAlgorithm::Sha1;
+    let db = paper_database(1, 2009); // 36k-node table
+    let mut cache = HashCache::new(alg);
+    let root_hash = cache.get_or_compute(&db.forest, db.root);
+    let cell: ObjectId = db.tables[0].rows[1234].cells[3];
+    let cell_value = db.forest.node(cell).unwrap().value().clone();
+
+    let mut group = c.benchmark_group("merkle_proofs");
+    group.bench_function("prove_cell_in_36k_tree_warm_cache", |b| {
+        b.iter(|| prove(&db.forest, &mut cache, db.root, cell).unwrap())
+    });
+    let proof = prove(&db.forest, &mut cache, db.root, cell).unwrap();
+    group.bench_function("verify_cell_proof", |b| {
+        b.iter(|| proof.verify_leaf_value(&cell_value, &root_hash).unwrap())
+    });
+    group.bench_function("proof_bytes_roundtrip", |b| {
+        let bytes = proof.to_bytes();
+        b.iter(|| SubtreeProof::from_bytes(&bytes).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_verify, bench_proofs);
+criterion_main!(benches);

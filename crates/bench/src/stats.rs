@@ -1,0 +1,81 @@
+//! Summary statistics: mean and 95% confidence intervals, as the paper
+//! reports ("the average across 100 runs, including 95% confidence
+//! intervals", §5.1).
+
+/// Mean and 95% confidence half-width of a sample.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the 95% confidence interval (normal approximation;
+    /// zero for fewer than two samples).
+    pub ci95: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Computes mean and CI from raw samples.
+    pub fn of(samples: &[f64]) -> Summary {
+        let n = samples.len();
+        if n == 0 {
+            return Summary::default();
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        if n < 2 {
+            return Summary { mean, ci95: 0.0, n };
+        }
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        let se = (var / n as f64).sqrt();
+        Summary {
+            mean,
+            ci95: 1.96 * se,
+            n,
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3} ± {:.3}", self.mean, self.ci95)
+    }
+}
+
+/// Nanoseconds → milliseconds.
+pub fn ns_to_ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(Summary::of(&[]), Summary::default());
+        let s = Summary::of(&[5.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.n, 1);
+    }
+
+    #[test]
+    fn constant_samples_have_zero_ci() {
+        let s = Summary::of(&[2.0, 2.0, 2.0, 2.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        // samples 1..=5: mean 3, sample variance 2.5, se = sqrt(0.5).
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.ci95 - 1.96 * 0.5f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unit_conversion() {
+        assert_eq!(ns_to_ms(1_500_000), 1.5);
+    }
+}

@@ -1,0 +1,245 @@
+//! Trust anchors: closing the chain-tail rollback boundary.
+//!
+//! Pure checksum chaining (this paper's scheme, like Hasan et al.'s) has a
+//! documented boundary: an attacker who controls the chain **tail** can
+//! truncate the most recent records *and* roll the data object back to the
+//! older matching state — to a first-time recipient the shortened history
+//! is indistinguishable from one where the later operations never happened.
+//!
+//! A [`TrustAnchor`] closes that gap for any recipient who has seen the
+//! object before (or receives an anchor out-of-band): it pins the
+//! `(object, seqID, checksum)` of a record known to be genuine. At the next
+//! verification, the provenance must still *contain* that exact record —
+//! truncation or splicing across the anchor becomes detectable
+//! ([`TamperEvidence::AnchorViolation`]). This is the natural
+//! "remember-the-head" extension the paper leaves as engineering.
+
+use crate::provenance::ProvenanceObject;
+use crate::verify::{TamperEvidence, Verification, Verifier};
+use tep_model::encode::{DecodeError, Reader};
+use tep_model::ObjectId;
+
+/// A remembered chain position for one object.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrustAnchor {
+    /// The anchored object.
+    pub oid: ObjectId,
+    /// `seqID` of the trusted record.
+    pub seq: u64,
+    /// Exact checksum bytes of the trusted record.
+    pub checksum: Vec<u8>,
+}
+
+impl TrustAnchor {
+    /// Captures an anchor at the most recent record of a (just verified)
+    /// provenance object. Returns `None` if there are no records.
+    pub fn capture(prov: &ProvenanceObject) -> Option<TrustAnchor> {
+        prov.latest().map(|r| TrustAnchor {
+            oid: r.output_oid,
+            seq: r.seq_id,
+            checksum: r.checksum.clone(),
+        })
+    }
+
+    /// Stable byte encoding (for persisting anchors client-side).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + self.checksum.len());
+        out.extend_from_slice(b"TEPANCH\x01");
+        out.extend_from_slice(&self.oid.raw().to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&(self.checksum.len() as u64).to_be_bytes());
+        out.extend_from_slice(&self.checksum);
+        out
+    }
+
+    /// Inverse of [`Self::to_bytes`].
+    pub fn from_bytes(buf: &[u8]) -> Result<TrustAnchor, DecodeError> {
+        let mut r = Reader::new(buf);
+        let magic = r.bytes(8)?;
+        if magic != b"TEPANCH\x01" {
+            return Err(DecodeError::BadTag(magic.first().copied().unwrap_or(0)));
+        }
+        let oid = ObjectId(r.u64()?);
+        let seq = r.u64()?;
+        let checksum = r.len_prefixed()?.to_vec();
+        r.expect_end()?;
+        Ok(TrustAnchor { oid, seq, checksum })
+    }
+}
+
+impl Verifier<'_> {
+    /// Like [`Verifier::verify`], additionally requiring that the
+    /// provenance still contains each anchored record with its exact
+    /// checksum, and that the object's chain has not moved *backwards* past
+    /// an anchor.
+    pub fn verify_with_anchors(
+        &self,
+        object_hash: &[u8],
+        prov: &ProvenanceObject,
+        anchors: &[TrustAnchor],
+    ) -> Verification {
+        let mut v = self.verify(object_hash, prov);
+        for anchor in anchors {
+            let anchored = prov.record(anchor.oid, anchor.seq);
+            let intact = anchored.is_some_and(|r| r.checksum == anchor.checksum);
+            if !intact {
+                v.issues.push(TamperEvidence::AnchorViolation {
+                    oid: anchor.oid,
+                    seq: anchor.seq,
+                });
+                continue;
+            }
+            // The chain must not have been rolled back before the anchor.
+            let newest = prov
+                .records
+                .iter()
+                .filter(|r| r.output_oid == anchor.oid)
+                .map(|r| r.seq_id)
+                .max();
+            if newest.is_none_or(|n| n < anchor.seq) {
+                v.issues.push(TamperEvidence::AnchorViolation {
+                    oid: anchor.oid,
+                    seq: anchor.seq,
+                });
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atomic::AtomicLedger;
+    use crate::hashing::hash_atom;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+    use tep_crypto::digest::HashAlgorithm;
+    use tep_crypto::pki::{CertificateAuthority, KeyDirectory, Participant, ParticipantId};
+    use tep_model::Value;
+    use tep_storage::ProvenanceDb;
+
+    const ALG: HashAlgorithm = HashAlgorithm::Sha256;
+
+    fn world() -> (AtomicLedger, KeyDirectory, Participant, Participant) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ca = CertificateAuthority::new(512, ALG, &mut rng);
+        let alice = ca.enroll(ParticipantId(1), 512, &mut rng);
+        let bob = ca.enroll(ParticipantId(2), 512, &mut rng);
+        let mut keys = KeyDirectory::new(ca.public_key().clone(), ALG);
+        keys.register(alice.certificate().clone()).unwrap();
+        keys.register(bob.certificate().clone()).unwrap();
+        let ledger = AtomicLedger::new(ALG, Arc::new(ProvenanceDb::in_memory()));
+        (ledger, keys, alice, bob)
+    }
+
+    #[test]
+    fn anchor_roundtrips() {
+        let anchor = TrustAnchor {
+            oid: ObjectId(7),
+            seq: 42,
+            checksum: vec![1, 2, 3, 4],
+        };
+        let bytes = anchor.to_bytes();
+        assert_eq!(TrustAnchor::from_bytes(&bytes).unwrap(), anchor);
+        assert!(TrustAnchor::from_bytes(&bytes[..10]).is_err());
+        assert!(TrustAnchor::from_bytes(b"garbage-").is_err());
+    }
+
+    #[test]
+    fn honest_growth_past_anchor_verifies() {
+        let (mut ledger, keys, alice, bob) = world();
+        let doc = ledger.insert(&alice, Value::Int(0)).unwrap();
+        ledger.update(&bob, doc, Value::Int(1)).unwrap();
+
+        // Recipient verifies at seq 1 and captures an anchor.
+        let prov = ledger.provenance_of(doc).unwrap();
+        let hash = ledger.object_hash(doc).unwrap();
+        let verifier = Verifier::new(&keys, ALG);
+        assert!(verifier.verify(&hash, &prov).verified());
+        let anchor = TrustAnchor::capture(&prov).unwrap();
+        assert_eq!(anchor.seq, 1);
+
+        // The history continues; later verification with the anchor passes.
+        ledger.update(&alice, doc, Value::Int(2)).unwrap();
+        let prov2 = ledger.provenance_of(doc).unwrap();
+        let hash2 = ledger.object_hash(doc).unwrap();
+        let v = verifier.verify_with_anchors(&hash2, &prov2, &[anchor]);
+        assert!(v.verified(), "issues: {:?}", v.issues);
+    }
+
+    #[test]
+    fn tail_truncation_rollback_now_detected() {
+        // The boundary case that plain verification cannot catch: truncate
+        // the newest records AND roll the data back to match.
+        let (mut ledger, keys, alice, bob) = world();
+        let doc = ledger.insert(&alice, Value::Int(0)).unwrap();
+        ledger.update(&bob, doc, Value::Int(1)).unwrap();
+
+        // Recipient anchors at seq 1.
+        let prov = ledger.provenance_of(doc).unwrap();
+        let anchor = TrustAnchor::capture(&prov).unwrap();
+
+        // More history happens…
+        ledger.update(&alice, doc, Value::Int(2)).unwrap();
+        ledger.update(&bob, doc, Value::Int(3)).unwrap();
+
+        // …then the attacker truncates back to seq 0 and rolls the data
+        // back to value 0.
+        let mut truncated = ledger.provenance_of(doc).unwrap();
+        truncated.records.retain(|r| r.seq_id == 0);
+        let rolled_back_hash = hash_atom(ALG, doc, &Value::Int(0));
+
+        let verifier = Verifier::new(&keys, ALG);
+        // WITHOUT the anchor this verifies — the documented boundary.
+        assert!(verifier.verify(&rolled_back_hash, &truncated).verified());
+        // WITH the anchor it is caught.
+        let v = verifier.verify_with_anchors(&rolled_back_hash, &truncated, &[anchor]);
+        assert!(v
+            .issues
+            .iter()
+            .any(|i| matches!(i, TamperEvidence::AnchorViolation { seq: 1, .. })));
+    }
+
+    #[test]
+    fn resigned_anchor_record_detected() {
+        // A colluder re-signs the anchored record itself: the checksum bytes
+        // change, so the anchor no longer matches.
+        let (mut ledger, keys, alice, _bob) = world();
+        let doc = ledger.insert(&alice, Value::Int(0)).unwrap();
+        ledger.update(&alice, doc, Value::Int(1)).unwrap();
+        let prov = ledger.provenance_of(doc).unwrap();
+        let anchor = TrustAnchor::capture(&prov).unwrap();
+
+        ledger.update(&alice, doc, Value::Int(2)).unwrap();
+        let mut tampered = ledger.provenance_of(doc).unwrap();
+        // Simulate a splice that replaced the anchored record's checksum.
+        crate::attack::collusion_splice(&mut tampered, ALG, doc, 0, 2, &alice).unwrap();
+        // (splice removed seq 1, re-signed seq 2 → anchor at seq 1 is gone)
+        let hash = ledger.object_hash(doc).unwrap();
+        let verifier = Verifier::new(&keys, ALG);
+        let v = verifier.verify_with_anchors(&hash, &tampered, &[anchor]);
+        assert!(v
+            .issues
+            .iter()
+            .any(|i| matches!(i, TamperEvidence::AnchorViolation { .. })));
+    }
+
+    #[test]
+    fn anchor_for_unrelated_object_is_checked_independently() {
+        let (mut ledger, keys, alice, _bob) = world();
+        let a = ledger.insert(&alice, Value::Int(0)).unwrap();
+        let b = ledger.insert(&alice, Value::Int(9)).unwrap();
+        let prov_b = ledger.provenance_of(b).unwrap();
+        let anchor_b = TrustAnchor::capture(&prov_b).unwrap();
+
+        // Verifying A's provenance with B's anchor: B's record is not in
+        // A's provenance object → anchor violation (the caller should pass
+        // only anchors relevant to the delivered object).
+        let prov_a = ledger.provenance_of(a).unwrap();
+        let hash_a = ledger.object_hash(a).unwrap();
+        let v = Verifier::new(&keys, ALG).verify_with_anchors(&hash_a, &prov_a, &[anchor_b]);
+        assert!(!v.verified());
+    }
+}

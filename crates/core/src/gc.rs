@@ -1,0 +1,203 @@
+//! Provenance garbage collection.
+//!
+//! The paper notes (§2.1, footnote 3) that *"after an object has been
+//! deleted, its provenance object is no longer relevant"* — which "enables
+//! some optimizations". This module is that optimization: given the set of
+//! objects still live (or otherwise interesting), compute exactly which
+//! records their provenance objects can still reach, and drop the rest.
+//!
+//! Reachability matters: a deleted object's records must be **kept** if a
+//! live object was aggregated from it — pruning them would break the live
+//! object's DAG. [`plan_retention`] therefore reuses the same reverse
+//! traversal as provenance collection.
+
+use crate::error::CoreError;
+use crate::provenance::collect;
+use std::collections::HashSet;
+use std::path::Path;
+use tep_model::ObjectId;
+use tep_storage::ProvenanceDb;
+
+/// Outcome of a prune.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PruneReport {
+    /// Records kept (reachable from a live object's provenance).
+    pub kept: usize,
+    /// Records dropped.
+    pub dropped: usize,
+}
+
+/// Computes the set of `(object, seqID)` records reachable from the
+/// provenance of any object in `live`.
+///
+/// Objects in `live` without any provenance records are skipped (nothing to
+/// retain for them).
+pub fn plan_retention(
+    db: &ProvenanceDb,
+    live: &[ObjectId],
+) -> Result<HashSet<(ObjectId, u64)>, CoreError> {
+    let mut keep = HashSet::new();
+    for &oid in live {
+        let prov = match collect(db, oid) {
+            Ok(p) => p,
+            Err(CoreError::NoProvenance(_)) => continue,
+            Err(e) => return Err(e),
+        };
+        for r in &prov.records {
+            keep.insert((r.output_oid, r.seq_id));
+        }
+    }
+    Ok(keep)
+}
+
+/// Prunes an **in-memory** store down to the records reachable from `live`.
+pub fn prune(db: &ProvenanceDb, live: &[ObjectId]) -> Result<PruneReport, CoreError> {
+    let keep = plan_retention(db, live)?;
+    let dropped = db
+        .retain(|r| keep.contains(&(r.oid, r.seq_id)))
+        .map_err(CoreError::Store)?;
+    Ok(PruneReport {
+        kept: db.len(),
+        dropped,
+    })
+}
+
+/// Compacts a (durable or in-memory) store into a **new durable** store at
+/// `path`, keeping only records reachable from `live`.
+pub fn prune_into(
+    db: &ProvenanceDb,
+    path: impl AsRef<Path>,
+    live: &[ObjectId],
+) -> Result<(ProvenanceDb, PruneReport), CoreError> {
+    let keep = plan_retention(db, live)?;
+    let new = db
+        .compact_into(path, |r| keep.contains(&(r.oid, r.seq_id)))
+        .map_err(CoreError::Store)?;
+    let report = PruneReport {
+        kept: new.len(),
+        dropped: db.len() - new.len(),
+    };
+    Ok((new, report))
+}
+
+/// Convenience: prunes everything not reachable from the forest's current
+/// roots (the natural "live set" for a tracker-managed database).
+pub fn prune_to_forest(
+    db: &ProvenanceDb,
+    forest: &tep_model::Forest,
+) -> Result<PruneReport, CoreError> {
+    let live: Vec<ObjectId> = forest.ids().collect();
+    prune(db, &live)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atomic::AtomicLedger;
+    use crate::verify::Verifier;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+    use tep_crypto::digest::HashAlgorithm;
+    use tep_crypto::pki::{CertificateAuthority, KeyDirectory, Participant, ParticipantId};
+    use tep_model::Value;
+
+    const ALG: HashAlgorithm = HashAlgorithm::Sha256;
+
+    fn world() -> (AtomicLedger, KeyDirectory, Participant) {
+        let mut rng = StdRng::seed_from_u64(44);
+        let ca = CertificateAuthority::new(512, ALG, &mut rng);
+        let p = ca.enroll(ParticipantId(1), 512, &mut rng);
+        let mut keys = KeyDirectory::new(ca.public_key().clone(), ALG);
+        keys.register(p.certificate().clone()).unwrap();
+        (
+            AtomicLedger::new(ALG, Arc::new(ProvenanceDb::in_memory())),
+            keys,
+            p,
+        )
+    }
+
+    #[test]
+    fn pruning_drops_deleted_objects_records() {
+        let (mut ledger, _, p) = world();
+        let a = ledger.insert(&p, Value::Int(1)).unwrap();
+        let b = ledger.insert(&p, Value::Int(2)).unwrap();
+        ledger.update(&p, b, Value::Int(3)).unwrap();
+        ledger.delete(b).unwrap();
+
+        let report = prune(ledger.db(), &[a]).unwrap();
+        assert_eq!(report.kept, 1); // a's insert
+        assert_eq!(report.dropped, 2); // b's two records
+        assert!(ledger.db().records_for(b).is_empty());
+    }
+
+    #[test]
+    fn pruning_keeps_aggregation_inputs_of_live_objects() {
+        let (mut ledger, keys, p) = world();
+        let a = ledger.insert(&p, Value::Int(1)).unwrap();
+        let b = ledger.insert(&p, Value::Int(2)).unwrap();
+        let c = ledger.aggregate(&p, &[a, b], Value::Int(3)).unwrap();
+        // a and b are deleted — but c derives from them, so their records
+        // must survive a prune with live = {c}.
+        ledger.delete(a).unwrap();
+        ledger.delete(b).unwrap();
+
+        let report = prune(ledger.db(), &[c]).unwrap();
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.kept, 3);
+
+        // c still fully verifies after the prune.
+        let prov = ledger.provenance_of(c).unwrap();
+        let hash = ledger.object_hash(c).unwrap();
+        assert!(Verifier::new(&keys, ALG).verify(&hash, &prov).verified());
+    }
+
+    #[test]
+    fn pruning_trims_unreachable_suffix_of_input_chains() {
+        let (mut ledger, keys, p) = world();
+        let a = ledger.insert(&p, Value::Int(1)).unwrap();
+        let c = ledger.aggregate(&p, &[a], Value::Int(2)).unwrap();
+        // a keeps evolving after the aggregation…
+        ledger.update(&p, a, Value::Int(10)).unwrap();
+        ledger.update(&p, a, Value::Int(11)).unwrap();
+        ledger.delete(a).unwrap();
+
+        // …but only a@0 is part of c's provenance; the later records drop.
+        let report = prune(ledger.db(), &[c]).unwrap();
+        assert_eq!(report.dropped, 2);
+        let prov = ledger.provenance_of(c).unwrap();
+        assert_eq!(prov.len(), 2);
+        let hash = ledger.object_hash(c).unwrap();
+        assert!(Verifier::new(&keys, ALG).verify(&hash, &prov).verified());
+    }
+
+    #[test]
+    fn prune_into_produces_verifiable_durable_copy() {
+        let (mut ledger, keys, p) = world();
+        let a = ledger.insert(&p, Value::Int(1)).unwrap();
+        let b = ledger.insert(&p, Value::Int(2)).unwrap();
+        ledger.delete(b).unwrap();
+
+        let path =
+            std::env::temp_dir().join(format!("tep-gc-{}-{}.teplog", std::process::id(), line!()));
+        let _ = std::fs::remove_file(&path);
+        let (new_db, report) = prune_into(ledger.db(), &path, &[a]).unwrap();
+        assert_eq!(report.dropped, 1);
+        assert_eq!(new_db.len(), 1);
+
+        let prov = collect(&new_db, a).unwrap();
+        let hash = ledger.object_hash(a).unwrap();
+        assert!(Verifier::new(&keys, ALG).verify(&hash, &prov).verified());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_live_set_drops_everything() {
+        let (mut ledger, _, p) = world();
+        ledger.insert(&p, Value::Int(1)).unwrap();
+        let report = prune(ledger.db(), &[]).unwrap();
+        assert_eq!(report.kept, 0);
+        assert_eq!(report.dropped, 1);
+        assert!(ledger.db().is_empty());
+    }
+}

@@ -1,0 +1,359 @@
+//! Compound-object hashing (§4.3 of the paper).
+//!
+//! The hash of a compound object is defined recursively, Merkle-style
+//! (Fig. 5): `h(subtree(A)) = H(prefix(A) ‖ h(c₁) ‖ … ‖ h(c_k) ‖ k)` with
+//! children in global `ObjectId` order. Atomic objects hash as
+//! `h(A, val) = H(TAG_ATOM ‖ A ‖ val)` (§3).
+//!
+//! [`HashCache`] implements the two evaluation strategies the paper
+//! compares in Figure 7:
+//!
+//! * **Basic** — re-walk the whole tree for every operation (the cache is
+//!   cleared first); cost is proportional to database size regardless of
+//!   how little changed.
+//! * **Economical** — keep per-node hashes, invalidate only the nodes an
+//!   operation dirtied (the touched node plus its root path), and recompute
+//!   bottom-up reusing every clean child hash; cost tracks the size of the
+//!   change.
+
+use std::collections::HashMap;
+use tep_crypto::digest::HashAlgorithm;
+use tep_model::encode::{atom_preimage, node_prefix_of};
+use tep_model::{Forest, ObjectId, Value};
+
+/// Hash of an atomic object: the paper's `h(A, val)` (§3).
+pub fn hash_atom(alg: HashAlgorithm, id: ObjectId, value: &Value) -> Vec<u8> {
+    alg.digest(&atom_preimage(id, value))
+}
+
+/// Which hashing strategy the tracker uses (§4.3, "Economical Approach").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum HashingStrategy {
+    /// Re-hash the whole tree on every operation.
+    Basic,
+    /// Cache per-node hashes and recompute only dirtied paths.
+    #[default]
+    Economical,
+}
+
+/// A cache of `h(subtree(n))` for forest nodes.
+#[derive(Clone, Debug, Default)]
+pub struct HashCache {
+    alg: HashAlgorithm,
+    hashes: HashMap<ObjectId, Vec<u8>>,
+    /// Subtree hash computations performed since the last counter reset
+    /// (one per node hashed) — the work metric behind Figure 7.
+    nodes_hashed: u64,
+}
+
+impl HashCache {
+    /// Creates an empty cache for `alg`.
+    pub fn new(alg: HashAlgorithm) -> Self {
+        HashCache {
+            alg,
+            hashes: HashMap::new(),
+            nodes_hashed: 0,
+        }
+    }
+
+    /// The configured hash algorithm.
+    pub fn algorithm(&self) -> HashAlgorithm {
+        self.alg
+    }
+
+    /// Cached hash for `id`, if present.
+    pub fn get(&self, id: ObjectId) -> Option<&[u8]> {
+        self.hashes.get(&id).map(Vec::as_slice)
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.hashes.is_empty()
+    }
+
+    /// Nodes hashed since the last [`Self::reset_counter`].
+    pub fn nodes_hashed(&self) -> u64 {
+        self.nodes_hashed
+    }
+
+    /// Resets the work counter (start of a measured phase).
+    pub fn reset_counter(&mut self) {
+        self.nodes_hashed = 0;
+    }
+
+    /// Drops a cached entry (the node was deleted or dirtied).
+    pub fn invalidate(&mut self, id: ObjectId) {
+        self.hashes.remove(&id);
+    }
+
+    /// Dirties `id` and every ancestor — the invalidation an update/insert/
+    /// delete at `id` requires.
+    pub fn invalidate_path(&mut self, forest: &Forest, id: ObjectId) {
+        self.hashes.remove(&id);
+        for anc in forest.ancestors(id) {
+            self.hashes.remove(&anc);
+        }
+    }
+
+    /// Clears everything (the Basic strategy does this before each walk).
+    pub fn clear(&mut self) {
+        self.hashes.clear();
+    }
+
+    /// Returns `h(subtree(id))`, computing any missing entries bottom-up and
+    /// reusing every cached descendant (the Economical evaluation).
+    ///
+    /// # Panics
+    /// Panics if `id` is not in the forest.
+    pub fn get_or_compute(&mut self, forest: &Forest, id: ObjectId) -> Vec<u8> {
+        if let Some(h) = self.hashes.get(&id) {
+            return h.clone();
+        }
+        // Iterative post-order: compute children before parents without
+        // recursing (trees may be arbitrarily deep).
+        // Stack entries: (node, children_scheduled).
+        let mut stack: Vec<(ObjectId, bool)> = vec![(id, false)];
+        while let Some((n, expanded)) = stack.pop() {
+            if self.hashes.contains_key(&n) {
+                continue;
+            }
+            let node = forest
+                .node(n)
+                .unwrap_or_else(|| panic!("object {n} not in forest"));
+            if expanded {
+                let mut hasher = self.alg.hasher();
+                hasher.update(&node_prefix_of(node));
+                let mut count = 0u64;
+                for child in node.children() {
+                    let ch = self
+                        .hashes
+                        .get(&child)
+                        .expect("children computed before parent");
+                    hasher.update(ch);
+                    count += 1;
+                }
+                hasher.update(&count.to_be_bytes());
+                self.hashes.insert(n, hasher.finalize());
+                self.nodes_hashed += 1;
+            } else {
+                stack.push((n, true));
+                for child in node.children() {
+                    stack.push((child, false));
+                }
+            }
+        }
+        self.hashes[&id].clone()
+    }
+
+    /// Full recompute of `subtree(id)` ignoring the cache (Basic walk).
+    /// The cache is repopulated with the fresh values.
+    pub fn recompute_subtree(&mut self, forest: &Forest, id: ObjectId) -> Vec<u8> {
+        for n in forest.subtree_ids(id) {
+            self.hashes.remove(&n);
+        }
+        self.get_or_compute(forest, id)
+    }
+
+    /// Drops cache entries for ids no longer in the forest.
+    pub fn retain_live(&mut self, forest: &Forest) {
+        self.hashes.retain(|id, _| forest.contains(*id));
+    }
+}
+
+/// One-shot subtree hash without a persistent cache.
+pub fn subtree_hash(alg: HashAlgorithm, forest: &Forest, id: ObjectId) -> Vec<u8> {
+    HashCache::new(alg).get_or_compute(forest, id)
+}
+
+/// Hash of an entire database (forest): the fold of all root hashes in
+/// `ObjectId` order under a domain-separated prefix.
+///
+/// This is the "database hash" of Figure 6: hash every tree, then combine.
+pub fn forest_hash(alg: HashAlgorithm, forest: &Forest, cache: &mut HashCache) -> Vec<u8> {
+    let mut hasher = alg.hasher();
+    hasher.update(b"TEP-FOREST\x01");
+    let mut count = 0u64;
+    for root in forest.roots() {
+        let h = cache.get_or_compute(forest, root);
+        hasher.update(&h);
+        count += 1;
+    }
+    hasher.update(&count.to_be_bytes());
+    hasher.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tep_model::relational;
+
+    const ALG: HashAlgorithm = HashAlgorithm::Sha256;
+
+    fn small_tree() -> (Forest, ObjectId, ObjectId, ObjectId, ObjectId) {
+        // Figure 4: A -> {B -> {D}, C}
+        let mut f = Forest::new();
+        let a = f.insert(Value::text("a"), None).unwrap();
+        let b = f.insert(Value::text("b"), Some(a)).unwrap();
+        let c = f.insert(Value::text("c"), Some(a)).unwrap();
+        let d = f.insert(Value::text("d"), Some(b)).unwrap();
+        (f, a, b, c, d)
+    }
+
+    #[test]
+    fn atom_hash_binds_id_and_value() {
+        let h1 = hash_atom(ALG, ObjectId(1), &Value::Int(5));
+        let h2 = hash_atom(ALG, ObjectId(2), &Value::Int(5));
+        let h3 = hash_atom(ALG, ObjectId(1), &Value::Int(6));
+        assert_ne!(h1, h2);
+        assert_ne!(h1, h3);
+        assert_eq!(h1.len(), 32);
+    }
+
+    #[test]
+    fn subtree_hash_changes_with_any_descendant() {
+        let (mut f, a, _, _, d) = small_tree();
+        let before = subtree_hash(ALG, &f, a);
+        f.update(d, Value::text("d2")).unwrap();
+        let after = subtree_hash(ALG, &f, a);
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn subtree_hash_changes_with_structure() {
+        let (mut f, a, _, c, _) = small_tree();
+        let before = subtree_hash(ALG, &f, a);
+        f.delete(c).unwrap();
+        let after = subtree_hash(ALG, &f, a);
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn leaf_hash_differs_from_atom_hash() {
+        // Compound (subtree) hashing of a leaf and §3 atomic hashing are
+        // distinct domains by construction.
+        let mut f = Forest::new();
+        let a = f.insert(Value::Int(1), None).unwrap();
+        assert_ne!(subtree_hash(ALG, &f, a), hash_atom(ALG, a, &Value::Int(1)));
+    }
+
+    #[test]
+    fn cache_reuses_child_hashes() {
+        let (mut f, a, b, _, d) = small_tree();
+        let mut cache = HashCache::new(ALG);
+        cache.get_or_compute(&f, a);
+        assert_eq!(cache.nodes_hashed(), 4);
+
+        // Update D: invalidate D's path (D, B, A); C's hash is reused.
+        cache.reset_counter();
+        f.update(d, Value::text("d2")).unwrap();
+        cache.invalidate_path(&f, d);
+        assert_eq!(cache.len(), 1); // only C remains cached
+        let economical = cache.get_or_compute(&f, a);
+        assert_eq!(cache.nodes_hashed(), 3); // D, B, A — not C
+
+        // Must equal a from-scratch recompute.
+        assert_eq!(economical, subtree_hash(ALG, &f, a));
+        let _ = b;
+    }
+
+    #[test]
+    fn recompute_subtree_matches_fresh() {
+        let (mut f, a, _, c, _) = small_tree();
+        let mut cache = HashCache::new(ALG);
+        cache.get_or_compute(&f, a);
+        f.update(c, Value::text("c2")).unwrap();
+        // Basic walk: full recompute ignores the (now stale) cache.
+        let recomputed = cache.recompute_subtree(&f, a);
+        assert_eq!(recomputed, subtree_hash(ALG, &f, a));
+    }
+
+    #[test]
+    fn stale_cache_detected_by_invalidate_path() {
+        let (mut f, a, _, _, d) = small_tree();
+        let mut cache = HashCache::new(ALG);
+        let stale = cache.get_or_compute(&f, a);
+        f.update(d, Value::text("d2")).unwrap();
+        // Without invalidation the cache would (wrongly) return the old value;
+        // invalidate_path is what keeps Economical correct.
+        assert_eq!(cache.get_or_compute(&f, a), stale);
+        cache.invalidate_path(&f, d);
+        assert_ne!(cache.get_or_compute(&f, a), stale);
+    }
+
+    #[test]
+    fn forest_hash_covers_all_roots() {
+        let mut f = Forest::new();
+        let r1 = f.insert(Value::Int(1), None).unwrap();
+        let _r2 = f.insert(Value::Int(2), None).unwrap();
+        let mut cache = HashCache::new(ALG);
+        let h = forest_hash(ALG, &f, &mut cache);
+        f.update(r1, Value::Int(99)).unwrap();
+        cache.invalidate_path(&f, r1);
+        assert_ne!(forest_hash(ALG, &f, &mut cache), h);
+    }
+
+    #[test]
+    fn sibling_order_is_by_id_not_insertion() {
+        // Hash must not depend on insertion order of siblings.
+        let mut f1 = Forest::new();
+        let r1 = f1.insert(Value::Null, None).unwrap();
+        f1.insert_with_id(ObjectId(10), Value::Int(1), Some(r1))
+            .unwrap();
+        f1.insert_with_id(ObjectId(20), Value::Int(2), Some(r1))
+            .unwrap();
+
+        let mut f2 = Forest::new();
+        let r2 = f2.insert(Value::Null, None).unwrap();
+        f2.insert_with_id(ObjectId(20), Value::Int(2), Some(r2))
+            .unwrap();
+        f2.insert_with_id(ObjectId(10), Value::Int(1), Some(r2))
+            .unwrap();
+
+        assert_eq!(subtree_hash(ALG, &f1, r1), subtree_hash(ALG, &f2, r2));
+    }
+
+    #[test]
+    fn relational_tree_hash_is_deterministic() {
+        let build = || {
+            let mut f = Forest::new();
+            let root = relational::create_root(&mut f, "db");
+            relational::build_table(&mut f, root, "t", 50, 4, |r, a| {
+                Value::Int((r * 100 + a) as i64)
+            })
+            .unwrap();
+            (f, root)
+        };
+        let (f1, r1) = build();
+        let (f2, r2) = build();
+        assert_eq!(subtree_hash(ALG, &f1, r1), subtree_hash(ALG, &f2, r2));
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        let mut f = Forest::new();
+        let mut parent = f.insert(Value::Int(0), None).unwrap();
+        let root = parent;
+        for i in 1..50_000 {
+            parent = f.insert(Value::Int(i), Some(parent)).unwrap();
+        }
+        // Iterative traversal must handle a 50k-deep chain.
+        let h = subtree_hash(ALG, &f, root);
+        assert_eq!(h.len(), 32);
+    }
+
+    #[test]
+    fn retain_live_prunes_deleted() {
+        let (mut f, a, _, c, _) = small_tree();
+        let mut cache = HashCache::new(ALG);
+        cache.get_or_compute(&f, a);
+        f.delete(c).unwrap();
+        cache.retain_live(&f);
+        assert!(cache.get(c).is_none());
+        assert_eq!(cache.len(), 3);
+    }
+}

@@ -1,0 +1,289 @@
+//! Read-only query interface over a provenance store.
+//!
+//! Recording tamper-evident provenance is only half the story — consumers
+//! also need to *ask questions* of it: who last touched this object, where
+//! did it come from, what did a participant do. This module provides those
+//! queries over a [`ProvenanceDb`] without mutating anything.
+
+use crate::error::CoreError;
+use crate::record::{ProvenanceRecord, RecordKind};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use tep_crypto::pki::ParticipantId;
+use tep_model::ObjectId;
+use tep_storage::ProvenanceDb;
+
+/// Read-only provenance queries.
+///
+/// ```
+/// use std::sync::Arc;
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use tep_core::prelude::*;
+/// use tep_model::Value;
+///
+/// let mut rng = StdRng::seed_from_u64(4);
+/// let ca = CertificateAuthority::new(512, HashAlgorithm::Sha256, &mut rng);
+/// let alice = ca.enroll(ParticipantId(1), 512, &mut rng);
+/// let mut ledger = AtomicLedger::new(HashAlgorithm::Sha256, Arc::new(ProvenanceDb::in_memory()));
+/// let a = ledger.insert(&alice, Value::Int(1)).unwrap();
+/// ledger.update(&alice, a, Value::Int(2)).unwrap();
+///
+/// let q = ProvenanceQuery::new(ledger.db());
+/// assert_eq!(q.blame(a), Some((alice.id(), 1)));
+/// assert_eq!(q.history_of(a).unwrap().len(), 2);
+/// ```
+pub struct ProvenanceQuery<'a> {
+    db: &'a ProvenanceDb,
+}
+
+/// Aggregate statistics over a provenance store.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DbStats {
+    /// Total records.
+    pub records: usize,
+    /// Distinct objects with at least one record.
+    pub objects: usize,
+    /// Insert records.
+    pub inserts: usize,
+    /// Update records (actual + inherited).
+    pub updates: usize,
+    /// Aggregate records.
+    pub aggregates: usize,
+    /// Distinct participants.
+    pub participants: usize,
+    /// Total checksum-row bytes (the paper's space metric).
+    pub row_bytes: u64,
+}
+
+impl<'a> ProvenanceQuery<'a> {
+    /// Wraps a provenance store for querying.
+    pub fn new(db: &'a ProvenanceDb) -> Self {
+        ProvenanceQuery { db }
+    }
+
+    /// The decoded history of one object, in `seqID` order.
+    pub fn history_of(&self, oid: ObjectId) -> Result<Vec<ProvenanceRecord>, CoreError> {
+        self.db
+            .records_for(oid)
+            .iter()
+            .map(|s| ProvenanceRecord::from_stored(s).map_err(CoreError::from))
+            .collect()
+    }
+
+    /// Every participant that ever touched `oid` (directly or through an
+    /// inherited record on it).
+    pub fn participants_of(&self, oid: ObjectId) -> Result<BTreeSet<ParticipantId>, CoreError> {
+        Ok(self
+            .history_of(oid)?
+            .into_iter()
+            .map(|r| r.participant)
+            .collect())
+    }
+
+    /// Who performed the most recent operation on `oid`, and at which seq.
+    pub fn blame(&self, oid: ObjectId) -> Option<(ParticipantId, u64)> {
+        self.db.latest_for(oid).map(|r| (r.participant, r.seq_id))
+    }
+
+    /// All records authored by `participant`, in `(object, seq)` order.
+    pub fn records_by_participant(
+        &self,
+        participant: ParticipantId,
+    ) -> Result<Vec<ProvenanceRecord>, CoreError> {
+        let mut out: Vec<ProvenanceRecord> = self
+            .db
+            .all_records()
+            .iter()
+            .filter(|s| s.participant == participant)
+            .map(|s| ProvenanceRecord::from_stored(s).map_err(CoreError::from))
+            .collect::<Result<_, _>>()?;
+        out.sort_by_key(|r| (r.output_oid, r.seq_id));
+        Ok(out)
+    }
+
+    /// Objects that `oid` (transitively) derives from through aggregation:
+    /// its lineage closure, nearest first (BFS order).
+    pub fn derivation_sources(&self, oid: ObjectId) -> Result<Vec<ObjectId>, CoreError> {
+        let mut seen: BTreeSet<ObjectId> = BTreeSet::new();
+        let mut order = Vec::new();
+        let mut queue = VecDeque::from([oid]);
+        while let Some(cur) = queue.pop_front() {
+            for rec in self.history_of(cur)? {
+                if rec.kind != RecordKind::Aggregate {
+                    continue;
+                }
+                for input in &rec.inputs {
+                    if input.oid != cur && seen.insert(input.oid) {
+                        order.push(input.oid);
+                        queue.push_back(input.oid);
+                    }
+                }
+            }
+        }
+        Ok(order)
+    }
+
+    /// `true` iff `oid` derives (transitively) from `source` via
+    /// aggregation.
+    pub fn derives_from(&self, oid: ObjectId, source: ObjectId) -> Result<bool, CoreError> {
+        Ok(self.derivation_sources(oid)?.contains(&source))
+    }
+
+    /// Objects whose aggregations consumed `oid` (direct consumers only).
+    pub fn consumers_of(&self, oid: ObjectId) -> Vec<ObjectId> {
+        let mut out = BTreeSet::new();
+        for stored in self.db.all_records() {
+            if let Ok(rec) = ProvenanceRecord::from_stored(&stored) {
+                if rec.kind == RecordKind::Aggregate && rec.inputs.iter().any(|i| i.oid == oid) {
+                    out.insert(rec.output_oid);
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Per-participant record counts (activity profile).
+    pub fn activity(&self) -> BTreeMap<ParticipantId, usize> {
+        let mut out = BTreeMap::new();
+        for r in self.db.all_records() {
+            *out.entry(r.participant).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Store-wide statistics.
+    pub fn stats(&self) -> Result<DbStats, CoreError> {
+        let mut stats = DbStats {
+            records: self.db.len(),
+            objects: self.db.object_ids().len(),
+            row_bytes: self.db.paper_row_bytes(),
+            ..Default::default()
+        };
+        let mut participants = BTreeSet::new();
+        for stored in self.db.all_records() {
+            let rec = ProvenanceRecord::from_stored(&stored)?;
+            participants.insert(rec.participant);
+            match rec.kind {
+                RecordKind::Insert => stats.inserts += 1,
+                RecordKind::Update => stats.updates += 1,
+                RecordKind::Aggregate => stats.aggregates += 1,
+            }
+        }
+        stats.participants = participants.len();
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hashing::HashingStrategy;
+    use crate::tracker::{ProvenanceTracker, TrackerConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+    use tep_crypto::digest::HashAlgorithm;
+    use tep_crypto::pki::{CertificateAuthority, Participant};
+    use tep_model::{AggregateMode, Value};
+
+    const ALG: HashAlgorithm = HashAlgorithm::Sha256;
+
+    fn world() -> (ProvenanceTracker, Participant, Participant) {
+        let mut rng = StdRng::seed_from_u64(17);
+        let ca = CertificateAuthority::new(512, ALG, &mut rng);
+        let alice = ca.enroll(ParticipantId(1), 512, &mut rng);
+        let bob = ca.enroll(ParticipantId(2), 512, &mut rng);
+        let tracker = ProvenanceTracker::new(
+            TrackerConfig {
+                alg: ALG,
+                strategy: HashingStrategy::Economical,
+            },
+            Arc::new(ProvenanceDb::in_memory()),
+        );
+        (tracker, alice, bob)
+    }
+
+    #[test]
+    fn history_and_blame() {
+        let (mut t, alice, bob) = world();
+        let (a, _) = t.insert(&alice, Value::Int(1), None).unwrap();
+        t.update(&bob, a, Value::Int(2)).unwrap();
+        let q = ProvenanceQuery::new(t.db());
+        let hist = q.history_of(a).unwrap();
+        assert_eq!(hist.len(), 2);
+        assert_eq!(hist[0].kind, RecordKind::Insert);
+        assert_eq!(hist[1].participant, bob.id());
+        assert_eq!(q.blame(a), Some((bob.id(), 1)));
+        assert_eq!(q.blame(ObjectId(999)), None);
+    }
+
+    #[test]
+    fn participants_and_activity() {
+        let (mut t, alice, bob) = world();
+        let (a, _) = t.insert(&alice, Value::Int(1), None).unwrap();
+        t.update(&bob, a, Value::Int(2)).unwrap();
+        t.update(&bob, a, Value::Int(3)).unwrap();
+        let q = ProvenanceQuery::new(t.db());
+        let ps = q.participants_of(a).unwrap();
+        assert!(ps.contains(&alice.id()) && ps.contains(&bob.id()));
+        let activity = q.activity();
+        assert_eq!(activity[&alice.id()], 1);
+        assert_eq!(activity[&bob.id()], 2);
+        assert_eq!(q.records_by_participant(bob.id()).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn lineage_queries() {
+        let (mut t, alice, _) = world();
+        let (a, _) = t.insert(&alice, Value::Int(1), None).unwrap();
+        let (b, _) = t.insert(&alice, Value::Int(2), None).unwrap();
+        let (c, _) = t
+            .aggregate(&alice, &[a, b], Value::Int(3), AggregateMode::Atomic)
+            .unwrap();
+        let (d, _) = t
+            .aggregate(&alice, &[c], Value::Int(4), AggregateMode::Atomic)
+            .unwrap();
+        let q = ProvenanceQuery::new(t.db());
+        // d derives from c directly and a, b transitively.
+        let sources = q.derivation_sources(d).unwrap();
+        assert_eq!(sources[0], c);
+        assert!(sources.contains(&a) && sources.contains(&b));
+        assert!(q.derives_from(d, a).unwrap());
+        assert!(!q.derives_from(a, d).unwrap());
+        // a's consumers: only c (directly).
+        assert_eq!(q.consumers_of(a), vec![c]);
+        assert_eq!(q.consumers_of(d), Vec::<ObjectId>::new());
+    }
+
+    #[test]
+    fn stats_reflect_store() {
+        let (mut t, alice, bob) = world();
+        let (root, _) = t.insert(&alice, Value::text("db"), None).unwrap();
+        let (leaf, _) = t.insert(&bob, Value::Int(1), Some(root)).unwrap();
+        t.update(&alice, leaf, Value::Int(2)).unwrap();
+        let (x, _) = t.insert(&alice, Value::Int(9), None).unwrap();
+        t.aggregate(&bob, &[root, x], Value::Null, AggregateMode::Atomic)
+            .unwrap();
+        let q = ProvenanceQuery::new(t.db());
+        let stats = q.stats().unwrap();
+        assert_eq!(stats.records, t.db().len());
+        assert_eq!(stats.participants, 2);
+        assert_eq!(stats.aggregates, 1);
+        assert_eq!(stats.inserts, 3); // root, leaf, x
+        assert!(stats.updates >= 2); // leaf update + inherited root records
+        assert_eq!(
+            stats.records,
+            stats.inserts + stats.updates + stats.aggregates
+        );
+        assert!(stats.row_bytes > 0);
+    }
+
+    #[test]
+    fn empty_store_queries() {
+        let db = ProvenanceDb::in_memory();
+        let q = ProvenanceQuery::new(&db);
+        assert!(q.history_of(ObjectId(1)).unwrap().is_empty());
+        assert_eq!(q.stats().unwrap(), DbStats::default());
+        assert!(q.activity().is_empty());
+        assert!(q.derivation_sources(ObjectId(1)).unwrap().is_empty());
+    }
+}

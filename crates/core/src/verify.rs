@@ -1,0 +1,588 @@
+//! Recipient-side verification (§3, verification conditions 1–2; §3.1
+//! security analysis).
+//!
+//! Given a data object (its current hash), its claimed [`ProvenanceObject`]
+//! and a [`KeyDirectory`] of CA-certified participant keys, the
+//! [`Verifier`] checks:
+//!
+//! 1. the most recent record's output matches the delivered object
+//!    (guarantees **R4**/**R5** — no undocumented modification, no
+//!    provenance reassignment);
+//! 2. every checksum verifies under its participant's public key over the
+//!    record's own fields and the *stored* predecessor checksums
+//!    (**R1**/**R8** — record contents and attribution);
+//! 3. every chain is structurally sound — predecessors present
+//!    (**R2**/**R7** removal detection), no forks or dangling records
+//!    (**R3**/**R6** insertion detection), kinds well-formed.
+//!
+//! All violations found are reported, not just the first, so attack
+//! forensics can see the full blast radius.
+
+use crate::provenance::ProvenanceObject;
+use crate::record::{checksum_message, ProvenanceRecord, RecordKind};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+use tep_crypto::digest::HashAlgorithm;
+use tep_crypto::pki::{KeyDirectory, ParticipantId};
+use tep_model::ObjectId;
+
+/// A specific piece of evidence that provenance was tampered with.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TamperEvidence {
+    /// The delivered object does not match the most recent record's output
+    /// (violates R4: undocumented data modification, or R5: provenance
+    /// reassigned from another object).
+    OutputMismatch {
+        /// The object under verification.
+        oid: ObjectId,
+    },
+    /// A record's checksum fails signature verification (R1: contents
+    /// modified, or R8: forged attribution).
+    BadSignature {
+        /// Output object of the offending record.
+        oid: ObjectId,
+        /// Its sequence id.
+        seq: u64,
+    },
+    /// A record referenced as predecessor is absent (R2/R7: records were
+    /// removed).
+    MissingRecord {
+        /// The missing record's object.
+        oid: ObjectId,
+        /// The missing record's sequence id.
+        seq: u64,
+    },
+    /// Successive records of one object's chain do not link (insertion,
+    /// reordering, or splicing — R3/R6).
+    BrokenChain {
+        /// The object whose chain is inconsistent.
+        oid: ObjectId,
+        /// Sequence id of the record that fails to link.
+        seq: u64,
+    },
+    /// A presented record is not reachable from the target's most recent
+    /// record (R3/R6: inserted records).
+    ExtraneousRecord {
+        /// The unreachable record's object.
+        oid: ObjectId,
+        /// Its sequence id.
+        seq: u64,
+    },
+    /// Two records claim the same `(object, seqID)` slot — a forked chain.
+    DuplicateRecord {
+        /// The contested object.
+        oid: ObjectId,
+        /// The contested sequence id.
+        seq: u64,
+    },
+    /// The record names a participant with no certified key.
+    UnknownParticipant {
+        /// The unknown participant.
+        participant: ParticipantId,
+    },
+    /// A record's structure violates its kind's invariants.
+    MalformedRecord {
+        /// The offending record's object.
+        oid: ObjectId,
+        /// Its sequence id.
+        seq: u64,
+        /// What is wrong.
+        why: &'static str,
+    },
+    /// No records were presented for the target object.
+    NoRecords {
+        /// The target object.
+        oid: ObjectId,
+    },
+    /// A previously trusted record (a [`crate::checkpoint::TrustAnchor`])
+    /// is no longer present with its original checksum — the chain was
+    /// truncated, rolled back, or re-signed across the anchor.
+    AnchorViolation {
+        /// The anchored object.
+        oid: ObjectId,
+        /// The anchored sequence id.
+        seq: u64,
+    },
+}
+
+impl fmt::Display for TamperEvidence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TamperEvidence::OutputMismatch { oid } => {
+                write!(
+                    f,
+                    "object {oid} does not match its most recent provenance record (R4/R5)"
+                )
+            }
+            TamperEvidence::BadSignature { oid, seq } => {
+                write!(
+                    f,
+                    "checksum of record ({oid}, seq {seq}) fails verification (R1/R8)"
+                )
+            }
+            TamperEvidence::MissingRecord { oid, seq } => {
+                write!(f, "referenced record ({oid}, seq {seq}) is missing (R2/R7)")
+            }
+            TamperEvidence::BrokenChain { oid, seq } => {
+                write!(
+                    f,
+                    "record ({oid}, seq {seq}) does not link to its predecessor (R3/R6)"
+                )
+            }
+            TamperEvidence::ExtraneousRecord { oid, seq } => {
+                write!(
+                    f,
+                    "record ({oid}, seq {seq}) is not part of the target's history (R3/R6)"
+                )
+            }
+            TamperEvidence::DuplicateRecord { oid, seq } => {
+                write!(
+                    f,
+                    "multiple records claim ({oid}, seq {seq}) — forked chain"
+                )
+            }
+            TamperEvidence::UnknownParticipant { participant } => {
+                write!(f, "no certified key for participant {participant}")
+            }
+            TamperEvidence::MalformedRecord { oid, seq, why } => {
+                write!(f, "record ({oid}, seq {seq}) is malformed: {why}")
+            }
+            TamperEvidence::NoRecords { oid } => {
+                write!(f, "no provenance records for object {oid}")
+            }
+            TamperEvidence::AnchorViolation { oid, seq } => {
+                write!(
+                    f,
+                    "trusted record ({oid}, seq {seq}) is missing or altered — history truncated or rolled back"
+                )
+            }
+        }
+    }
+}
+
+/// The outcome of verifying one provenance object.
+#[derive(Clone, Debug, Default)]
+pub struct Verification {
+    /// All evidence of tampering found (empty ⇒ verified).
+    pub issues: Vec<TamperEvidence>,
+    /// Number of records whose signatures were checked.
+    pub records_checked: usize,
+    /// Participants appearing in the provenance.
+    pub participants: BTreeSet<ParticipantId>,
+}
+
+impl Verification {
+    /// `true` iff no tampering evidence was found.
+    pub fn verified(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+/// Recipient-side provenance verifier.
+pub struct Verifier<'a> {
+    keys: &'a KeyDirectory,
+    alg: HashAlgorithm,
+}
+
+impl<'a> Verifier<'a> {
+    /// Creates a verifier resolving participants through `keys`.
+    pub fn new(keys: &'a KeyDirectory, alg: HashAlgorithm) -> Self {
+        Verifier { keys, alg }
+    }
+
+    /// Verifies that `prov` is an untampered history of the object whose
+    /// current hash is `object_hash`.
+    pub fn verify(&self, object_hash: &[u8], prov: &ProvenanceObject) -> Verification {
+        let mut v = Verification::default();
+        let target = prov.target;
+
+        // Index records; detect forks.
+        let mut index: HashMap<(ObjectId, u64), &ProvenanceRecord> = HashMap::new();
+        for r in &prov.records {
+            let key = (r.output_oid, r.seq_id);
+            if index.insert(key, r).is_some() {
+                v.issues.push(TamperEvidence::DuplicateRecord {
+                    oid: key.0,
+                    seq: key.1,
+                });
+            }
+        }
+
+        // Condition 1: the delivered object matches the newest record.
+        let latest = match prov.latest() {
+            Some(r) => r,
+            None => {
+                v.issues.push(TamperEvidence::NoRecords { oid: target });
+                return v;
+            }
+        };
+        if latest.output_hash != object_hash {
+            v.issues
+                .push(TamperEvidence::OutputMismatch { oid: target });
+        }
+
+        // Structural checks per object chain.
+        let mut by_object: HashMap<ObjectId, Vec<&ProvenanceRecord>> = HashMap::new();
+        for r in &prov.records {
+            by_object.entry(r.output_oid).or_default().push(r);
+        }
+        for (oid, mut chain) in by_object {
+            chain.sort_by_key(|r| r.seq_id);
+            for (i, r) in chain.iter().enumerate() {
+                self.check_shape(r, &mut v);
+                let links_to_prior = match r.kind {
+                    RecordKind::Insert | RecordKind::Aggregate => None,
+                    RecordKind::Update => r.inputs.first().and_then(|inp| inp.prev_seq),
+                };
+                if i == 0 {
+                    // Chain start: must not claim a predecessor we can't see
+                    // ... unless it's an aggregate (whose "predecessors" are
+                    // the input objects, checked below) or a first-touch
+                    // update (prev None).
+                    if let Some(prev) = links_to_prior {
+                        v.issues
+                            .push(TamperEvidence::MissingRecord { oid, seq: prev });
+                    }
+                } else {
+                    let prior = chain[i - 1];
+                    match (r.kind, links_to_prior) {
+                        (RecordKind::Update, Some(prev)) if prev == prior.seq_id => {}
+                        _ => {
+                            v.issues
+                                .push(TamperEvidence::BrokenChain { oid, seq: r.seq_id });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Condition 2: every checksum verifies over the record's fields and
+        // the stored predecessor checksums.
+        for r in &prov.records {
+            self.check_signature(r, &index, &mut v);
+            v.records_checked += 1;
+            v.participants.insert(r.participant);
+        }
+
+        // Reachability: everything presented must be part of the target's
+        // history (dangling records indicate insertion).
+        let mut reachable: HashSet<(ObjectId, u64)> = HashSet::new();
+        let mut queue = VecDeque::new();
+        queue.push_back((target, latest.seq_id));
+        while let Some(key) = queue.pop_front() {
+            if !reachable.insert(key) {
+                continue;
+            }
+            let Some(r) = index.get(&key) else { continue };
+            for input in &r.inputs {
+                if let Some(prev) = input.prev_seq {
+                    queue.push_back((input.oid, prev));
+                }
+            }
+        }
+        for r in &prov.records {
+            if !reachable.contains(&(r.output_oid, r.seq_id)) {
+                v.issues.push(TamperEvidence::ExtraneousRecord {
+                    oid: r.output_oid,
+                    seq: r.seq_id,
+                });
+            }
+        }
+
+        v
+    }
+
+    fn check_shape(&self, r: &ProvenanceRecord, v: &mut Verification) {
+        let flag = |v: &mut Verification, why| {
+            v.issues.push(TamperEvidence::MalformedRecord {
+                oid: r.output_oid,
+                seq: r.seq_id,
+                why,
+            })
+        };
+        match r.kind {
+            RecordKind::Insert => {
+                if !r.inputs.is_empty() {
+                    flag(v, "insert records must have no inputs");
+                }
+            }
+            RecordKind::Update => {
+                if r.inputs.len() != 1 {
+                    flag(v, "update records must have exactly one input");
+                } else if r.inputs[0].oid != r.output_oid {
+                    flag(v, "update input must be the output object itself");
+                }
+            }
+            RecordKind::Aggregate => {
+                if r.inputs.is_empty() {
+                    flag(v, "aggregate records must have at least one input");
+                }
+                if r.inputs.windows(2).any(|w| w[0].oid >= w[1].oid) {
+                    flag(v, "aggregate inputs must be sorted and distinct");
+                }
+                if r.inputs.iter().any(|i| i.oid == r.output_oid) {
+                    flag(v, "aggregate output must be a fresh object");
+                }
+            }
+        }
+    }
+
+    fn check_signature(
+        &self,
+        r: &ProvenanceRecord,
+        index: &HashMap<(ObjectId, u64), &ProvenanceRecord>,
+        v: &mut Verification,
+    ) {
+        // Resolve predecessor checksums; missing ones are R2/R7 evidence.
+        let mut prev_checksums: Vec<&[u8]> = Vec::new();
+        let mut resolvable = true;
+        for input in &r.inputs {
+            let Some(prev) = input.prev_seq else { continue };
+            match index.get(&(input.oid, prev)) {
+                Some(p) => prev_checksums.push(&p.checksum),
+                None => {
+                    v.issues.push(TamperEvidence::MissingRecord {
+                        oid: input.oid,
+                        seq: prev,
+                    });
+                    resolvable = false;
+                }
+            }
+        }
+        if !resolvable {
+            return;
+        }
+
+        let key = match self.keys.public_key(r.participant) {
+            Ok(k) => k,
+            Err(_) => {
+                v.issues.push(TamperEvidence::UnknownParticipant {
+                    participant: r.participant,
+                });
+                return;
+            }
+        };
+        let msg = checksum_message(
+            self.alg,
+            r.kind,
+            r.seq_id,
+            &r.inputs,
+            r.output_oid,
+            &r.output_hash,
+            &r.annotation,
+            &prev_checksums,
+        );
+        if key.verify(self.alg, &msg, &r.checksum).is_err() {
+            v.issues.push(TamperEvidence::BadSignature {
+                oid: r.output_oid,
+                seq: r.seq_id,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hashing::HashingStrategy;
+    use crate::provenance::collect;
+    use crate::tracker::{ProvenanceTracker, TrackerConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+    use tep_crypto::pki::{CertificateAuthority, Participant};
+    use tep_model::{AggregateMode, Value};
+    use tep_storage::ProvenanceDb;
+
+    const ALG: HashAlgorithm = HashAlgorithm::Sha256;
+
+    struct World {
+        tracker: ProvenanceTracker,
+        keys: KeyDirectory,
+        alice: Participant,
+        bob: Participant,
+    }
+
+    fn world() -> World {
+        let mut rng = StdRng::seed_from_u64(55);
+        let ca = CertificateAuthority::new(512, ALG, &mut rng);
+        let alice = ca.enroll(ParticipantId(1), 512, &mut rng);
+        let bob = ca.enroll(ParticipantId(2), 512, &mut rng);
+        let mut keys = KeyDirectory::new(ca.public_key().clone(), ALG);
+        keys.register(alice.certificate().clone()).unwrap();
+        keys.register(bob.certificate().clone()).unwrap();
+        let tracker = ProvenanceTracker::new(
+            TrackerConfig {
+                alg: ALG,
+                strategy: HashingStrategy::Economical,
+            },
+            Arc::new(ProvenanceDb::in_memory()),
+        );
+        World {
+            tracker,
+            keys,
+            alice,
+            bob,
+        }
+    }
+
+    #[test]
+    fn honest_linear_history_verifies() {
+        let mut w = world();
+        let (a, _) = w.tracker.insert(&w.alice, Value::Int(1), None).unwrap();
+        w.tracker.update(&w.bob, a, Value::Int(2)).unwrap();
+        w.tracker.update(&w.alice, a, Value::Int(3)).unwrap();
+        let prov = collect(w.tracker.db(), a).unwrap();
+        let hash = w.tracker.object_hash(a).unwrap();
+        let v = Verifier::new(&w.keys, ALG).verify(&hash, &prov);
+        assert!(v.verified(), "issues: {:?}", v.issues);
+        assert_eq!(v.records_checked, 3);
+        assert_eq!(v.participants.len(), 2);
+    }
+
+    #[test]
+    fn honest_nonlinear_history_verifies() {
+        let mut w = world();
+        let (a, _) = w.tracker.insert(&w.alice, Value::text("a1"), None).unwrap();
+        let (b, _) = w.tracker.insert(&w.alice, Value::text("b1"), None).unwrap();
+        w.tracker.update(&w.bob, b, Value::text("b2")).unwrap();
+        let (c, _) = w
+            .tracker
+            .aggregate(&w.bob, &[a, b], Value::text("c1"), AggregateMode::Atomic)
+            .unwrap();
+        w.tracker.update(&w.alice, a, Value::text("a2")).unwrap();
+        let (d, _) = w
+            .tracker
+            .aggregate(&w.alice, &[a, c], Value::text("d1"), AggregateMode::Atomic)
+            .unwrap();
+        let prov = collect(w.tracker.db(), d).unwrap();
+        let hash = w.tracker.object_hash(d).unwrap();
+        let v = Verifier::new(&w.keys, ALG).verify(&hash, &prov);
+        assert!(v.verified(), "issues: {:?}", v.issues);
+        assert_eq!(v.records_checked, 6);
+    }
+
+    #[test]
+    fn honest_compound_history_verifies() {
+        let mut w = world();
+        let (root, _) = w.tracker.insert(&w.alice, Value::text("db"), None).unwrap();
+        let (table, _) = w
+            .tracker
+            .insert(&w.alice, Value::text("t"), Some(root))
+            .unwrap();
+        let (row, _) = w.tracker.insert(&w.bob, Value::Null, Some(table)).unwrap();
+        let (cell, _) = w.tracker.insert(&w.bob, Value::Int(1), Some(row)).unwrap();
+        w.tracker.update(&w.alice, cell, Value::Int(2)).unwrap();
+        w.tracker.delete(&w.bob, cell).unwrap();
+        // Verify the root's (inherited) chain.
+        let prov = collect(w.tracker.db(), root).unwrap();
+        let hash = w.tracker.object_hash(root).unwrap();
+        let v = Verifier::new(&w.keys, ALG).verify(&hash, &prov);
+        assert!(v.verified(), "issues: {:?}", v.issues);
+    }
+
+    #[test]
+    fn r1_modified_record_detected() {
+        let mut w = world();
+        let (a, _) = w.tracker.insert(&w.alice, Value::Int(1), None).unwrap();
+        w.tracker.update(&w.bob, a, Value::Int(2)).unwrap();
+        let mut prov = collect(w.tracker.db(), a).unwrap();
+        // Bob's record claims a different input value.
+        let idx = prov.records.iter().position(|r| r.seq_id == 1).unwrap();
+        prov.records[idx].inputs[0].hash[0] ^= 0xFF;
+        let hash = w.tracker.object_hash(a).unwrap();
+        let v = Verifier::new(&w.keys, ALG).verify(&hash, &prov);
+        assert!(v
+            .issues
+            .contains(&TamperEvidence::BadSignature { oid: a, seq: 1 }));
+    }
+
+    #[test]
+    fn r2_removed_record_detected() {
+        let mut w = world();
+        let (a, _) = w.tracker.insert(&w.alice, Value::Int(1), None).unwrap();
+        w.tracker.update(&w.bob, a, Value::Int(2)).unwrap();
+        w.tracker.update(&w.alice, a, Value::Int(3)).unwrap();
+        let mut prov = collect(w.tracker.db(), a).unwrap();
+        // Remove Bob's middle record (seq 1).
+        prov.records.retain(|r| r.seq_id != 1);
+        let hash = w.tracker.object_hash(a).unwrap();
+        let v = Verifier::new(&w.keys, ALG).verify(&hash, &prov);
+        assert!(!v.verified());
+        assert!(v.issues.iter().any(|i| matches!(
+            i,
+            TamperEvidence::MissingRecord { .. } | TamperEvidence::BrokenChain { .. }
+        )));
+    }
+
+    #[test]
+    fn r4_unrecorded_data_change_detected() {
+        let mut w = world();
+        let (a, _) = w.tracker.insert(&w.alice, Value::Int(1), None).unwrap();
+        let prov = collect(w.tracker.db(), a).unwrap();
+        // Attacker changes the data out-of-band: hash no longer matches.
+        let fake_hash = crate::hashing::hash_atom(ALG, a, &Value::Int(999));
+        let v = Verifier::new(&w.keys, ALG).verify(&fake_hash, &prov);
+        assert!(v
+            .issues
+            .contains(&TamperEvidence::OutputMismatch { oid: a }));
+    }
+
+    #[test]
+    fn r5_reassigned_provenance_detected() {
+        let mut w = world();
+        let (a, _) = w.tracker.insert(&w.alice, Value::Int(1), None).unwrap();
+        let (b, _) = w.tracker.insert(&w.bob, Value::Int(1), None).unwrap();
+        // Present B's data with A's provenance.
+        let prov_a = collect(w.tracker.db(), a).unwrap();
+        let hash_b = w.tracker.object_hash(b).unwrap();
+        let v = Verifier::new(&w.keys, ALG).verify(&hash_b, &prov_a);
+        assert!(v
+            .issues
+            .contains(&TamperEvidence::OutputMismatch { oid: a }));
+    }
+
+    #[test]
+    fn unknown_participant_detected() {
+        let mut w = world();
+        let mut rng = StdRng::seed_from_u64(99);
+        let rogue_ca = CertificateAuthority::new(512, ALG, &mut rng);
+        let mallory = rogue_ca.enroll(ParticipantId(66), 512, &mut rng);
+        let (a, _) = w.tracker.insert(&mallory, Value::Int(1), None).unwrap();
+        let prov = collect(w.tracker.db(), a).unwrap();
+        let hash = w.tracker.object_hash(a).unwrap();
+        let v = Verifier::new(&w.keys, ALG).verify(&hash, &prov);
+        assert!(v.issues.contains(&TamperEvidence::UnknownParticipant {
+            participant: ParticipantId(66)
+        }));
+    }
+
+    #[test]
+    fn duplicate_seq_detected() {
+        let mut w = world();
+        let (a, _) = w.tracker.insert(&w.alice, Value::Int(1), None).unwrap();
+        w.tracker.update(&w.bob, a, Value::Int(2)).unwrap();
+        let mut prov = collect(w.tracker.db(), a).unwrap();
+        let dup = prov.records[1].clone();
+        prov.records.push(dup);
+        let hash = w.tracker.object_hash(a).unwrap();
+        let v = Verifier::new(&w.keys, ALG).verify(&hash, &prov);
+        assert!(v
+            .issues
+            .contains(&TamperEvidence::DuplicateRecord { oid: a, seq: 1 }));
+    }
+
+    #[test]
+    fn empty_provenance_flagged() {
+        let w = world();
+        let prov = ProvenanceObject {
+            target: ObjectId(5),
+            records: vec![],
+        };
+        let v = Verifier::new(&w.keys, ALG).verify(&[0u8; 32], &prov);
+        assert_eq!(
+            v.issues,
+            vec![TamperEvidence::NoRecords { oid: ObjectId(5) }]
+        );
+    }
+}

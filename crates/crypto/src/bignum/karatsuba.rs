@@ -1,0 +1,200 @@
+//! Karatsuba multiplication for large operands.
+//!
+//! Schoolbook multiplication is O(n²) in the limb count; Karatsuba splits
+//! each operand in half and recurses three (not four) times, giving
+//! O(n^1.585). With 64-bit limbs the crossover sits around a few dozen
+//! limbs, so RSA-2048 operations and the hash-tree experiments stay on
+//! schoolbook while multi-thousand-bit arithmetic (e.g. 4096-bit moduli or
+//! `R²` precomputations) benefits.
+
+use super::BigUint;
+
+/// Operands with at least this many limbs on both sides go through
+/// Karatsuba.
+pub(crate) const KARATSUBA_THRESHOLD: usize = 32;
+
+/// Multiplies two limb slices, choosing schoolbook or Karatsuba.
+pub(crate) fn mul_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    if a.len().min(b.len()) < KARATSUBA_THRESHOLD {
+        schoolbook(a, b)
+    } else {
+        karatsuba(a, b)
+    }
+}
+
+/// O(n·m) schoolbook multiplication of limb slices.
+fn schoolbook(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        let mut carry = 0u128;
+        for (j, &bj) in b.iter().enumerate() {
+            let t = (ai as u128) * (bj as u128) + (out[i + j] as u128) + carry;
+            out[i + j] = t as u64;
+            carry = t >> 64;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let t = (out[k] as u128) + carry;
+            out[k] = t as u64;
+            carry = t >> 64;
+            k += 1;
+        }
+    }
+    out
+}
+
+/// Karatsuba: split at `m`, recurse three times, recombine.
+fn karatsuba(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let m = a.len().max(b.len()) / 2;
+    let (a0, a1) = split(a, m);
+    let (b0, b1) = split(b, m);
+
+    let z0 = mul_limbs(a0, b0);
+    let z2 = mul_limbs(a1, b1);
+    // z1 = (a0+a1)(b0+b1) - z0 - z2
+    let asum = add_limbs(a0, a1);
+    let bsum = add_limbs(b0, b1);
+    let mut z1 = mul_limbs(&asum, &bsum);
+    sub_assign(&mut z1, &z0);
+    sub_assign(&mut z1, &z2);
+
+    // result = z0 + z1·2^(64m) + z2·2^(128m)
+    let mut out = vec![0u64; a.len() + b.len()];
+    add_at(&mut out, &z0, 0);
+    add_at(&mut out, &z1, m);
+    add_at(&mut out, &z2, 2 * m);
+    out
+}
+
+fn split(x: &[u64], m: usize) -> (&[u64], &[u64]) {
+    if x.len() <= m {
+        (x, &[])
+    } else {
+        (&x[..m], &x[m..])
+    }
+}
+
+/// `a + b` over raw limb slices.
+fn add_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry = 0u64;
+    for (i, &l) in long.iter().enumerate() {
+        let s = short.get(i).copied().unwrap_or(0);
+        let (x, c1) = l.overflowing_add(s);
+        let (y, c2) = x.overflowing_add(carry);
+        out.push(y);
+        carry = (c1 as u64) + (c2 as u64);
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+/// `acc -= b` in place; `acc` must be ≥ `b` (guaranteed for Karatsuba's z1).
+fn sub_assign(acc: &mut [u64], b: &[u64]) {
+    let mut borrow = 0u64;
+    for (i, limb) in acc.iter_mut().enumerate() {
+        let s = b.get(i).copied().unwrap_or(0);
+        let (x, b1) = limb.overflowing_sub(s);
+        let (y, b2) = x.overflowing_sub(borrow);
+        *limb = y;
+        borrow = (b1 as u64) + (b2 as u64);
+        if borrow == 0 && i >= b.len() {
+            break;
+        }
+    }
+    debug_assert_eq!(borrow, 0, "Karatsuba middle term must be non-negative");
+}
+
+/// `acc += val << (64·offset)`; `acc` must be long enough to absorb it.
+fn add_at(acc: &mut [u64], val: &[u64], offset: usize) {
+    let mut carry = 0u64;
+    let mut i = 0;
+    while i < val.len() || carry != 0 {
+        let idx = offset + i;
+        if idx >= acc.len() {
+            debug_assert_eq!(carry, 0, "Karatsuba recombination overflow");
+            debug_assert!(val[i..].iter().all(|&v| v == 0));
+            break;
+        }
+        let v = val.get(i).copied().unwrap_or(0);
+        let (x, c1) = acc[idx].overflowing_add(v);
+        let (y, c2) = x.overflowing_add(carry);
+        acc[idx] = y;
+        carry = (c1 as u64) + (c2 as u64);
+        i += 1;
+    }
+}
+
+impl BigUint {
+    /// Forces Karatsuba (test/bench hook; [`BigUint::mul_ref`] dispatches
+    /// automatically).
+    #[doc(hidden)]
+    pub fn mul_karatsuba(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        BigUint::from_limbs(karatsuba(&self.limbs, &other.limbs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rnd(limbs: usize, seed: &mut u64) -> BigUint {
+        let mut v = Vec::with_capacity(limbs);
+        for _ in 0..limbs {
+            *seed ^= *seed << 13;
+            *seed ^= *seed >> 7;
+            *seed ^= *seed << 17;
+            v.push(*seed);
+        }
+        BigUint::from_limbs(v)
+    }
+
+    #[test]
+    fn karatsuba_matches_schoolbook_across_shapes() {
+        let mut seed = 0x1234_5678_9abc_def1u64;
+        for (la, lb) in [
+            (1, 1),
+            (2, 3),
+            (8, 8),
+            (31, 33),
+            (32, 32),
+            (64, 64),
+            (65, 17),
+            (100, 3),
+        ] {
+            let a = rnd(la, &mut seed);
+            let b = rnd(lb, &mut seed);
+            let school = BigUint::from_limbs(schoolbook(a.limbs(), b.limbs()));
+            assert_eq!(a.mul_karatsuba(&b), school, "({la},{lb})");
+            assert_eq!(a.mul_ref(&b), school, "dispatch ({la},{lb})");
+        }
+    }
+
+    #[test]
+    fn zero_and_one_edges() {
+        let mut seed = 7;
+        let a = rnd(40, &mut seed);
+        assert_eq!(a.mul_karatsuba(&BigUint::zero()), BigUint::zero());
+        assert_eq!(a.mul_karatsuba(&BigUint::one()), a);
+    }
+
+    #[test]
+    fn large_square_is_consistent() {
+        let mut seed = 99;
+        let a = rnd(128, &mut seed); // 8192-bit operand
+        let sq = a.mul_karatsuba(&a);
+        assert_eq!(sq, BigUint::from_limbs(schoolbook(a.limbs(), a.limbs())));
+        // Squaring doubles the bit length, give or take the carry.
+        let n = a.bit_len();
+        assert!(sq.bit_len() == 2 * n || sq.bit_len() == 2 * n - 1);
+    }
+}

@@ -1,0 +1,430 @@
+//! Modular arithmetic: Montgomery multiplication, modular exponentiation,
+//! GCD, and modular inverse.
+//!
+//! [`MontgomeryCtx`] implements the CIOS (coarsely integrated operand
+//! scanning) variant of Montgomery multiplication over `u64` limbs, which is
+//! what makes RSA signing practical without external crypto crates. Odd
+//! moduli only — exactly what RSA and Miller–Rabin need; `modpow` falls back
+//! to division-based reduction for even moduli so it stays total.
+
+use super::BigUint;
+
+/// Precomputed Montgomery-domain parameters for a fixed odd modulus.
+#[derive(Clone, Debug)]
+pub struct MontgomeryCtx {
+    n: Vec<u64>,
+    /// `-n[0]^{-1} mod 2^64`.
+    n0inv: u64,
+    /// `R^2 mod n` where `R = 2^(64·k)`.
+    rr: BigUint,
+}
+
+impl MontgomeryCtx {
+    /// Builds a context for odd modulus `n > 1`.
+    ///
+    /// # Panics
+    /// Panics if `n` is even or `n <= 1`.
+    pub fn new(n: &BigUint) -> Self {
+        assert!(!n.is_even(), "Montgomery modulus must be odd");
+        assert!(!n.is_one() && !n.is_zero(), "modulus must exceed 1");
+        let k = n.limbs.len();
+        let n0inv = inv64(n.limbs[0]).wrapping_neg();
+        let rr = BigUint::one().shl_bits(128 * k).rem_ref(n);
+        MontgomeryCtx {
+            n: n.limbs.clone(),
+            n0inv,
+            rr,
+        }
+    }
+
+    /// Number of limbs in the modulus.
+    pub fn limb_count(&self) -> usize {
+        self.n.len()
+    }
+
+    /// The modulus as a `BigUint`.
+    pub fn modulus(&self) -> BigUint {
+        BigUint::from_limbs(self.n.clone())
+    }
+
+    /// Converts `x < n` into the Montgomery domain (`x·R mod n`).
+    pub fn to_mont(&self, x: &BigUint) -> Vec<u64> {
+        let mut xl = x.limbs.clone();
+        xl.resize(self.n.len(), 0);
+        let mut rr = self.rr.limbs.clone();
+        rr.resize(self.n.len(), 0);
+        self.mont_mul(&xl, &rr)
+    }
+
+    /// Converts a Montgomery-domain value back to the ordinary domain.
+    pub fn from_mont(&self, x: &[u64]) -> BigUint {
+        let one = {
+            let mut v = vec![0u64; self.n.len()];
+            v[0] = 1;
+            v
+        };
+        BigUint::from_limbs(self.mont_mul(x, &one))
+    }
+
+    /// CIOS Montgomery multiplication: returns `a·b·R^{-1} mod n`.
+    ///
+    /// `a` and `b` must be `k`-limb slices with values `< n`.
+    pub fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let k = self.n.len();
+        debug_assert_eq!(a.len(), k);
+        debug_assert_eq!(b.len(), k);
+        let n = &self.n;
+        let mut t = vec![0u64; k + 2];
+        for &ai in a.iter() {
+            // t += ai * b
+            let mut c = 0u128;
+            for j in 0..k {
+                let s = t[j] as u128 + (ai as u128) * (b[j] as u128) + c;
+                t[j] = s as u64;
+                c = s >> 64;
+            }
+            let s = t[k] as u128 + c;
+            t[k] = s as u64;
+            t[k + 1] = (s >> 64) as u64;
+
+            // Reduce: make t divisible by 2^64 and shift down one limb.
+            let m = t[0].wrapping_mul(self.n0inv);
+            let s = t[0] as u128 + (m as u128) * (n[0] as u128);
+            let mut c = s >> 64;
+            for j in 1..k {
+                let s = t[j] as u128 + (m as u128) * (n[j] as u128) + c;
+                t[j - 1] = s as u64;
+                c = s >> 64;
+            }
+            let s = t[k] as u128 + c;
+            t[k - 1] = s as u64;
+            t[k] = t[k + 1] + (s >> 64) as u64;
+            t[k + 1] = 0;
+        }
+
+        // Conditional final subtraction keeps the result < n.
+        let needs_sub = t[k] != 0 || ge(&t[..k], n);
+        if needs_sub {
+            let mut borrow = 0u64;
+            for j in 0..k {
+                let (d1, b1) = t[j].overflowing_sub(n[j]);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                t[j] = d2;
+                borrow = (b1 as u64) + (b2 as u64);
+            }
+        }
+        t.truncate(k);
+        t
+    }
+}
+
+/// Limb-slice comparison `a >= b` for equal-length slices.
+fn ge(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+        if x != y {
+            return x > y;
+        }
+    }
+    true
+}
+
+/// Inverse of an odd `u64` modulo 2^64 by Newton iteration.
+fn inv64(n: u64) -> u64 {
+    debug_assert!(n & 1 == 1);
+    let mut x = n; // Correct mod 2^3.
+    for _ in 0..5 {
+        x = x.wrapping_mul(2u64.wrapping_sub(n.wrapping_mul(x)));
+    }
+    debug_assert_eq!(n.wrapping_mul(x), 1);
+    x
+}
+
+impl BigUint {
+    /// Modular exponentiation `self^exp mod m`.
+    ///
+    /// Uses Montgomery multiplication with a 4-bit fixed window for odd
+    /// moduli; falls back to square-and-multiply with division-based
+    /// reduction for even moduli.
+    ///
+    /// # Panics
+    /// Panics if `m` is zero.
+    pub fn modpow(&self, exp: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "modpow modulus must be nonzero");
+        if m.is_one() {
+            return BigUint::zero();
+        }
+        if exp.is_zero() {
+            return BigUint::one();
+        }
+        if m.is_even() {
+            return self.modpow_naive(exp, m);
+        }
+        let ctx = MontgomeryCtx::new(m);
+        let base = self.rem_ref(m);
+        ctx_modpow(&ctx, &base, exp)
+    }
+
+    /// Square-and-multiply with `div_rem` reduction (any modulus ≥ 1).
+    pub fn modpow_naive(&self, exp: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "modpow modulus must be nonzero");
+        if m.is_one() {
+            return BigUint::zero();
+        }
+        let mut result = BigUint::one();
+        let mut base = self.rem_ref(m);
+        for i in 0..exp.bit_len() {
+            if exp.bit(i) {
+                result = result.mul_ref(&base).rem_ref(m);
+            }
+            base = base.mul_ref(&base).rem_ref(m);
+        }
+        result
+    }
+
+    /// Greatest common divisor (Euclid's algorithm).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let (mut a, mut b) = (self.clone(), other.clone());
+        while !b.is_zero() {
+            let r = a.rem_ref(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Modular inverse: the `x` with `self·x ≡ 1 (mod m)`, if it exists.
+    ///
+    /// Returns `None` when `gcd(self, m) != 1` or `m <= 1`.
+    pub fn modinv(&self, m: &BigUint) -> Option<BigUint> {
+        if m.is_zero() || m.is_one() {
+            return None;
+        }
+        // Extended Euclid with sign-tracked coefficients.
+        let mut old_r = self.rem_ref(m);
+        let mut r = m.clone();
+        let mut old_t = Signed::pos(BigUint::one());
+        let mut t = Signed::pos(BigUint::zero());
+        while !r.is_zero() {
+            let (q, rem) = old_r.div_rem(&r);
+            old_r = std::mem::replace(&mut r, rem);
+            let qt = t.mul_mag(&q);
+            let next_t = old_t.sub(&qt);
+            old_t = std::mem::replace(&mut t, next_t);
+        }
+        if !old_r.is_one() {
+            return None;
+        }
+        Some(old_t.rem_euclid(m))
+    }
+}
+
+/// Windowed Montgomery exponentiation with a 4-bit fixed window.
+fn ctx_modpow(ctx: &MontgomeryCtx, base: &BigUint, exp: &BigUint) -> BigUint {
+    const WINDOW: usize = 4;
+    let mont_base = ctx.to_mont(base);
+    let mont_one = ctx.to_mont(&BigUint::one());
+
+    // Table of base^0 .. base^(2^W - 1) in the Montgomery domain.
+    let mut table = Vec::with_capacity(1 << WINDOW);
+    table.push(mont_one.clone());
+    table.push(mont_base.clone());
+    for i in 2..(1 << WINDOW) {
+        table.push(ctx.mont_mul(&table[i - 1], &mont_base));
+    }
+
+    // Process the exponent in 4-bit chunks, most significant first.
+    // Squaring the initial `1` for leading chunks is a no-op, so no
+    // "started" bookkeeping is needed.
+    let chunks = exp.bit_len().div_ceil(WINDOW);
+    let mut acc: Vec<u64> = mont_one;
+    for chunk in (0..chunks).rev() {
+        for _ in 0..WINDOW {
+            acc = ctx.mont_mul(&acc, &acc);
+        }
+        let mut digit = 0usize;
+        for b in (0..WINDOW).rev() {
+            digit = (digit << 1) | exp.bit(chunk * WINDOW + b) as usize;
+        }
+        if digit != 0 {
+            acc = ctx.mont_mul(&acc, &table[digit]);
+        }
+    }
+    ctx.from_mont(&acc)
+}
+
+/// Minimal signed big integer used only by the extended Euclid loop.
+#[derive(Clone, Debug)]
+struct Signed {
+    mag: BigUint,
+    neg: bool,
+}
+
+impl Signed {
+    fn pos(mag: BigUint) -> Self {
+        Signed { mag, neg: false }
+    }
+
+    fn mul_mag(&self, m: &BigUint) -> Signed {
+        Signed {
+            mag: self.mag.mul_ref(m),
+            neg: self.neg && !self.mag.is_zero(),
+        }
+    }
+
+    fn sub(&self, other: &Signed) -> Signed {
+        match (self.neg, other.neg) {
+            (false, true) => Signed::pos(self.mag.add_ref(&other.mag)),
+            (true, false) => Signed {
+                mag: self.mag.add_ref(&other.mag),
+                neg: true,
+            },
+            (sn, _) => {
+                // Same signs: subtract magnitudes.
+                if self.mag >= other.mag {
+                    Signed {
+                        neg: sn && self.mag != other.mag,
+                        mag: self.mag.sub_ref(&other.mag),
+                    }
+                } else {
+                    Signed {
+                        mag: other.mag.sub_ref(&self.mag),
+                        neg: !sn,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Canonical representative in `[0, m)`.
+    fn rem_euclid(&self, m: &BigUint) -> BigUint {
+        let r = self.mag.rem_ref(m);
+        if self.neg && !r.is_zero() {
+            m.sub_ref(&r)
+        } else {
+            r
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn inv64_on_odd_values() {
+        for v in [1u64, 3, 5, 0xdead_beef_1234_5679, u64::MAX] {
+            let x = inv64(v);
+            assert_eq!(v.wrapping_mul(x), 1);
+        }
+    }
+
+    #[test]
+    fn mont_mul_matches_schoolbook() {
+        let m = BigUint::from_hex("f123456789abcdef123456789abcdef1").unwrap();
+        let ctx = MontgomeryCtx::new(&m);
+        let a = BigUint::from_hex("1234567890abcdef").unwrap();
+        let b = BigUint::from_hex("fedcba0987654321aabb").unwrap();
+        let am = ctx.to_mont(&a);
+        let bm = ctx.to_mont(&b);
+        let prod = ctx.from_mont(&ctx.mont_mul(&am, &bm));
+        assert_eq!(prod, a.mul_ref(&b).rem_ref(&m));
+    }
+
+    #[test]
+    fn to_from_mont_roundtrip() {
+        let m = BigUint::from_hex("deadbeefcafebabedeadbeefcafebabf").unwrap();
+        let ctx = MontgomeryCtx::new(&m);
+        for hexes in [
+            "0",
+            "1",
+            "2",
+            "deadbeef",
+            "deadbeefcafebabedeadbeefcafebabe",
+        ] {
+            let x = BigUint::from_hex(hexes).unwrap().rem_ref(&m);
+            let xm = ctx.to_mont(&x);
+            assert_eq!(ctx.from_mont(&xm), x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be odd")]
+    fn montgomery_rejects_even_modulus() {
+        let _ = MontgomeryCtx::new(&n(100));
+    }
+
+    #[test]
+    fn modpow_small_cases() {
+        assert_eq!(n(2).modpow(&n(10), &n(1000)), n(24)); // 1024 mod 1000
+        assert_eq!(n(3).modpow(&n(0), &n(7)), n(1));
+        assert_eq!(n(0).modpow(&n(5), &n(7)), n(0));
+        assert_eq!(n(5).modpow(&n(1), &n(7)), n(5));
+        assert_eq!(n(7).modpow(&n(2), &n(49)), n(0));
+    }
+
+    #[test]
+    fn modpow_fermat_little_theorem() {
+        // p prime, a^(p-1) = 1 mod p.
+        let p = n(1_000_000_007);
+        for a in [2u64, 3, 12345, 999_999_999] {
+            assert_eq!(n(a).modpow(&n(1_000_000_006), &p), n(1));
+        }
+    }
+
+    #[test]
+    fn modpow_matches_naive_large() {
+        let m = BigUint::from_hex("c3a5a5a5a5a5a5a5a5a5a5a5a5a5a5a5a5a5b3").unwrap();
+        let b = BigUint::from_hex("1234567890abcdef998877").unwrap();
+        let e = BigUint::from_hex("fedcba").unwrap();
+        assert_eq!(b.modpow(&e, &m), b.modpow_naive(&e, &m));
+    }
+
+    #[test]
+    fn modpow_even_modulus_falls_back() {
+        let m = n(1 << 20);
+        assert_eq!(n(3).modpow(&n(10), &m), n(59049));
+        assert_eq!(n(2).modpow(&n(25), &m), BigUint::zero());
+    }
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(n(12).gcd(&n(18)), n(6));
+        assert_eq!(n(17).gcd(&n(31)), n(1));
+        assert_eq!(n(0).gcd(&n(5)), n(5));
+        assert_eq!(n(5).gcd(&n(0)), n(5));
+    }
+
+    #[test]
+    fn modinv_basic() {
+        let inv = n(3).modinv(&n(7)).unwrap();
+        assert_eq!(inv, n(5)); // 3·5 = 15 ≡ 1 mod 7
+        assert!(n(6).modinv(&n(9)).is_none()); // gcd 3
+        assert!(n(4).modinv(&n(1)).is_none());
+    }
+
+    #[test]
+    fn modinv_large() {
+        let m =
+            BigUint::from_hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff")
+                .unwrap(); // P-256 prime
+        let a = BigUint::from_hex("123456789abcdef0123456789abcdef").unwrap();
+        let inv = a.modinv(&m).unwrap();
+        assert_eq!(a.mul_ref(&inv).rem_ref(&m), BigUint::one());
+    }
+
+    #[test]
+    fn modinv_of_rsa_style_exponent() {
+        // e = 65537 mod a random odd phi-like value must satisfy e·d ≡ 1.
+        let phi =
+            BigUint::from_hex("6ae2d0e87c9dbcd1f30a9bd2e1aa9cc0a1b2c3d4e5f60718293a4b5c6d7e8f00")
+                .unwrap();
+        let e = n(65537);
+        let d = e.modinv(&phi).unwrap();
+        assert_eq!(e.mul_ref(&d).rem_ref(&phi), BigUint::one());
+    }
+}

@@ -1,0 +1,51 @@
+//! Minimal hex encoding/decoding helpers (diagnostics and tests).
+
+/// Encodes bytes as lower-case hex.
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble"));
+        s.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble"));
+    }
+    s
+}
+
+/// Decodes a hex string (even length, case-insensitive). `None` on bad input.
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let chars = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in chars.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push((hi * 16 + lo) as u8);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data = [0x00u8, 0x01, 0x7f, 0x80, 0xff];
+        assert_eq!(to_hex(&data), "00017f80ff");
+        assert_eq!(from_hex("00017f80ff").unwrap(), data);
+        assert_eq!(from_hex("00017F80FF").unwrap(), data);
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(to_hex(&[]), "");
+        assert_eq!(from_hex("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(from_hex("abc").is_none()); // odd length
+        assert!(from_hex("zz").is_none()); // bad digit
+    }
+}

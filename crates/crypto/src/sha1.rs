@@ -1,0 +1,232 @@
+//! SHA-1 (FIPS PUB 180-1) — the hash the paper uses (`MessageDigest("SHA")`,
+//! 20-byte digests).
+//!
+//! SHA-1 is cryptographically broken for collision resistance today; it is
+//! provided for fidelity with the paper's evaluation. Production deployments
+//! should select [`crate::digest::HashAlgorithm::Sha256`].
+
+/// Digest size in bytes.
+pub const SHA1_OUTPUT_LEN: usize = 20;
+
+const H0: [u32; 5] = [
+    0x6745_2301,
+    0xefcd_ab89,
+    0x98ba_dcfe,
+    0x1032_5476,
+    0xc3d2_e1f0,
+];
+
+/// Incremental SHA-1 hasher.
+#[derive(Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    buffer: [u8; 64],
+    buffer_len: usize,
+    /// Total message length in bytes.
+    total_len: u64,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Sha1 {
+            state: H0,
+            buffer: [0u8; 64],
+            buffer_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        if self.buffer_len > 0 {
+            let take = rest.len().min(64 - self.buffer_len);
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&rest[..take]);
+            self.buffer_len += take;
+            rest = &rest[take..];
+            if self.buffer_len == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffer_len = 0;
+            }
+        }
+        while rest.len() >= 64 {
+            let (block, tail) = rest.split_at(64);
+            self.compress(block.try_into().expect("64-byte split"));
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            self.buffer[..rest.len()].copy_from_slice(rest);
+            self.buffer_len = rest.len();
+        }
+    }
+
+    /// Finishes the hash and returns the 20-byte digest.
+    pub fn finalize(mut self) -> [u8; SHA1_OUTPUT_LEN] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Append 0x80, pad with zeros to 56 mod 64, append 64-bit length.
+        self.update_padding();
+        let mut tail = [0u8; 8];
+        tail.copy_from_slice(&bit_len.to_be_bytes());
+        self.raw_update(&tail);
+        debug_assert_eq!(self.buffer_len, 0);
+        let mut out = [0u8; SHA1_OUTPUT_LEN];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// One-shot convenience digest.
+    pub fn digest(data: &[u8]) -> [u8; SHA1_OUTPUT_LEN] {
+        let mut h = Sha1::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    fn update_padding(&mut self) {
+        let pad_len = if self.buffer_len < 56 {
+            56 - self.buffer_len
+        } else {
+            120 - self.buffer_len
+        };
+        const PAD: [u8; 64] = {
+            let mut p = [0u8; 64];
+            p[0] = 0x80;
+            p
+        };
+        self.raw_update(&PAD[..pad_len]);
+    }
+
+    /// `update` without advancing `total_len` (used for padding bytes).
+    fn raw_update(&mut self, data: &[u8]) {
+        let saved = self.total_len;
+        self.update(data);
+        self.total_len = saved;
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5a82_7999),
+                20..=39 => (b ^ c ^ d, 0x6ed9_eba1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8f1b_bcdc),
+                _ => (b ^ c ^ d, 0xca62_c1d6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex::to_hex;
+
+    #[test]
+    fn fips_test_vectors() {
+        // FIPS 180-1 Appendix A/B and well-known vectors.
+        assert_eq!(
+            to_hex(&Sha1::digest(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+        assert_eq!(
+            to_hex(&Sha1::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+        assert_eq!(
+            to_hex(&Sha1::digest(b"")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
+        assert_eq!(
+            to_hex(&Sha1::digest(
+                b"The quick brown fox jumps over the lazy dog"
+            )),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let mut h = Sha1::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            to_hex(&h.finalize()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        for split in [0usize, 1, 17, 63, 64, 65, 500, 999, 1000] {
+            let mut h = Sha1::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), Sha1::digest(&data), "split={split}");
+        }
+    }
+
+    #[test]
+    fn byte_at_a_time() {
+        let data = b"tamper-evident provenance";
+        let mut h = Sha1::new();
+        for &b in data.iter() {
+            h.update(&[b]);
+        }
+        assert_eq!(h.finalize(), Sha1::digest(data));
+    }
+
+    #[test]
+    fn boundary_lengths() {
+        // Lengths around the padding boundary (55/56/57, 63/64/65).
+        for len in [55usize, 56, 57, 63, 64, 65, 119, 120, 121, 127, 128] {
+            let data = vec![0xabu8; len];
+            let mut h = Sha1::new();
+            h.update(&data);
+            // Equality with an independently-split computation exercises padding.
+            let mut h2 = Sha1::new();
+            h2.update(&data[..len / 2]);
+            h2.update(&data[len / 2..]);
+            assert_eq!(h.finalize(), h2.finalize(), "len={len}");
+        }
+    }
+}

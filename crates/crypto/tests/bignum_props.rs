@@ -1,0 +1,146 @@
+//! Property-based tests for the big-integer substrate.
+//!
+//! These pin down the ring axioms and division invariants that the RSA
+//! implementation silently relies on.
+
+use proptest::prelude::*;
+use tep_crypto::BigUint;
+
+/// Strategy: a BigUint with up to `max_limbs` random limbs.
+fn biguint(max_limbs: usize) -> impl Strategy<Value = BigUint> {
+    prop::collection::vec(any::<u64>(), 0..=max_limbs).prop_map(BigUint::from_limbs)
+}
+
+/// Strategy: a nonzero BigUint.
+fn biguint_nonzero(max_limbs: usize) -> impl Strategy<Value = BigUint> {
+    biguint(max_limbs).prop_filter("nonzero", |n| !n.is_zero())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn add_commutative(a in biguint(6), b in biguint(6)) {
+        prop_assert_eq!(a.add_ref(&b), b.add_ref(&a));
+    }
+
+    #[test]
+    fn add_associative(a in biguint(4), b in biguint(4), c in biguint(4)) {
+        prop_assert_eq!(a.add_ref(&b).add_ref(&c), a.add_ref(&b.add_ref(&c)));
+    }
+
+    #[test]
+    fn add_sub_roundtrip(a in biguint(6), b in biguint(6)) {
+        let sum = a.add_ref(&b);
+        prop_assert_eq!(sum.sub_ref(&b), a.clone());
+        prop_assert_eq!(sum.sub_ref(&a), b);
+    }
+
+    #[test]
+    fn mul_commutative(a in biguint(5), b in biguint(5)) {
+        prop_assert_eq!(a.mul_ref(&b), b.mul_ref(&a));
+    }
+
+    #[test]
+    fn mul_associative(a in biguint(3), b in biguint(3), c in biguint(3)) {
+        prop_assert_eq!(a.mul_ref(&b).mul_ref(&c), a.mul_ref(&b.mul_ref(&c)));
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in biguint(3), b in biguint(3), c in biguint(3)) {
+        prop_assert_eq!(
+            a.mul_ref(&b.add_ref(&c)),
+            a.mul_ref(&b).add_ref(&a.mul_ref(&c))
+        );
+    }
+
+    #[test]
+    fn mul_identity_and_zero(a in biguint(6)) {
+        prop_assert_eq!(a.mul_ref(&BigUint::one()), a.clone());
+        prop_assert_eq!(a.mul_ref(&BigUint::zero()), BigUint::zero());
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a in biguint(8), b in biguint_nonzero(5)) {
+        let (q, r) = a.div_rem(&b);
+        prop_assert_eq!(q.mul_ref(&b).add_ref(&r), a);
+        prop_assert!(r < b);
+    }
+
+    #[test]
+    fn div_rem_self_is_one(a in biguint_nonzero(6)) {
+        let (q, r) = a.div_rem(&a);
+        prop_assert!(q.is_one());
+        prop_assert!(r.is_zero());
+    }
+
+    #[test]
+    fn shift_is_mul_by_power_of_two(a in biguint(4), bits in 0usize..130) {
+        let shifted = a.shl_bits(bits);
+        let pow = BigUint::one().shl_bits(bits);
+        prop_assert_eq!(shifted, a.mul_ref(&pow));
+    }
+
+    #[test]
+    fn bytes_roundtrip(a in biguint(6)) {
+        prop_assert_eq!(BigUint::from_bytes_be(&a.to_bytes_be()), a);
+    }
+
+    #[test]
+    fn hex_roundtrip(a in biguint(6)) {
+        prop_assert_eq!(BigUint::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    #[test]
+    fn modpow_matches_naive(
+        b in biguint(3),
+        e in biguint(1),
+        m in biguint_nonzero(3).prop_filter("odd modulus > 1", |m| !m.is_even() && !m.is_one()),
+    ) {
+        prop_assert_eq!(b.modpow(&e, &m), b.modpow_naive(&e, &m));
+    }
+
+    #[test]
+    fn modpow_product_of_exponents(
+        b in biguint(2),
+        e1 in 0u64..50, e2 in 0u64..50,
+        m in biguint_nonzero(2).prop_filter("odd modulus > 1", |m| !m.is_even() && !m.is_one()),
+    ) {
+        // b^(e1+e2) = b^e1 · b^e2 (mod m)
+        let lhs = b.modpow(&BigUint::from_u64(e1 + e2), &m);
+        let rhs = b
+            .modpow(&BigUint::from_u64(e1), &m)
+            .mul_ref(&b.modpow(&BigUint::from_u64(e2), &m))
+            .rem_ref(&m);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn gcd_divides_both(a in biguint_nonzero(4), b in biguint_nonzero(4)) {
+        let g = a.gcd(&b);
+        prop_assert!(a.rem_ref(&g).is_zero());
+        prop_assert!(b.rem_ref(&g).is_zero());
+    }
+
+    #[test]
+    fn modinv_is_inverse(
+        a in biguint_nonzero(3),
+        m in biguint_nonzero(3).prop_filter("m > 1", |m| !m.is_one()),
+    ) {
+        if let Some(inv) = a.modinv(&m) {
+            prop_assert_eq!(a.mul_ref(&inv).rem_ref(&m), BigUint::one());
+            prop_assert!(inv < m);
+        } else {
+            // No inverse implies a nontrivial common factor.
+            prop_assert!(!a.gcd(&m).is_one());
+        }
+    }
+
+    #[test]
+    fn ordering_consistent_with_subtraction(a in biguint(5), b in biguint(5)) {
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => prop_assert!(a.checked_sub(&b).is_none()),
+            _ => prop_assert!(a.checked_sub(&b).is_some()),
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Errors raised by forest operations.
+
+use crate::id::ObjectId;
+use std::fmt;
+
+/// Errors from the data-model layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The referenced object does not exist in the forest.
+    UnknownObject(ObjectId),
+    /// An object with this id already exists.
+    DuplicateObject(ObjectId),
+    /// Deletion requires a leaf; this object still has children.
+    NotALeaf(ObjectId),
+    /// The requested parent does not exist.
+    UnknownParent(ObjectId),
+    /// Aggregation requires at least one input object.
+    EmptyAggregation,
+    /// Aggregation inputs must be distinct; this id appeared twice.
+    DuplicateAggregationInput(ObjectId),
+    /// An aggregation input is contained in another input's subtree.
+    NestedAggregationInput {
+        /// The inner object.
+        inner: ObjectId,
+        /// The ancestor that already covers it.
+        outer: ObjectId,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownObject(id) => write!(f, "object {id} does not exist"),
+            ModelError::DuplicateObject(id) => write!(f, "object {id} already exists"),
+            ModelError::NotALeaf(id) => write!(f, "object {id} has children and cannot be deleted"),
+            ModelError::UnknownParent(id) => write!(f, "parent object {id} does not exist"),
+            ModelError::EmptyAggregation => write!(f, "aggregation requires at least one input"),
+            ModelError::DuplicateAggregationInput(id) => {
+                write!(f, "aggregation input {id} appears more than once")
+            }
+            ModelError::NestedAggregationInput { inner, outer } => {
+                write!(
+                    f,
+                    "aggregation input {inner} is inside input {outer}'s subtree"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

@@ -1,0 +1,46 @@
+//! Object identifiers.
+
+use std::fmt;
+
+/// Unique identifier of a data object in the database.
+///
+/// The paper assumes "a pre-defined total order over atomic objects" used to
+/// sort aggregation inputs and subtree children before hashing; `ObjectId`'s
+/// numeric ordering is that global order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub u64);
+
+impl ObjectId {
+    /// The raw numeric id.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl From<u64> for ObjectId {
+    fn from(v: u64) -> Self {
+        ObjectId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(ObjectId(1) < ObjectId(2));
+        assert!(ObjectId(100) > ObjectId(99));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ObjectId(42).to_string(), "#42");
+    }
+}

@@ -1,0 +1,106 @@
+//! Atomic objects (forest nodes).
+
+use crate::id::ObjectId;
+use crate::value::Value;
+use std::collections::BTreeSet;
+
+/// An atomic data object: `(id, value, {child_ids})` per §4.1 of the paper.
+///
+/// Children are kept in a [`BTreeSet`] so iteration always follows the
+/// global `ObjectId` order — the "pre-defined total order over atomic
+/// objects" that makes compound hashes deterministic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Node {
+    id: ObjectId,
+    value: Value,
+    parent: Option<ObjectId>,
+    children: BTreeSet<ObjectId>,
+}
+
+impl Node {
+    /// Creates a node with no children.
+    pub fn new(id: ObjectId, value: Value, parent: Option<ObjectId>) -> Self {
+        Node {
+            id,
+            value,
+            parent,
+            children: BTreeSet::new(),
+        }
+    }
+
+    /// The node's identifier.
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// The node's current value.
+    pub fn value(&self) -> &Value {
+        &self.value
+    }
+
+    /// The node's parent, if any.
+    pub fn parent(&self) -> Option<ObjectId> {
+        self.parent
+    }
+
+    /// The node's children in global `ObjectId` order.
+    pub fn children(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.children.iter().copied()
+    }
+
+    /// Number of children.
+    pub fn child_count(&self) -> usize {
+        self.children.len()
+    }
+
+    /// `true` iff the node has no children.
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    pub(crate) fn set_value(&mut self, value: Value) -> Value {
+        std::mem::replace(&mut self.value, value)
+    }
+
+    pub(crate) fn add_child(&mut self, child: ObjectId) {
+        self.children.insert(child);
+    }
+
+    pub(crate) fn remove_child(&mut self, child: ObjectId) {
+        self.children.remove(&child);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn children_iterate_in_id_order() {
+        let mut n = Node::new(ObjectId(0), Value::Null, None);
+        n.add_child(ObjectId(5));
+        n.add_child(ObjectId(1));
+        n.add_child(ObjectId(3));
+        let order: Vec<_> = n.children().collect();
+        assert_eq!(order, vec![ObjectId(1), ObjectId(3), ObjectId(5)]);
+    }
+
+    #[test]
+    fn leaf_tracking() {
+        let mut n = Node::new(ObjectId(0), Value::Int(1), None);
+        assert!(n.is_leaf());
+        n.add_child(ObjectId(1));
+        assert!(!n.is_leaf());
+        assert_eq!(n.child_count(), 1);
+        n.remove_child(ObjectId(1));
+        assert!(n.is_leaf());
+    }
+
+    #[test]
+    fn set_value_returns_previous() {
+        let mut n = Node::new(ObjectId(0), Value::Int(1), None);
+        let old = n.set_value(Value::Int(2));
+        assert_eq!(old, Value::Int(1));
+        assert_eq!(n.value(), &Value::Int(2));
+    }
+}

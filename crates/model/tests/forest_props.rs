@@ -1,0 +1,184 @@
+//! Property-based tests of the forest's structural invariants under
+//! arbitrary operation sequences.
+
+use proptest::prelude::*;
+use tep_model::{AggregateMode, Forest, ObjectId, Value};
+
+/// Abstract op with index-based references resolved against live nodes.
+#[derive(Clone, Debug)]
+enum Op {
+    InsertRoot(i64),
+    InsertChild { parent: usize, value: i64 },
+    Update { target: usize, value: i64 },
+    DeleteLeaf { target: usize },
+    DeleteSubtree { target: usize },
+    Aggregate { a: usize, b: usize, copy: bool },
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => any::<i64>().prop_map(Op::InsertRoot),
+        4 => (any::<usize>(), any::<i64>()).prop_map(|(parent, value)| Op::InsertChild {
+            parent,
+            value
+        }),
+        3 => (any::<usize>(), any::<i64>()).prop_map(|(target, value)| Op::Update {
+            target,
+            value
+        }),
+        2 => any::<usize>().prop_map(|target| Op::DeleteLeaf { target }),
+        1 => any::<usize>().prop_map(|target| Op::DeleteSubtree { target }),
+        1 => (any::<usize>(), any::<usize>(), any::<bool>())
+            .prop_map(|(a, b, copy)| Op::Aggregate { a, b, copy }),
+    ]
+}
+
+/// Applies ops best-effort (skipping structurally impossible ones) and
+/// returns the forest.
+fn build(ops: &[Op]) -> Forest {
+    let mut f = Forest::new();
+    f.insert(Value::Int(0), None).unwrap(); // seed root
+    for op in ops {
+        let mut ids: Vec<ObjectId> = f.ids().collect();
+        ids.sort_unstable();
+        if ids.is_empty() {
+            f.insert(Value::Int(0), None).unwrap();
+            continue;
+        }
+        match op {
+            Op::InsertRoot(v) => {
+                f.insert(Value::Int(*v), None).unwrap();
+            }
+            Op::InsertChild { parent, value } => {
+                let p = ids[parent % ids.len()];
+                f.insert(Value::Int(*value), Some(p)).unwrap();
+            }
+            Op::Update { target, value } => {
+                let t = ids[target % ids.len()];
+                f.update(t, Value::Int(*value)).unwrap();
+            }
+            Op::DeleteLeaf { target } => {
+                let t = ids[target % ids.len()];
+                if f.node(t).is_some_and(|n| n.is_leaf()) {
+                    f.delete(t).unwrap();
+                }
+            }
+            Op::DeleteSubtree { target } => {
+                let t = ids[target % ids.len()];
+                f.delete_subtree(t).unwrap();
+            }
+            Op::Aggregate { a, b, copy } => {
+                let a = ids[a % ids.len()];
+                let b = ids[b % ids.len()];
+                if a == b || !f.contains(a) || !f.contains(b) {
+                    continue;
+                }
+                let nested = f.ancestors(a).contains(&b) || f.ancestors(b).contains(&a);
+                if nested {
+                    continue;
+                }
+                let mode = if *copy {
+                    AggregateMode::CopySubtrees
+                } else {
+                    AggregateMode::Atomic
+                };
+                f.aggregate(&[a, b], Value::Int(-1), mode).unwrap();
+            }
+        }
+    }
+    f
+}
+
+/// Structural invariants that must hold for any forest.
+fn check_invariants(f: &Forest) {
+    let all: Vec<ObjectId> = f.ids().collect();
+    // Parent/child pointers agree both ways.
+    for &id in &all {
+        let node = f.node(id).unwrap();
+        match node.parent() {
+            Some(p) => {
+                let parent = f
+                    .node(p)
+                    .unwrap_or_else(|| panic!("dangling parent {p} of {id}"));
+                assert!(
+                    parent.children().any(|c| c == id),
+                    "{p} does not list child {id}"
+                );
+            }
+            None => assert!(f.roots().any(|r| r == id), "parentless {id} not a root"),
+        }
+        for c in node.children() {
+            assert_eq!(
+                f.node(c).and_then(|n| n.parent()),
+                Some(id),
+                "child {c} does not point back to {id}"
+            );
+        }
+    }
+    // Roots are exactly the parentless nodes.
+    let parentless: Vec<ObjectId> = all
+        .iter()
+        .copied()
+        .filter(|&id| f.node(id).unwrap().parent().is_none())
+        .collect();
+    let mut roots: Vec<ObjectId> = f.roots().collect();
+    let mut parentless_sorted = parentless;
+    parentless_sorted.sort_unstable();
+    roots.sort_unstable();
+    assert_eq!(roots, parentless_sorted);
+    // Subtree walks partition the forest.
+    let total: usize = f.roots().map(|r| f.subtree_size(r)).sum();
+    assert_eq!(total, f.len());
+    // Pre-order and post-order visit the same sets.
+    for r in f.roots() {
+        let mut pre = f.subtree_ids(r);
+        let mut post = f.subtree_ids_postorder(r);
+        pre.sort_unstable();
+        post.sort_unstable();
+        assert_eq!(pre, post);
+    }
+    // Ancestor chains terminate at roots and never cycle.
+    for &id in &all {
+        let anc = f.ancestors(id);
+        assert!(anc.len() <= f.len());
+        if let Some(&last) = anc.last() {
+            assert!(f.node(last).unwrap().parent().is_none());
+        }
+        assert_eq!(f.depth(id), anc.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn forest_invariants_hold(ops in prop::collection::vec(op(), 0..60)) {
+        let f = build(&ops);
+        check_invariants(&f);
+    }
+
+    #[test]
+    fn fresh_ids_never_collide(ops in prop::collection::vec(op(), 0..40)) {
+        let f = build(&ops);
+        let ids: Vec<ObjectId> = f.ids().collect();
+        let unique: std::collections::HashSet<ObjectId> = ids.iter().copied().collect();
+        prop_assert_eq!(ids.len(), unique.len());
+        // next_id_hint is above every live id.
+        let hint = f.next_id_hint();
+        prop_assert!(ids.iter().all(|&id| id < hint));
+    }
+
+    #[test]
+    fn clone_is_deep(ops in prop::collection::vec(op(), 0..30)) {
+        let f = build(&ops);
+        let mut g = f.clone();
+        // Mutating the clone never changes the original.
+        let before: Vec<ObjectId> = f.ids().collect();
+        g.insert(Value::Int(1), None).unwrap();
+        if let Some(&id) = before.first() {
+            let _ = g.update(id, Value::Int(12345));
+        }
+        let after: Vec<ObjectId> = f.ids().collect();
+        prop_assert_eq!(before.len(), after.len());
+    }
+}

@@ -1,0 +1,31 @@
+//! # tep-storage
+//!
+//! Embedded storage substrate for tamper-evident provenance. The paper's
+//! experiments ran against two MySQL databases (a back-end database and a
+//! provenance database, §5.1); this crate provides the equivalent
+//! self-contained storage engine:
+//!
+//! * [`crc`] — CRC-32 frame checksums (accidental-corruption protection,
+//!   distinct from the cryptographic tamper-evidence layer).
+//! * [`log`] — a CRC-framed append-only log with torn-write recovery, the
+//!   durability primitive.
+//! * [`provenance_db`] — the provenance record store: the paper's
+//!   `⟨SeqID, Participant, Oid, Checksum(128)⟩` rows plus the full record
+//!   payload, indexed by object, optionally durable.
+//!
+//! The back-end (user-data) database is the in-memory
+//! [`tep_model::Forest`]; its durability is out of scope for the paper's
+//! measurements, which only time checksum generation and provenance-row
+//! storage.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod crc;
+pub mod log;
+pub mod provenance_db;
+pub mod snapshot;
+
+pub use log::{AppendLog, LogError, RecoveredLog};
+pub use provenance_db::{ProvenanceDb, StoreError, StoredRecord};
+pub use snapshot::{load_forest, save_forest, SnapshotError};

@@ -1,0 +1,412 @@
+//! CRC-framed append-only log with torn-write recovery.
+//!
+//! Frame layout (all integers big-endian):
+//!
+//! ```text
+//! file   := header frame*
+//! header := magic(8) version(u16) reserved(u16)
+//! frame  := len(u32) crc(u32) payload(len bytes)
+//! ```
+//!
+//! `crc` covers the length prefix **and** the payload — covering the length
+//! keeps a run of zero bytes from parsing as a valid empty frame
+//! (`crc32("") == 0`), which matters for the torn-tail rescan below. On
+//! open, frames are scanned forward; the first
+//! incomplete or corrupt frame ends recovery and the file is truncated back
+//! to the last good frame — the standard WAL torn-tail rule. Corruption
+//! *before* the tail (i.e. followed by more valid data) is reported as an
+//! error instead, since silently dropping interior records would be data
+//! loss.
+
+use crate::crc::{crc32_update, CRC_INIT};
+
+/// Frame checksum: CRC-32 over the big-endian length prefix followed by the
+/// payload bytes.
+fn frame_crc(len: u32, payload: &[u8]) -> u32 {
+    let mut state = CRC_INIT;
+    state = crc32_update(state, &len.to_be_bytes());
+    state = crc32_update(state, payload);
+    state ^ CRC_INIT
+}
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"TEPLOG\x00\x01";
+const VERSION: u16 = 1;
+const HEADER_LEN: u64 = 12;
+const FRAME_HEADER_LEN: usize = 8;
+
+/// Maximum payload size (guards against reading a garbage length field).
+pub const MAX_PAYLOAD: u32 = 64 * 1024 * 1024;
+
+/// Errors from the log layer.
+#[derive(Debug)]
+pub enum LogError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file exists but does not carry the log magic/version.
+    BadHeader,
+    /// A corrupt frame was found *before* later valid frames.
+    InteriorCorruption {
+        /// Byte offset of the corrupt frame.
+        offset: u64,
+    },
+    /// Payload exceeds [`MAX_PAYLOAD`].
+    PayloadTooLarge(usize),
+}
+
+impl std::fmt::Display for LogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogError::Io(e) => write!(f, "log I/O error: {e}"),
+            LogError::BadHeader => write!(f, "not a TEP log file (bad magic or version)"),
+            LogError::InteriorCorruption { offset } => {
+                write!(f, "corrupt frame at offset {offset} followed by valid data")
+            }
+            LogError::PayloadTooLarge(n) => write!(f, "payload of {n} bytes exceeds frame limit"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+impl From<std::io::Error> for LogError {
+    fn from(e: std::io::Error) -> Self {
+        LogError::Io(e)
+    }
+}
+
+/// Outcome of opening a log: the handle plus recovered payloads.
+pub struct RecoveredLog {
+    /// The writable log positioned after the last good frame.
+    pub log: AppendLog,
+    /// Payloads of every intact frame, in append order.
+    pub payloads: Vec<Vec<u8>>,
+    /// Number of bytes truncated from a torn tail (0 when clean).
+    pub truncated_bytes: u64,
+}
+
+/// An append-only, CRC-framed log file.
+///
+/// ```no_run
+/// use tep_storage::AppendLog;
+///
+/// let mut log = AppendLog::create("/tmp/example.teplog")?;
+/// log.append(b"first frame")?;
+/// log.sync()?;
+/// drop(log);
+///
+/// let recovered = AppendLog::open("/tmp/example.teplog")?;
+/// assert_eq!(recovered.payloads, vec![b"first frame".to_vec()]);
+/// # Ok::<(), tep_storage::LogError>(())
+/// ```
+pub struct AppendLog {
+    writer: BufWriter<File>,
+    path: PathBuf,
+    end_offset: u64,
+    frames: u64,
+}
+
+impl AppendLog {
+    /// Creates a new log, failing if the file already exists.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self, LogError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        file.write_all(MAGIC)?;
+        file.write_all(&VERSION.to_be_bytes())?;
+        file.write_all(&0u16.to_be_bytes())?;
+        file.flush()?;
+        Ok(AppendLog {
+            writer: BufWriter::new(file),
+            path,
+            end_offset: HEADER_LEN,
+            frames: 0,
+        })
+    }
+
+    /// Opens an existing log, replaying every intact frame and truncating a
+    /// torn tail if present.
+    pub fn open(path: impl AsRef<Path>) -> Result<RecoveredLog, LogError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+
+        let mut header = [0u8; HEADER_LEN as usize];
+        file.read_exact(&mut header)
+            .map_err(|_| LogError::BadHeader)?;
+        if &header[..8] != MAGIC || u16::from_be_bytes([header[8], header[9]]) != VERSION {
+            return Err(LogError::BadHeader);
+        }
+
+        let mut rest = Vec::new();
+        file.read_to_end(&mut rest)?;
+
+        let mut payloads = Vec::new();
+        let mut good_end = 0usize; // relative to frame area
+        let mut bad_at: Option<usize> = None;
+        let mut pos = 0usize;
+        while pos + FRAME_HEADER_LEN <= rest.len() {
+            let len = u32::from_be_bytes(rest[pos..pos + 4].try_into().expect("4 bytes"));
+            let crc = u32::from_be_bytes(rest[pos + 4..pos + 8].try_into().expect("4 bytes"));
+            let body_start = pos + FRAME_HEADER_LEN;
+            let body_end = body_start.checked_add(len as usize);
+            let valid = len <= MAX_PAYLOAD
+                && body_end.is_some_and(|e| e <= rest.len())
+                && frame_crc(len, &rest[body_start..body_start + len as usize]) == crc;
+            if valid {
+                if let Some(bad) = bad_at {
+                    // Valid frame after a corrupt one: interior corruption.
+                    return Err(LogError::InteriorCorruption {
+                        offset: HEADER_LEN + bad as u64,
+                    });
+                }
+                payloads.push(rest[body_start..body_start + len as usize].to_vec());
+                pos = body_start + len as usize;
+                good_end = pos;
+            } else {
+                if bad_at.is_none() {
+                    bad_at = Some(pos);
+                }
+                // Keep scanning: if another *valid* frame follows we must
+                // report interior corruption rather than silently truncate.
+                pos += 1;
+            }
+        }
+
+        let truncated_bytes = (rest.len() - good_end) as u64;
+        let end_offset = HEADER_LEN + good_end as u64;
+        if truncated_bytes > 0 {
+            file.set_len(end_offset)?;
+        }
+        file.seek(SeekFrom::Start(end_offset))?;
+        let frames = payloads.len() as u64;
+        Ok(RecoveredLog {
+            log: AppendLog {
+                writer: BufWriter::new(file),
+                path,
+                end_offset,
+                frames,
+            },
+            payloads,
+            truncated_bytes,
+        })
+    }
+
+    /// Opens if the file exists, otherwise creates it.
+    pub fn open_or_create(path: impl AsRef<Path>) -> Result<RecoveredLog, LogError> {
+        if path.as_ref().exists() {
+            Self::open(path)
+        } else {
+            Ok(RecoveredLog {
+                log: Self::create(path)?,
+                payloads: Vec::new(),
+                truncated_bytes: 0,
+            })
+        }
+    }
+
+    /// Appends one frame; returns its byte offset in the file.
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64, LogError> {
+        if payload.len() > MAX_PAYLOAD as usize {
+            return Err(LogError::PayloadTooLarge(payload.len()));
+        }
+        let offset = self.end_offset;
+        self.writer
+            .write_all(&(payload.len() as u32).to_be_bytes())?;
+        self.writer
+            .write_all(&frame_crc(payload.len() as u32, payload).to_be_bytes())?;
+        self.writer.write_all(payload)?;
+        self.end_offset += (FRAME_HEADER_LEN + payload.len()) as u64;
+        self.frames += 1;
+        Ok(offset)
+    }
+
+    /// Flushes buffered frames to the OS.
+    pub fn flush(&mut self) -> Result<(), LogError> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Flushes and fsyncs.
+    pub fn sync(&mut self) -> Result<(), LogError> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_data()?;
+        Ok(())
+    }
+
+    /// Number of frames appended (including recovered ones).
+    pub fn frame_count(&self) -> u64 {
+        self.frames
+    }
+
+    /// Current end-of-log offset in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.end_offset
+    }
+
+    /// Path of the underlying file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "tep-log-test-{}-{}-{}.log",
+            std::process::id(),
+            tag,
+            n
+        ))
+    }
+
+    struct Cleanup(PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn append_and_recover() {
+        let path = temp_path("basic");
+        let _guard = Cleanup(path.clone());
+        {
+            let mut log = AppendLog::create(&path).unwrap();
+            log.append(b"alpha").unwrap();
+            log.append(b"").unwrap();
+            log.append(&vec![7u8; 10_000]).unwrap();
+            log.sync().unwrap();
+            assert_eq!(log.frame_count(), 3);
+        }
+        let rec = AppendLog::open(&path).unwrap();
+        assert_eq!(rec.truncated_bytes, 0);
+        assert_eq!(rec.payloads.len(), 3);
+        assert_eq!(rec.payloads[0], b"alpha");
+        assert_eq!(rec.payloads[1], b"");
+        assert_eq!(rec.payloads[2].len(), 10_000);
+        assert_eq!(rec.log.frame_count(), 3);
+    }
+
+    #[test]
+    fn create_refuses_existing_file() {
+        let path = temp_path("dup");
+        let _guard = Cleanup(path.clone());
+        AppendLog::create(&path).unwrap();
+        assert!(matches!(AppendLog::create(&path), Err(LogError::Io(_))));
+    }
+
+    #[test]
+    fn torn_tail_is_truncated() {
+        let path = temp_path("torn");
+        let _guard = Cleanup(path.clone());
+        {
+            let mut log = AppendLog::create(&path).unwrap();
+            log.append(b"keep me").unwrap();
+            log.append(b"i will be torn").unwrap();
+            log.sync().unwrap();
+        }
+        // Chop 3 bytes off the end to simulate a torn write.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 3).unwrap();
+
+        let rec = AppendLog::open(&path).unwrap();
+        assert_eq!(rec.payloads.len(), 1);
+        assert_eq!(rec.payloads[0], b"keep me");
+        assert!(rec.truncated_bytes > 0);
+
+        // Appending after recovery works and survives a further reopen.
+        let mut log = rec.log;
+        log.append(b"after recovery").unwrap();
+        log.sync().unwrap();
+        drop(log);
+        let rec2 = AppendLog::open(&path).unwrap();
+        assert_eq!(rec2.payloads.len(), 2);
+        assert_eq!(rec2.payloads[1], b"after recovery");
+    }
+
+    #[test]
+    fn corrupt_tail_payload_is_dropped() {
+        let path = temp_path("crc");
+        let _guard = Cleanup(path.clone());
+        {
+            let mut log = AppendLog::create(&path).unwrap();
+            log.append(b"good frame").unwrap();
+            log.append(b"bad frame!").unwrap();
+            log.sync().unwrap();
+        }
+        // Flip a bit in the last frame's payload.
+        let mut data = std::fs::read(&path).unwrap();
+        let n = data.len();
+        data[n - 2] ^= 0x01;
+        std::fs::write(&path, &data).unwrap();
+
+        let rec = AppendLog::open(&path).unwrap();
+        assert_eq!(rec.payloads.len(), 1);
+        assert_eq!(rec.payloads[0], b"good frame");
+    }
+
+    #[test]
+    fn interior_corruption_is_an_error() {
+        let path = temp_path("interior");
+        let _guard = Cleanup(path.clone());
+        {
+            let mut log = AppendLog::create(&path).unwrap();
+            log.append(b"first-frame-payload").unwrap();
+            log.append(b"second-frame-payload").unwrap();
+            log.sync().unwrap();
+        }
+        // Corrupt the FIRST frame's payload; the second remains valid.
+        let mut data = std::fs::read(&path).unwrap();
+        data[HEADER_LEN as usize + FRAME_HEADER_LEN + 2] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        assert!(matches!(
+            AppendLog::open(&path),
+            Err(LogError::InteriorCorruption { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let path = temp_path("hdr");
+        let _guard = Cleanup(path.clone());
+        std::fs::write(&path, b"not a log file at all").unwrap();
+        assert!(matches!(AppendLog::open(&path), Err(LogError::BadHeader)));
+    }
+
+    #[test]
+    fn payload_size_limit() {
+        let path = temp_path("big");
+        let _guard = Cleanup(path.clone());
+        let mut log = AppendLog::create(&path).unwrap();
+        let too_big = vec![0u8; MAX_PAYLOAD as usize + 1];
+        assert!(matches!(
+            log.append(&too_big),
+            Err(LogError::PayloadTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn open_or_create_both_paths() {
+        let path = temp_path("ooc");
+        let _guard = Cleanup(path.clone());
+        let rec = AppendLog::open_or_create(&path).unwrap();
+        assert_eq!(rec.payloads.len(), 0);
+        let mut log = rec.log;
+        log.append(b"x").unwrap();
+        log.sync().unwrap();
+        drop(log);
+        let rec = AppendLog::open_or_create(&path).unwrap();
+        assert_eq!(rec.payloads.len(), 1);
+    }
+}

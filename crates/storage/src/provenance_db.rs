@@ -1,0 +1,485 @@
+//! The provenance database: stores checksummed provenance rows.
+//!
+//! This is the second database of the paper's experimental setup (§5.1):
+//! for each operation the system records the row
+//! `⟨SeqID(int), Participant(int), Oid(int), Checksum(binary(128))⟩`, plus —
+//! in our implementation — an opaque payload carrying the full provenance
+//! record (input/output hashes, input ids, …) that the verifier needs.
+//!
+//! Records are indexed by output object and kept in per-object `seqID`
+//! order. The store runs in-memory, optionally backed by a durable
+//! [`AppendLog`] with recovery on open.
+
+use crate::log::{AppendLog, LogError};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::path::Path;
+use tep_model::encode::{DecodeError, Reader};
+use tep_model::ObjectId;
+use tep_model::ParticipantId;
+
+/// A stored provenance row: the paper's four columns plus the opaque
+/// full-record payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoredRecord {
+    /// Sequence id within the output object's chain.
+    pub seq_id: u64,
+    /// The acting participant.
+    pub participant: ParticipantId,
+    /// The output object the record describes.
+    pub oid: ObjectId,
+    /// The signed provenance checksum.
+    pub checksum: Vec<u8>,
+    /// Serialized full provenance record (opaque to the storage layer).
+    pub payload: Vec<u8>,
+}
+
+impl StoredRecord {
+    /// Size of the paper's four-column row for this record:
+    /// `SeqID(4) + Participant(4) + Oid(4) + checksum` bytes.
+    ///
+    /// This is the quantity Figures 9 and 11 plot as "space overhead".
+    pub fn paper_row_bytes(&self) -> u64 {
+        4 + 4 + 4 + self.checksum.len() as u64
+    }
+
+    /// Wire encoding for the durable log.
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.checksum.len() + self.payload.len());
+        out.extend_from_slice(&self.seq_id.to_be_bytes());
+        out.extend_from_slice(&self.participant.0.to_be_bytes());
+        out.extend_from_slice(&self.oid.raw().to_be_bytes());
+        out.extend_from_slice(&(self.checksum.len() as u64).to_be_bytes());
+        out.extend_from_slice(&self.checksum);
+        out.extend_from_slice(&(self.payload.len() as u64).to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(buf);
+        let seq_id = r.u64()?;
+        let participant = ParticipantId(r.u64()?);
+        let oid = ObjectId(r.u64()?);
+        let checksum = r.len_prefixed()?.to_vec();
+        let payload = r.len_prefixed()?.to_vec();
+        r.expect_end()?;
+        Ok(StoredRecord {
+            seq_id,
+            participant,
+            oid,
+            checksum,
+            payload,
+        })
+    }
+}
+
+/// Errors from the provenance store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Durable-log failure.
+    Log(LogError),
+    /// A recovered frame could not be decoded as a record.
+    CorruptRecord(DecodeError),
+    /// `retain` was called on a durable store; compaction must go through
+    /// `compact_into` instead.
+    DurableRetain,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Log(e) => write!(f, "provenance log error: {e}"),
+            StoreError::CorruptRecord(e) => write!(f, "corrupt provenance record: {e}"),
+            StoreError::DurableRetain => {
+                write!(
+                    f,
+                    "cannot retain in place on a durable store; use compact_into"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<LogError> for StoreError {
+    fn from(e: LogError) -> Self {
+        StoreError::Log(e)
+    }
+}
+
+struct Inner {
+    records: Vec<StoredRecord>,
+    by_object: HashMap<ObjectId, Vec<u32>>,
+    log: Option<AppendLog>,
+    paper_row_bytes: u64,
+}
+
+/// The provenance record store.
+///
+/// Thread-safe: appends take a write lock, queries a read lock — mirroring
+/// the paper's observation (§3.2) that per-object chains let participants
+/// write provenance for different objects without a global serialization
+/// point (the lock here protects only the in-memory index, held for the
+/// duration of one append, not an entire chain construction).
+///
+/// ```
+/// use tep_storage::{ProvenanceDb, StoredRecord};
+/// use tep_model::{ObjectId, ParticipantId};
+///
+/// let db = ProvenanceDb::in_memory();
+/// db.append(StoredRecord {
+///     seq_id: 0,
+///     participant: ParticipantId(1),
+///     oid: ObjectId(7),
+///     checksum: vec![0xAA; 128],
+///     payload: vec![],
+/// }).unwrap();
+/// assert_eq!(db.latest_for(ObjectId(7)).unwrap().seq_id, 0);
+/// assert_eq!(db.paper_row_bytes(), 140); // the paper's row layout
+/// ```
+pub struct ProvenanceDb {
+    inner: RwLock<Inner>,
+}
+
+impl Default for ProvenanceDb {
+    fn default() -> Self {
+        Self::in_memory()
+    }
+}
+
+impl ProvenanceDb {
+    /// Creates a volatile in-memory store.
+    pub fn in_memory() -> Self {
+        ProvenanceDb {
+            inner: RwLock::new(Inner {
+                records: Vec::new(),
+                by_object: HashMap::new(),
+                log: None,
+                paper_row_bytes: 0,
+            }),
+        }
+    }
+
+    /// Opens (or creates) a durable store at `path`, replaying any existing
+    /// records.
+    pub fn durable(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let recovered = AppendLog::open_or_create(path)?;
+        let mut inner = Inner {
+            records: Vec::with_capacity(recovered.payloads.len()),
+            by_object: HashMap::new(),
+            log: Some(recovered.log),
+            paper_row_bytes: 0,
+        };
+        for frame in &recovered.payloads {
+            let rec = StoredRecord::decode(frame).map_err(StoreError::CorruptRecord)?;
+            index_record(&mut inner, rec);
+        }
+        Ok(ProvenanceDb {
+            inner: RwLock::new(inner),
+        })
+    }
+
+    /// Appends a record (durably if the store is durable).
+    pub fn append(&self, record: StoredRecord) -> Result<(), StoreError> {
+        let mut inner = self.inner.write();
+        if let Some(log) = inner.log.as_mut() {
+            log.append(&record.encode())?;
+        }
+        index_record(&mut inner, record);
+        Ok(())
+    }
+
+    /// Flushes and fsyncs the durable log (no-op for in-memory stores).
+    pub fn sync(&self) -> Result<(), StoreError> {
+        if let Some(log) = self.inner.write().log.as_mut() {
+            log.sync()?;
+        }
+        Ok(())
+    }
+
+    /// All records for `oid`, sorted by `seq_id` (ties keep append order).
+    pub fn records_for(&self, oid: ObjectId) -> Vec<StoredRecord> {
+        let inner = self.inner.read();
+        let mut out: Vec<StoredRecord> = inner
+            .by_object
+            .get(&oid)
+            .map(|idxs| {
+                idxs.iter()
+                    .map(|&i| inner.records[i as usize].clone())
+                    .collect()
+            })
+            .unwrap_or_default();
+        out.sort_by_key(|r| r.seq_id);
+        out
+    }
+
+    /// The most recent record (greatest `seq_id`) for `oid`.
+    pub fn latest_for(&self, oid: ObjectId) -> Option<StoredRecord> {
+        let inner = self.inner.read();
+        inner.by_object.get(&oid).and_then(|idxs| {
+            idxs.iter()
+                .map(|&i| &inner.records[i as usize])
+                .max_by_key(|r| r.seq_id)
+                .cloned()
+        })
+    }
+
+    /// Total number of stored records.
+    pub fn len(&self) -> usize {
+        self.inner.read().records.len()
+    }
+
+    /// `true` when no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sum of [`StoredRecord::paper_row_bytes`] over all records — the
+    /// space-overhead metric of Figures 9 and 11.
+    pub fn paper_row_bytes(&self) -> u64 {
+        self.inner.read().paper_row_bytes
+    }
+
+    /// Snapshot of every record in append order.
+    pub fn all_records(&self) -> Vec<StoredRecord> {
+        self.inner.read().records.clone()
+    }
+
+    /// Ids of all objects that have at least one record.
+    pub fn object_ids(&self) -> Vec<ObjectId> {
+        let mut ids: Vec<ObjectId> = self.inner.read().by_object.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Drops records failing `keep` from an **in-memory** store, returning
+    /// how many were removed. Fails on durable stores (an append-only log
+    /// cannot be edited in place — use [`Self::compact_into`]).
+    pub fn retain(&self, keep: impl Fn(&StoredRecord) -> bool) -> Result<usize, StoreError> {
+        let mut inner = self.inner.write();
+        if inner.log.is_some() {
+            return Err(StoreError::DurableRetain);
+        }
+        let before = inner.records.len();
+        let kept: Vec<StoredRecord> = inner.records.drain(..).filter(|r| keep(r)).collect();
+        inner.by_object.clear();
+        inner.paper_row_bytes = 0;
+        for rec in kept {
+            index_record(&mut inner, rec);
+        }
+        Ok(before - inner.records.len())
+    }
+
+    /// Writes the records passing `keep` into a **new** durable store at
+    /// `path` (compaction). The source store is untouched; callers swap the
+    /// files/handles once the new store is synced.
+    pub fn compact_into(
+        &self,
+        path: impl AsRef<Path>,
+        keep: impl Fn(&StoredRecord) -> bool,
+    ) -> Result<ProvenanceDb, StoreError> {
+        let new = ProvenanceDb::durable(path)?;
+        for rec in self.all_records() {
+            if keep(&rec) {
+                new.append(rec)?;
+            }
+        }
+        new.sync()?;
+        Ok(new)
+    }
+}
+
+fn index_record(inner: &mut Inner, record: StoredRecord) {
+    let idx = inner.records.len() as u32;
+    inner.paper_row_bytes += record.paper_row_bytes();
+    inner.by_object.entry(record.oid).or_default().push(idx);
+    inner.records.push(record);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn rec(oid: u64, seq: u64, participant: u64) -> StoredRecord {
+        StoredRecord {
+            seq_id: seq,
+            participant: ParticipantId(participant),
+            oid: ObjectId(oid),
+            checksum: vec![0xCC; 128],
+            payload: format!("payload-{oid}-{seq}").into_bytes(),
+        }
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "tep-provdb-test-{}-{}-{}.log",
+            std::process::id(),
+            tag,
+            n
+        ))
+    }
+
+    struct Cleanup(PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn append_and_query() {
+        let db = ProvenanceDb::in_memory();
+        db.append(rec(1, 0, 10)).unwrap();
+        db.append(rec(1, 1, 11)).unwrap();
+        db.append(rec(2, 0, 10)).unwrap();
+        assert_eq!(db.len(), 3);
+        let one = db.records_for(ObjectId(1));
+        assert_eq!(one.len(), 2);
+        assert_eq!(one[0].seq_id, 0);
+        assert_eq!(one[1].seq_id, 1);
+        assert_eq!(db.latest_for(ObjectId(1)).unwrap().seq_id, 1);
+        assert!(db.latest_for(ObjectId(9)).is_none());
+        assert!(db.records_for(ObjectId(9)).is_empty());
+        assert_eq!(db.object_ids(), vec![ObjectId(1), ObjectId(2)]);
+    }
+
+    #[test]
+    fn records_sorted_by_seq_even_if_appended_out_of_order() {
+        let db = ProvenanceDb::in_memory();
+        db.append(rec(1, 5, 10)).unwrap();
+        db.append(rec(1, 2, 10)).unwrap();
+        db.append(rec(1, 9, 10)).unwrap();
+        let seqs: Vec<u64> = db
+            .records_for(ObjectId(1))
+            .iter()
+            .map(|r| r.seq_id)
+            .collect();
+        assert_eq!(seqs, vec![2, 5, 9]);
+        assert_eq!(db.latest_for(ObjectId(1)).unwrap().seq_id, 9);
+    }
+
+    #[test]
+    fn paper_row_bytes_accounting() {
+        let db = ProvenanceDb::in_memory();
+        db.append(rec(1, 0, 10)).unwrap();
+        db.append(rec(2, 0, 10)).unwrap();
+        // Each row: 4 + 4 + 4 + 128 = 140 bytes, the paper's layout.
+        assert_eq!(db.paper_row_bytes(), 280);
+    }
+
+    #[test]
+    fn durable_roundtrip() {
+        let path = temp_path("roundtrip");
+        let _guard = Cleanup(path.clone());
+        {
+            let db = ProvenanceDb::durable(&path).unwrap();
+            db.append(rec(1, 0, 10)).unwrap();
+            db.append(rec(1, 1, 11)).unwrap();
+            db.sync().unwrap();
+        }
+        let db = ProvenanceDb::durable(&path).unwrap();
+        assert_eq!(db.len(), 2);
+        let recs = db.records_for(ObjectId(1));
+        assert_eq!(recs[1].participant, ParticipantId(11));
+        assert_eq!(recs[1].payload, b"payload-1-1");
+        assert_eq!(recs[1].checksum, vec![0xCC; 128]);
+    }
+
+    #[test]
+    fn record_encode_decode_roundtrip() {
+        let r = rec(42, 7, 3);
+        let encoded = r.encode();
+        assert_eq!(StoredRecord::decode(&encoded).unwrap(), r);
+        // Truncation is detected.
+        assert!(StoredRecord::decode(&encoded[..encoded.len() - 1]).is_err());
+        // Trailing bytes are detected.
+        let mut extended = encoded.clone();
+        extended.push(0);
+        assert!(StoredRecord::decode(&extended).is_err());
+    }
+
+    #[test]
+    fn retain_rebuilds_indexes() {
+        let db = ProvenanceDb::in_memory();
+        db.append(rec(1, 0, 10)).unwrap();
+        db.append(rec(1, 1, 10)).unwrap();
+        db.append(rec(2, 0, 11)).unwrap();
+        let removed = db.retain(|r| r.oid != ObjectId(2)).unwrap();
+        assert_eq!(removed, 1);
+        assert_eq!(db.len(), 2);
+        assert!(db.records_for(ObjectId(2)).is_empty());
+        assert_eq!(db.records_for(ObjectId(1)).len(), 2);
+        assert_eq!(db.paper_row_bytes(), 2 * 140);
+        assert_eq!(db.object_ids(), vec![ObjectId(1)]);
+    }
+
+    #[test]
+    fn retain_rejected_on_durable_store() {
+        let path = temp_path("retain");
+        let _guard = Cleanup(path.clone());
+        let db = ProvenanceDb::durable(&path).unwrap();
+        db.append(rec(1, 0, 10)).unwrap();
+        assert!(matches!(
+            db.retain(|_| true),
+            Err(StoreError::DurableRetain)
+        ));
+    }
+
+    #[test]
+    fn compact_into_writes_filtered_durable_copy() {
+        let src_path = temp_path("compact-src");
+        let dst_path = temp_path("compact-dst");
+        let _g1 = Cleanup(src_path.clone());
+        let _g2 = Cleanup(dst_path.clone());
+        let src = ProvenanceDb::durable(&src_path).unwrap();
+        for oid in 1..=5u64 {
+            src.append(rec(oid, 0, 10)).unwrap();
+        }
+        src.sync().unwrap();
+        let dst = src
+            .compact_into(&dst_path, |r| r.oid.raw() % 2 == 1)
+            .unwrap();
+        assert_eq!(dst.len(), 3); // oids 1, 3, 5
+                                  // Source untouched.
+        assert_eq!(src.len(), 5);
+        // The compacted store survives reopen.
+        drop(dst);
+        let reopened = ProvenanceDb::durable(&dst_path).unwrap();
+        assert_eq!(reopened.len(), 3);
+        assert_eq!(
+            reopened.object_ids(),
+            vec![ObjectId(1), ObjectId(3), ObjectId(5)]
+        );
+    }
+
+    #[test]
+    fn concurrent_appends_from_threads() {
+        use std::sync::Arc;
+        let db = Arc::new(ProvenanceDb::in_memory());
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let db = Arc::clone(&db);
+            handles.push(std::thread::spawn(move || {
+                for s in 0..100u64 {
+                    db.append(rec(t, s, t)).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.len(), 800);
+        for t in 0..8u64 {
+            let recs = db.records_for(ObjectId(t));
+            assert_eq!(recs.len(), 100);
+            // Per-object order intact despite interleaving.
+            assert!(recs.windows(2).all(|w| w[0].seq_id < w[1].seq_id));
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Back-end database snapshots: persisting a [`Forest`] to disk.
+//!
+//! The paper's measurements only cover the provenance side, but a usable
+//! system also needs the user-data forest to survive restarts. A snapshot
+//! is an [`AppendLog`] whose first frame is a header (magic + node count)
+//! followed by one frame per node in parent-before-child order, so loading
+//! is a single forward pass of `insert_with_id`.
+//!
+//! Snapshots are written to a temporary file and atomically renamed into
+//! place, so a crash mid-snapshot never clobbers the previous one; a torn
+//! tail (count mismatch) is detected at load time.
+
+use crate::log::{AppendLog, LogError};
+use std::path::Path;
+use tep_model::encode::{decode_value, encode_value, Reader};
+use tep_model::{Forest, ObjectId};
+
+const SNAP_MAGIC: &[u8] = b"TEPSNAP\x01";
+
+/// Errors from snapshot save/load.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying log/file failure.
+    Log(LogError),
+    /// I/O failure outside the log layer (temp file, rename).
+    Io(std::io::Error),
+    /// The file is not a snapshot (bad header frame).
+    BadHeader,
+    /// Node count in the header does not match recovered frames —
+    /// truncated or torn snapshot.
+    Incomplete {
+        /// Nodes the header promised.
+        expected: u64,
+        /// Frames actually recovered.
+        found: u64,
+    },
+    /// A node frame failed to decode or reference its parent.
+    CorruptNode(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Log(e) => write!(f, "snapshot log error: {e}"),
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::BadHeader => write!(f, "not a forest snapshot"),
+            SnapshotError::Incomplete { expected, found } => {
+                write!(
+                    f,
+                    "incomplete snapshot: header promises {expected} nodes, found {found}"
+                )
+            }
+            SnapshotError::CorruptNode(why) => write!(f, "corrupt node frame: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<LogError> for SnapshotError {
+    fn from(e: LogError) -> Self {
+        SnapshotError::Log(e)
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+fn encode_node(forest: &Forest, id: ObjectId) -> Vec<u8> {
+    let node = forest.node(id).expect("node exists during save");
+    let mut out = Vec::with_capacity(32);
+    out.extend_from_slice(&id.raw().to_be_bytes());
+    match node.parent() {
+        Some(p) => {
+            out.push(1);
+            out.extend_from_slice(&p.raw().to_be_bytes());
+        }
+        None => out.push(0),
+    }
+    encode_value(node.value(), &mut out);
+    out
+}
+
+/// Saves `forest` to `path` atomically (temp file + rename). Any existing
+/// snapshot at `path` is replaced only after the new one is durable.
+pub fn save_forest(forest: &Forest, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+    let path = path.as_ref();
+    let tmp = path.with_extension("tmp");
+    let _ = std::fs::remove_file(&tmp);
+    {
+        let mut log = AppendLog::create(&tmp)?;
+        let mut header = Vec::with_capacity(16);
+        header.extend_from_slice(SNAP_MAGIC);
+        header.extend_from_slice(&(forest.len() as u64).to_be_bytes());
+        log.append(&header)?;
+        // Pre-order per root: parents always precede children.
+        let roots: Vec<ObjectId> = forest.roots().collect();
+        for root in roots {
+            for id in forest.subtree_ids(root) {
+                log.append(&encode_node(forest, id))?;
+            }
+        }
+        log.sync()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Loads a forest saved by [`save_forest`].
+pub fn load_forest(path: impl AsRef<Path>) -> Result<Forest, SnapshotError> {
+    let recovered = AppendLog::open(path.as_ref())?;
+    let mut frames = recovered.payloads.into_iter();
+    let header = frames.next().ok_or(SnapshotError::BadHeader)?;
+    let rest = header
+        .strip_prefix(SNAP_MAGIC)
+        .ok_or(SnapshotError::BadHeader)?;
+    if rest.len() != 8 {
+        return Err(SnapshotError::BadHeader);
+    }
+    let expected = u64::from_be_bytes(rest.try_into().expect("checked length"));
+
+    let mut forest = Forest::new();
+    let mut loaded = 0u64;
+    for frame in frames {
+        let mut r = Reader::new(&frame);
+        let parse = (|| -> Result<(), tep_model::encode::DecodeError> {
+            let id = ObjectId(r.u64()?);
+            let parent = match r.u8()? {
+                0 => None,
+                1 => Some(ObjectId(r.u64()?)),
+                t => return Err(tep_model::encode::DecodeError::BadTag(t)),
+            };
+            let value = decode_value(&mut r)?;
+            r.expect_end()?;
+            forest
+                .insert_with_id(id, value, parent)
+                .map_err(|_| tep_model::encode::DecodeError::BadTag(0xFD))?;
+            Ok(())
+        })();
+        parse.map_err(|e| SnapshotError::CorruptNode(e.to_string()))?;
+        loaded += 1;
+    }
+    if loaded != expected {
+        return Err(SnapshotError::Incomplete {
+            expected,
+            found: loaded,
+        });
+    }
+    Ok(forest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use tep_model::Value;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "tep-snap-{}-{}-{}.snap",
+            std::process::id(),
+            tag,
+            n
+        ))
+    }
+
+    struct Cleanup(PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    fn sample_forest() -> Forest {
+        let mut f = Forest::new();
+        let db = f.insert(Value::text("db"), None).unwrap();
+        let t = f.insert(Value::text("t"), Some(db)).unwrap();
+        for r in 0..5i64 {
+            let row = f.insert(Value::Null, Some(t)).unwrap();
+            for a in 0..3i64 {
+                f.insert(Value::Int(r * 10 + a), Some(row)).unwrap();
+            }
+        }
+        // A second, detached root too.
+        f.insert(Value::real(2.5), None).unwrap();
+        f
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure_and_values() {
+        let path = temp_path("roundtrip");
+        let _guard = Cleanup(path.clone());
+        let f = sample_forest();
+        save_forest(&f, &path).unwrap();
+        let g = load_forest(&path).unwrap();
+        assert_eq!(f.len(), g.len());
+        assert_eq!(f.roots().collect::<Vec<_>>(), g.roots().collect::<Vec<_>>());
+        for id in f.ids() {
+            let a = f.node(id).unwrap();
+            let b = g.node(id).unwrap();
+            assert_eq!(a.value(), b.value());
+            assert_eq!(a.parent(), b.parent());
+            assert_eq!(
+                a.children().collect::<Vec<_>>(),
+                b.children().collect::<Vec<_>>()
+            );
+        }
+        // Fresh ids continue past the snapshot's.
+        assert_eq!(f.next_id_hint(), g.next_id_hint());
+    }
+
+    #[test]
+    fn empty_forest_roundtrips() {
+        let path = temp_path("empty");
+        let _guard = Cleanup(path.clone());
+        save_forest(&Forest::new(), &path).unwrap();
+        let g = load_forest(&path).unwrap();
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn save_replaces_existing_snapshot_atomically() {
+        let path = temp_path("replace");
+        let _guard = Cleanup(path.clone());
+        save_forest(&sample_forest(), &path).unwrap();
+        let mut small = Forest::new();
+        small.insert(Value::Int(1), None).unwrap();
+        save_forest(&small, &path).unwrap();
+        assert_eq!(load_forest(&path).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn truncated_snapshot_detected() {
+        let path = temp_path("torn");
+        let _guard = Cleanup(path.clone());
+        save_forest(&sample_forest(), &path).unwrap();
+        // Chop the tail: the log recovers fewer node frames than promised.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(len - 10).unwrap();
+        drop(file);
+        assert!(matches!(
+            load_forest(&path),
+            Err(SnapshotError::Incomplete { .. })
+        ));
+    }
+
+    #[test]
+    fn non_snapshot_rejected() {
+        let path = temp_path("bad");
+        let _guard = Cleanup(path.clone());
+        // A valid log that is not a snapshot.
+        let mut log = AppendLog::create(&path).unwrap();
+        log.append(b"not a header").unwrap();
+        log.sync().unwrap();
+        drop(log);
+        assert!(matches!(load_forest(&path), Err(SnapshotError::BadHeader)));
+        // Not a log at all.
+        std::fs::write(&path, b"garbage").unwrap();
+        assert!(load_forest(&path).is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! # tep-workloads
+//!
+//! Synthetic workload generators reproducing the paper's experimental setup
+//! (§5.1, Tables 1–2):
+//!
+//! * [`synthetic`] — the four all-integer tables of Table 1(a) and their
+//!   database combinations of Table 1(b) (36 002 … 118 005 nodes).
+//! * [`ops`] — complex-operation generators for Experimental Setups **A**
+//!   (pure cell-update sweeps), **B** (all-deletes / all-inserts /
+//!   all-updates), and **C** (mixed-ratio batches of 500 operations).
+//! * [`large`] — the §5.2 larger-than-memory `Title` table (18.9M rows,
+//!   56.9M nodes at paper scale), generated lazily for streaming hashing.
+//!
+//! All generation is seeded and deterministic, so experiment runs are
+//! reproducible bit-for-bit.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod large;
+pub mod ops;
+pub mod synthetic;
+
+pub use large::{stream_title_database, TitleHashResult, TitleRowIter, PAPER_TITLE_ROWS};
+pub use ops::{
+    setup_a_updates, setup_b_delete_rows, setup_b_insert_rows, setup_b_update_cells, setup_c_mix,
+    ComplexOp, MixSpec, TablePlan, PAPER_C_MIXES,
+};
+pub use synthetic::{
+    build_database, paper_database, paper_node_count, SyntheticDb, TableSpec, PAPER_TABLES,
+};

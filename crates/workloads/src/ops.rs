@@ -1,0 +1,460 @@
+//! Complex-operation generators — Table 2 of the paper (Setups A, B, C).
+//!
+//! Each generator produces a `Vec<PrimitiveOp>` meant to be applied as
+//! **one** complex operation via
+//! [`tep_core::ProvenanceTracker::complex`]. A [`TablePlan`] mirrors the
+//! table's live row set during generation so that mixes containing deletes
+//! and inserts (Setup C) never reference rows that an earlier operation in
+//! the same batch removed.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use tep_model::relational::TableHandle;
+use tep_model::{ObjectId, PrimitiveOp, Value};
+
+/// A generation-time mirror of a table's structure.
+///
+/// Tracks live rows/cells and allocates ids for planned inserts without
+/// touching the real forest.
+#[derive(Clone, Debug)]
+pub struct TablePlan {
+    table: ObjectId,
+    num_attrs: usize,
+    rows: Vec<PlannedRow>,
+    next_id: u64,
+}
+
+#[derive(Clone, Debug)]
+struct PlannedRow {
+    id: ObjectId,
+    cells: Vec<ObjectId>,
+}
+
+impl TablePlan {
+    /// Builds a plan from a generated table.
+    ///
+    /// `next_id_hint` must be the forest's next free id
+    /// ([`tep_model::Forest::next_id_hint`]) so that planned inserts get the
+    /// ids the forest will actually assign.
+    pub fn new(handle: &TableHandle, num_attrs: usize, next_id_hint: ObjectId) -> Self {
+        TablePlan {
+            table: handle.id,
+            num_attrs,
+            rows: handle
+                .rows
+                .iter()
+                .map(|r| PlannedRow {
+                    id: r.id,
+                    cells: r.cells.clone(),
+                })
+                .collect(),
+            next_id: next_id_hint.raw(),
+        }
+    }
+
+    /// Live row count.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn alloc(&mut self) -> ObjectId {
+        let id = ObjectId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Plans the deletion of the row at `idx`: all its cells, then the row.
+    fn plan_delete_row(&mut self, idx: usize, out: &mut Vec<PrimitiveOp>) {
+        let row = self.rows.swap_remove(idx);
+        for cell in row.cells {
+            out.push(PrimitiveOp::Delete { id: cell });
+        }
+        out.push(PrimitiveOp::Delete { id: row.id });
+    }
+
+    /// Plans the insertion of a fresh fully-populated row.
+    fn plan_insert_row(&mut self, rng: &mut StdRng, out: &mut Vec<PrimitiveOp>) {
+        let row_id = self.alloc();
+        out.push(PrimitiveOp::Insert {
+            id: Some(row_id),
+            value: Value::Null,
+            parent: Some(self.table),
+        });
+        let mut cells = Vec::with_capacity(self.num_attrs);
+        for _ in 0..self.num_attrs {
+            let cell_id = self.alloc();
+            out.push(PrimitiveOp::Insert {
+                id: Some(cell_id),
+                value: Value::Int(rng.gen_range(0..1_000_000)),
+                parent: Some(row_id),
+            });
+            cells.push(cell_id);
+        }
+        self.rows.push(PlannedRow { id: row_id, cells });
+    }
+
+    /// Plans an update of one random live cell.
+    fn plan_update_cell(&mut self, rng: &mut StdRng, out: &mut Vec<PrimitiveOp>) {
+        let row = &self.rows[rng.gen_range(0..self.rows.len())];
+        let cell = row.cells[rng.gen_range(0..row.cells.len())];
+        out.push(PrimitiveOp::Update {
+            id: cell,
+            value: Value::Int(rng.gen_range(0..1_000_000)),
+        });
+    }
+}
+
+/// **Setup A**: `num_updates` cell updates spread over `num_rows` distinct
+/// rows (e.g. "400n updates on 400n cells in 400n rows", "4000n updates on
+/// 4000n cells in 4000 rows").
+///
+/// # Panics
+/// Panics if the table has fewer than `num_rows` rows or a row has fewer
+/// than `num_updates / num_rows` cells.
+pub fn setup_a_updates(
+    handle: &TableHandle,
+    num_updates: usize,
+    num_rows: usize,
+    seed: u64,
+) -> Vec<PrimitiveOp> {
+    assert!(num_rows > 0 && num_rows <= handle.rows.len());
+    assert!(
+        num_updates >= num_rows,
+        "at least one update per chosen row"
+    );
+    let per_row = num_updates / num_rows;
+    let extra = num_updates % num_rows;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Choose distinct rows.
+    let mut row_indices: Vec<usize> = (0..handle.rows.len()).collect();
+    row_indices.shuffle(&mut rng);
+    row_indices.truncate(num_rows);
+
+    let mut ops = Vec::with_capacity(num_updates);
+    for (i, &ri) in row_indices.iter().enumerate() {
+        let row = &handle.rows[ri];
+        let want = per_row + usize::from(i < extra);
+        assert!(
+            want <= row.cells.len(),
+            "row has {} cells, need {}",
+            row.cells.len(),
+            want
+        );
+        let mut cells: Vec<ObjectId> = row.cells.clone();
+        cells.shuffle(&mut rng);
+        for &cell in cells.iter().take(want) {
+            ops.push(PrimitiveOp::Update {
+                id: cell,
+                value: Value::Int(rng.gen_range(0..1_000_000)),
+            });
+        }
+    }
+    ops
+}
+
+/// A batch of primitives applied as **one** complex operation.
+pub type ComplexOp = Vec<PrimitiveOp>;
+
+/// **Setup B, all-deletes**: `num_rows` row-delete complex operations, each
+/// removing one random row (its cells, then the row node).
+pub fn setup_b_delete_rows(plan: &mut TablePlan, num_rows: usize, seed: u64) -> Vec<ComplexOp> {
+    assert!(num_rows <= plan.row_count());
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..num_rows)
+        .map(|_| {
+            let mut ops = Vec::new();
+            let idx = rng.gen_range(0..plan.rows.len());
+            plan.plan_delete_row(idx, &mut ops);
+            ops
+        })
+        .collect()
+}
+
+/// **Setup B, all-inserts**: `num_rows` row-insert complex operations, each
+/// adding one fresh fully-populated row.
+pub fn setup_b_insert_rows(plan: &mut TablePlan, num_rows: usize, seed: u64) -> Vec<ComplexOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..num_rows)
+        .map(|_| {
+            let mut ops = Vec::new();
+            plan.plan_insert_row(&mut rng, &mut ops);
+            ops
+        })
+        .collect()
+}
+
+/// **Setup B, all-updates**: `num_updates` cell updates spread evenly over
+/// `num_rows` distinct rows, one complex operation per row (e.g. "4000
+/// updates of cells in 500 rows" = 500 ops of 8 updates each; "in 4000
+/// rows" = 4000 ops of 1 update).
+pub fn setup_b_update_cells(
+    plan: &TablePlan,
+    num_updates: usize,
+    num_rows: usize,
+    seed: u64,
+) -> Vec<ComplexOp> {
+    assert!(num_rows > 0 && num_rows <= plan.row_count());
+    let per_row = num_updates / num_rows;
+    assert!(
+        per_row * num_rows == num_updates,
+        "updates must divide evenly"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut row_indices: Vec<usize> = (0..plan.rows.len()).collect();
+    row_indices.shuffle(&mut rng);
+    row_indices.truncate(num_rows);
+
+    row_indices
+        .iter()
+        .map(|&ri| {
+            let row = &plan.rows[ri];
+            assert!(per_row <= row.cells.len());
+            let mut cells = row.cells.clone();
+            cells.shuffle(&mut rng);
+            cells
+                .into_iter()
+                .take(per_row)
+                .map(|cell| PrimitiveOp::Update {
+                    id: cell,
+                    value: Value::Int(rng.gen_range(0..1_000_000)),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// One mix of Setup C: counts of row-deletes, row-inserts, and cell-updates
+/// forming one 500-operation complex op.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MixSpec {
+    /// Row deletions.
+    pub deletes: usize,
+    /// Row insertions.
+    pub inserts: usize,
+    /// Cell updates.
+    pub updates: usize,
+}
+
+impl MixSpec {
+    /// Total operation count.
+    pub fn total(&self) -> usize {
+        self.deletes + self.inserts + self.updates
+    }
+
+    /// Percentage of deletes (the Figure 10/11 x-axis).
+    pub fn delete_pct(&self) -> f64 {
+        100.0 * self.deletes as f64 / self.total() as f64
+    }
+}
+
+/// The paper's Setup C mixes (Table 2): 500 operations each, with delete
+/// shares of 19.2 %, 36.6 %, 57 %, and 78.2 %.
+pub const PAPER_C_MIXES: [MixSpec; 4] = [
+    MixSpec {
+        deletes: 96,
+        inserts: 189,
+        updates: 215,
+    },
+    MixSpec {
+        deletes: 183,
+        inserts: 152,
+        updates: 165,
+    },
+    MixSpec {
+        deletes: 285,
+        inserts: 106,
+        updates: 109,
+    },
+    MixSpec {
+        deletes: 391,
+        inserts: 49,
+        updates: 60,
+    },
+];
+
+/// **Setup C**: a shuffled mix of row deletes, row inserts, and cell
+/// updates per `mix` — one complex operation per entry — generated against
+/// (and mutating) `plan` so every reference stays valid as the batch
+/// evolves.
+pub fn setup_c_mix(plan: &mut TablePlan, mix: MixSpec, seed: u64) -> Vec<ComplexOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Build the shuffled schedule of operation kinds.
+    let mut kinds: Vec<u8> = std::iter::repeat_n(0u8, mix.deletes)
+        .chain(std::iter::repeat_n(1u8, mix.inserts))
+        .chain(std::iter::repeat_n(2u8, mix.updates))
+        .collect();
+    kinds.shuffle(&mut rng);
+
+    kinds
+        .into_iter()
+        .map(|kind| {
+            let mut ops = Vec::new();
+            match kind {
+                0 => {
+                    assert!(plan.row_count() > 0, "table exhausted by deletes");
+                    let idx = rng.gen_range(0..plan.rows.len());
+                    plan.plan_delete_row(idx, &mut ops);
+                }
+                1 => plan.plan_insert_row(&mut rng, &mut ops),
+                _ => {
+                    assert!(plan.row_count() > 0, "no rows left to update");
+                    plan.plan_update_cell(&mut rng, &mut ops);
+                }
+            }
+            ops
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{build_database, TableSpec};
+    use tep_model::Forest;
+
+    const SPEC: TableSpec = TableSpec {
+        name: "t",
+        num_attrs: 8,
+        num_rows: 100,
+    };
+
+    fn db_and_plan() -> (Forest, TableHandle, TablePlan) {
+        let db = build_database(&[SPEC], 3);
+        let handle = db.tables[0].clone();
+        let plan = TablePlan::new(&handle, SPEC.num_attrs, db.forest.next_id_hint());
+        (db.forest, handle, plan)
+    }
+
+    /// Ops must apply cleanly to the forest they were planned against.
+    fn apply_all(forest: &mut Forest, ops: &[PrimitiveOp]) {
+        for op in ops {
+            op.apply(forest)
+                .unwrap_or_else(|e| panic!("op {op:?} failed: {e}"));
+        }
+    }
+
+    #[test]
+    fn setup_a_touches_requested_rows_and_cells() {
+        let (mut forest, handle, _) = db_and_plan();
+        let ops = setup_a_updates(&handle, 40, 10, 7);
+        assert_eq!(ops.len(), 40);
+        assert!(ops.iter().all(|o| matches!(o, PrimitiveOp::Update { .. })));
+        // Updates land on exactly 10 distinct rows, 4 cells each.
+        let mut rows_touched = std::collections::HashSet::new();
+        let mut cells = std::collections::HashSet::new();
+        for op in &ops {
+            let PrimitiveOp::Update { id, .. } = op else {
+                unreachable!()
+            };
+            assert!(cells.insert(*id), "cell updated twice");
+            let row = handle
+                .rows
+                .iter()
+                .find(|r| r.cells.contains(id))
+                .expect("cell belongs to a row");
+            rows_touched.insert(row.id);
+        }
+        assert_eq!(rows_touched.len(), 10);
+        apply_all(&mut forest, &ops);
+    }
+
+    #[test]
+    fn setup_a_uneven_distribution() {
+        let (_, handle, _) = db_and_plan();
+        // 25 updates over 10 rows → rows get 3 or 2 updates.
+        let ops = setup_a_updates(&handle, 25, 10, 9);
+        assert_eq!(ops.len(), 25);
+    }
+
+    #[test]
+    fn setup_b_deletes_apply() {
+        let (mut forest, _, mut plan) = db_and_plan();
+        let before = forest.len();
+        let groups = setup_b_delete_rows(&mut plan, 20, 5);
+        // 20 complex ops, each of (8 cells + 1 row) primitive deletes.
+        assert_eq!(groups.len(), 20);
+        assert!(groups.iter().all(|g| g.len() == 9));
+        for g in &groups {
+            apply_all(&mut forest, g);
+        }
+        assert_eq!(forest.len(), before - 20 * 9);
+        assert_eq!(plan.row_count(), 80);
+    }
+
+    #[test]
+    fn setup_b_inserts_apply() {
+        let (mut forest, handle, mut plan) = db_and_plan();
+        let before = forest.len();
+        let groups = setup_b_insert_rows(&mut plan, 15, 5);
+        assert_eq!(groups.len(), 15);
+        assert!(groups.iter().all(|g| g.len() == 9));
+        for g in &groups {
+            apply_all(&mut forest, g);
+        }
+        assert_eq!(forest.len(), before + 15 * 9);
+        assert_eq!(forest.node(handle.id).unwrap().child_count(), 115);
+    }
+
+    #[test]
+    fn setup_b_updates_grouped_per_row() {
+        let (mut forest, _, plan) = db_and_plan();
+        // 80 updates over 10 rows → 10 complex ops of 8 updates each.
+        let groups = setup_b_update_cells(&plan, 80, 10, 5);
+        assert_eq!(groups.len(), 10);
+        assert!(groups.iter().all(|g| g.len() == 8));
+        for g in &groups {
+            apply_all(&mut forest, g);
+        }
+        // 40 updates over 40 rows → 40 singleton ops.
+        let groups = setup_b_update_cells(&plan, 40, 40, 6);
+        assert_eq!(groups.len(), 40);
+        assert!(groups.iter().all(|g| g.len() == 1));
+    }
+
+    #[test]
+    fn paper_c_mixes_sum_to_500() {
+        let pcts = [19.2, 36.6, 57.0, 78.2];
+        for (mix, pct) in PAPER_C_MIXES.iter().zip(pcts) {
+            assert_eq!(mix.total(), 500);
+            assert!((mix.delete_pct() - pct).abs() < 0.05, "{mix:?}");
+        }
+    }
+
+    #[test]
+    fn setup_c_mixes_apply_cleanly() {
+        // Use a table big enough to survive 391 row deletions.
+        let spec = TableSpec {
+            name: "big",
+            num_attrs: 8,
+            num_rows: 600,
+        };
+        for (i, mix) in PAPER_C_MIXES.iter().enumerate() {
+            let db = build_database(&[spec], 11);
+            let mut forest = db.forest;
+            let mut plan = TablePlan::new(&db.tables[0], spec.num_attrs, forest.next_id_hint());
+            let groups = setup_c_mix(&mut plan, *mix, 100 + i as u64);
+            assert_eq!(groups.len(), 500);
+            for g in &groups {
+                apply_all(&mut forest, g);
+            }
+            let expected_rows = 600 - mix.deletes + mix.inserts;
+            assert_eq!(plan.row_count(), expected_rows);
+            assert_eq!(
+                forest.node(db.tables[0].id).unwrap().child_count(),
+                expected_rows
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (_, handle, _) = db_and_plan();
+        let a = setup_a_updates(&handle, 16, 4, 42);
+        let b = setup_a_updates(&handle, 16, 4, 42);
+        assert_eq!(a, b);
+        let c = setup_a_updates(&handle, 16, 4, 43);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,87 @@
+//! Durable provenance: records survive process restarts through the
+//! CRC-framed append-only log, and the recovered store still verifies.
+//!
+//! Simulates a curated-database workflow: a session of tracked edits, a
+//! "crash" (process state dropped), recovery from the log, more edits, and
+//! a final end-to-end verification — plus what happens when the log file
+//! itself is corrupted on disk.
+//!
+//! Run with: `cargo run --example durable_audit`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use tepdb::prelude::*;
+use tepdb::storage::ProvenanceDb;
+
+const ALG: HashAlgorithm = HashAlgorithm::Sha256;
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("tepdb-audit-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log_path = dir.join("provenance.teplog");
+
+    let mut rng = StdRng::seed_from_u64(99);
+    let ca = CertificateAuthority::new(1024, ALG, &mut rng);
+    let curator = ca.enroll(ParticipantId(1), 1024, &mut rng);
+    let mut keys = KeyDirectory::new(ca.public_key().clone(), ALG);
+    keys.register(curator.certificate().clone()).unwrap();
+
+    // --- Session 1: create and edit, durably -------------------------------
+    let object;
+    {
+        let db = Arc::new(ProvenanceDb::durable(&log_path).unwrap());
+        let mut ledger = AtomicLedger::new(ALG, Arc::clone(&db));
+        object = ledger.insert(&curator, Value::text("draft")).unwrap();
+        ledger
+            .update(&curator, object, Value::text("revised"))
+            .unwrap();
+        db.sync().unwrap();
+        println!(
+            "session 1: {} records persisted to {}",
+            db.len(),
+            log_path.display()
+        );
+    } // process "crashes" here — all in-memory state is gone
+
+    // --- Session 2: recover and continue ------------------------------------
+    {
+        let db = Arc::new(ProvenanceDb::durable(&log_path).unwrap());
+        println!("session 2: recovered {} records from the log", db.len());
+        assert_eq!(db.len(), 2);
+
+        // The recovered provenance still verifies against the object state
+        // recorded in the latest record.
+        let prov = tepdb::core::collect(&db, object).unwrap();
+        let expected_hash = prov.latest().unwrap().output_hash.clone();
+        let v = Verifier::new(&keys, ALG).verify(&expected_hash, &prov);
+        println!("  recovered history verified: {}", v.verified());
+        assert!(v.verified());
+    }
+
+    // --- Torn-write recovery -------------------------------------------------
+    // Chop bytes off the log tail (as a crash mid-append would) and reopen.
+    let len = std::fs::metadata(&log_path).unwrap().len();
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&log_path)
+        .unwrap();
+    f.set_len(len - 5).unwrap();
+    drop(f);
+    let db = ProvenanceDb::durable(&log_path).unwrap();
+    println!(
+        "after a torn write: {} record(s) recovered (the torn frame was dropped)",
+        db.len()
+    );
+    assert_eq!(db.len(), 1);
+
+    // The surviving prefix is still internally consistent and verifiable.
+    let prov = tepdb::core::collect(&db, object).unwrap();
+    let expected_hash = prov.latest().unwrap().output_hash.clone();
+    let v = Verifier::new(&keys, ALG).verify(&expected_hash, &prov);
+    println!("  surviving prefix verified: {}", v.verified());
+    assert!(v.verified());
+
+    std::fs::remove_dir_all(&dir).ok();
+    println!("done.");
+}

@@ -1,25 +1,49 @@
 //! §3.2 ablation: per-object (local) checksum chains vs one global chain.
 //!
 //! The paper argues for local chaining because a global chain forces a
-//! total order (a lock) across all participants. One iteration = 4
-//! participants each appending updates — either to their own objects
-//! (local, parallel) or through a mutex-serialized shared chain (global).
+//! total order (a lock) across all participants. Each mode is measured
+//! separately so criterion reports **per-thread updates/s** via
+//! `Throughput::Elements(OPS_PER_THREAD)`: under local chains every
+//! participant sustains its own chain's rate; under the global chain the
+//! shared lock divides that rate by the participant count.
+//!
+//! Determinism: the thread count is pinned (not derived from the host's
+//! core count), participants come from a fixed seed, and the simulated
+//! commit latency is a calibrated spin-wait rather than `thread::sleep`
+//! (whose OS-timer jitter previously produced ±15% run-to-run noise).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use tep_bench::experiments::{run_chaining, ExperimentConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tep_bench::experiments::{
+    chaining_global_ms, chaining_local_ms, chaining_participants, ExperimentConfig,
+};
 use tep_core::prelude::HashAlgorithm;
+
+/// Pinned worker count — fixed regardless of host parallelism so results
+/// are comparable across machines.
+const THREADS: usize = 4;
+/// Updates each participant appends per iteration.
+const OPS_PER_THREAD: usize = 16;
+/// Fixed seed for participant enrollment.
+const SEED: u64 = 2009;
 
 fn bench_chaining(c: &mut Criterion) {
     let cfg = ExperimentConfig {
         alg: HashAlgorithm::Sha1,
         key_bits: 512,
         runs: 1,
-        seed: 2009,
+        seed: SEED,
     };
+    let participants = chaining_participants(&cfg, THREADS);
+
     let mut group = c.benchmark_group("chaining_3_2");
     group.sample_size(10);
-    group.bench_function("local_vs_global_4threads_16ops", |b| {
-        b.iter(|| run_chaining(&cfg, 4, 16))
+    // Elements = per-thread ops, so elem/s below is per-thread updates/s.
+    group.throughput(Throughput::Elements(OPS_PER_THREAD as u64));
+    group.bench_function("local_4threads_16ops", |b| {
+        b.iter(|| chaining_local_ms(&cfg, &participants, OPS_PER_THREAD))
+    });
+    group.bench_function("global_4threads_16ops", |b| {
+        b.iter(|| chaining_global_ms(&cfg, &participants, OPS_PER_THREAD))
     });
     group.finish();
 }

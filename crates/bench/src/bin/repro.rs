@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--all] [--table1] [--fig6] [--fig7] [--fig8] [--fig9]
 //!       [--fig10] [--fig11] [--large [ROWS|paper]] [--chaining] [--verify-cost]
-//!       [--runs N] [--key-bits N] [--alg sha1|sha256] [--seed N] [--csv]
+//!       [--json] [--runs N] [--key-bits N] [--alg sha1|sha256] [--seed N] [--csv]
 //! ```
 //!
 //! With no experiment flags, runs everything at laptop-friendly defaults
@@ -30,6 +30,7 @@ struct Args {
     chaining: bool,
     verify_cost: bool,
     ablation: bool,
+    json: bool,
     csv: bool,
     all: bool,
     cfg: ExperimentConfig,
@@ -54,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
             "--chaining" => args.chaining = true,
             "--verify-cost" => args.verify_cost = true,
             "--ablation" => args.ablation = true,
+            "--json" => args.json = true,
             "--large" => {
                 let rows = match it.peek() {
                     Some(v) if !v.starts_with("--") => {
@@ -94,7 +96,8 @@ fn parse_args() -> Result<Args, String> {
         || args.large.is_some()
         || args.chaining
         || args.verify_cost
-        || args.ablation;
+        || args.ablation
+        || args.json;
     if args.all || !experiments_requested {
         args.table1 = true;
         args.fig6 = true;
@@ -137,7 +140,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: repro [--all] [--table1] [--fig6] [--fig7] [--fig8] [--fig9] [--fig10] [--fig11]"
             );
-            eprintln!("             [--large [ROWS|paper]] [--chaining] [--verify-cost]");
+            eprintln!("             [--large [ROWS|paper]] [--chaining] [--verify-cost] [--json]");
             eprintln!(
                 "             [--runs N] [--key-bits N] [--alg sha1|sha256] [--seed N] [--csv]"
             );
@@ -386,6 +389,19 @@ fn main() -> ExitCode {
             &t,
             args.csv,
         );
+    }
+
+    if args.json {
+        let baseline = run_baseline(&cfg);
+        let json = baseline.to_json();
+        let path = "BENCH_baseline.json";
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("== hot-path baseline ==\n{json}wrote {path}"),
+            Err(e) => {
+                eprintln!("repro: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
     ExitCode::SUCCESS

@@ -151,20 +151,18 @@ pub fn run_fig7_points(cfg: &ExperimentConfig, points: &[(usize, usize)]) -> Vec
                 // either way; Figure 7 plots the OUTPUT walk).
                 let mut cache = HashCache::new(cfg.alg);
                 cache.get_or_compute(&forest, db.root);
+                forest.clear_dirty();
 
-                // Apply the updates, tracking dirtied paths.
-                let mut dirty: Vec<ObjectId> = Vec::with_capacity(cells);
+                // Apply the updates; the forest's dirty log records the
+                // touched paths.
                 for op in &ops {
-                    let outcome = op.apply(&mut forest).expect("setup A ops are valid");
-                    dirty.push(outcome.primary_object());
+                    op.apply(&mut forest).expect("setup A ops are valid");
                 }
 
-                // Economical: invalidate dirty paths, recompute bottom-up.
+                // Economical: drain the dirty log, recompute bottom-up.
                 let mut eco_cache = cache.clone();
                 let t = Instant::now();
-                for &id in &dirty {
-                    eco_cache.invalidate_path(&forest, id);
-                }
+                eco_cache.sync(&mut forest);
                 let h1 = eco_cache.get_or_compute(&forest, db.root);
                 economical.push(ns_to_ms(t.elapsed().as_nanos() as u64));
 
@@ -409,6 +407,29 @@ pub struct ChainingResult {
     pub global_ms: f64,
 }
 
+impl ChainingResult {
+    /// Updates per second achieved by each thread under local chaining.
+    pub fn local_ops_per_thread_per_sec(&self) -> f64 {
+        self.ops_per_thread as f64 / (self.local_ms / 1e3)
+    }
+
+    /// Updates per second achieved by each thread under global chaining.
+    pub fn global_ops_per_thread_per_sec(&self) -> f64 {
+        self.ops_per_thread as f64 / (self.global_ms / 1e3)
+    }
+}
+
+/// Busy-waits for exactly `d`. `thread::sleep` rounds up to the OS timer
+/// granularity and jitters with scheduler load (±15% swings observed at
+/// 200µs), which drowned out the local-vs-global signal; a calibrated spin
+/// is deterministic to well under a microsecond.
+fn spin_wait(d: std::time::Duration) {
+    let t = Instant::now();
+    while t.elapsed() < d {
+        std::hint::spin_loop();
+    }
+}
+
 /// Compares per-object chains (participants work in parallel) against a
 /// single global chain (every record serialized through one mutex-guarded
 /// chain head) — the §3.2 argument for local chaining.
@@ -426,39 +447,63 @@ pub fn run_chaining(
     threads: usize,
     ops_per_thread: usize,
 ) -> ChainingResult {
-    use parking_lot::Mutex;
-    use std::time::Duration;
+    let participants = chaining_participants(cfg, threads);
+    ChainingResult {
+        threads,
+        ops_per_thread,
+        local_ms: chaining_local_ms(cfg, &participants, ops_per_thread),
+        global_ms: chaining_global_ms(cfg, &participants, ops_per_thread),
+    }
+}
 
-    let commit_latency = Duration::from_micros(200);
+/// The simulated per-record commit latency (durable write / repository
+/// round-trip) that chaining order forces to serialize.
+pub const CHAINING_COMMIT_LATENCY: std::time::Duration = std::time::Duration::from_micros(200);
 
-    // Enroll one participant per thread.
+/// Enrolls one participant per worker thread, deterministically from
+/// `cfg.seed`.
+pub fn chaining_participants(cfg: &ExperimentConfig, threads: usize) -> Vec<Participant> {
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xC4A1);
     let ca = CertificateAuthority::new(cfg.key_bits.max(512), cfg.alg, &mut rng);
-    let participants: Vec<Participant> = (0..threads)
+    (0..threads)
         .map(|i| ca.enroll(ParticipantId(i as u64 + 1), cfg.key_bits, &mut rng))
-        .collect();
+        .collect()
+}
 
-    // Local chains: each participant owns an object; chains never contend
-    // (one ledger per thread, as §3.2 describes). Commit latency overlaps
-    // across participants.
+/// Local chains: each participant owns an object; chains never contend
+/// (one ledger per thread, as §3.2 describes). Commit latency overlaps
+/// across participants. Returns wall time in ms.
+pub fn chaining_local_ms(
+    cfg: &ExperimentConfig,
+    participants: &[Participant],
+    ops_per_thread: usize,
+) -> f64 {
     let t = Instant::now();
     std::thread::scope(|s| {
-        for p in &participants {
+        for p in participants {
             s.spawn(move || {
                 let mut ledger = AtomicLedger::new(cfg.alg, Arc::new(ProvenanceDb::in_memory()));
                 let obj = ledger.insert(p, tep_model::Value::Int(0)).unwrap();
                 for i in 0..ops_per_thread as i64 {
                     ledger.update(p, obj, tep_model::Value::Int(i)).unwrap();
-                    std::thread::sleep(commit_latency);
+                    spin_wait(CHAINING_COMMIT_LATENCY);
                 }
             });
         }
     });
-    let local_ms = ns_to_ms(t.elapsed().as_nanos() as u64);
+    ns_to_ms(t.elapsed().as_nanos() as u64)
+}
 
-    // Global chain: one shared ledger and one shared object — every record
-    // must take the lock, extend the single chain, and commit before the
-    // next participant can chain onto it.
+/// Global chain: one shared ledger and one shared object — every record
+/// must take the lock, extend the single chain, and commit before the
+/// next participant can chain onto it. Returns wall time in ms.
+pub fn chaining_global_ms(
+    cfg: &ExperimentConfig,
+    participants: &[Participant],
+    ops_per_thread: usize,
+) -> f64 {
+    use parking_lot::Mutex;
+
     let ledger = Mutex::new(AtomicLedger::new(
         cfg.alg,
         Arc::new(ProvenanceDb::in_memory()),
@@ -469,7 +514,7 @@ pub fn run_chaining(
         .unwrap();
     let t = Instant::now();
     std::thread::scope(|s| {
-        for p in &participants {
+        for p in participants {
             let ledger = &ledger;
             s.spawn(move || {
                 for i in 0..ops_per_thread as i64 {
@@ -477,19 +522,12 @@ pub fn run_chaining(
                     guard.update(p, obj, tep_model::Value::Int(i)).unwrap();
                     // The commit is part of the critical section: the next
                     // record needs this record's (durable) checksum.
-                    std::thread::sleep(commit_latency);
+                    spin_wait(CHAINING_COMMIT_LATENCY);
                 }
             });
         }
     });
-    let global_ms = ns_to_ms(t.elapsed().as_nanos() as u64);
-
-    ChainingResult {
-        threads,
-        ops_per_thread,
-        local_ms,
-        global_ms,
-    }
+    ns_to_ms(t.elapsed().as_nanos() as u64)
 }
 
 // ---------------------------------------------------------------------------
@@ -619,6 +657,129 @@ pub fn run_verify_cost(cfg: &ExperimentConfig, lens: &[usize]) -> Vec<VerifyRow>
 pub fn table1_forest(seed: u64) -> (Forest, ObjectId) {
     let db = paper_database(1, seed);
     (db.forest, db.root)
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable hot-path baseline (`repro --json`)
+// ---------------------------------------------------------------------------
+
+/// Throughput of the four hot paths, in machine-comparable units.
+#[derive(Clone, Debug)]
+pub struct BaselineResult {
+    /// Hash algorithm the signature paths used.
+    pub alg: HashAlgorithm,
+    /// RSA modulus bits.
+    pub key_bits: usize,
+    /// RNG seed the measurement ran under.
+    pub seed: u64,
+    /// RSA-PKCS#1 signatures per second (private-key operation).
+    pub sign_per_sec: f64,
+    /// Signature verifications per second (public-key operation).
+    pub verify_per_sec: f64,
+    /// Bulk SHA-1 throughput, MiB/s.
+    pub sha1_mib_per_sec: f64,
+    /// Bulk SHA-256 throughput, MiB/s.
+    pub sha256_mib_per_sec: f64,
+    /// Full per-operation provenance-record cost (µs): incremental rehash +
+    /// sign + store for one tracked cell update, Economical strategy.
+    pub record_cost_us: f64,
+}
+
+impl BaselineResult {
+    /// Renders the result as a stable, hand-rolled JSON document.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"alg\": \"{:?}\",\n  \"key_bits\": {},\n  \"seed\": {},\n  \
+             \"sign_per_sec\": {:.1},\n  \"verify_per_sec\": {:.1},\n  \
+             \"hash_mib_per_sec\": {{ \"sha1\": {:.1}, \"sha256\": {:.1} }},\n  \
+             \"record_cost_us\": {:.2}\n}}\n",
+            self.alg,
+            self.key_bits,
+            self.seed,
+            self.sign_per_sec,
+            self.verify_per_sec,
+            self.sha1_mib_per_sec,
+            self.sha256_mib_per_sec,
+            self.record_cost_us,
+        )
+    }
+}
+
+/// Measures the four hot paths the perf work targets: signing, verification,
+/// bulk hashing, and the end-to-end per-record cost of one tracked update.
+pub fn run_baseline(cfg: &ExperimentConfig) -> BaselineResult {
+    let (signer, keys) = cfg.make_signer();
+    let msg = [0xA5u8; 64];
+
+    // Private-key path: PKCS#1 v1.5 sign.
+    let sign_iters = (cfg.runs * 16).max(32);
+    let t = Instant::now();
+    let mut sig = Vec::new();
+    for _ in 0..sign_iters {
+        sig = signer.sign(cfg.alg, &msg).unwrap();
+    }
+    let sign_per_sec = sign_iters as f64 / t.elapsed().as_secs_f64();
+
+    // Public-key path: verify the signature we just made.
+    let pk = keys.public_key(signer.id()).unwrap();
+    let verify_iters = sign_iters * 8;
+    let t = Instant::now();
+    for _ in 0..verify_iters {
+        pk.verify(cfg.alg, &msg, &sig).unwrap();
+    }
+    let verify_per_sec = verify_iters as f64 / t.elapsed().as_secs_f64();
+
+    // Bulk compression throughput, both algorithms.
+    let buf = vec![0x5Au8; 4 << 20];
+    let mib_per_sec = |alg: HashAlgorithm| {
+        let reps = 4;
+        let t = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(alg.digest(&buf));
+        }
+        (reps * buf.len()) as f64 / (1u64 << 20) as f64 / t.elapsed().as_secs_f64()
+    };
+    let sha1_mib_per_sec = mib_per_sec(HashAlgorithm::Sha1);
+    let sha256_mib_per_sec = mib_per_sec(HashAlgorithm::Sha256);
+
+    // End-to-end record cost: one tracked cell update under the Economical
+    // strategy (dirty-path rehash + sign + store).
+    let mut tracker = ProvenanceTracker::new(
+        TrackerConfig {
+            alg: cfg.alg,
+            strategy: HashingStrategy::Economical,
+        },
+        Arc::new(ProvenanceDb::in_memory()),
+    );
+    let (root, _) = tracker
+        .insert(&signer, tep_model::Value::text("db"), None)
+        .unwrap();
+    let cells: Vec<ObjectId> = (0..100)
+        .map(|i| {
+            tracker
+                .insert(&signer, tep_model::Value::Int(i), Some(root))
+                .unwrap()
+                .0
+        })
+        .collect();
+    let t = Instant::now();
+    for (i, &cell) in cells.iter().enumerate() {
+        tracker
+            .update(&signer, cell, tep_model::Value::Int(i as i64 + 1))
+            .unwrap();
+    }
+    let record_cost_us = t.elapsed().as_secs_f64() * 1e6 / cells.len() as f64;
+
+    BaselineResult {
+        alg: cfg.alg,
+        key_bits: cfg.key_bits,
+        seed: cfg.seed,
+        sign_per_sec,
+        verify_per_sec,
+        sha1_mib_per_sec,
+        sha256_mib_per_sec,
+        record_cost_us,
+    }
 }
 
 #[cfg(test)]

@@ -16,10 +16,10 @@
 //!   bottom-up reusing every clean child hash; cost tracks the size of the
 //!   change.
 
-use std::collections::HashMap;
-use tep_crypto::digest::HashAlgorithm;
-use tep_model::encode::{atom_preimage, node_prefix_of};
-use tep_model::{Forest, ObjectId, Value};
+use tep_crypto::digest::{Digest, HashAlgorithm};
+use tep_model::encode::{atom_preimage, node_prefix_into};
+use tep_model::idhash::IdMap;
+use tep_model::{DirtyMark, Forest, ObjectId, Value};
 
 /// Hash of an atomic object: the paper's `h(A, val)` (§3).
 pub fn hash_atom(alg: HashAlgorithm, id: ObjectId, value: &Value) -> Vec<u8> {
@@ -37,10 +37,13 @@ pub enum HashingStrategy {
 }
 
 /// A cache of `h(subtree(n))` for forest nodes.
+///
+/// Entries are inline [`Digest`] values (not `Vec<u8>`), so a warm cache of
+/// `n` nodes is one flat hash map with no per-node heap allocations.
 #[derive(Clone, Debug, Default)]
 pub struct HashCache {
     alg: HashAlgorithm,
-    hashes: HashMap<ObjectId, Vec<u8>>,
+    hashes: IdMap<Digest>,
     /// Subtree hash computations performed since the last counter reset
     /// (one per node hashed) — the work metric behind Figure 7.
     nodes_hashed: u64,
@@ -51,7 +54,7 @@ impl HashCache {
     pub fn new(alg: HashAlgorithm) -> Self {
         HashCache {
             alg,
-            hashes: HashMap::new(),
+            hashes: IdMap::default(),
             nodes_hashed: 0,
         }
     }
@@ -63,7 +66,7 @@ impl HashCache {
 
     /// Cached hash for `id`, if present.
     pub fn get(&self, id: ObjectId) -> Option<&[u8]> {
-        self.hashes.get(&id).map(Vec::as_slice)
+        self.hashes.get(&id).map(Digest::as_slice)
     }
 
     /// Number of cached entries.
@@ -95,8 +98,49 @@ impl HashCache {
     /// delete at `id` requires.
     pub fn invalidate_path(&mut self, forest: &Forest, id: ObjectId) {
         self.hashes.remove(&id);
-        for anc in forest.ancestors(id) {
-            self.hashes.remove(&anc);
+        let mut cur = forest.node(id).and_then(|n| n.parent());
+        while let Some(p) = cur {
+            self.hashes.remove(&p);
+            cur = forest.node(p).and_then(|n| n.parent());
+        }
+    }
+
+    /// Drains the forest's dirty log and applies exactly the invalidations
+    /// it calls for: the touched node plus its root path per mutation, and
+    /// eviction (plus the former parent's path) per deletion.
+    ///
+    /// This is the economical mode's incremental step: after `sync`, a
+    /// [`Self::get_or_compute`] on a root rehashes only the dirtied paths
+    /// and reuses every clean subtree hash.
+    pub fn sync(&mut self, forest: &mut Forest) {
+        let marks = forest.drain_dirty();
+        for mark in marks {
+            match mark {
+                DirtyMark::Path(id) => self.evict_path(forest, id),
+                DirtyMark::Removed { id, parent } => {
+                    self.hashes.remove(&id);
+                    if let Some(p) = parent {
+                        self.evict_path(forest, p);
+                    }
+                }
+            }
+        }
+    }
+
+    /// `invalidate_path` with an early exit for batch draining: evictions
+    /// always remove whole root paths and a computed node always has its
+    /// full subtree cached, so once an *ancestor* turns out to be already
+    /// absent the rest of its path is absent too. (The start node is evicted
+    /// unconditionally — a freshly inserted node is absent while its
+    /// ancestors still hold stale entries.)
+    fn evict_path(&mut self, forest: &Forest, id: ObjectId) {
+        self.hashes.remove(&id);
+        let mut cur = forest.node(id).and_then(|n| n.parent());
+        while let Some(p) = cur {
+            if self.hashes.remove(&p).is_none() {
+                break;
+            }
+            cur = forest.node(p).and_then(|n| n.parent());
         }
     }
 
@@ -112,42 +156,45 @@ impl HashCache {
     /// Panics if `id` is not in the forest.
     pub fn get_or_compute(&mut self, forest: &Forest, id: ObjectId) -> Vec<u8> {
         if let Some(h) = self.hashes.get(&id) {
-            return h.clone();
+            return h.to_vec();
         }
         // Iterative post-order: compute children before parents without
-        // recursing (trees may be arbitrarily deep).
+        // recursing (trees may be arbitrarily deep). Only cache misses are
+        // ever pushed (each node has one parent, so no node is pushed
+        // twice), and every preimage is assembled in one reused buffer and
+        // hashed in a single shot — no per-node allocation.
         // Stack entries: (node, children_scheduled).
+        let mut preimage: Vec<u8> = Vec::with_capacity(256);
         let mut stack: Vec<(ObjectId, bool)> = vec![(id, false)];
         while let Some((n, expanded)) = stack.pop() {
-            if self.hashes.contains_key(&n) {
-                continue;
-            }
             let node = forest
                 .node(n)
                 .unwrap_or_else(|| panic!("object {n} not in forest"));
             if expanded {
-                let mut hasher = self.alg.hasher();
-                hasher.update(&node_prefix_of(node));
+                preimage.clear();
+                node_prefix_into(node.id(), node.value(), &mut preimage);
                 let mut count = 0u64;
                 for child in node.children() {
                     let ch = self
                         .hashes
                         .get(&child)
                         .expect("children computed before parent");
-                    hasher.update(ch);
+                    preimage.extend_from_slice(ch.as_slice());
                     count += 1;
                 }
-                hasher.update(&count.to_be_bytes());
-                self.hashes.insert(n, hasher.finalize());
+                preimage.extend_from_slice(&count.to_be_bytes());
+                self.hashes.insert(n, self.alg.digest_fixed(&preimage));
                 self.nodes_hashed += 1;
             } else {
                 stack.push((n, true));
                 for child in node.children() {
-                    stack.push((child, false));
+                    if !self.hashes.contains_key(&child) {
+                        stack.push((child, false));
+                    }
                 }
             }
         }
-        self.hashes[&id].clone()
+        self.hashes[&id].to_vec()
     }
 
     /// Full recompute of `subtree(id)` ignoring the cache (Basic walk).
@@ -283,6 +330,30 @@ mod tests {
         assert_eq!(cache.get_or_compute(&f, a), stale);
         cache.invalidate_path(&f, d);
         assert_ne!(cache.get_or_compute(&f, a), stale);
+    }
+
+    #[test]
+    fn sync_applies_dirty_marks() {
+        let (mut f, a, _b, c, d) = small_tree();
+        let mut cache = HashCache::new(ALG);
+        f.clear_dirty();
+        cache.get_or_compute(&f, a);
+
+        // Update D: sync invalidates exactly D's root path; C survives.
+        f.update(d, Value::text("d2")).unwrap();
+        cache.reset_counter();
+        cache.sync(&mut f);
+        assert_eq!(cache.len(), 1); // only C
+        let h = cache.get_or_compute(&f, a);
+        assert_eq!(cache.nodes_hashed(), 3); // D, B, A — not C
+        assert_eq!(h, subtree_hash(ALG, &f, a));
+
+        // Delete C: the Removed mark evicts C and dirties A's path.
+        f.delete(c).unwrap();
+        cache.sync(&mut f);
+        assert!(cache.get(c).is_none());
+        assert_eq!(cache.get_or_compute(&f, a), subtree_hash(ALG, &f, a));
+        assert!(f.dirty_marks().is_empty());
     }
 
     #[test]

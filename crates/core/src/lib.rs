@@ -59,6 +59,7 @@ pub mod export;
 pub mod gc;
 pub mod hashing;
 pub mod metrics;
+pub mod parallel;
 pub mod proof;
 pub mod provenance;
 pub mod query;
@@ -74,6 +75,7 @@ pub use export::to_opm_json;
 pub use gc::{prune, prune_into, PruneReport};
 pub use hashing::{hash_atom, subtree_hash, HashCache, HashingStrategy};
 pub use metrics::Metrics;
+pub use parallel::{default_threads, parallel_map};
 pub use proof::{prove, ProofError, SubtreeProof};
 pub use provenance::{collect, ProvenanceObject};
 pub use query::{DbStats, ProvenanceQuery};

@@ -22,6 +22,7 @@ use crate::chain::ChainHeads;
 use crate::error::CoreError;
 use crate::hashing::{HashCache, HashingStrategy};
 use crate::metrics::Metrics;
+use crate::parallel::parallel_map;
 use crate::record::{InputRef, ProvenanceRecord, RecordKind};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
@@ -73,7 +74,10 @@ impl ProvenanceTracker {
     /// adopted state must itself be verifiable. (The paper's experiments
     /// seed the back-end database first and measure only subsequent
     /// operations, which is what plain adoption models.)
-    pub fn adopt(forest: Forest, config: TrackerConfig, db: Arc<ProvenanceDb>) -> Self {
+    pub fn adopt(mut forest: Forest, config: TrackerConfig, db: Arc<ProvenanceDb>) -> Self {
+        // The adopted forest's construction history is irrelevant: nothing
+        // is cached yet, so replaying its dirty log would be pure overhead.
+        forest.clear_dirty();
         ProvenanceTracker {
             forest,
             cache: HashCache::new(config.alg),
@@ -252,6 +256,7 @@ impl ProvenanceTracker {
             .map_err(CoreError::Model)?;
 
         let t = Instant::now();
+        self.cache.sync(&mut self.forest);
         self.cache.reset_counter();
         let output_hash = self.cache.get_or_compute(&self.forest, output);
         metrics.nodes_hashed += self.cache.nodes_hashed();
@@ -322,15 +327,47 @@ impl ProvenanceTracker {
         ops: &[PrimitiveOp],
         annotation: &[u8],
     ) -> Result<ComplexReport, CoreError> {
+        self.complex_impl(signer, ops, annotation, 1)
+    }
+
+    /// [`Self::complex`] with record signing fanned out across `threads`
+    /// workers (the batch half of the parallel crypto pipeline).
+    ///
+    /// Sound because the records of one batch are mutually independent:
+    /// each touched object emits exactly one record, which chains onto that
+    /// object's *pre-batch* head — per-object chaining (§3.2) means no
+    /// record in the batch depends on another's checksum. Records are still
+    /// appended to the store in deterministic object order, so the produced
+    /// history is byte-identical to the sequential [`Self::complex`].
+    pub fn record_batch(
+        &mut self,
+        signer: &Participant,
+        ops: &[PrimitiveOp],
+        threads: usize,
+    ) -> Result<ComplexReport, CoreError> {
+        self.complex_impl(signer, ops, &[], threads)
+    }
+
+    fn complex_impl(
+        &mut self,
+        signer: &Participant,
+        ops: &[PrimitiveOp],
+        annotation: &[u8],
+        threads: usize,
+    ) -> Result<ComplexReport, CoreError> {
         let mut metrics = Metrics::default();
 
         // Phase 1 — make sure every pre-existing node has a cached pre-state
         // hash ("input tree" walk). Basic re-walks everything; Economical
-        // reuses the warm cache from previous operations.
+        // reuses the warm cache from previous operations (syncing any dirty
+        // marks left by out-of-band forest construction).
         let t = Instant::now();
         self.cache.reset_counter();
         if self.config.strategy == HashingStrategy::Basic {
+            self.forest.clear_dirty();
             self.cache.clear();
+        } else {
+            self.cache.sync(&mut self.forest);
         }
         let roots: Vec<ObjectId> = self.forest.roots().collect();
         for root in &roots {
@@ -365,17 +402,18 @@ impl ProvenanceTracker {
             }
         }
 
-        // Phase 3 — recompute hashes ("output tree" walk).
+        // Phase 3 — recompute hashes ("output tree" walk). Economical
+        // drains the forest's dirty log: exactly the mutated nodes' root
+        // paths are invalidated, so the walk below rehashes only those.
         let t = Instant::now();
         self.cache.reset_counter();
         match self.config.strategy {
             HashingStrategy::Basic => {
+                self.forest.clear_dirty();
                 self.cache.clear();
             }
             HashingStrategy::Economical => {
-                for &id in touched.iter().chain(deleted.iter()) {
-                    self.cache.invalidate(id);
-                }
+                self.cache.sync(&mut self.forest);
             }
         }
         let roots: Vec<ObjectId> = self.forest.roots().collect();
@@ -385,7 +423,19 @@ impl ProvenanceTracker {
         metrics.nodes_hashed += self.cache.nodes_hashed();
         metrics.hash_output_ns += t.elapsed().as_nanos() as u64;
 
-        // Phase 4 — emit one record per surviving touched object.
+        // Phase 4 — emit one record per surviving touched object. Each
+        // record chains onto its object's pre-batch head and each object is
+        // emitted once, so the signatures are mutually independent and can
+        // be computed on any number of workers.
+        struct Pending {
+            kind: RecordKind,
+            oid: ObjectId,
+            seq: u64,
+            inputs: Vec<InputRef>,
+            output_hash: Vec<u8>,
+            prev_checksum: Option<Vec<u8>>,
+        }
+        let mut pending: Vec<Pending> = Vec::with_capacity(touched.len());
         for &id in &touched {
             if deleted.contains(&id) || !self.forest.contains(id) {
                 continue;
@@ -395,16 +445,8 @@ impl ProvenanceTracker {
                 .get(id)
                 .expect("touched survivor recomputed in phase 3")
                 .to_vec();
-            if created.contains(&id) {
-                self.emit_record(
-                    signer,
-                    RecordKind::Insert,
-                    id,
-                    Vec::new(),
-                    output_hash,
-                    annotation,
-                    &mut metrics,
-                )?;
+            let (kind, inputs) = if created.contains(&id) {
+                (RecordKind::Insert, Vec::new())
             } else {
                 let input_hash = before
                     .get(&id)
@@ -415,16 +457,49 @@ impl ProvenanceTracker {
                     hash: input_hash,
                     prev_seq: self.heads.get(id).map(|h| h.seq),
                 };
-                self.emit_record(
+                (RecordKind::Update, vec![input])
+            };
+            pending.push(Pending {
+                kind,
+                oid: id,
+                seq: self.heads.next_seq(id),
+                inputs,
+                output_hash,
+                prev_checksum: self.heads.get(id).map(|h| h.checksum.clone()),
+            });
+        }
+
+        let t = Instant::now();
+        let alg = self.config.alg;
+        let signed: Vec<Result<ProvenanceRecord, tep_crypto::rsa::RsaError>> =
+            parallel_map(threads, &pending, |_, p| {
+                let prev_refs: Vec<&[u8]> = p.prev_checksum.iter().map(Vec::as_slice).collect();
+                ProvenanceRecord::create_annotated(
+                    alg,
                     signer,
-                    RecordKind::Update,
-                    id,
-                    vec![input],
-                    output_hash,
-                    annotation,
-                    &mut metrics,
-                )?;
-            }
+                    p.kind,
+                    p.seq,
+                    p.inputs.clone(),
+                    p.oid,
+                    p.output_hash.clone(),
+                    annotation.to_vec(),
+                    &prev_refs,
+                )
+            });
+        metrics.sign_ns += t.elapsed().as_nanos() as u64;
+
+        // Append in deterministic (object-id) order and advance heads.
+        for record in signed {
+            let record = record?;
+            let oid = record.output_oid;
+            let seq = record.seq_id;
+            let t = Instant::now();
+            let stored = record.to_stored();
+            metrics.row_bytes += stored.paper_row_bytes();
+            self.db.append(stored)?;
+            metrics.store_ns += t.elapsed().as_nanos() as u64;
+            metrics.records += 1;
+            self.heads.advance(oid, seq, record.checksum);
         }
 
         // Deleted objects' chains are retired (§2.1 footnote 3).
@@ -819,6 +894,45 @@ mod tests {
         let cell = th.rows[0].cells[0];
         let m = t.update(&p, cell, Value::Int(999)).unwrap();
         assert_eq!(m.nodes_hashed, 2 * total_nodes);
+    }
+
+    #[test]
+    fn record_batch_bitwise_equals_sequential_complex() {
+        // Same op batch through complex() (serial signing) and
+        // record_batch() (parallel signing) must produce byte-identical
+        // provenance stores: signing is deterministic and records are
+        // appended in object order either way.
+        let run = |threads: usize| {
+            let (mut t, p) = setup(HashingStrategy::Economical);
+            let (root, _) = t.insert(&p, Value::text("db"), None).unwrap();
+            let (row, _) = t.insert(&p, Value::Null, Some(root)).unwrap();
+            let cells: Vec<ObjectId> = (0..6)
+                .map(|i| t.insert(&p, Value::Int(i), Some(row)).unwrap().0)
+                .collect();
+            let ops: Vec<PrimitiveOp> = cells
+                .iter()
+                .map(|&c| PrimitiveOp::Update {
+                    id: c,
+                    value: Value::Int(777),
+                })
+                .chain(std::iter::once(PrimitiveOp::Insert {
+                    id: None,
+                    value: Value::Int(8),
+                    parent: Some(row),
+                }))
+                .chain(std::iter::once(PrimitiveOp::Delete { id: cells[5] }))
+                .collect();
+            let report = if threads == 1 {
+                t.complex(&p, &ops).unwrap()
+            } else {
+                t.record_batch(&p, &ops, threads).unwrap()
+            };
+            (t.db().all_records(), report.metrics.records)
+        };
+        let (serial, n1) = run(1);
+        let (parallel, n4) = run(4);
+        assert_eq!(n1, n4);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use super::BigUint;
 /// Precomputed Montgomery-domain parameters for a fixed odd modulus.
 #[derive(Clone, Debug)]
 pub struct MontgomeryCtx {
-    n: Vec<u64>,
+    n: BigUint,
     /// `-n[0]^{-1} mod 2^64`.
     n0inv: u64,
     /// `R^2 mod n` where `R = 2^(64·k)`.
@@ -31,7 +31,7 @@ impl MontgomeryCtx {
         let n0inv = inv64(n.limbs[0]).wrapping_neg();
         let rr = BigUint::one().shl_bits(128 * k).rem_ref(n);
         MontgomeryCtx {
-            n: n.limbs.clone(),
+            n: n.clone(),
             n0inv,
             rr,
         }
@@ -39,27 +39,27 @@ impl MontgomeryCtx {
 
     /// Number of limbs in the modulus.
     pub fn limb_count(&self) -> usize {
-        self.n.len()
+        self.n.limbs.len()
     }
 
-    /// The modulus as a `BigUint`.
-    pub fn modulus(&self) -> BigUint {
-        BigUint::from_limbs(self.n.clone())
+    /// The modulus.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
     }
 
     /// Converts `x < n` into the Montgomery domain (`x·R mod n`).
     pub fn to_mont(&self, x: &BigUint) -> Vec<u64> {
         let mut xl = x.limbs.clone();
-        xl.resize(self.n.len(), 0);
+        xl.resize(self.n.limbs.len(), 0);
         let mut rr = self.rr.limbs.clone();
-        rr.resize(self.n.len(), 0);
+        rr.resize(self.n.limbs.len(), 0);
         self.mont_mul(&xl, &rr)
     }
 
     /// Converts a Montgomery-domain value back to the ordinary domain.
     pub fn from_mont(&self, x: &[u64]) -> BigUint {
         let one = {
-            let mut v = vec![0u64; self.n.len()];
+            let mut v = vec![0u64; self.n.limbs.len()];
             v[0] = 1;
             v
         };
@@ -70,11 +70,26 @@ impl MontgomeryCtx {
     ///
     /// `a` and `b` must be `k`-limb slices with values `< n`.
     pub fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
-        let k = self.n.len();
+        let k = self.n.limbs.len();
+        let mut t = vec![0u64; k + 2];
+        self.mont_mul_scratch(a, b, &mut t);
+        t.truncate(k);
+        t
+    }
+
+    /// Allocation-free CIOS Montgomery multiplication into caller scratch.
+    ///
+    /// `t` must be `k + 2` limbs; on return the product `a·b·R^{-1} mod n`
+    /// occupies `t[..k]`. Exponentiation loops call this thousands of times
+    /// per RSA operation, so keeping the scratch buffer out of the allocator
+    /// is a large constant-factor win on the sign/verify hot path.
+    pub fn mont_mul_scratch(&self, a: &[u64], b: &[u64], t: &mut [u64]) {
+        let k = self.n.limbs.len();
         debug_assert_eq!(a.len(), k);
         debug_assert_eq!(b.len(), k);
-        let n = &self.n;
-        let mut t = vec![0u64; k + 2];
+        debug_assert_eq!(t.len(), k + 2);
+        let n = &self.n.limbs;
+        t.fill(0);
         for &ai in a.iter() {
             // t += ai * b
             let mut c = 0u128;
@@ -113,8 +128,75 @@ impl MontgomeryCtx {
                 borrow = (b1 as u64) + (b2 as u64);
             }
         }
-        t.truncate(k);
-        t
+    }
+
+    /// Modular exponentiation `base^exp mod n` using this precomputed
+    /// context.
+    ///
+    /// Strategy selection:
+    /// - small exponents (≤ 32 bits, e.g. the RSA public exponent 65537)
+    ///   use plain left-to-right square-and-multiply — building a window
+    ///   table would cost more multiplications than it saves;
+    /// - larger exponents use a 4-bit fixed window.
+    ///
+    /// All Montgomery products run through [`Self::mont_mul_scratch`] with
+    /// two reused buffers, so an entire exponentiation performs O(1)
+    /// allocations.
+    pub fn modpow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one();
+        }
+        let k = self.n.limbs.len();
+        let base = base.rem_ref(&self.n);
+        let mont_base = self.to_mont(&base);
+        let mut scratch = vec![0u64; k + 2];
+        let e_bits = exp.bit_len();
+
+        let mut acc: Vec<u64>;
+        if e_bits <= 32 {
+            // Binary ladder: e_bits-1 squarings + (popcount-1) multiplies.
+            acc = mont_base.clone();
+            for i in (0..e_bits - 1).rev() {
+                self.mont_mul_scratch(&acc, &acc, &mut scratch);
+                acc.copy_from_slice(&scratch[..k]);
+                if exp.bit(i) {
+                    self.mont_mul_scratch(&acc, &mont_base, &mut scratch);
+                    acc.copy_from_slice(&scratch[..k]);
+                }
+            }
+        } else {
+            const WINDOW: usize = 4;
+            // Table of base^1 .. base^(2^W - 1) in the Montgomery domain
+            // (index 0 is never multiplied in).
+            let mut table: Vec<Vec<u64>> = Vec::with_capacity(1 << WINDOW);
+            table.push(self.to_mont(&BigUint::one()));
+            table.push(mont_base);
+            for i in 2..(1 << WINDOW) {
+                self.mont_mul_scratch(&table[i - 1], &table[1], &mut scratch);
+                table.push(scratch[..k].to_vec());
+            }
+
+            // Process the exponent in 4-bit chunks, most significant first.
+            // Squaring the initial `1` for leading chunks is a no-op, so no
+            // "started" bookkeeping is needed.
+            let chunks = e_bits.div_ceil(WINDOW);
+            acc = table[0].clone();
+            for chunk in (0..chunks).rev() {
+                for _ in 0..WINDOW {
+                    self.mont_mul_scratch(&acc, &acc, &mut scratch);
+                    acc.copy_from_slice(&scratch[..k]);
+                }
+                let mut digit = 0usize;
+                for b in (0..WINDOW).rev() {
+                    digit = (digit << 1) | exp.bit(chunk * WINDOW + b) as usize;
+                }
+                if digit != 0 {
+                    self.mont_mul_scratch(&acc, &table[digit], &mut scratch);
+                    acc.copy_from_slice(&scratch[..k]);
+                }
+            }
+        }
+        self.from_mont(&acc)
     }
 }
 
@@ -143,9 +225,11 @@ fn inv64(n: u64) -> u64 {
 impl BigUint {
     /// Modular exponentiation `self^exp mod m`.
     ///
-    /// Uses Montgomery multiplication with a 4-bit fixed window for odd
-    /// moduli; falls back to square-and-multiply with division-based
-    /// reduction for even moduli.
+    /// Odd moduli use windowed Montgomery multiplication
+    /// ([`MontgomeryCtx::modpow`]). Even moduli split `m = 2^t · m_odd` and
+    /// recombine `self^exp mod m_odd` (Montgomery) with `self^exp mod 2^t`
+    /// (truncated square-and-multiply) via the power-of-two CRT, avoiding
+    /// the division-based fallback entirely.
     ///
     /// # Panics
     /// Panics if `m` is zero.
@@ -157,12 +241,31 @@ impl BigUint {
         if exp.is_zero() {
             return BigUint::one();
         }
-        if m.is_even() {
-            return self.modpow_naive(exp, m);
+        if !m.is_even() {
+            let ctx = MontgomeryCtx::new(m);
+            return ctx.modpow(self, exp);
         }
-        let ctx = MontgomeryCtx::new(m);
-        let base = self.rem_ref(m);
-        ctx_modpow(&ctx, &base, exp)
+
+        // m = 2^t · m_odd with m_odd odd.
+        let t = trailing_zero_bits(m);
+        let m_odd = m.shr_bits(t);
+
+        // x2 = self^exp mod 2^t (word-truncated square-and-multiply).
+        let x2 = pow_mod_pow2(self, exp, t);
+        if m_odd.is_one() {
+            return x2;
+        }
+
+        // x1 = self^exp mod m_odd via Montgomery.
+        let ctx = MontgomeryCtx::new(&m_odd);
+        let x1 = ctx.modpow(self, exp);
+
+        // CRT: y = x1 + m_odd · ((x2 − x1) · m_odd^{-1} mod 2^t)
+        // is the unique value < m with y ≡ x1 (mod m_odd), y ≡ x2 (mod 2^t).
+        let minv = inv_mod_pow2(&m_odd, t);
+        let diff = mask_low_bits(&x2.add_ref(&pow2(t)).sub_ref(&mask_low_bits(&x1, t)), t);
+        let h = mask_low_bits(&diff.mul_ref(&minv), t);
+        x1.add_ref(&m_odd.mul_ref(&h))
     }
 
     /// Square-and-multiply with `div_rem` reduction (any modulus ≥ 1).
@@ -219,38 +322,66 @@ impl BigUint {
     }
 }
 
-/// Windowed Montgomery exponentiation with a 4-bit fixed window.
-fn ctx_modpow(ctx: &MontgomeryCtx, base: &BigUint, exp: &BigUint) -> BigUint {
-    const WINDOW: usize = 4;
-    let mont_base = ctx.to_mont(base);
-    let mont_one = ctx.to_mont(&BigUint::one());
-
-    // Table of base^0 .. base^(2^W - 1) in the Montgomery domain.
-    let mut table = Vec::with_capacity(1 << WINDOW);
-    table.push(mont_one.clone());
-    table.push(mont_base.clone());
-    for i in 2..(1 << WINDOW) {
-        table.push(ctx.mont_mul(&table[i - 1], &mont_base));
-    }
-
-    // Process the exponent in 4-bit chunks, most significant first.
-    // Squaring the initial `1` for leading chunks is a no-op, so no
-    // "started" bookkeeping is needed.
-    let chunks = exp.bit_len().div_ceil(WINDOW);
-    let mut acc: Vec<u64> = mont_one;
-    for chunk in (0..chunks).rev() {
-        for _ in 0..WINDOW {
-            acc = ctx.mont_mul(&acc, &acc);
-        }
-        let mut digit = 0usize;
-        for b in (0..WINDOW).rev() {
-            digit = (digit << 1) | exp.bit(chunk * WINDOW + b) as usize;
-        }
-        if digit != 0 {
-            acc = ctx.mont_mul(&acc, &table[digit]);
+/// Number of trailing zero bits (i.e. the largest `t` with `2^t | n`).
+fn trailing_zero_bits(n: &BigUint) -> usize {
+    for (i, &limb) in n.limbs.iter().enumerate() {
+        if limb != 0 {
+            return i * 64 + limb.trailing_zeros() as usize;
         }
     }
-    ctx.from_mont(&acc)
+    0
+}
+
+/// `2^t` as a `BigUint`.
+fn pow2(t: usize) -> BigUint {
+    BigUint::one().shl_bits(t)
+}
+
+/// Keeps the low `t` bits of `x` (i.e. `x mod 2^t`) without division.
+fn mask_low_bits(x: &BigUint, t: usize) -> BigUint {
+    let full = t / 64;
+    let rem = t % 64;
+    let mut limbs: Vec<u64> = x.limbs.iter().copied().take(full + 1).collect();
+    if limbs.len() > full {
+        if rem == 0 {
+            limbs.truncate(full);
+        } else {
+            limbs[full] &= (1u64 << rem) - 1;
+        }
+    }
+    BigUint::from_limbs(limbs)
+}
+
+/// `base^exp mod 2^t` by square-and-multiply with word truncation.
+fn pow_mod_pow2(base: &BigUint, exp: &BigUint, t: usize) -> BigUint {
+    let mut result = BigUint::one();
+    let mut b = mask_low_bits(base, t);
+    for i in 0..exp.bit_len() {
+        if exp.bit(i) {
+            result = mask_low_bits(&result.mul_ref(&b), t);
+        }
+        b = mask_low_bits(&b.mul_ref(&b), t);
+    }
+    result
+}
+
+/// Inverse of odd `a` modulo `2^t` by Newton–Hensel lifting: each step
+/// doubles the number of correct low bits, starting from the word-level
+/// inverse of the lowest limb.
+fn inv_mod_pow2(a: &BigUint, t: usize) -> BigUint {
+    debug_assert!(!a.is_even());
+    let two = BigUint::from_u64(2);
+    let mut x = BigUint::from_u64(inv64(a.limbs[0]));
+    let mut correct = 64usize;
+    while correct < t {
+        correct *= 2;
+        let bits = correct.min(t + 64);
+        // x <- x · (2 − a·x) mod 2^bits
+        let ax = mask_low_bits(&a.mul_ref(&x), bits);
+        let factor = mask_low_bits(&two.add_ref(&pow2(bits)).sub_ref(&ax), bits);
+        x = mask_low_bits(&x.mul_ref(&factor), bits);
+    }
+    mask_low_bits(&x, t)
 }
 
 /// Minimal signed big integer used only by the extended Euclid loop.
@@ -389,6 +520,40 @@ mod tests {
         let m = n(1 << 20);
         assert_eq!(n(3).modpow(&n(10), &m), n(59049));
         assert_eq!(n(2).modpow(&n(25), &m), BigUint::zero());
+    }
+
+    #[test]
+    fn modpow_even_modulus_crt_matches_naive() {
+        // The even-modulus path splits m = 2^t · m_odd, runs Montgomery on
+        // the odd part and square-multiply mod 2^t, then recombines by CRT.
+        // Cross-check every branch against the naive ladder.
+        let cases: [(u64, u64, u64); 8] = [
+            (3, 10, 2),                    // t=1, trivial odd part
+            (7, 13, 6),                    // m = 2 · 3
+            (12345, 77, 1 << 16),          // pure power of two, even base
+            (54321, 99, 3 << 20),          // large t with odd part 3
+            (999_983, 65537, 2 * 999_979), // RSA-style exponent
+            (5, 0, 12),                    // zero exponent
+            (0, 5, 48),                    // zero base
+            (1 << 30, 3, 6),               // base larger than modulus
+        ];
+        for (b, e, m) in cases {
+            assert_eq!(
+                n(b).modpow(&n(e), &n(m)),
+                n(b).modpow_naive(&n(e), &n(m)),
+                "b={b} e={e} m={m}"
+            );
+        }
+
+        // Multi-limb even moduli with both factors large.
+        let m = BigUint::from_hex("3b9aca07deadbeefcafef00d00000000").unwrap(); // 2^32 · odd
+        let b = BigUint::from_hex("123456789abcdef0123456789abcdef").unwrap();
+        let e = BigUint::from_hex("10001").unwrap();
+        assert_eq!(b.modpow(&e, &m), b.modpow_naive(&e, &m));
+
+        let m = BigUint::from_hex("fffffffffffffffe").unwrap(); // 2 · large odd
+        let e = BigUint::from_hex("abcdef0123").unwrap();
+        assert_eq!(b.modpow(&e, &m), b.modpow_naive(&e, &m));
     }
 
     #[test]

@@ -7,6 +7,89 @@
 
 use crate::sha1::{Sha1, SHA1_OUTPUT_LEN};
 use crate::sha256::{Sha256, SHA256_OUTPUT_LEN};
+use std::fmt;
+
+/// A digest value stored inline (length + fixed buffer, no heap
+/// allocation).
+///
+/// The provenance hash cache holds one digest per database node; storing
+/// them as `Vec<u8>` costs an allocation and a pointer chase per node,
+/// which dominates the economical-mode hot path. `Digest` is 33 bytes of
+/// plain data and `Copy`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Digest {
+    len: u8,
+    bytes: [u8; SHA256_OUTPUT_LEN],
+}
+
+impl Digest {
+    /// Wraps raw digest bytes.
+    ///
+    /// # Panics
+    /// Panics if `bytes` is longer than 32 bytes.
+    pub fn from_slice(bytes: &[u8]) -> Self {
+        assert!(bytes.len() <= SHA256_OUTPUT_LEN, "digest too long");
+        let mut out = Digest {
+            len: bytes.len() as u8,
+            bytes: [0u8; SHA256_OUTPUT_LEN],
+        };
+        out.bytes[..bytes.len()].copy_from_slice(bytes);
+        out
+    }
+
+    /// The digest bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes[..self.len as usize]
+    }
+
+    /// Copies the digest into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// Digest length in bytes.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` for a zero-length digest (never produced by hashing).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<[u8; SHA1_OUTPUT_LEN]> for Digest {
+    fn from(bytes: [u8; SHA1_OUTPUT_LEN]) -> Self {
+        Digest::from_slice(&bytes)
+    }
+}
+
+impl From<[u8; SHA256_OUTPUT_LEN]> for Digest {
+    fn from(bytes: [u8; SHA256_OUTPUT_LEN]) -> Self {
+        Digest {
+            len: SHA256_OUTPUT_LEN as u8,
+            bytes,
+        }
+    }
+}
+
+impl PartialEq<[u8]> for Digest {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({})", crate::hex::to_hex(self.as_slice()))
+    }
+}
 
 /// Supported cryptographic hash functions.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
@@ -32,6 +115,14 @@ impl HashAlgorithm {
         match self {
             HashAlgorithm::Sha1 => Sha1::digest(data).to_vec(),
             HashAlgorithm::Sha256 => Sha256::digest(data).to_vec(),
+        }
+    }
+
+    /// One-shot digest of `data` as an inline [`Digest`] (no allocation).
+    pub fn digest_fixed(self, data: &[u8]) -> Digest {
+        match self {
+            HashAlgorithm::Sha1 => Sha1::digest(data).into(),
+            HashAlgorithm::Sha256 => Sha256::digest(data).into(),
         }
     }
 
@@ -87,6 +178,14 @@ impl Hasher {
         }
     }
 
+    /// Finishes and returns the digest as an inline [`Digest`].
+    pub fn finalize_fixed(self) -> Digest {
+        match self {
+            Hasher::Sha1(h) => h.finalize().into(),
+            Hasher::Sha256(h) => h.finalize().into(),
+        }
+    }
+
     /// The algorithm this hasher runs.
     pub fn algorithm(&self) -> HashAlgorithm {
         match self {
@@ -125,6 +224,23 @@ mod tests {
         }
         assert_eq!(HashAlgorithm::from_wire_id(0), None);
         assert_eq!(HashAlgorithm::from_wire_id(99), None);
+    }
+
+    #[test]
+    fn fixed_digest_matches_vec() {
+        for alg in [HashAlgorithm::Sha1, HashAlgorithm::Sha256] {
+            let fixed = alg.digest_fixed(b"inline");
+            assert_eq!(fixed.as_slice(), alg.digest(b"inline").as_slice());
+            assert_eq!(fixed.len(), alg.output_len());
+            assert!(!fixed.is_empty());
+            let mut h = alg.hasher();
+            h.update(b"inline");
+            assert_eq!(h.finalize_fixed(), fixed);
+        }
+        assert_ne!(
+            HashAlgorithm::Sha256.digest_fixed(b"a"),
+            HashAlgorithm::Sha256.digest_fixed(b"b")
+        );
     }
 
     #[test]

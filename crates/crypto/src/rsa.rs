@@ -9,11 +9,11 @@
 //! A 1024-bit key yields 128-byte signatures, matching the paper's
 //! `Checksum binary(128)` column byte-for-byte.
 
-use crate::bignum::{gen_prime, BigUint};
+use crate::bignum::{gen_prime, BigUint, MontgomeryCtx};
 use crate::digest::HashAlgorithm;
 use rand::RngCore;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Errors from RSA operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,16 +57,43 @@ fn digest_info_prefix(alg: HashAlgorithm) -> &'static [u8] {
 }
 
 /// An RSA public key `(n, e)`.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Carries a lazily built, `Arc`-shared Montgomery context for the modulus:
+/// the first verification pays the context setup (one long division for
+/// `R² mod n`) and every subsequent verification — including through clones,
+/// e.g. a `KeyDirectory` fanned out across verifier threads — reuses it.
+#[derive(Clone)]
 pub struct RsaPublicKey {
     n: BigUint,
     e: BigUint,
+    verify_ctx: Arc<OnceLock<MontgomeryCtx>>,
+}
+
+impl PartialEq for RsaPublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.e == other.e
+    }
+}
+
+impl Eq for RsaPublicKey {}
+
+impl fmt::Debug for RsaPublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RsaPublicKey")
+            .field("n", &self.n)
+            .field("e", &self.e)
+            .finish()
+    }
 }
 
 impl RsaPublicKey {
     /// Constructs from raw components.
     pub fn new(n: BigUint, e: BigUint) -> Self {
-        RsaPublicKey { n, e }
+        RsaPublicKey {
+            n,
+            e,
+            verify_ctx: Arc::new(OnceLock::new()),
+        }
     }
 
     /// Modulus size in bytes (also the signature length).
@@ -99,7 +126,16 @@ impl RsaPublicKey {
         if s >= self.n {
             return Err(RsaError::BadSignature);
         }
-        let em = s.modpow(&self.e, &self.n);
+        // Well-formed RSA moduli are odd products of two primes; hostile or
+        // corrupted key material (even / degenerate n) takes the total
+        // fallback path instead of panicking in the Montgomery setup.
+        let em = if self.n.is_even() || self.n.is_one() {
+            s.modpow(&self.e, &self.n)
+        } else {
+            self.verify_ctx
+                .get_or_init(|| MontgomeryCtx::new(&self.n))
+                .modpow(&s, &self.e)
+        };
         let em_bytes = em.to_bytes_be_padded(k).ok_or(RsaError::BadSignature)?;
         let expected = emsa_pkcs1_v15_encode(alg, message, k)?;
         if em_bytes == expected {
@@ -128,10 +164,10 @@ impl RsaPublicKey {
         if !rest.is_empty() {
             return None;
         }
-        Some(RsaPublicKey {
-            n: BigUint::from_bytes_be(n),
-            e: BigUint::from_bytes_be(e),
-        })
+        Some(RsaPublicKey::new(
+            BigUint::from_bytes_be(n),
+            BigUint::from_bytes_be(e),
+        ))
     }
 }
 
@@ -160,6 +196,11 @@ pub struct RsaPrivateKey {
     dp: BigUint,
     dq: BigUint,
     qinv: BigUint,
+    /// Montgomery contexts for `p` and `q`, precomputed at key generation:
+    /// every CRT signing operation reuses them instead of re-deriving
+    /// `R² mod p` / `R² mod q` (a long division each) per signature.
+    ctx_p: MontgomeryCtx,
+    ctx_q: MontgomeryCtx,
 }
 
 impl fmt::Debug for RsaPrivateKey {
@@ -191,8 +232,8 @@ impl RsaPrivateKey {
 
     /// Raw private-key operation `m^d mod n` via CRT.
     fn private_op(&self, m: &BigUint) -> BigUint {
-        let m1 = m.modpow(&self.dp, &self.p);
-        let m2 = m.modpow(&self.dq, &self.q);
+        let m1 = self.ctx_p.modpow(m, &self.dp);
+        let m2 = self.ctx_q.modpow(m, &self.dq);
         // h = qinv·(m1 - m2) mod p, guarding the subtraction against underflow.
         let m2_mod_p = m2.rem_ref(&self.p);
         let diff = if m1 >= m2_mod_p {
@@ -257,7 +298,9 @@ impl KeyPair {
             let Some(qinv) = q.modinv(&p) else {
                 continue;
             };
-            let public = RsaPublicKey { n, e: e.clone() };
+            let public = RsaPublicKey::new(n, e.clone());
+            let ctx_p = MontgomeryCtx::new(&p);
+            let ctx_q = MontgomeryCtx::new(&q);
             return KeyPair {
                 secret: Arc::new(RsaPrivateKey {
                     public,
@@ -267,6 +310,8 @@ impl KeyPair {
                     dp,
                     dq,
                     qinv,
+                    ctx_p,
+                    ctx_q,
                 }),
             };
         }

@@ -54,14 +54,15 @@ impl Sha1 {
             rest = &rest[take..];
             if self.buffer_len == 64 {
                 let block = self.buffer;
-                self.compress(&block);
+                compress_blocks(&mut self.state, &block);
                 self.buffer_len = 0;
             }
         }
-        while rest.len() >= 64 {
-            let (block, tail) = rest.split_at(64);
-            self.compress(block.try_into().expect("64-byte split"));
-            rest = tail;
+        // Full blocks straight from the input — no buffer copies.
+        let full = rest.len() & !63;
+        if full > 0 {
+            compress_blocks(&mut self.state, &rest[..full]);
+            rest = &rest[full..];
         }
         if !rest.is_empty() {
             self.buffer[..rest.len()].copy_from_slice(rest);
@@ -70,85 +71,127 @@ impl Sha1 {
     }
 
     /// Finishes the hash and returns the 20-byte digest.
-    pub fn finalize(mut self) -> [u8; SHA1_OUTPUT_LEN] {
-        let bit_len = self.total_len.wrapping_mul(8);
-        // Append 0x80, pad with zeros to 56 mod 64, append 64-bit length.
-        self.update_padding();
-        let mut tail = [0u8; 8];
-        tail.copy_from_slice(&bit_len.to_be_bytes());
-        self.raw_update(&tail);
-        debug_assert_eq!(self.buffer_len, 0);
+    pub fn finalize(self) -> [u8; SHA1_OUTPUT_LEN] {
+        let mut state = self.state;
+        let tail = final_blocks(&self.buffer, self.buffer_len, self.total_len);
+        compress_blocks(&mut state, tail.as_slice());
         let mut out = [0u8; SHA1_OUTPUT_LEN];
-        for (i, word) in self.state.iter().enumerate() {
+        for (i, word) in state.iter().enumerate() {
             out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
         }
         out
     }
 
-    /// One-shot convenience digest.
+    /// One-shot digest: compresses full blocks directly from `data` and
+    /// builds the padded tail on the stack, skipping the incremental
+    /// hasher's buffering entirely. Provenance checksums hash thousands of
+    /// sub-block inputs (node prefixes, digest chains), so the fixed
+    /// overhead here is a first-order cost.
     pub fn digest(data: &[u8]) -> [u8; SHA1_OUTPUT_LEN] {
-        let mut h = Sha1::new();
-        h.update(data);
-        h.finalize()
+        let mut state = H0;
+        let full = data.len() & !63;
+        if full > 0 {
+            compress_blocks(&mut state, &data[..full]);
+        }
+        let rem = &data[full..];
+        let mut buffer = [0u8; 64];
+        buffer[..rem.len()].copy_from_slice(rem);
+        let tail = final_blocks(&buffer, rem.len(), data.len() as u64);
+        compress_blocks(&mut state, tail.as_slice());
+        let mut out = [0u8; SHA1_OUTPUT_LEN];
+        for (i, word) in state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
     }
+}
 
-    fn update_padding(&mut self) {
-        let pad_len = if self.buffer_len < 56 {
-            56 - self.buffer_len
-        } else {
-            120 - self.buffer_len
-        };
-        const PAD: [u8; 64] = {
-            let mut p = [0u8; 64];
-            p[0] = 0x80;
-            p
-        };
-        self.raw_update(&PAD[..pad_len]);
+/// Padded final block(s): the buffered tail, `0x80`, zero padding, and the
+/// 64-bit message bit length — one block if the tail leaves 8 spare bytes,
+/// two otherwise.
+pub(crate) struct FinalBlocks {
+    bytes: [u8; 128],
+    len: usize,
+}
+
+impl FinalBlocks {
+    pub(crate) fn as_slice(&self) -> &[u8] {
+        &self.bytes[..self.len]
     }
+}
 
-    /// `update` without advancing `total_len` (used for padding bytes).
-    fn raw_update(&mut self, data: &[u8]) {
-        let saved = self.total_len;
-        self.update(data);
-        self.total_len = saved;
-    }
+pub(crate) fn final_blocks(buffer: &[u8; 64], buffer_len: usize, total_len: u64) -> FinalBlocks {
+    let mut bytes = [0u8; 128];
+    bytes[..buffer_len].copy_from_slice(&buffer[..buffer_len]);
+    bytes[buffer_len] = 0x80;
+    let len = if buffer_len < 56 { 64 } else { 128 };
+    let bit_len = total_len.wrapping_mul(8);
+    bytes[len - 8..len].copy_from_slice(&bit_len.to_be_bytes());
+    FinalBlocks { bytes, len }
+}
 
-    fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 80];
+/// Compresses a run of whole 64-byte blocks into `state`.
+///
+/// The 80-round loop is unrolled into the four 20-round stages with a
+/// 16-word rolling message schedule, eliminating the per-round stage
+/// dispatch and the 80-word schedule array of the naive form.
+fn compress_blocks(state: &mut [u32; 5], blocks: &[u8]) {
+    debug_assert_eq!(blocks.len() % 64, 0);
+    let [mut h0, mut h1, mut h2, mut h3, mut h4] = *state;
+    for block in blocks.chunks_exact(64) {
+        let mut w = [0u32; 16];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
             w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
         }
-        for i in 16..80 {
-            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+
+        let (mut a, mut b, mut c, mut d, mut e) = (h0, h1, h2, h3, h4);
+
+        macro_rules! schedule {
+            ($i:expr) => {{
+                let s = $i & 15;
+                w[s] = (w[(s + 13) & 15] ^ w[(s + 8) & 15] ^ w[(s + 2) & 15] ^ w[s]).rotate_left(1);
+                w[s]
+            }};
+        }
+        macro_rules! round {
+            ($f:expr, $k:expr, $wi:expr) => {{
+                let tmp = a
+                    .rotate_left(5)
+                    .wrapping_add($f)
+                    .wrapping_add(e)
+                    .wrapping_add($k)
+                    .wrapping_add($wi);
+                e = d;
+                d = c;
+                c = b.rotate_left(30);
+                b = a;
+                a = tmp;
+            }};
         }
 
-        let [mut a, mut b, mut c, mut d, mut e] = self.state;
-        for (i, &wi) in w.iter().enumerate() {
-            let (f, k) = match i {
-                0..=19 => ((b & c) | ((!b) & d), 0x5a82_7999),
-                20..=39 => (b ^ c ^ d, 0x6ed9_eba1),
-                40..=59 => ((b & c) | (b & d) | (c & d), 0x8f1b_bcdc),
-                _ => (b ^ c ^ d, 0xca62_c1d6),
-            };
-            let tmp = a
-                .rotate_left(5)
-                .wrapping_add(f)
-                .wrapping_add(e)
-                .wrapping_add(k)
-                .wrapping_add(wi);
-            e = d;
-            d = c;
-            c = b.rotate_left(30);
-            b = a;
-            a = tmp;
+        for &wi in &w {
+            round!(d ^ (b & (c ^ d)), 0x5a82_7999, wi);
+        }
+        for i in 16..20 {
+            round!(d ^ (b & (c ^ d)), 0x5a82_7999, schedule!(i));
+        }
+        for i in 20..40 {
+            round!(b ^ c ^ d, 0x6ed9_eba1, schedule!(i));
+        }
+        for i in 40..60 {
+            round!((b & c) | (d & (b | c)), 0x8f1b_bcdc, schedule!(i));
+        }
+        for i in 60..80 {
+            round!(b ^ c ^ d, 0xca62_c1d6, schedule!(i));
         }
 
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
+        h0 = h0.wrapping_add(a);
+        h1 = h1.wrapping_add(b);
+        h2 = h2.wrapping_add(c);
+        h3 = h3.wrapping_add(d);
+        h4 = h4.wrapping_add(e);
     }
+    *state = [h0, h1, h2, h3, h4];
 }
 
 #[cfg(test)]

@@ -63,14 +63,15 @@ impl Sha256 {
             rest = &rest[take..];
             if self.buffer_len == 64 {
                 let block = self.buffer;
-                self.compress(&block);
+                compress_blocks(&mut self.state, &block);
                 self.buffer_len = 0;
             }
         }
-        while rest.len() >= 64 {
-            let (block, tail) = rest.split_at(64);
-            self.compress(block.try_into().expect("64-byte split"));
-            rest = tail;
+        // Full blocks straight from the input — no buffer copies.
+        let full = rest.len() & !63;
+        if full > 0 {
+            compress_blocks(&mut self.state, &rest[..full]);
+            rest = &rest[full..];
         }
         if !rest.is_empty() {
             self.buffer[..rest.len()].copy_from_slice(rest);
@@ -79,75 +80,95 @@ impl Sha256 {
     }
 
     /// Finishes the hash and returns the 32-byte digest.
-    pub fn finalize(mut self) -> [u8; SHA256_OUTPUT_LEN] {
-        let bit_len = self.total_len.wrapping_mul(8);
-        let pad_len = if self.buffer_len < 56 {
-            56 - self.buffer_len
-        } else {
-            120 - self.buffer_len
-        };
-        const PAD: [u8; 64] = {
-            let mut p = [0u8; 64];
-            p[0] = 0x80;
-            p
-        };
-        let saved = self.total_len;
-        self.update(&PAD[..pad_len]);
-        self.update(&bit_len.to_be_bytes());
-        self.total_len = saved;
-        debug_assert_eq!(self.buffer_len, 0);
+    pub fn finalize(self) -> [u8; SHA256_OUTPUT_LEN] {
+        let mut state = self.state;
+        let tail = crate::sha1::final_blocks(&self.buffer, self.buffer_len, self.total_len);
+        compress_blocks(&mut state, tail.as_slice());
         let mut out = [0u8; SHA256_OUTPUT_LEN];
-        for (i, word) in self.state.iter().enumerate() {
+        for (i, word) in state.iter().enumerate() {
             out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
         }
         out
     }
 
-    /// One-shot convenience digest.
+    /// One-shot digest: full blocks are compressed directly from `data` and
+    /// the padded tail is built on the stack (see [`crate::sha1::Sha1::digest`]
+    /// for why the fixed overhead matters on short provenance inputs).
     pub fn digest(data: &[u8]) -> [u8; SHA256_OUTPUT_LEN] {
-        let mut h = Sha256::new();
-        h.update(data);
-        h.finalize()
+        let mut state = H0;
+        let full = data.len() & !63;
+        if full > 0 {
+            compress_blocks(&mut state, &data[..full]);
+        }
+        let rem = &data[full..];
+        let mut buffer = [0u8; 64];
+        buffer[..rem.len()].copy_from_slice(rem);
+        let tail = crate::sha1::final_blocks(&buffer, rem.len(), data.len() as u64);
+        compress_blocks(&mut state, tail.as_slice());
+        let mut out = [0u8; SHA256_OUTPUT_LEN];
+        for (i, word) in state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
     }
+}
 
-    fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 64];
+/// Compresses a run of whole 64-byte blocks into `state`.
+///
+/// Uses a 16-word rolling message schedule (the expanded word is computed in
+/// place as each round consumes it) instead of materializing the full
+/// 64-word array up front — less stack traffic and a tighter loop body.
+fn compress_blocks(state: &mut [u32; 8], blocks: &[u8]) {
+    debug_assert_eq!(blocks.len() % 64, 0);
+    for block in blocks.chunks_exact(64) {
+        let mut w = [0u32; 16];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
             w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
         }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
+
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+
+        macro_rules! round {
+            ($k:expr, $wi:expr) => {{
+                let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+                let ch = g ^ (e & (f ^ g));
+                let t1 = h
+                    .wrapping_add(s1)
+                    .wrapping_add(ch)
+                    .wrapping_add($k)
+                    .wrapping_add($wi);
+                let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+                let maj = (a & b) | (c & (a | b));
+                let t2 = s0.wrapping_add(maj);
+                h = g;
+                g = f;
+                f = e;
+                e = d.wrapping_add(t1);
+                d = c;
+                c = b;
+                b = a;
+                a = t1.wrapping_add(t2);
+            }};
         }
 
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ ((!e) & g);
-            let t1 = h
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let t2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(t1);
-            d = c;
-            c = b;
-            b = a;
-            a = t1.wrapping_add(t2);
+        for i in 0..16 {
+            round!(K[i], w[i]);
+        }
+        for (i, &k) in K.iter().enumerate().skip(16) {
+            let s = i & 15;
+            let w15 = w[(s + 1) & 15];
+            let w2 = w[(s + 14) & 15];
+            let s0 = w15.rotate_right(7) ^ w15.rotate_right(18) ^ (w15 >> 3);
+            let s1 = w2.rotate_right(17) ^ w2.rotate_right(19) ^ (w2 >> 10);
+            w[s] = w[s]
+                .wrapping_add(s0)
+                .wrapping_add(w[(s + 9) & 15])
+                .wrapping_add(s1);
+            round!(k, w[s]);
         }
 
         let add = [a, b, c, d, e, f, g, h];
-        for (s, v) in self.state.iter_mut().zip(add) {
+        for (s, v) in state.iter_mut().zip(add) {
             *s = s.wrapping_add(v);
         }
     }

@@ -203,10 +203,16 @@ pub fn atom_preimage(id: ObjectId, value: &Value) -> Vec<u8> {
 /// what makes the §5.2 streaming (larger-than-memory) hash a single pass.
 pub fn node_prefix(id: ObjectId, value: &Value) -> Vec<u8> {
     let mut out = Vec::with_capacity(32);
+    node_prefix_into(id, value, &mut out);
+    out
+}
+
+/// Appends the canonical node prefix to `out` — the allocation-free variant
+/// hot hashing loops use with a reused buffer.
+pub fn node_prefix_into(id: ObjectId, value: &Value, out: &mut Vec<u8>) {
     out.push(TAG_NODE);
     out.extend_from_slice(&id.raw().to_be_bytes());
-    encode_value(value, &mut out);
-    out
+    encode_value(value, out);
 }
 
 /// Canonical prefix taken straight from a [`Node`].

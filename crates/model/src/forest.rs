@@ -8,9 +8,33 @@
 
 use crate::error::ModelError;
 use crate::id::ObjectId;
+use crate::idhash::IdMap;
 use crate::node::Node;
 use crate::value::Value;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
+
+/// A stale-hash notice produced by a forest mutation.
+///
+/// The forest appends one mark per primitive mutation to an internal dirty
+/// log; the provenance layer's hash cache drains the log and invalidates
+/// exactly the root-to-leaf paths the mutations dirtied (the paper's
+/// "economical" evaluation, §4.3/§5). Paths are resolved lazily at drain
+/// time — parent links of live nodes never change, so the ancestor chain
+/// observed then matches the one at mutation time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DirtyMark {
+    /// `id` is live and its subtree hash — and every ancestor's — is stale.
+    Path(ObjectId),
+    /// `id` was deleted: its cached hash must be evicted, and the former
+    /// parent's path (recorded here because `id` no longer resolves) is
+    /// stale.
+    Removed {
+        /// The deleted object.
+        id: ObjectId,
+        /// Its parent at deletion time, if it was not a root.
+        parent: Option<ObjectId>,
+    },
+}
 
 /// How an aggregation produces its output object.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -41,9 +65,11 @@ pub enum AggregateMode {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Forest {
-    nodes: HashMap<ObjectId, Node>,
+    nodes: IdMap<Node>,
     roots: BTreeSet<ObjectId>,
     next_id: u64,
+    /// Mutations since the last [`Self::drain_dirty`], oldest first.
+    dirty: Vec<DirtyMark>,
 }
 
 impl Forest {
@@ -148,6 +174,25 @@ impl Forest {
                 self.roots.insert(id);
             }
         }
+        self.dirty.push(DirtyMark::Path(id));
+    }
+
+    /// Pending dirty marks, oldest first (inspection only — use
+    /// [`Self::drain_dirty`] to consume them).
+    pub fn dirty_marks(&self) -> &[DirtyMark] {
+        &self.dirty
+    }
+
+    /// Takes (and clears) the dirty log accumulated since the last drain.
+    pub fn drain_dirty(&mut self) -> Vec<DirtyMark> {
+        std::mem::take(&mut self.dirty)
+    }
+
+    /// Discards the dirty log without processing it. Call after adopting a
+    /// freshly built forest whose hashes were never cached — replaying its
+    /// construction marks would be pure overhead.
+    pub fn clear_dirty(&mut self) {
+        self.dirty.clear();
     }
 
     /// Updates an object's value, returning the previous value.
@@ -156,7 +201,9 @@ impl Forest {
             .nodes
             .get_mut(&id)
             .ok_or(ModelError::UnknownObject(id))?;
-        Ok(node.set_value(value))
+        let old = node.set_value(value);
+        self.dirty.push(DirtyMark::Path(id));
+        Ok(old)
     }
 
     /// Deletes a **leaf** object, returning its last value.
@@ -177,6 +224,7 @@ impl Forest {
                 self.roots.remove(&id);
             }
         }
+        self.dirty.push(DirtyMark::Removed { id, parent });
         Ok(node.value().clone())
     }
 
@@ -464,6 +512,48 @@ mod tests {
         assert_eq!(
             f.aggregate(&[ObjectId(99)], Value::Null, AggregateMode::Atomic),
             Err(ModelError::UnknownObject(ObjectId(99)))
+        );
+    }
+
+    #[test]
+    fn dirty_log_tracks_mutations() {
+        let (mut f, a, b, _c, d) = sample();
+        // Construction pushed one Path mark per insert.
+        assert_eq!(f.dirty_marks().len(), 4);
+        f.clear_dirty();
+        assert!(f.dirty_marks().is_empty());
+
+        f.update(d, Value::text("d2")).unwrap();
+        assert_eq!(f.dirty_marks(), &[DirtyMark::Path(d)]);
+
+        f.delete(d).unwrap();
+        assert_eq!(
+            f.drain_dirty(),
+            vec![
+                DirtyMark::Path(d),
+                DirtyMark::Removed {
+                    id: d,
+                    parent: Some(b)
+                }
+            ]
+        );
+        assert!(f.dirty_marks().is_empty());
+
+        // Root deletes record parent: None; failed ops record nothing.
+        assert!(f.update(ObjectId(99), Value::Null).is_err());
+        assert!(f.delete(a).is_err()); // not a leaf
+        assert!(f.dirty_marks().is_empty());
+        f.delete(b).unwrap();
+        f.drain_dirty();
+        let e = f.insert(Value::Int(1), None).unwrap();
+        f.drain_dirty();
+        f.delete(e).unwrap();
+        assert_eq!(
+            f.drain_dirty(),
+            vec![DirtyMark::Removed {
+                id: e,
+                parent: None
+            }]
         );
     }
 

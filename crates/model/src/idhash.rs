@@ -1,0 +1,54 @@
+//! Fast multiplicative hashing for [`ObjectId`] keys.
+//!
+//! Forest traversal and the subtree-hash cache perform one map operation
+//! per visited node — hundreds of thousands per benchmark sweep — and the
+//! standard library's DoS-resistant SipHash dominates those loops. Object
+//! ids are sequential `u64`s allocated by us, not attacker-chosen keys, so
+//! a Fibonacci multiply (odd constant ≈ 2⁶⁴/φ) with a high-to-low mix
+//! spreads them perfectly at a fraction of the cost.
+
+use crate::ObjectId;
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+
+/// Multiplicative hasher specialized for single-`u64` keys.
+#[derive(Clone, Copy, Default)]
+pub struct IdHasher(u64);
+
+impl std::hash::Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        let h = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 32);
+    }
+}
+
+/// A `HashMap` keyed by [`ObjectId`] using [`IdHasher`].
+pub type IdMap<V> = HashMap<ObjectId, V, BuildHasherDefault<IdHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrips_sequential_ids() {
+        let mut m: IdMap<u32> = IdMap::default();
+        for i in 0..10_000u64 {
+            m.insert(ObjectId(i), i as u32);
+        }
+        assert_eq!(m.len(), 10_000);
+        for i in 0..10_000u64 {
+            assert_eq!(m.get(&ObjectId(i)), Some(&(i as u32)));
+        }
+        assert!(!m.contains_key(&ObjectId(10_000)));
+    }
+}

@@ -22,13 +22,14 @@ pub mod encode;
 pub mod error;
 pub mod forest;
 pub mod id;
+pub mod idhash;
 pub mod node;
 pub mod ops;
 pub mod relational;
 pub mod value;
 
 pub use error::ModelError;
-pub use forest::{AggregateMode, Forest};
+pub use forest::{AggregateMode, DirtyMark, Forest};
 pub use id::ObjectId;
 pub use node::Node;
 pub use ops::{OpOutcome, PrimitiveOp};

@@ -1,0 +1,333 @@
+//! Offline drop-in subset of the `criterion` benchmark API.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the criterion surface its benches use: benchmark groups, `BenchmarkId`,
+//! `Throughput`, `Bencher::iter`, and the `criterion_group!`/`criterion_main!`
+//! macros. Measurement is honest wall-clock sampling: a warmup phase sizes
+//! the per-sample iteration count, then `sample_size` samples are timed and
+//! the min/median/max per-iteration times are reported in criterion's text
+//! format (so existing log-parsing keeps working).
+//!
+//! Environment knobs: `CRITERION_SAMPLE_MS` (target ms per sample, default
+//! 40), `CRITERION_WARMUP_MS` (default 300).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Units for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Input bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples (criterion default: 100).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Enables derived throughput reporting for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for compatibility; the stub ignores it.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; the stub ignores it.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id, &mut |b| f(b));
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run_one(&id, &mut |b| f(b, input));
+        self
+    }
+
+    fn run_one(&mut self, id: &BenchmarkId, run: &mut dyn FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id.id);
+        let warmup_ms: u64 = env_u64("CRITERION_WARMUP_MS", 300);
+        let sample_ms: u64 = env_u64("CRITERION_SAMPLE_MS", 40);
+
+        // Warmup: discover per-iteration cost.
+        let mut bencher = Bencher {
+            mode: Mode::TimedTotal {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            },
+        };
+        let warmup_deadline = Instant::now() + Duration::from_millis(warmup_ms);
+        let mut per_iter = Duration::from_secs(1);
+        let mut iters: u64 = 1;
+        loop {
+            bencher.mode = Mode::TimedTotal {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            run(&mut bencher);
+            let elapsed = bencher.elapsed();
+            if elapsed > Duration::ZERO {
+                per_iter = elapsed / iters as u32;
+            }
+            if Instant::now() >= warmup_deadline {
+                break;
+            }
+            if elapsed < Duration::from_millis(warmup_ms / 4) {
+                iters = iters.saturating_mul(2);
+            }
+        }
+
+        // Size samples to ~sample_ms each.
+        let per_iter_ns = per_iter.as_nanos().max(1);
+        let sample_iters =
+            ((sample_ms as u128 * 1_000_000) / per_iter_ns).clamp(1, u64::MAX as u128) as u64;
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.mode = Mode::TimedTotal {
+                iters: sample_iters,
+                elapsed: Duration::ZERO,
+            };
+            run(&mut bencher);
+            samples_ns.push(bencher.elapsed().as_nanos() as f64 / sample_iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let min = samples_ns[0];
+        let max = *samples_ns.last().unwrap();
+        let median = samples_ns[samples_ns.len() / 2];
+
+        println!(
+            "{:<40} time:   [{} {} {}]",
+            full,
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(max)
+        );
+        if let Some(tp) = self.throughput {
+            let (rate_hi, rate_mid, rate_lo) = match tp {
+                Throughput::Bytes(bytes) => (
+                    fmt_bytes_rate(bytes as f64 / (min / 1e9)),
+                    fmt_bytes_rate(bytes as f64 / (median / 1e9)),
+                    fmt_bytes_rate(bytes as f64 / (max / 1e9)),
+                ),
+                Throughput::Elements(n) => (
+                    fmt_elem_rate(n as f64 / (min / 1e9)),
+                    fmt_elem_rate(n as f64 / (median / 1e9)),
+                    fmt_elem_rate(n as f64 / (max / 1e9)),
+                ),
+            };
+            println!("{:<40} thrpt:  [{} {} {}]", "", rate_lo, rate_mid, rate_hi);
+        }
+    }
+
+    /// Ends the group (report lines are already printed).
+    pub fn finish(self) {}
+}
+
+enum Mode {
+    TimedTotal { iters: u64, elapsed: Duration },
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    mode: Mode,
+}
+
+impl Bencher {
+    /// Runs `f` for the harness-chosen number of iterations, timing the batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let Mode::TimedTotal { iters, elapsed } = &mut self.mode;
+        let n = *iters;
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(f());
+        }
+        *elapsed = start.elapsed();
+    }
+
+    fn elapsed(&self) -> Duration {
+        let Mode::TimedTotal { elapsed, .. } = &self.mode;
+        *elapsed
+    }
+}
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{:.3} ns", ns)
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn fmt_bytes_rate(bytes_per_s: f64) -> String {
+    const MIB: f64 = 1024.0 * 1024.0;
+    const GIB: f64 = 1024.0 * MIB;
+    if bytes_per_s >= GIB {
+        format!("{:.3} GiB/s", bytes_per_s / GIB)
+    } else if bytes_per_s >= MIB {
+        format!("{:.3} MiB/s", bytes_per_s / MIB)
+    } else {
+        format!("{:.3} KiB/s", bytes_per_s / 1024.0)
+    }
+}
+
+fn fmt_elem_rate(elems_per_s: f64) -> String {
+    if elems_per_s >= 1e6 {
+        format!("{:.4} Melem/s", elems_per_s / 1e6)
+    } else if elems_per_s >= 1e3 {
+        format!("{:.4} Kelem/s", elems_per_s / 1e3)
+    } else {
+        format!("{:.4}  elem/s", elems_per_s)
+    }
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_and_runs() {
+        std::env::set_var("CRITERION_WARMUP_MS", "5");
+        std::env::set_var("CRITERION_SAMPLE_MS", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut count = 0u64;
+        group.bench_function("add", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+}

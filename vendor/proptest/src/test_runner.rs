@@ -1,0 +1,100 @@
+//! Test-case generation state: configuration, RNG, and case errors.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-test configuration (subset of upstream `proptest::test_runner::Config`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was discarded (failed `prop_assume!` / filter).
+    Reject(String),
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failed-assertion error.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A discarded-case marker.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Drives case generation for one property test.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    seed: u64,
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Runner with a fixed default seed (for ad-hoc use).
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner {
+            rng: StdRng::seed_from_u64(0x7e57_0000),
+            seed: 0x7e57_0000,
+            config,
+        }
+    }
+
+    /// Runner whose seed derives from the test name, so distinct tests
+    /// explore distinct sequences but every run is reproducible.
+    pub fn new_for_test(config: ProptestConfig, name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(config.cases);
+        TestRunner {
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+            config: ProptestConfig { cases },
+        }
+    }
+
+    /// Number of cases this runner will generate.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// Re-derives the RNG for case `case` (attempt `rejects`), making each
+    /// case independent of how many values earlier cases consumed.
+    pub fn begin_case(&mut self, case: u32, rejects: u32) {
+        self.rng =
+            StdRng::seed_from_u64(self.seed ^ ((case as u64) << 32) ^ ((rejects as u64) << 1) ^ 1);
+    }
+
+    /// The RNG strategies draw from.
+    pub fn rng(&mut self) -> &mut impl RngCore {
+        &mut self.rng
+    }
+}

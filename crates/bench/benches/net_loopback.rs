@@ -1,0 +1,27 @@
+//! Verified provenance transfer over loopback TCP: the full
+//! fetch → stream-verify → recompute-hash path, serial vs 4 concurrent
+//! clients. Complements `repro --net` with Criterion's statistics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tep_bench::experiments::{run_net_loopback, ExperimentConfig};
+use tep_core::prelude::HashAlgorithm;
+
+fn bench_net_loopback(c: &mut Criterion) {
+    let cfg = ExperimentConfig {
+        alg: HashAlgorithm::Sha256,
+        key_bits: 512,
+        runs: 2,
+        seed: 2009,
+    };
+    let mut group = c.benchmark_group("net_loopback");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_function(BenchmarkId::new("verified_fetch", threads), |b| {
+            b.iter(|| run_net_loopback(&cfg, 8, threads))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_net_loopback);
+criterion_main!(benches);

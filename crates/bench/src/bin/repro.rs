@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--all] [--table1] [--fig6] [--fig7] [--fig8] [--fig9]
 //!       [--fig10] [--fig11] [--large [ROWS|paper]] [--chaining] [--verify-cost]
-//!       [--json] [--runs N] [--key-bits N] [--alg sha1|sha256] [--seed N] [--csv]
+//!       [--net] [--json] [--runs N] [--key-bits N] [--alg sha1|sha256] [--seed N] [--csv]
 //! ```
 //!
 //! With no experiment flags, runs everything at laptop-friendly defaults
@@ -30,6 +30,7 @@ struct Args {
     chaining: bool,
     verify_cost: bool,
     ablation: bool,
+    net: bool,
     json: bool,
     csv: bool,
     all: bool,
@@ -55,6 +56,7 @@ fn parse_args() -> Result<Args, String> {
             "--chaining" => args.chaining = true,
             "--verify-cost" => args.verify_cost = true,
             "--ablation" => args.ablation = true,
+            "--net" => args.net = true,
             "--json" => args.json = true,
             "--large" => {
                 let rows = match it.peek() {
@@ -97,6 +99,7 @@ fn parse_args() -> Result<Args, String> {
         || args.chaining
         || args.verify_cost
         || args.ablation
+        || args.net
         || args.json;
     if args.all || !experiments_requested {
         args.table1 = true;
@@ -110,6 +113,7 @@ fn parse_args() -> Result<Args, String> {
         args.chaining = true;
         args.verify_cost = true;
         args.ablation = true;
+        args.net = true;
     }
     Ok(args)
 }
@@ -140,7 +144,9 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: repro [--all] [--table1] [--fig6] [--fig7] [--fig8] [--fig9] [--fig10] [--fig11]"
             );
-            eprintln!("             [--large [ROWS|paper]] [--chaining] [--verify-cost] [--json]");
+            eprintln!(
+                "             [--large [ROWS|paper]] [--chaining] [--verify-cost] [--net] [--json]"
+            );
             eprintln!(
                 "             [--runs N] [--key-bits N] [--alg sha1|sha256] [--seed N] [--csv]"
             );
@@ -386,6 +392,31 @@ fn main() -> ExitCode {
         }
         emit(
             "Extension: recipient verification cost vs history length",
+            &t,
+            args.csv,
+        );
+    }
+
+    if args.net {
+        let r = run_net_loopback(&cfg, (cfg.runs as u64 * 8).max(16), 4);
+        let mut t = TextTable::new(&["mode", "clients", "objects/s", "MiB/s"]);
+        t.row(&[
+            "serial".into(),
+            "1".into(),
+            format!("{:.1}", r.serial_objects_per_sec),
+            format!("{:.2}", r.serial_mib_per_sec),
+        ]);
+        t.row(&[
+            "parallel".into(),
+            r.threads.to_string(),
+            format!("{:.1}", r.parallel_objects_per_sec),
+            format!("{:.2}", r.parallel_mib_per_sec),
+        ]);
+        emit(
+            &format!(
+                "Provenance exchange over loopback TCP ({} records + {} nodes per object, verified on receive)",
+                r.records_per_object, r.nodes_per_object
+            ),
             &t,
             args.csv,
         );

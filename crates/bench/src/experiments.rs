@@ -660,6 +660,126 @@ pub fn table1_forest(seed: u64) -> (Forest, ObjectId) {
 }
 
 // ---------------------------------------------------------------------------
+// Network loopback transfer throughput (tep-net)
+// ---------------------------------------------------------------------------
+
+/// Throughput of fully-verified provenance transfers over loopback TCP.
+#[derive(Clone, Copy, Debug)]
+pub struct NetLoopbackResult {
+    /// Verified fetches performed in the serial pass.
+    pub fetches: u64,
+    /// Provenance records per transferred object.
+    pub records_per_object: u64,
+    /// Data nodes per transferred object.
+    pub nodes_per_object: u64,
+    /// Single-client verified objects per second.
+    pub serial_objects_per_sec: f64,
+    /// Single-client wire throughput, MiB/s received.
+    pub serial_mib_per_sec: f64,
+    /// Concurrent client threads in the parallel pass.
+    pub threads: usize,
+    /// Aggregate verified objects per second with `threads` clients.
+    pub parallel_objects_per_sec: f64,
+    /// Aggregate wire throughput with `threads` clients, MiB/s.
+    pub parallel_mib_per_sec: f64,
+}
+
+/// Serves a mid-size compound object from an in-process `tep-net` server
+/// and fetches it with full streaming verification — once from a single
+/// client, then the same total fetch count split over `threads` concurrent
+/// clients. Every fetch re-verifies every record signature and recomputes
+/// the object hash, so this measures the *verified* transfer path, not raw
+/// socket throughput.
+pub fn run_net_loopback(cfg: &ExperimentConfig, fetches: u64, threads: usize) -> NetLoopbackResult {
+    use tep_net::{serve, Catalog, Client, ClientConfig, ServerConfig};
+
+    let threads = threads.max(1);
+    let (signer, keys) = cfg.make_signer();
+    let db = Arc::new(ProvenanceDb::in_memory());
+    let mut tracker = ProvenanceTracker::new(
+        TrackerConfig {
+            alg: cfg.alg,
+            strategy: HashingStrategy::Economical,
+        },
+        Arc::clone(&db),
+    );
+    let (root, _) = tracker
+        .insert(&signer, tep_model::Value::text("bench-db"), None)
+        .unwrap();
+    let (table, _) = tracker
+        .insert(&signer, tep_model::Value::text("t0"), Some(root))
+        .unwrap();
+    for r in 0..32i64 {
+        let (row, _) = tracker
+            .insert(&signer, tep_model::Value::Null, Some(table))
+            .unwrap();
+        for c in 0..4i64 {
+            tracker
+                .insert(&signer, tep_model::Value::Int(r * 4 + c), Some(row))
+                .unwrap();
+        }
+    }
+    let catalog = Arc::new(Catalog::new(
+        tracker.forest().clone(),
+        db,
+        cfg.alg,
+        vec![root],
+    ));
+    let server = serve(
+        catalog,
+        "127.0.0.1:0".parse().unwrap(),
+        ServerConfig {
+            workers: threads,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // One client performing `n` verified fetches; returns (bytes received,
+    // records/object, nodes/object).
+    let fetch_loop = |n: u64| -> (u64, u64, u64) {
+        let mut client = Client::new(addr, ClientConfig::new(cfg.alg));
+        let (mut recs, mut nodes) = (0u64, 0u64);
+        for _ in 0..n {
+            let rep = client.fetch_verified(root, &keys).unwrap();
+            recs = rep.records;
+            nodes = rep.nodes;
+        }
+        (client.counters().bytes_received, recs, nodes)
+    };
+
+    let t = Instant::now();
+    let (bytes, records_per_object, nodes_per_object) = fetch_loop(fetches);
+    let serial = t.elapsed().as_secs_f64();
+
+    let per_thread = (fetches / threads as u64).max(1);
+    let fetch_loop = &fetch_loop;
+    let t = Instant::now();
+    let par_bytes: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| s.spawn(move || fetch_loop(per_thread).0))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    let parallel = t.elapsed().as_secs_f64();
+    let par_fetches = per_thread * threads as u64;
+    server.shutdown();
+
+    const MIB: f64 = (1u64 << 20) as f64;
+    NetLoopbackResult {
+        fetches,
+        records_per_object,
+        nodes_per_object,
+        serial_objects_per_sec: fetches as f64 / serial,
+        serial_mib_per_sec: bytes as f64 / MIB / serial,
+        threads,
+        parallel_objects_per_sec: par_fetches as f64 / parallel,
+        parallel_mib_per_sec: par_bytes as f64 / MIB / parallel,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Machine-readable hot-path baseline (`repro --json`)
 // ---------------------------------------------------------------------------
 
@@ -683,6 +803,8 @@ pub struct BaselineResult {
     /// Full per-operation provenance-record cost (µs): incremental rehash +
     /// sign + store for one tracked cell update, Economical strategy.
     pub record_cost_us: f64,
+    /// Verified loopback transfer throughput (`tep-net`).
+    pub net: NetLoopbackResult,
 }
 
 impl BaselineResult {
@@ -692,7 +814,11 @@ impl BaselineResult {
             "{{\n  \"alg\": \"{:?}\",\n  \"key_bits\": {},\n  \"seed\": {},\n  \
              \"sign_per_sec\": {:.1},\n  \"verify_per_sec\": {:.1},\n  \
              \"hash_mib_per_sec\": {{ \"sha1\": {:.1}, \"sha256\": {:.1} }},\n  \
-             \"record_cost_us\": {:.2}\n}}\n",
+             \"record_cost_us\": {:.2},\n  \
+             \"net_loopback\": {{ \"records_per_object\": {}, \"nodes_per_object\": {}, \
+             \"serial_objects_per_sec\": {:.1}, \"serial_mib_per_sec\": {:.2}, \
+             \"threads\": {}, \"parallel_objects_per_sec\": {:.1}, \
+             \"parallel_mib_per_sec\": {:.2} }}\n}}\n",
             self.alg,
             self.key_bits,
             self.seed,
@@ -701,6 +827,13 @@ impl BaselineResult {
             self.sha1_mib_per_sec,
             self.sha256_mib_per_sec,
             self.record_cost_us,
+            self.net.records_per_object,
+            self.net.nodes_per_object,
+            self.net.serial_objects_per_sec,
+            self.net.serial_mib_per_sec,
+            self.net.threads,
+            self.net.parallel_objects_per_sec,
+            self.net.parallel_mib_per_sec,
         )
     }
 }
@@ -770,6 +903,9 @@ pub fn run_baseline(cfg: &ExperimentConfig) -> BaselineResult {
     }
     let record_cost_us = t.elapsed().as_secs_f64() * 1e6 / cells.len() as f64;
 
+    // Verified network transfer over loopback, serial and 4-way.
+    let net = run_net_loopback(cfg, (cfg.runs as u64 * 4).max(8), 4);
+
     BaselineResult {
         alg: cfg.alg,
         key_bits: cfg.key_bits,
@@ -779,6 +915,7 @@ pub fn run_baseline(cfg: &ExperimentConfig) -> BaselineResult {
         sha1_mib_per_sec,
         sha256_mib_per_sec,
         record_cost_us,
+        net,
     }
 }
 

@@ -74,14 +74,14 @@ pub use error::CoreError;
 pub use export::to_opm_json;
 pub use gc::{prune, prune_into, PruneReport};
 pub use hashing::{hash_atom, subtree_hash, HashCache, HashingStrategy};
-pub use metrics::Metrics;
+pub use metrics::{Metrics, TransferCounters, TransferSnapshot};
 pub use parallel::{default_threads, parallel_map};
 pub use proof::{prove, ProofError, SubtreeProof};
 pub use provenance::{collect, ProvenanceObject};
 pub use query::{DbStats, ProvenanceQuery};
 pub use record::{InputRef, ProvenanceRecord, RecordKind};
 pub use tracker::{ComplexReport, ProvenanceTracker, TrackerConfig};
-pub use verify::{TamperEvidence, Verification, Verifier};
+pub use verify::{StreamingVerifier, TamperEvidence, Verification, Verifier};
 
 /// Common imports for library users.
 pub mod prelude {
@@ -92,7 +92,7 @@ pub mod prelude {
     pub use crate::provenance::{collect, ProvenanceObject};
     pub use crate::query::ProvenanceQuery;
     pub use crate::tracker::{ProvenanceTracker, TrackerConfig};
-    pub use crate::verify::{TamperEvidence, Verification, Verifier};
+    pub use crate::verify::{StreamingVerifier, TamperEvidence, Verification, Verifier};
     pub use tep_crypto::digest::HashAlgorithm;
     pub use tep_crypto::pki::{CertificateAuthority, KeyDirectory, Participant, ParticipantId};
     pub use tep_storage::ProvenanceDb;

@@ -5,7 +5,13 @@
 //! names exactly these phases). Every tracked operation reports a
 //! [`Metrics`] with that breakdown so the bench harness can regenerate the
 //! figures without instrumenting the library from outside.
+//!
+//! [`TransferCounters`] extends the same philosophy to provenance
+//! *exchange*: lock-free per-connection counters (frames, bytes, verify
+//! failures, retries) that the `tep-net` transport increments on its hot
+//! path and the bench harness snapshots to report transfer throughput.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Timing/space breakdown of one or more tracked operations.
@@ -57,9 +63,142 @@ impl Metrics {
     }
 }
 
+/// Lock-free counters for one provenance transfer endpoint (a connection,
+/// a client session, or a whole server — callers pick the granularity and
+/// may share one instance across threads behind an `Arc`).
+#[derive(Debug, Default)]
+pub struct TransferCounters {
+    frames_sent: AtomicU64,
+    frames_received: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    verify_failures: AtomicU64,
+    retries: AtomicU64,
+}
+
+/// A point-in-time copy of a [`TransferCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransferSnapshot {
+    /// Wire frames written.
+    pub frames_sent: u64,
+    /// Wire frames read.
+    pub frames_received: u64,
+    /// Bytes written (frame headers + payloads).
+    pub bytes_sent: u64,
+    /// Bytes read (frame headers + payloads).
+    pub bytes_received: u64,
+    /// Transfers rejected by streaming verification.
+    pub verify_failures: u64,
+    /// Connect/read attempts that were retried after a failure.
+    pub retries: u64,
+}
+
+impl TransferCounters {
+    /// Fresh counters, all zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sent frame of `bytes` total wire bytes.
+    pub fn frame_sent(&self, bytes: u64) {
+        self.frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one received frame of `bytes` total wire bytes.
+    pub fn frame_received(&self, bytes: u64) {
+        self.frames_received.fetch_add(1, Ordering::Relaxed);
+        self.bytes_received.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records a transfer rejected by verification.
+    pub fn verify_failure(&self) {
+        self.verify_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a retried connect/read attempt.
+    pub fn retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds another endpoint's counters into this one (e.g. per-connection
+    /// into per-server totals).
+    pub fn merge(&self, other: &TransferSnapshot) {
+        self.frames_sent
+            .fetch_add(other.frames_sent, Ordering::Relaxed);
+        self.frames_received
+            .fetch_add(other.frames_received, Ordering::Relaxed);
+        self.bytes_sent
+            .fetch_add(other.bytes_sent, Ordering::Relaxed);
+        self.bytes_received
+            .fetch_add(other.bytes_received, Ordering::Relaxed);
+        self.verify_failures
+            .fetch_add(other.verify_failures, Ordering::Relaxed);
+        self.retries.fetch_add(other.retries, Ordering::Relaxed);
+    }
+
+    /// Reads all counters at once.
+    pub fn snapshot(&self) -> TransferSnapshot {
+        TransferSnapshot {
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            frames_received: self.frames_received.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            verify_failures: self.verify_failures.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn transfer_counters_accumulate_and_merge() {
+        let c = TransferCounters::new();
+        c.frame_sent(100);
+        c.frame_sent(28);
+        c.frame_received(64);
+        c.verify_failure();
+        c.retry();
+        c.retry();
+        let snap = c.snapshot();
+        assert_eq!(snap.frames_sent, 2);
+        assert_eq!(snap.bytes_sent, 128);
+        assert_eq!(snap.frames_received, 1);
+        assert_eq!(snap.bytes_received, 64);
+        assert_eq!(snap.verify_failures, 1);
+        assert_eq!(snap.retries, 2);
+
+        let totals = TransferCounters::new();
+        totals.merge(&snap);
+        totals.merge(&snap);
+        assert_eq!(totals.snapshot().bytes_sent, 256);
+        assert_eq!(totals.snapshot().retries, 4);
+    }
+
+    #[test]
+    fn transfer_counters_are_thread_safe() {
+        use std::sync::Arc;
+        let c = Arc::new(TransferCounters::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.frame_sent(8);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = c.snapshot();
+        assert_eq!(snap.frames_sent, 4000);
+        assert_eq!(snap.bytes_sent, 32_000);
+    }
 
     #[test]
     fn totals_and_accumulation() {

@@ -26,6 +26,18 @@ pub enum StreamError {
         /// The offending child.
         next: ObjectId,
     },
+    /// A depth-tagged entry skipped a tree level (its depth exceeds the
+    /// current path length).
+    DepthSkipped {
+        /// The entry's claimed depth.
+        got: usize,
+        /// Deepest admissible depth at this point.
+        max: usize,
+    },
+    /// A second root-level entry arrived after the first root completed.
+    MultipleRoots,
+    /// The stream ended with no entries at all.
+    EmptyStream,
 }
 
 impl std::fmt::Display for StreamError {
@@ -35,6 +47,11 @@ impl std::fmt::Display for StreamError {
                 f,
                 "children must arrive in increasing id order: {next} after {prev}"
             ),
+            StreamError::DepthSkipped { got, max } => {
+                write!(f, "entry depth {got} skips a level (max admissible {max})")
+            }
+            StreamError::MultipleRoots => write!(f, "more than one depth-0 entry in the stream"),
+            StreamError::EmptyStream => write!(f, "subtree stream carried no entries"),
         }
     }
 }
@@ -200,6 +217,89 @@ impl StreamingDatabaseHasher {
     }
 }
 
+/// Recomputes a canonical subtree hash from a **depth-tagged DFS preorder**
+/// stream of `(depth, id, value)` entries — the shape `tep-net` DATA frames
+/// carry, and the natural order a sender produces by walking its forest.
+///
+/// The hasher keeps one [`StreamingNodeHasher`] per level of the current
+/// root-to-leaf path, so memory is O(tree depth), never O(tree size). An
+/// entry at depth `d` first folds every open node deeper than `d` into its
+/// parent, then opens a new node as a child of the node at depth `d - 1`.
+/// Sibling order is enforced by [`StreamingNodeHasher::add_child`], so a
+/// reordered or duplicated stream fails instead of hashing to something
+/// unexpected.
+///
+/// The result is bit-identical to [`crate::hashing::subtree_hash`] over the
+/// equivalent in-memory forest.
+pub struct DepthStreamHasher {
+    alg: HashAlgorithm,
+    /// Open nodes along the current path, outermost (depth 0) first.
+    stack: Vec<(ObjectId, StreamingNodeHasher)>,
+    nodes: u64,
+    /// Set once the depth-0 node has been fully folded.
+    root_hash: Option<Vec<u8>>,
+}
+
+impl DepthStreamHasher {
+    /// A fresh hasher expecting the root entry at depth 0 first.
+    pub fn new(alg: HashAlgorithm) -> Self {
+        DepthStreamHasher {
+            alg,
+            stack: Vec::new(),
+            nodes: 0,
+            root_hash: None,
+        }
+    }
+
+    /// Feeds the next preorder entry.
+    pub fn push(&mut self, depth: usize, id: ObjectId, value: &Value) -> Result<(), StreamError> {
+        if depth > self.stack.len() {
+            return Err(StreamError::DepthSkipped {
+                got: depth,
+                max: self.stack.len(),
+            });
+        }
+        while self.stack.len() > depth {
+            self.fold_top()?;
+        }
+        if self.root_hash.is_some() {
+            return Err(StreamError::MultipleRoots);
+        }
+        self.stack
+            .push((id, StreamingNodeHasher::new(self.alg, id, value)));
+        Ok(())
+    }
+
+    /// Entries consumed so far.
+    pub fn node_count(&self) -> u64 {
+        self.nodes + self.stack.len() as u64
+    }
+
+    /// Folds remaining open nodes and returns `(subtree hash, node count)`.
+    pub fn finish(mut self) -> Result<(Vec<u8>, u64), StreamError> {
+        while !self.stack.is_empty() {
+            self.fold_top()?;
+        }
+        match self.root_hash {
+            Some(h) => Ok((h, self.nodes)),
+            None => Err(StreamError::EmptyStream),
+        }
+    }
+
+    fn fold_top(&mut self) -> Result<(), StreamError> {
+        let (id, hasher) = self.stack.pop().expect("fold_top on empty stack");
+        let hash = hasher.finish();
+        self.nodes += 1;
+        match self.stack.last_mut() {
+            Some((_, parent)) => parent.add_child(id, &hash),
+            None => {
+                self.root_hash = Some(hash);
+                Ok(())
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,6 +403,109 @@ mod tests {
         );
         assert!(n.add_child(ObjectId(3), &[0u8; 32]).is_err());
         assert!(n.add_child(ObjectId(6), &[0u8; 32]).is_ok());
+    }
+
+    /// Depth-tagged DFS preorder walk of `root`'s subtree, as a sender
+    /// (or the `tep-net` DATA encoder) would emit it.
+    fn preorder(f: &Forest, root: ObjectId) -> Vec<(usize, ObjectId, Value)> {
+        let mut out = Vec::new();
+        let mut work = vec![(0usize, root)];
+        while let Some((depth, id)) = work.pop() {
+            let node = f.node(id).expect("node exists");
+            out.push((depth, id, node.value().clone()));
+            // Children are in increasing-id order; push reversed so the
+            // smallest id is visited first.
+            let kids: Vec<ObjectId> = node.children().collect();
+            for &c in kids.iter().rev() {
+                work.push((depth + 1, c));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn depth_stream_matches_subtree_hash() {
+        let mut f = Forest::new();
+        let root = relational::create_root(&mut f, "db");
+        relational::build_table(&mut f, root, "title", 7, 3, |r, a| {
+            Value::text(format!("cell {r}/{a}"))
+        })
+        .unwrap();
+        relational::build_table(&mut f, root, "cast", 4, 2, |r, a| {
+            Value::Int((r + a) as i64)
+        })
+        .unwrap();
+
+        let first_table = f
+            .node(root)
+            .unwrap()
+            .children()
+            .next()
+            .expect("root has tables");
+        for target in [root, first_table] {
+            let mut h = DepthStreamHasher::new(ALG);
+            let entries = preorder(&f, target);
+            for (d, id, v) in &entries {
+                h.push(*d, *id, v).unwrap();
+            }
+            assert_eq!(h.node_count(), entries.len() as u64);
+            let (hash, nodes) = h.finish().unwrap();
+            assert_eq!(hash, subtree_hash(ALG, &f, target));
+            assert_eq!(nodes, entries.len() as u64);
+        }
+    }
+
+    #[test]
+    fn depth_stream_single_leaf() {
+        let mut f = Forest::new();
+        let a = f.insert(Value::Int(42), None).unwrap();
+        let mut h = DepthStreamHasher::new(ALG);
+        h.push(0, a, &Value::Int(42)).unwrap();
+        let (hash, nodes) = h.finish().unwrap();
+        assert_eq!(hash, subtree_hash(ALG, &f, a));
+        assert_eq!(nodes, 1);
+    }
+
+    #[test]
+    fn depth_stream_rejects_malformed_streams() {
+        // Skipped level: root at 0, then an entry claiming depth 2.
+        let mut h = DepthStreamHasher::new(ALG);
+        h.push(0, ObjectId(0), &Value::Null).unwrap();
+        assert_eq!(
+            h.push(2, ObjectId(1), &Value::Null),
+            Err(StreamError::DepthSkipped { got: 2, max: 1 })
+        );
+
+        // First entry must be the root.
+        let mut h = DepthStreamHasher::new(ALG);
+        assert_eq!(
+            h.push(1, ObjectId(0), &Value::Null),
+            Err(StreamError::DepthSkipped { got: 1, max: 0 })
+        );
+
+        // Two depth-0 entries: a second root is not a subtree.
+        let mut h = DepthStreamHasher::new(ALG);
+        h.push(0, ObjectId(0), &Value::Null).unwrap();
+        assert_eq!(
+            h.push(0, ObjectId(1), &Value::Null),
+            Err(StreamError::MultipleRoots)
+        );
+
+        // Out-of-order siblings propagate the node hasher's error.
+        let mut h = DepthStreamHasher::new(ALG);
+        h.push(0, ObjectId(0), &Value::Null).unwrap();
+        h.push(1, ObjectId(5), &Value::Null).unwrap();
+        h.push(1, ObjectId(3), &Value::Null).unwrap();
+        assert!(matches!(
+            h.finish(),
+            Err(StreamError::OutOfOrderChild { .. })
+        ));
+
+        // Empty stream has no hash.
+        assert_eq!(
+            DepthStreamHasher::new(ALG).finish(),
+            Err(StreamError::EmptyStream)
+        );
     }
 
     #[test]

@@ -311,38 +311,7 @@ impl<'a> Verifier<'a> {
     }
 
     fn check_shape(&self, r: &ProvenanceRecord, v: &mut Verification) {
-        let flag = |v: &mut Verification, why| {
-            v.issues.push(TamperEvidence::MalformedRecord {
-                oid: r.output_oid,
-                seq: r.seq_id,
-                why,
-            })
-        };
-        match r.kind {
-            RecordKind::Insert => {
-                if !r.inputs.is_empty() {
-                    flag(v, "insert records must have no inputs");
-                }
-            }
-            RecordKind::Update => {
-                if r.inputs.len() != 1 {
-                    flag(v, "update records must have exactly one input");
-                } else if r.inputs[0].oid != r.output_oid {
-                    flag(v, "update input must be the output object itself");
-                }
-            }
-            RecordKind::Aggregate => {
-                if r.inputs.is_empty() {
-                    flag(v, "aggregate records must have at least one input");
-                }
-                if r.inputs.windows(2).any(|w| w[0].oid >= w[1].oid) {
-                    flag(v, "aggregate inputs must be sorted and distinct");
-                }
-                if r.inputs.iter().any(|i| i.oid == r.output_oid) {
-                    flag(v, "aggregate output must be a fresh object");
-                }
-            }
-        }
+        check_record_shape(r, &mut v.issues);
     }
 
     fn check_signature(
@@ -351,50 +320,299 @@ impl<'a> Verifier<'a> {
         index: &HashMap<(ObjectId, u64), &ProvenanceRecord>,
         v: &mut Verification,
     ) {
-        // Resolve predecessor checksums; missing ones are R2/R7 evidence.
-        let mut prev_checksums: Vec<&[u8]> = Vec::new();
-        let mut resolvable = true;
-        for input in &r.inputs {
-            let Some(prev) = input.prev_seq else { continue };
-            match index.get(&(input.oid, prev)) {
-                Some(p) => prev_checksums.push(&p.checksum),
-                None => {
-                    v.issues.push(TamperEvidence::MissingRecord {
-                        oid: input.oid,
-                        seq: prev,
-                    });
-                    resolvable = false;
-                }
+        check_record_signature(
+            self.keys,
+            self.alg,
+            r,
+            |oid, seq| index.get(&(oid, seq)).map(|p| p.checksum.clone()),
+            &mut v.issues,
+        );
+    }
+}
+
+/// Checks one record's structural invariants for its kind; shared by the
+/// batch [`Verifier`] and the [`StreamingVerifier`].
+fn check_record_shape(r: &ProvenanceRecord, issues: &mut Vec<TamperEvidence>) {
+    let flag = |issues: &mut Vec<TamperEvidence>, why| {
+        issues.push(TamperEvidence::MalformedRecord {
+            oid: r.output_oid,
+            seq: r.seq_id,
+            why,
+        })
+    };
+    match r.kind {
+        RecordKind::Insert => {
+            if !r.inputs.is_empty() {
+                flag(issues, "insert records must have no inputs");
             }
         }
-        if !resolvable {
+        RecordKind::Update => {
+            if r.inputs.len() != 1 {
+                flag(issues, "update records must have exactly one input");
+            } else if r.inputs[0].oid != r.output_oid {
+                flag(issues, "update input must be the output object itself");
+            }
+        }
+        RecordKind::Aggregate => {
+            if r.inputs.is_empty() {
+                flag(issues, "aggregate records must have at least one input");
+            }
+            if r.inputs.windows(2).any(|w| w[0].oid >= w[1].oid) {
+                flag(issues, "aggregate inputs must be sorted and distinct");
+            }
+            if r.inputs.iter().any(|i| i.oid == r.output_oid) {
+                flag(issues, "aggregate output must be a fresh object");
+            }
+        }
+    }
+}
+
+/// Checks one record's checksum signature, resolving predecessor checksums
+/// through `lookup_prev`; missing predecessors are R2/R7 evidence and skip
+/// the signature check (it could not possibly pass).
+fn check_record_signature(
+    keys: &KeyDirectory,
+    alg: HashAlgorithm,
+    r: &ProvenanceRecord,
+    lookup_prev: impl Fn(ObjectId, u64) -> Option<Vec<u8>>,
+    issues: &mut Vec<TamperEvidence>,
+) {
+    let mut prev_checksums: Vec<Vec<u8>> = Vec::new();
+    let mut resolvable = true;
+    for input in &r.inputs {
+        let Some(prev) = input.prev_seq else { continue };
+        match lookup_prev(input.oid, prev) {
+            Some(c) => prev_checksums.push(c),
+            None => {
+                issues.push(TamperEvidence::MissingRecord {
+                    oid: input.oid,
+                    seq: prev,
+                });
+                resolvable = false;
+            }
+        }
+    }
+    if !resolvable {
+        return;
+    }
+
+    let key = match keys.public_key(r.participant) {
+        Ok(k) => k,
+        Err(_) => {
+            issues.push(TamperEvidence::UnknownParticipant {
+                participant: r.participant,
+            });
             return;
         }
+    };
+    let prev_refs: Vec<&[u8]> = prev_checksums.iter().map(Vec::as_slice).collect();
+    let msg = checksum_message(
+        alg,
+        r.kind,
+        r.seq_id,
+        &r.inputs,
+        r.output_oid,
+        &r.output_hash,
+        &r.annotation,
+        &prev_refs,
+    );
+    if key.verify(alg, &msg, &r.checksum).is_err() {
+        issues.push(TamperEvidence::BadSignature {
+            oid: r.output_oid,
+            seq: r.seq_id,
+        });
+    }
+}
 
-        let key = match self.keys.public_key(r.participant) {
-            Ok(k) => k,
-            Err(_) => {
-                v.issues.push(TamperEvidence::UnknownParticipant {
-                    participant: r.participant,
-                });
-                return;
-            }
-        };
-        let msg = checksum_message(
-            self.alg,
-            r.kind,
-            r.seq_id,
-            &r.inputs,
-            r.output_oid,
-            &r.output_hash,
-            &r.annotation,
-            &prev_checksums,
-        );
-        if key.verify(self.alg, &msg, &r.checksum).is_err() {
-            v.issues.push(TamperEvidence::BadSignature {
-                oid: r.output_oid,
-                seq: r.seq_id,
+/// Incremental verifier for provenance that arrives **one record at a
+/// time** — e.g. over `tep-net` PROV frames — so a recipient can reject a
+/// transfer at the first bad record instead of buffering the whole history.
+///
+/// Records must arrive sorted by `(output_oid, seq_id)`. That order is
+/// topological for the provenance DAG (an aggregate's inputs always carry
+/// smaller object ids than its freshly allocated output; a chain's earlier
+/// records carry smaller sequence ids), so every predecessor checksum a
+/// record's signature covers has already been seen. A sender that deviates
+/// from the order surfaces as `MissingRecord`/`BrokenChain` evidence —
+/// deviation is itself suspicious.
+///
+/// On the same sorted input, [`finish`](Self::finish) reports the same
+/// issue multiset as [`Verifier::verify`] (ordering within the list may
+/// differ; both report *all* evidence found). One intentional difference:
+/// when the stream carried records but none for the target object, the
+/// batch verifier stops at `NoRecords` while the streaming verifier also
+/// retains the per-record evidence it already emitted.
+pub struct StreamingVerifier<'a> {
+    keys: &'a KeyDirectory,
+    alg: HashAlgorithm,
+    target: ObjectId,
+    issues: Vec<TamperEvidence>,
+    records_checked: usize,
+    participants: BTreeSet<ParticipantId>,
+    /// Checksums of every accepted record, for predecessor resolution.
+    checksums: HashMap<(ObjectId, u64), Vec<u8>>,
+    /// Push order (including duplicate slots), for reachability reporting.
+    order: Vec<(ObjectId, u64)>,
+    /// Predecessor edges for the final reachability sweep.
+    edges: HashMap<(ObjectId, u64), Vec<(ObjectId, u64)>>,
+    /// Highest sequence id seen so far per object chain.
+    chain_tail: HashMap<ObjectId, u64>,
+    /// `(seq_id, output_hash)` of the newest target record.
+    latest_target: Option<(u64, Vec<u8>)>,
+}
+
+impl<'a> StreamingVerifier<'a> {
+    /// Starts verifying the history of `target`.
+    pub fn new(keys: &'a KeyDirectory, alg: HashAlgorithm, target: ObjectId) -> Self {
+        StreamingVerifier {
+            keys,
+            alg,
+            target,
+            issues: Vec::new(),
+            records_checked: 0,
+            participants: BTreeSet::new(),
+            checksums: HashMap::new(),
+            order: Vec::new(),
+            edges: HashMap::new(),
+            chain_tail: HashMap::new(),
+            latest_target: None,
+        }
+    }
+
+    /// The object whose history is being verified.
+    pub fn target(&self) -> ObjectId {
+        self.target
+    }
+
+    /// All evidence accumulated so far.
+    pub fn issues(&self) -> &[TamperEvidence] {
+        &self.issues
+    }
+
+    /// Records pushed so far.
+    pub fn records_checked(&self) -> usize {
+        self.records_checked
+    }
+
+    /// Feeds the next record; returns how many **new** pieces of evidence
+    /// this record produced (0 ⇒ clean so far), letting a transport abort
+    /// mid-transfer and attribute the failure to this record's frame.
+    pub fn push_record(&mut self, r: &ProvenanceRecord) -> usize {
+        let before = self.issues.len();
+        let key = (r.output_oid, r.seq_id);
+
+        if self.checksums.contains_key(&key) {
+            self.issues.push(TamperEvidence::DuplicateRecord {
+                oid: key.0,
+                seq: key.1,
             });
+        }
+
+        check_record_shape(r, &mut self.issues);
+
+        // Chain structure against the tail seen so far.
+        let links_to_prior = match r.kind {
+            RecordKind::Insert | RecordKind::Aggregate => None,
+            RecordKind::Update => r.inputs.first().and_then(|inp| inp.prev_seq),
+        };
+        match self.chain_tail.get(&r.output_oid) {
+            None => {
+                if let Some(prev) = links_to_prior {
+                    self.issues.push(TamperEvidence::MissingRecord {
+                        oid: r.output_oid,
+                        seq: prev,
+                    });
+                }
+            }
+            Some(&prior) => match (r.kind, links_to_prior) {
+                (RecordKind::Update, Some(prev)) if prev == prior => {}
+                _ => {
+                    self.issues.push(TamperEvidence::BrokenChain {
+                        oid: r.output_oid,
+                        seq: r.seq_id,
+                    });
+                }
+            },
+        }
+        self.chain_tail.insert(r.output_oid, r.seq_id);
+
+        // Signature over the record's fields and already-seen predecessor
+        // checksums (topological order guarantees they have arrived).
+        let checksums = &self.checksums;
+        check_record_signature(
+            self.keys,
+            self.alg,
+            r,
+            |oid, seq| checksums.get(&(oid, seq)).cloned(),
+            &mut self.issues,
+        );
+
+        self.checksums.insert(key, r.checksum.clone());
+        self.order.push(key);
+        let preds: Vec<(ObjectId, u64)> = r
+            .inputs
+            .iter()
+            .filter_map(|i| i.prev_seq.map(|p| (i.oid, p)))
+            .collect();
+        self.edges.insert(key, preds);
+
+        if r.output_oid == self.target {
+            let newer = self
+                .latest_target
+                .as_ref()
+                .is_none_or(|(seq, _)| r.seq_id >= *seq);
+            if newer {
+                self.latest_target = Some((r.seq_id, r.output_hash.clone()));
+            }
+        }
+
+        self.records_checked += 1;
+        self.participants.insert(r.participant);
+        self.issues.len() - before
+    }
+
+    /// Finishes: checks the delivered object hash against the newest target
+    /// record and sweeps for records unreachable from it.
+    pub fn finish(mut self, object_hash: &[u8]) -> Verification {
+        let Some((latest_seq, latest_hash)) = self.latest_target.take() else {
+            self.issues
+                .push(TamperEvidence::NoRecords { oid: self.target });
+            return Verification {
+                issues: self.issues,
+                records_checked: self.records_checked,
+                participants: self.participants,
+            };
+        };
+        if latest_hash != object_hash {
+            self.issues
+                .push(TamperEvidence::OutputMismatch { oid: self.target });
+        }
+
+        let mut reachable: HashSet<(ObjectId, u64)> = HashSet::new();
+        let mut queue = VecDeque::new();
+        queue.push_back((self.target, latest_seq));
+        while let Some(key) = queue.pop_front() {
+            if !reachable.insert(key) {
+                continue;
+            }
+            let Some(preds) = self.edges.get(&key) else {
+                continue;
+            };
+            for &p in preds {
+                queue.push_back(p);
+            }
+        }
+        for &(oid, seq) in &self.order {
+            if !reachable.contains(&(oid, seq)) {
+                self.issues
+                    .push(TamperEvidence::ExtraneousRecord { oid, seq });
+            }
+        }
+
+        Verification {
+            issues: self.issues,
+            records_checked: self.records_checked,
+            participants: self.participants,
         }
     }
 }
@@ -636,6 +854,126 @@ mod tests {
                 assert_eq!(par.participants, seq.participants);
             }
         }
+    }
+
+    /// Issue lists as order-independent multisets (batch iterates HashMaps,
+    /// so intra-list order is not meaningful).
+    fn multiset(issues: &[TamperEvidence]) -> Vec<String> {
+        let mut v: Vec<String> = issues.iter().map(|i| format!("{i:?}")).collect();
+        v.sort();
+        v
+    }
+
+    /// Records in the wire order `tep-net` sends them: sorted by
+    /// `(output_oid, seq_id)`, which is topological for the DAG.
+    fn wire_order(prov: &ProvenanceObject) -> Vec<ProvenanceRecord> {
+        let mut recs = prov.records.clone();
+        recs.sort_by_key(|r| (r.output_oid, r.seq_id));
+        recs
+    }
+
+    fn dag_world() -> (World, ObjectId) {
+        let mut w = world();
+        let (a, _) = w.tracker.insert(&w.alice, Value::text("a1"), None).unwrap();
+        let (b, _) = w.tracker.insert(&w.alice, Value::text("b1"), None).unwrap();
+        w.tracker.update(&w.bob, b, Value::text("b2")).unwrap();
+        let (c, _) = w
+            .tracker
+            .aggregate(&w.bob, &[a, b], Value::text("c1"), AggregateMode::Atomic)
+            .unwrap();
+        w.tracker.update(&w.alice, a, Value::text("a2")).unwrap();
+        let (d, _) = w
+            .tracker
+            .aggregate(&w.alice, &[a, c], Value::text("d1"), AggregateMode::Atomic)
+            .unwrap();
+        (w, d)
+    }
+
+    #[test]
+    fn streaming_verifier_accepts_honest_history() {
+        let (mut w, d) = dag_world();
+        let prov = collect(w.tracker.db(), d).unwrap();
+        let hash = w.tracker.object_hash(d).unwrap();
+
+        let mut sv = StreamingVerifier::new(&w.keys, ALG, d);
+        for r in &wire_order(&prov) {
+            assert_eq!(sv.push_record(r), 0, "clean record flagged: {r:?}");
+        }
+        let stream = sv.finish(&hash);
+        assert!(stream.verified(), "issues: {:?}", stream.issues);
+
+        let batch = Verifier::new(&w.keys, ALG).verify(&hash, &prov);
+        assert_eq!(stream.records_checked, batch.records_checked);
+        assert_eq!(stream.participants, batch.participants);
+    }
+
+    #[test]
+    fn streaming_verifier_matches_batch_under_every_tamper() {
+        let (mut w, d) = dag_world();
+        let prov = collect(w.tracker.db(), d).unwrap();
+        let hash = w.tracker.object_hash(d).unwrap();
+
+        for tamper in crate::attack::all_single_record_tampers(&prov, w.bob.id()) {
+            let mut tampered = prov.clone();
+            assert!(
+                crate::attack::apply_tamper(&mut tampered, &tamper),
+                "tamper did not apply: {tamper:?}"
+            );
+            let batch = Verifier::new(&w.keys, ALG).verify(&hash, &tampered);
+
+            let mut sv = StreamingVerifier::new(&w.keys, ALG, d);
+            for r in &wire_order(&tampered) {
+                sv.push_record(r);
+            }
+            let stream = sv.finish(&hash);
+
+            assert!(!stream.verified(), "tamper undetected: {tamper:?}");
+            assert_eq!(
+                multiset(&stream.issues),
+                multiset(&batch.issues),
+                "verdicts diverge for {tamper:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_verifier_attributes_bad_record_at_push_time() {
+        let mut w = world();
+        let (a, _) = w.tracker.insert(&w.alice, Value::Int(1), None).unwrap();
+        w.tracker.update(&w.bob, a, Value::Int(2)).unwrap();
+        w.tracker.update(&w.alice, a, Value::Int(3)).unwrap();
+        let prov = collect(w.tracker.db(), a).unwrap();
+        let hash = w.tracker.object_hash(a).unwrap();
+
+        let mut recs = wire_order(&prov);
+        // Corrupt the middle record's checksum: a signature failure a
+        // transport must be able to pin on that exact frame.
+        let bad_idx = recs.iter().position(|r| r.seq_id == 1).unwrap();
+        recs[bad_idx].checksum[5] ^= 0x20;
+
+        let mut sv = StreamingVerifier::new(&w.keys, ALG, a);
+        let mut first_bad = None;
+        for (i, r) in recs.iter().enumerate() {
+            if sv.push_record(r) > 0 && first_bad.is_none() {
+                first_bad = Some(i);
+            }
+        }
+        assert_eq!(first_bad, Some(bad_idx), "failure not pinned to the frame");
+        assert!(sv
+            .issues()
+            .contains(&TamperEvidence::BadSignature { oid: a, seq: 1 }));
+        assert!(!sv.finish(&hash).verified());
+    }
+
+    #[test]
+    fn streaming_verifier_flags_empty_stream() {
+        let w = world();
+        let sv = StreamingVerifier::new(&w.keys, ALG, ObjectId(9));
+        let v = sv.finish(&[0u8; 32]);
+        assert_eq!(
+            v.issues,
+            vec![TamperEvidence::NoRecords { oid: ObjectId(9) }]
+        );
     }
 
     #[test]

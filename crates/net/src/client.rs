@@ -1,0 +1,390 @@
+//! Fetching client: connect/read retry with decorrelated-jitter backoff,
+//! and **streaming verify-on-receive**.
+//!
+//! Every PROV frame is pushed into a `tep-core`
+//! [`StreamingVerifier`](tep_core::verify::StreamingVerifier) the moment it
+//! arrives; the transfer is aborted at the **first** frame that produces
+//! tamper evidence, and the report says exactly which frame failed. DATA
+//! frames feed a [`DepthStreamHasher`](tep_core::streaming::DepthStreamHasher)
+//! so the object hash is recomputed incrementally — the client never trusts
+//! a hash the server claims, only the one it derives from the delivered
+//! bytes. A transfer is accepted only if the recomputed hash matches the
+//! newest provenance record (R4/R5) and every record verified (R1–R3).
+//!
+//! Transient failures (refused connections, timeouts, truncated streams,
+//! `ERR busy`) are retried with *decorrelated jitter*:
+//! `delay = min(cap, uniform(base, prev_delay * 3))` — the strategy that
+//! avoids retry thundering herds without coordination. Tamper evidence is
+//! **never** retried: a forged history does not become honest on the second
+//! download.
+
+use std::fmt;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tep_core::metrics::{TransferCounters, TransferSnapshot};
+use tep_core::streaming::{DepthStreamHasher, StreamError};
+use tep_core::verify::{StreamingVerifier, TamperEvidence, Verification};
+use tep_core::ProvenanceRecord;
+use tep_crypto::digest::HashAlgorithm;
+use tep_crypto::pki::KeyDirectory;
+use tep_model::ObjectId;
+
+use crate::wire::{
+    ErrorCode, FrameReader, FrameWriter, Message, OfferEntry, WireError, WIRE_VERSION,
+};
+
+/// Retry/backoff policy for transient network failures.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts (first try + retries). 1 disables retrying.
+    pub max_attempts: u32,
+    /// Lower bound of every backoff delay.
+    pub base: Duration,
+    /// Upper bound the jittered delay is clamped to.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Client configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// Hash algorithm the transfer's hashes use (must match the server).
+    pub alg: HashAlgorithm,
+    /// Backoff policy for transient failures.
+    pub retry: RetryPolicy,
+    /// Socket read timeout.
+    pub read_timeout: Duration,
+    /// Seed for the backoff jitter (deterministic for reproducible tests).
+    pub jitter_seed: u64,
+}
+
+impl ClientConfig {
+    /// Defaults for `alg`.
+    pub fn new(alg: HashAlgorithm) -> Self {
+        ClientConfig {
+            alg,
+            retry: RetryPolicy::default(),
+            read_timeout: Duration::from_secs(5),
+            jitter_seed: 0x7E94_E75D,
+        }
+    }
+}
+
+/// Successful, fully verified fetch.
+#[derive(Clone, Debug)]
+pub struct FetchReport {
+    /// The verifier's verdict (always `verified()` on the `Ok` path).
+    pub verification: Verification,
+    /// The object hash recomputed from the delivered data.
+    pub object_hash: Vec<u8>,
+    /// Provenance records received.
+    pub records: u64,
+    /// Data nodes received.
+    pub nodes: u64,
+    /// The server's OFFER manifest from this connection.
+    pub offer: Vec<OfferEntry>,
+}
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum NetError {
+    /// Wire-level failure (socket, framing, decoding).
+    Wire(WireError),
+    /// The server refused with a protocol error.
+    Remote {
+        /// The server's error code.
+        code: ErrorCode,
+        /// The server's detail string.
+        detail: String,
+    },
+    /// The peer violated the protocol state machine.
+    Protocol(&'static str),
+    /// The provenance failed cryptographic verification — the transfer was
+    /// rejected. **Never retried.**
+    TamperDetected {
+        /// Wire frame index (0-based, per connection) of the first frame
+        /// that produced evidence; `None` when the evidence only appears
+        /// at end-of-transfer (e.g. an object/record hash mismatch).
+        frame: Option<u64>,
+        /// All evidence accumulated up to the abort.
+        issues: Vec<TamperEvidence>,
+    },
+    /// The DATA stream was structurally malformed (bad depth tags, subtree
+    /// reordering). Also treated as tamper evidence, never retried.
+    MalformedStream {
+        /// Wire frame index of the offending DATA frame.
+        frame: u64,
+        /// The structural error.
+        error: StreamError,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Wire(e) => write!(f, "wire error: {e}"),
+            NetError::Remote { code, detail } => write!(f, "server refused ({code}): {detail}"),
+            NetError::Protocol(why) => write!(f, "protocol violation: {why}"),
+            NetError::TamperDetected { frame, issues } => {
+                match frame {
+                    Some(i) => write!(f, "tampering detected at frame {i}: ")?,
+                    None => write!(f, "tampering detected at end of transfer: ")?,
+                }
+                write!(f, "{} issue(s)", issues.len())?;
+                if let Some(first) = issues.first() {
+                    write!(f, ", first: {first}")?;
+                }
+                Ok(())
+            }
+            NetError::MalformedStream { frame, error } => {
+                write!(f, "malformed data stream at frame {frame}: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Wire(WireError::from(e))
+    }
+}
+
+impl NetError {
+    /// Whether retrying could plausibly help. Cryptographic rejections and
+    /// protocol violations are terminal; connectivity hiccups are not.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            NetError::Wire(WireError::Io(_)) | NetError::Wire(WireError::Truncated) => true,
+            NetError::Remote { code, .. } => *code == ErrorCode::Busy,
+            _ => false,
+        }
+    }
+}
+
+/// A provenance-fetching client for one server address.
+pub struct Client {
+    addr: SocketAddr,
+    cfg: ClientConfig,
+    counters: Arc<TransferCounters>,
+    rng: StdRng,
+}
+
+impl Client {
+    /// A client that will dial `addr`.
+    pub fn new(addr: SocketAddr, cfg: ClientConfig) -> Self {
+        Client {
+            addr,
+            cfg,
+            rng: StdRng::seed_from_u64(cfg.jitter_seed),
+            counters: Arc::new(TransferCounters::new()),
+        }
+    }
+
+    /// Transfer counters accumulated across every attempt so far.
+    pub fn counters(&self) -> TransferSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Connects and returns the server's OFFER manifest (with retry).
+    pub fn offer(&mut self) -> Result<Vec<OfferEntry>, NetError> {
+        self.with_retry(|conn| conn.offer.clone().ok_or(NetError::Protocol("no OFFER")))
+    }
+
+    /// Fetches `oid`, verifying every record as it arrives and the
+    /// recomputed object hash at the end. Transient failures are retried
+    /// per the policy; tamper evidence aborts immediately and is returned
+    /// as [`NetError::TamperDetected`].
+    pub fn fetch_verified(
+        &mut self,
+        oid: ObjectId,
+        keys: &KeyDirectory,
+    ) -> Result<FetchReport, NetError> {
+        let alg = self.cfg.alg;
+        let counters = Arc::clone(&self.counters);
+        self.with_retry(move |conn| fetch_on(conn, oid, keys, alg, &counters))
+    }
+
+    /// Runs `op` on a fresh connection, retrying transient failures with
+    /// decorrelated jitter.
+    fn with_retry<T>(
+        &mut self,
+        op: impl Fn(&mut Connection) -> Result<T, NetError>,
+    ) -> Result<T, NetError> {
+        let policy = self.cfg.retry;
+        let mut delay = policy.base;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let outcome = self.connect().and_then(|mut conn| op(&mut conn));
+            match outcome {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_retryable() && attempt < policy.max_attempts.max(1) => {
+                    self.counters.retry();
+                    delay = self.next_delay(delay, policy);
+                    std::thread::sleep(delay);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Decorrelated jitter: `min(cap, uniform(base, prev * 3))`.
+    fn next_delay(&mut self, prev: Duration, policy: RetryPolicy) -> Duration {
+        let base = policy.base.as_millis().max(1) as u64;
+        let hi = (prev.as_millis() as u64).saturating_mul(3).max(base + 1);
+        let picked = self.rng.gen_range(base..hi);
+        Duration::from_millis(picked).min(policy.cap)
+    }
+
+    /// Dials the server and completes the HELLO exchange.
+    fn connect(&self) -> Result<Connection, NetError> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_read_timeout(Some(self.cfg.read_timeout))?;
+        stream.set_nodelay(true)?;
+        let mut reader = FrameReader::new(
+            stream.try_clone().map_err(WireError::Io)?,
+            Arc::clone(&self.counters),
+        );
+        let mut writer = FrameWriter::new(stream, Arc::clone(&self.counters));
+        writer.write_message(&Message::Hello {
+            version: WIRE_VERSION,
+            alg: self.cfg.alg,
+        })?;
+        match reader.read_message()? {
+            Some(Message::Hello { version, alg })
+                if version == WIRE_VERSION && alg == self.cfg.alg => {}
+            Some(Message::Error { code, detail }) => {
+                return Err(NetError::Remote { code, detail });
+            }
+            Some(_) | None => return Err(NetError::Protocol("expected HELLO")),
+        }
+        let offer = match reader.read_message()? {
+            Some(Message::Offer { entries }) => Some(entries),
+            Some(Message::Error { code, detail }) => {
+                return Err(NetError::Remote { code, detail });
+            }
+            _ => return Err(NetError::Protocol("expected OFFER")),
+        };
+        Ok(Connection {
+            reader,
+            writer,
+            offer,
+        })
+    }
+}
+
+/// An established, HELLO-negotiated connection.
+struct Connection {
+    reader: FrameReader<TcpStream>,
+    writer: FrameWriter<TcpStream>,
+    offer: Option<Vec<OfferEntry>>,
+}
+
+/// One fetch on an established connection: streams PROV frames through the
+/// verifier, DATA frames through the subtree hasher, and settles at DONE.
+fn fetch_on(
+    conn: &mut Connection,
+    oid: ObjectId,
+    keys: &KeyDirectory,
+    alg: HashAlgorithm,
+    counters: &Arc<TransferCounters>,
+) -> Result<FetchReport, NetError> {
+    conn.writer.write_message(&Message::Fetch { oid })?;
+
+    let mut verifier = StreamingVerifier::new(keys, alg, oid);
+    let mut hasher = DepthStreamHasher::new(alg);
+    let mut records = 0u64;
+    let mut seen_data = false;
+
+    loop {
+        let frame = conn.reader.frames(); // index of the frame about to arrive
+        let msg = conn
+            .reader
+            .read_message()?
+            .ok_or(NetError::Protocol("connection closed mid-transfer"))?;
+        match msg {
+            Message::Prov { record } => {
+                if seen_data {
+                    return Err(NetError::Protocol("PROV after DATA"));
+                }
+                let rec = ProvenanceRecord::from_stored(&record).map_err(WireError::Decode)?;
+                records += 1;
+                if verifier.push_record(&rec) > 0 {
+                    counters.verify_failure();
+                    return Err(NetError::TamperDetected {
+                        frame: Some(frame),
+                        issues: verifier.issues().to_vec(),
+                    });
+                }
+            }
+            Message::Data { entries } => {
+                seen_data = true;
+                for e in &entries {
+                    if let Err(error) = hasher.push(e.depth as usize, e.id, &e.value) {
+                        counters.verify_failure();
+                        return Err(NetError::MalformedStream { frame, error });
+                    }
+                }
+            }
+            Message::Done {
+                records: sent_records,
+                nodes: sent_nodes,
+            } => {
+                let nodes = hasher.node_count();
+                let (object_hash, _) = match hasher.finish() {
+                    Ok(h) => h,
+                    Err(error) => {
+                        counters.verify_failure();
+                        return Err(NetError::MalformedStream { frame, error });
+                    }
+                };
+                // Verify FIRST: if frames were removed in flight, the
+                // evidence (broken chains, missing records) matters more
+                // than the bare count mismatch.
+                let verification = verifier.finish(&object_hash);
+                if !verification.verified() {
+                    counters.verify_failure();
+                    return Err(NetError::TamperDetected {
+                        frame: None,
+                        issues: verification.issues,
+                    });
+                }
+                if sent_records != records || sent_nodes != nodes {
+                    return Err(NetError::Protocol("DONE totals disagree with transfer"));
+                }
+                let ret = FetchReport {
+                    verification,
+                    object_hash,
+                    records,
+                    nodes,
+                    offer: conn.offer.clone().unwrap_or_default(),
+                };
+                return Ok(ret);
+            }
+            Message::Error { code, detail } => return Err(NetError::Remote { code, detail }),
+            _ => return Err(NetError::Protocol("unexpected message during transfer")),
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # tep-net — provenance exchange over TCP
+//!
+//! The paper's threat model (§2.2) is about provenance *in motion*: "data
+//! and its provenance are passed from participant to participant", and a
+//! malicious participant — or anyone on the path — may alter, truncate, or
+//! forge the history before it reaches the recipient. This crate is the
+//! transport for that hand-off:
+//!
+//! * [`wire`] — a deterministic, length-prefixed binary frame format that
+//!   reuses the storage layer's CRC framing and the model's canonical value
+//!   encoding, hardened against hostile input (allocation caps, strict
+//!   decoding).
+//! * [`server`] — a std-only multithreaded TCP server (bounded accept
+//!   queue, worker pool, socket timeouts, graceful shutdown) serving
+//!   objects out of a [`tep_storage::ProvenanceDb`] + data forest.
+//! * [`client`] — a retrying client (decorrelated-jitter backoff) that
+//!   performs **streaming verify-on-receive**: every provenance record is
+//!   checked the moment its frame arrives, the object hash is recomputed
+//!   from the delivered data, and the transfer is rejected at the first
+//!   bad frame — with the frame number in the report.
+//! * [`proxy`] — a man-in-the-middle harness that tampers with frames *in
+//!   flight* (recomputing the CRC, as a real attacker would) so tests can
+//!   demonstrate the R1–R5 guarantees hold on the wire.
+//!
+//! Per-connection traffic and verification counters come from
+//! [`tep_core::metrics::TransferCounters`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod proxy;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientConfig, FetchReport, NetError, RetryPolicy};
+pub use proxy::{ProxyAction, TamperProxy};
+pub use server::{serve, Catalog, ServerConfig, ServerHandle};
+pub use wire::{DataEntry, ErrorCode, Message, OfferEntry, WireError, MAX_FRAME, WIRE_VERSION};

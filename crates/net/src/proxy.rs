@@ -1,0 +1,147 @@
+//! A man-in-the-middle proxy for wire-attack testing.
+//!
+//! [`TamperProxy`] sits between a client and a server, forwards the
+//! client→server direction verbatim, and *decodes* every server→client
+//! message, hands it to a mutator, and re-encodes the (possibly replaced)
+//! message **with a valid frame CRC**. This models the paper's §2.2 threat:
+//! the CRC is accidental-corruption protection, so a deliberate attacker
+//! simply recomputes it — only the cryptographic provenance checksums stand
+//! between a tampered transfer and acceptance. Tests use this to assert
+//! that every [`tep_core::attack::Tamper`] applied *in flight* is caught by
+//! the client's streaming verifier.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use tep_core::metrics::TransferCounters;
+
+use crate::wire::{FrameReader, FrameWriter, Message};
+
+/// What the mutator wants done with one server→client message.
+pub enum ProxyAction {
+    /// Pass the message through unchanged.
+    Forward,
+    /// Substitute a different message (re-framed with a valid CRC).
+    Replace(Message),
+    /// Silently drop the message (models record removal / truncation).
+    Drop,
+}
+
+/// The mutator: called with the server→client frame index (0-based,
+/// counting every message including HELLO/OFFER) and the decoded message.
+pub type Mutator = Box<dyn FnMut(u64, &Message) -> ProxyAction + Send>;
+
+/// A running man-in-the-middle proxy; dropping it stops the listener.
+pub struct TamperProxy {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TamperProxy {
+    /// Spawns a proxy on an ephemeral localhost port relaying to
+    /// `upstream`. Connections are handled one at a time (attack tests are
+    /// sequential by nature).
+    pub fn spawn(upstream: SocketAddr, mut mutator: Mutator) -> io::Result<TamperProxy> {
+        let listener = TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, 0))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let accept_thread = thread::spawn(move || {
+            while !flag.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((client, _)) => {
+                        if let Err(e) = relay(client, upstream, &mut mutator) {
+                            // Relay errors (peer hangups, timeouts) are part
+                            // of normal attack-test operation.
+                            let _ = e;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => thread::sleep(Duration::from_millis(2)),
+                }
+            }
+        });
+        Ok(TamperProxy {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The proxy's listening address — point the client here.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener and joins the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TamperProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Relays one client connection through the mutator.
+fn relay(client: TcpStream, upstream: SocketAddr, mutator: &mut Mutator) -> io::Result<()> {
+    let server = TcpStream::connect(upstream)?;
+    client.set_read_timeout(Some(Duration::from_secs(10)))?;
+    server.set_read_timeout(Some(Duration::from_secs(10)))?;
+
+    // Client→server: verbatim byte copy on its own thread.
+    let mut c2s_src = client.try_clone()?;
+    let mut c2s_dst = server.try_clone()?;
+    let uplink = thread::spawn(move || {
+        let mut buf = [0u8; 4096];
+        loop {
+            match c2s_src.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    if c2s_dst.write_all(&buf[..n]).is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+        let _ = c2s_dst.shutdown(std::net::Shutdown::Write);
+    });
+
+    // Server→client: decode, mutate, re-frame (fresh, valid CRC).
+    let scratch = Arc::new(TransferCounters::new());
+    let mut reader = FrameReader::new(server, Arc::clone(&scratch));
+    let mut writer = FrameWriter::new(client.try_clone()?, scratch);
+    let mut frame = 0u64;
+    while let Ok(Some(msg)) = reader.read_message() {
+        let action = mutator(frame, &msg);
+        frame += 1;
+        let result = match action {
+            ProxyAction::Forward => writer.write_message(&msg),
+            ProxyAction::Replace(replacement) => writer.write_message(&replacement),
+            ProxyAction::Drop => continue,
+        };
+        if result.is_err() {
+            break;
+        }
+    }
+    let _ = client.shutdown(std::net::Shutdown::Write);
+    let _ = uplink.join();
+    Ok(())
+}

@@ -1,0 +1,416 @@
+//! Multithreaded TCP server for provenance exchange.
+//!
+//! std-only: a nonblocking accept loop feeds a **bounded** hand-off queue
+//! (overflow connections are refused with `ERR busy` instead of queueing
+//! unboundedly), a fixed pool of worker threads drains it, and every
+//! connection socket carries read/write timeouts so a stalled peer cannot
+//! pin a worker forever. [`ServerHandle::shutdown`] stops the accept loop,
+//! wakes the workers, and joins every thread.
+//!
+//! Per connection the server speaks the `wire` protocol:
+//!
+//! ```text
+//! client  HELLO ───────────▶
+//!         ◀─────────── HELLO   (version/alg must match; else ERR + close)
+//!         ◀─────────── OFFER   (manifest of served objects)
+//! client  FETCH oid ───────▶
+//!         ◀─ PROV × N         (records of the full provenance DAG,
+//!                              sorted by (output_oid, seq_id))
+//!         ◀─ DATA × M         (data subtree, depth-tagged DFS preorder)
+//!         ◀─ DONE             (totals)
+//!         … more FETCHes, or client closes …
+//! ```
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use tep_core::metrics::{TransferCounters, TransferSnapshot};
+use tep_core::provenance::collect;
+use tep_crypto::digest::HashAlgorithm;
+use tep_model::{Forest, ObjectId};
+use tep_storage::ProvenanceDb;
+
+use crate::wire::{
+    DataEntry, ErrorCode, FrameReader, FrameWriter, Message, OfferEntry, WireError,
+    DATA_CHUNK_BYTES, WIRE_VERSION,
+};
+
+/// What a server serves: a snapshot of the data forest, the provenance
+/// store, and the set of objects offered to clients.
+pub struct Catalog {
+    forest: Forest,
+    db: Arc<ProvenanceDb>,
+    alg: HashAlgorithm,
+    offered: Vec<ObjectId>,
+}
+
+impl Catalog {
+    /// Builds a catalog offering `offered` (deduplicated, sorted).
+    pub fn new(
+        forest: Forest,
+        db: Arc<ProvenanceDb>,
+        alg: HashAlgorithm,
+        mut offered: Vec<ObjectId>,
+    ) -> Self {
+        offered.sort();
+        offered.dedup();
+        Catalog {
+            forest,
+            db,
+            alg,
+            offered,
+        }
+    }
+
+    /// The hash algorithm this catalog's hashes use.
+    pub fn alg(&self) -> HashAlgorithm {
+        self.alg
+    }
+
+    /// The OFFER manifest.
+    pub fn offer_entries(&self) -> Vec<OfferEntry> {
+        self.offered
+            .iter()
+            .map(|&oid| OfferEntry {
+                oid,
+                records: self.db.records_for(oid).len() as u64,
+                nodes: if self.forest.contains(oid) {
+                    self.forest.subtree_ids(oid).len() as u64
+                } else {
+                    0
+                },
+            })
+            .collect()
+    }
+
+    fn is_offered(&self, oid: ObjectId) -> bool {
+        self.offered.binary_search(&oid).is_ok()
+    }
+
+    /// The depth-tagged DFS preorder walk of `root`'s data subtree.
+    fn data_entries(&self, root: ObjectId) -> Vec<DataEntry> {
+        let mut out = Vec::new();
+        let mut work = vec![(0u16, root)];
+        while let Some((depth, id)) = work.pop() {
+            let Some(node) = self.forest.node(id) else {
+                continue;
+            };
+            out.push(DataEntry {
+                depth,
+                id,
+                value: node.value().clone(),
+            });
+            let kids: Vec<ObjectId> = node.children().collect();
+            for &c in kids.iter().rev() {
+                work.push((depth + 1, c));
+            }
+        }
+        out
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Maximum connections waiting for a worker; beyond this, new
+    /// connections are refused with `ERR busy`.
+    pub queue_depth: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_depth: 32,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// How often the accept loop re-checks the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+struct Shared {
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A running server; dropping (or calling [`Self::shutdown`]) stops it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+    counters: Arc<TransferCounters>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Aggregated transfer counters across all connections so far.
+    pub fn counters(&self) -> TransferSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Stops accepting, wakes the workers, and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.available.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Binds `addr` (use port 0 for an ephemeral port) and serves `catalog`
+/// until the returned handle is shut down or dropped.
+pub fn serve(
+    catalog: Arc<Catalog>,
+    addr: SocketAddr,
+    cfg: ServerConfig,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+    });
+    let counters = Arc::new(TransferCounters::new());
+    let mut threads = Vec::with_capacity(cfg.workers + 1);
+
+    {
+        let shared = Arc::clone(&shared);
+        let counters = Arc::clone(&counters);
+        threads.push(thread::spawn(move || {
+            accept_loop(listener, shared, counters, cfg)
+        }));
+    }
+    for _ in 0..cfg.workers.max(1) {
+        let shared = Arc::clone(&shared);
+        let catalog = Arc::clone(&catalog);
+        let counters = Arc::clone(&counters);
+        threads.push(thread::spawn(move || {
+            worker_loop(shared, catalog, counters, cfg)
+        }));
+    }
+
+    Ok(ServerHandle {
+        addr: local,
+        shared,
+        threads,
+        counters,
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    counters: Arc<TransferCounters>,
+    cfg: ServerConfig,
+) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let mut queue = shared.queue.lock().expect("queue poisoned");
+                if queue.len() >= cfg.queue_depth {
+                    drop(queue);
+                    refuse_busy(stream, &counters, cfg);
+                } else {
+                    queue.push_back(stream);
+                    drop(queue);
+                    shared.available.notify_one();
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    }
+    // Unblock any worker still waiting.
+    shared.available.notify_all();
+}
+
+/// Best-effort `ERR busy` so the refused client sees a protocol answer
+/// rather than a bare RST.
+fn refuse_busy(stream: TcpStream, counters: &Arc<TransferCounters>, cfg: ServerConfig) {
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+    let mut w = FrameWriter::new(stream, Arc::clone(counters));
+    let _ = w.write_message(&Message::Error {
+        code: ErrorCode::Busy,
+        detail: "accept queue full".into(),
+    });
+}
+
+fn worker_loop(
+    shared: Arc<Shared>,
+    catalog: Arc<Catalog>,
+    counters: Arc<TransferCounters>,
+    cfg: ServerConfig,
+) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(s) = queue.pop_front() {
+                    break Some(s);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (q, _timeout) = shared
+                    .available
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .expect("queue poisoned");
+                queue = q;
+            }
+        };
+        match stream {
+            Some(s) => {
+                // A single bad connection must not take the worker down.
+                let _ = handle_connection(s, &catalog, &counters, cfg);
+            }
+            None => return,
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    catalog: &Catalog,
+    counters: &Arc<TransferCounters>,
+    cfg: ServerConfig,
+) -> Result<(), WireError> {
+    stream.set_read_timeout(Some(cfg.read_timeout))?;
+    stream.set_write_timeout(Some(cfg.write_timeout))?;
+    let mut reader = FrameReader::new(stream.try_clone()?, Arc::clone(counters));
+    let mut writer = FrameWriter::new(stream, Arc::clone(counters));
+
+    // HELLO exchange: version and algorithm must match exactly.
+    match reader.read_message()? {
+        Some(Message::Hello { version, alg })
+            if version == WIRE_VERSION && alg == catalog.alg() =>
+        {
+            writer.write_message(&Message::Hello {
+                version: WIRE_VERSION,
+                alg: catalog.alg(),
+            })?;
+        }
+        Some(Message::Hello { version, alg }) => {
+            writer.write_message(&Message::Error {
+                code: ErrorCode::VersionMismatch,
+                detail: format!(
+                    "server speaks v{WIRE_VERSION}/{:?}, client sent v{version}/{alg:?}",
+                    catalog.alg()
+                ),
+            })?;
+            return Ok(());
+        }
+        _ => {
+            writer.write_message(&Message::Error {
+                code: ErrorCode::BadRequest,
+                detail: "expected HELLO".into(),
+            })?;
+            return Ok(());
+        }
+    }
+
+    writer.write_message(&Message::Offer {
+        entries: catalog.offer_entries(),
+    })?;
+
+    while let Some(msg) = reader.read_message()? {
+        match msg {
+            Message::Fetch { oid } => serve_fetch(catalog, &mut writer, oid)?,
+            _ => {
+                writer.write_message(&Message::Error {
+                    code: ErrorCode::BadRequest,
+                    detail: "expected FETCH".into(),
+                })?;
+                return Ok(());
+            }
+        }
+    }
+    Ok(())
+}
+
+fn serve_fetch(
+    catalog: &Catalog,
+    writer: &mut FrameWriter<TcpStream>,
+    oid: ObjectId,
+) -> Result<(), WireError> {
+    if !catalog.is_offered(oid) || !catalog.forest.contains(oid) {
+        return writer.write_message(&Message::Error {
+            code: ErrorCode::UnknownObject,
+            detail: format!("object {oid} is not offered"),
+        });
+    }
+    let prov = match collect(&catalog.db, oid) {
+        Ok(p) => p,
+        Err(_) => {
+            return writer.write_message(&Message::Error {
+                code: ErrorCode::UnknownObject,
+                detail: format!("object {oid} has no provenance"),
+            });
+        }
+    };
+
+    // Records are already sorted by (output_oid, seq_id) — the topological
+    // order the client's streaming verifier requires.
+    let mut records = 0u64;
+    for record in &prov.records {
+        writer.write_message(&Message::Prov {
+            record: record.to_stored(),
+        })?;
+        records += 1;
+    }
+
+    // Data subtree, chunked by actual encoded size so no frame exceeds
+    // the chunk target by more than one entry.
+    let mut nodes = 0u64;
+    let mut chunk: Vec<DataEntry> = Vec::new();
+    let mut chunk_bytes = 0usize;
+    for entry in catalog.data_entries(oid) {
+        let entry_bytes = 10 + tep_model::encode::value_bytes(&entry.value).len();
+        if !chunk.is_empty() && chunk_bytes + entry_bytes > DATA_CHUNK_BYTES {
+            writer.write_message(&Message::Data {
+                entries: std::mem::take(&mut chunk),
+            })?;
+            chunk_bytes = 0;
+        }
+        chunk_bytes += entry_bytes;
+        nodes += 1;
+        chunk.push(entry);
+    }
+    if !chunk.is_empty() {
+        writer.write_message(&Message::Data { entries: chunk })?;
+    }
+
+    writer.write_message(&Message::Done { records, nodes })
+}

@@ -1,0 +1,648 @@
+//! Deterministic binary wire format for provenance exchange.
+//!
+//! Every message travels in one **frame**:
+//!
+//! ```text
+//! frame   := len:u32be  crc:u32be  payload[len]
+//! payload := type:u8    body
+//! ```
+//!
+//! where `crc` is [`tep_storage::crc::frame_crc`] — CRC-32 over the
+//! big-endian length prefix followed by the payload — exactly the framing
+//! the durable log uses on disk. Covering the length prefix means a run of
+//! zero bytes can never parse as a valid empty frame, and a frame whose
+//! length field was damaged in flight fails the checksum instead of
+//! desynchronizing the stream. The CRC protects against *accidental*
+//! corruption only; deliberate tampering is caught by the cryptographic
+//! provenance checksums the payloads carry (see `tep-core::verify`).
+//!
+//! Message bodies reuse the canonical encodings already defined elsewhere:
+//! provenance records travel as [`StoredRecord`] bytes (the storage wire
+//! format), data values as `tep_model::encode` canonical values. All
+//! integers are big-endian; all variable-length fields are length-prefixed.
+//! There is exactly one encoding for every message — the format is
+//! deterministic so byte streams can be compared, replayed, and hashed.
+//!
+//! Decoding is hardened against untrusted input: the frame length is
+//! capped at [`MAX_FRAME`] *before* any allocation, vector pre-allocation
+//! never trusts wire-supplied counts, and every body decoder must consume
+//! its payload exactly.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+use tep_core::metrics::TransferCounters;
+use tep_crypto::digest::HashAlgorithm;
+use tep_model::encode::{decode_value, encode_value, DecodeError, Reader};
+use tep_model::{ObjectId, Value};
+use tep_storage::crc::frame_crc;
+use tep_storage::StoredRecord;
+
+/// Magic bytes opening every HELLO body (protocol family + format version).
+pub const WIRE_MAGIC: [u8; 8] = *b"TEPNET\x00\x01";
+
+/// Protocol version negotiated in HELLO.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Hard cap on a frame's payload length. Enforced before allocating, so a
+/// hostile 4 GiB length prefix costs the decoder nothing.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Soft target for DATA frame payload size; the server flushes a chunk
+/// once it crosses this many encoded bytes.
+pub const DATA_CHUNK_BYTES: usize = 32 * 1024;
+
+const TYPE_HELLO: u8 = 0x01;
+const TYPE_OFFER: u8 = 0x02;
+const TYPE_FETCH: u8 = 0x03;
+const TYPE_PROV: u8 = 0x04;
+const TYPE_DATA: u8 = 0x05;
+const TYPE_DONE: u8 = 0x06;
+const TYPE_ERROR: u8 = 0x07;
+
+/// Why a peer refused a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// HELLO version or hash algorithm did not match.
+    VersionMismatch,
+    /// The requested object is not offered here.
+    UnknownObject,
+    /// The server's accept queue is full; try again later.
+    Busy,
+    /// The peer sent a message the protocol state does not allow.
+    BadRequest,
+}
+
+impl ErrorCode {
+    fn wire_id(self) -> u8 {
+        match self {
+            ErrorCode::VersionMismatch => 1,
+            ErrorCode::UnknownObject => 2,
+            ErrorCode::Busy => 3,
+            ErrorCode::BadRequest => 4,
+        }
+    }
+
+    fn from_wire_id(id: u8) -> Option<Self> {
+        match id {
+            1 => Some(ErrorCode::VersionMismatch),
+            2 => Some(ErrorCode::UnknownObject),
+            3 => Some(ErrorCode::Busy),
+            4 => Some(ErrorCode::BadRequest),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorCode::VersionMismatch => "version mismatch",
+            ErrorCode::UnknownObject => "unknown object",
+            ErrorCode::Busy => "server busy",
+            ErrorCode::BadRequest => "bad request",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One entry of the server's OFFER manifest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OfferEntry {
+    /// The offered object.
+    pub oid: ObjectId,
+    /// Records in the object's own chain (the full DAG a FETCH delivers
+    /// may be larger).
+    pub records: u64,
+    /// Nodes in the object's data subtree.
+    pub nodes: u64,
+}
+
+/// One depth-tagged DFS-preorder node of a DATA frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DataEntry {
+    /// Depth below the transfer's root object (root = 0).
+    pub depth: u16,
+    /// The node's object id.
+    pub id: ObjectId,
+    /// The node's value, canonically encoded on the wire.
+    pub value: Value,
+}
+
+/// A protocol message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    /// Connection opener, sent by both sides: magic, version, algorithm.
+    Hello {
+        /// Protocol version ([`WIRE_VERSION`]).
+        version: u16,
+        /// Hash algorithm all hashes on this connection use.
+        alg: HashAlgorithm,
+    },
+    /// Manifest of objects the server serves.
+    Offer {
+        /// One entry per offered object, in `ObjectId` order.
+        entries: Vec<OfferEntry>,
+    },
+    /// Client requests one object's provenance + data.
+    Fetch {
+        /// The requested object.
+        oid: ObjectId,
+    },
+    /// One provenance record, in `(output_oid, seq_id)` order.
+    Prov {
+        /// The record in storage wire format.
+        record: StoredRecord,
+    },
+    /// A chunk of the object's data subtree in depth-tagged DFS preorder.
+    Data {
+        /// The entries of this chunk.
+        entries: Vec<DataEntry>,
+    },
+    /// End of a transfer, with totals for cross-checking.
+    Done {
+        /// PROV frames sent.
+        records: u64,
+        /// Data entries sent.
+        nodes: u64,
+    },
+    /// Refusal. Fatal codes close the connection.
+    Error {
+        /// Machine-readable reason.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+/// Wire-layer failure.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying socket/file error (includes read timeouts).
+    Io(io::Error),
+    /// A frame's length prefix exceeds [`MAX_FRAME`].
+    Oversized {
+        /// The claimed payload length.
+        len: u32,
+    },
+    /// The stream ended inside a frame.
+    Truncated,
+    /// Frame checksum mismatch: the bytes were damaged in flight.
+    BadCrc,
+    /// HELLO magic bytes are wrong — not a tep-net peer.
+    BadMagic,
+    /// Unknown message type byte.
+    BadType(u8),
+    /// A message body failed to decode.
+    Decode(DecodeError),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::Oversized { len } => {
+                write!(f, "frame length {len} exceeds cap {MAX_FRAME}")
+            }
+            WireError::Truncated => write!(f, "stream ended inside a frame"),
+            WireError::BadCrc => write!(f, "frame checksum mismatch"),
+            WireError::BadMagic => write!(f, "bad protocol magic"),
+            WireError::BadType(t) => write!(f, "unknown message type 0x{t:02x}"),
+            WireError::Decode(e) => write!(f, "malformed message body: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(e)
+        }
+    }
+}
+
+impl From<DecodeError> for WireError {
+    fn from(e: DecodeError) -> Self {
+        WireError::Decode(e)
+    }
+}
+
+/// Encodes `msg` into a payload (type byte + body), without framing.
+pub fn encode_message(msg: &Message) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    match msg {
+        Message::Hello { version, alg } => {
+            out.push(TYPE_HELLO);
+            out.extend_from_slice(&WIRE_MAGIC);
+            out.extend_from_slice(&version.to_be_bytes());
+            out.push(alg.wire_id());
+        }
+        Message::Offer { entries } => {
+            out.push(TYPE_OFFER);
+            out.extend_from_slice(&(entries.len() as u32).to_be_bytes());
+            for e in entries {
+                out.extend_from_slice(&e.oid.raw().to_be_bytes());
+                out.extend_from_slice(&e.records.to_be_bytes());
+                out.extend_from_slice(&e.nodes.to_be_bytes());
+            }
+        }
+        Message::Fetch { oid } => {
+            out.push(TYPE_FETCH);
+            out.extend_from_slice(&oid.raw().to_be_bytes());
+        }
+        Message::Prov { record } => {
+            out.push(TYPE_PROV);
+            out.extend_from_slice(&record.to_bytes());
+        }
+        Message::Data { entries } => {
+            out.push(TYPE_DATA);
+            out.extend_from_slice(&(entries.len() as u32).to_be_bytes());
+            for e in entries {
+                out.extend_from_slice(&e.depth.to_be_bytes());
+                out.extend_from_slice(&e.id.raw().to_be_bytes());
+                encode_value(&e.value, &mut out);
+            }
+        }
+        Message::Done { records, nodes } => {
+            out.push(TYPE_DONE);
+            out.extend_from_slice(&records.to_be_bytes());
+            out.extend_from_slice(&nodes.to_be_bytes());
+        }
+        Message::Error { code, detail } => {
+            out.push(TYPE_ERROR);
+            out.push(code.wire_id());
+            out.extend_from_slice(&(detail.len() as u64).to_be_bytes());
+            out.extend_from_slice(detail.as_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes one message from a complete frame payload.
+pub fn decode_message(payload: &[u8]) -> Result<Message, WireError> {
+    let mut r = Reader::new(payload);
+    let msg = match r.u8()? {
+        TYPE_HELLO => {
+            let magic: [u8; 8] = r.array()?;
+            if magic != WIRE_MAGIC {
+                return Err(WireError::BadMagic);
+            }
+            let version = u16::from_be_bytes(r.array()?);
+            let alg_id = r.u8()?;
+            let alg = HashAlgorithm::from_wire_id(alg_id)
+                .ok_or(WireError::Decode(DecodeError::BadTag(alg_id)))?;
+            Message::Hello { version, alg }
+        }
+        TYPE_OFFER => {
+            let count = r.u32()? as usize;
+            // Never trust the count for allocation; each entry is 24 bytes.
+            let mut entries = Vec::with_capacity(count.min(r.remaining() / 24 + 1));
+            for _ in 0..count {
+                entries.push(OfferEntry {
+                    oid: ObjectId(r.u64()?),
+                    records: r.u64()?,
+                    nodes: r.u64()?,
+                });
+            }
+            Message::Offer { entries }
+        }
+        TYPE_FETCH => Message::Fetch {
+            oid: ObjectId(r.u64()?),
+        },
+        TYPE_PROV => {
+            let record = StoredRecord::from_bytes(&payload[1..])?;
+            return Ok(Message::Prov { record });
+        }
+        TYPE_DATA => {
+            let count = r.u32()? as usize;
+            // Each entry is at least 11 bytes (depth + id + 1-byte value).
+            let mut entries = Vec::with_capacity(count.min(r.remaining() / 11 + 1));
+            for _ in 0..count {
+                let depth = u16::from_be_bytes(r.array()?);
+                let id = ObjectId(r.u64()?);
+                let value = decode_value(&mut r)?;
+                entries.push(DataEntry { depth, id, value });
+            }
+            Message::Data { entries }
+        }
+        TYPE_DONE => Message::Done {
+            records: r.u64()?,
+            nodes: r.u64()?,
+        },
+        TYPE_ERROR => {
+            let code_id = r.u8()?;
+            let code = ErrorCode::from_wire_id(code_id)
+                .ok_or(WireError::Decode(DecodeError::BadTag(code_id)))?;
+            let detail = String::from_utf8(r.len_prefixed()?.to_vec())
+                .map_err(|_| WireError::Decode(DecodeError::BadUtf8))?;
+            Message::Error { code, detail }
+        }
+        t => return Err(WireError::BadType(t)),
+    };
+    r.expect_end()?;
+    Ok(msg)
+}
+
+/// Reads frames off a byte stream, verifying checksums and enforcing the
+/// [`MAX_FRAME`] allocation cap, and counts them into [`TransferCounters`].
+pub struct FrameReader<R> {
+    inner: R,
+    counters: Arc<TransferCounters>,
+    frames: u64,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps `inner`; received frames/bytes are tallied into `counters`.
+    pub fn new(inner: R, counters: Arc<TransferCounters>) -> Self {
+        FrameReader {
+            inner,
+            counters,
+            frames: 0,
+        }
+    }
+
+    /// Frames read so far on this stream.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Reads the next message. `Ok(None)` means the peer closed the stream
+    /// cleanly *between* frames; EOF inside a frame is [`WireError::Truncated`].
+    pub fn read_message(&mut self) -> Result<Option<Message>, WireError> {
+        let mut header = [0u8; 8];
+        match read_exact_or_eof(&mut self.inner, &mut header)? {
+            ReadOutcome::Eof => return Ok(None),
+            ReadOutcome::Full => {}
+        }
+        let len = u32::from_be_bytes(header[0..4].try_into().expect("4 bytes"));
+        let crc = u32::from_be_bytes(header[4..8].try_into().expect("4 bytes"));
+        if len as usize > MAX_FRAME {
+            return Err(WireError::Oversized { len });
+        }
+        let mut payload = vec![0u8; len as usize];
+        self.inner.read_exact(&mut payload)?;
+        if frame_crc(len, &payload) != crc {
+            return Err(WireError::BadCrc);
+        }
+        self.frames += 1;
+        self.counters.frame_received(8 + len as u64);
+        decode_message(&payload).map(Some)
+    }
+}
+
+enum ReadOutcome {
+    Full,
+    Eof,
+}
+
+/// Like `read_exact`, but a clean EOF before the *first* byte is reported
+/// as [`ReadOutcome::Eof`] instead of an error.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<ReadOutcome, WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(ReadOutcome::Eof)
+                } else {
+                    Err(WireError::Truncated)
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+/// Writes framed messages onto a byte stream, counting them into
+/// [`TransferCounters`].
+pub struct FrameWriter<W> {
+    inner: W,
+    counters: Arc<TransferCounters>,
+}
+
+impl<W: Write> FrameWriter<W> {
+    /// Wraps `inner`; sent frames/bytes are tallied into `counters`.
+    pub fn new(inner: W, counters: Arc<TransferCounters>) -> Self {
+        FrameWriter { inner, counters }
+    }
+
+    /// Consumes the writer, returning the underlying sink (useful for
+    /// in-memory streams in tests and benches).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+
+    /// Frames and sends one message.
+    pub fn write_message(&mut self, msg: &Message) -> Result<(), WireError> {
+        let payload = encode_message(msg);
+        debug_assert!(payload.len() <= MAX_FRAME, "oversized outbound frame");
+        let len = payload.len() as u32;
+        let crc = frame_crc(len, &payload);
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&len.to_be_bytes());
+        frame.extend_from_slice(&crc.to_be_bytes());
+        frame.extend_from_slice(&payload);
+        self.inner.write_all(&frame)?;
+        self.inner.flush()?;
+        self.counters.frame_sent(frame.len() as u64);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tep_crypto::pki::ParticipantId;
+
+    fn counters() -> Arc<TransferCounters> {
+        Arc::new(TransferCounters::new())
+    }
+
+    fn sample_messages() -> Vec<Message> {
+        vec![
+            Message::Hello {
+                version: WIRE_VERSION,
+                alg: HashAlgorithm::Sha256,
+            },
+            Message::Offer {
+                entries: vec![
+                    OfferEntry {
+                        oid: ObjectId(1),
+                        records: 3,
+                        nodes: 9,
+                    },
+                    OfferEntry {
+                        oid: ObjectId(7),
+                        records: 1,
+                        nodes: 1,
+                    },
+                ],
+            },
+            Message::Fetch { oid: ObjectId(7) },
+            Message::Prov {
+                record: StoredRecord {
+                    seq_id: 4,
+                    participant: ParticipantId(2),
+                    oid: ObjectId(7),
+                    checksum: vec![0xAB; 64],
+                    payload: vec![0xCD; 33],
+                },
+            },
+            Message::Data {
+                entries: vec![
+                    DataEntry {
+                        depth: 0,
+                        id: ObjectId(7),
+                        value: Value::text("root"),
+                    },
+                    DataEntry {
+                        depth: 1,
+                        id: ObjectId(8),
+                        value: Value::Int(-5),
+                    },
+                ],
+            },
+            Message::Done {
+                records: 4,
+                nodes: 2,
+            },
+            Message::Error {
+                code: ErrorCode::UnknownObject,
+                detail: "object 99 is not offered".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_message_roundtrips() {
+        for msg in sample_messages() {
+            let payload = encode_message(&msg);
+            let back = decode_message(&payload).unwrap();
+            assert_eq!(back, msg, "roundtrip failed for {msg:?}");
+        }
+    }
+
+    #[test]
+    fn framed_stream_roundtrips_and_counts() {
+        let msgs = sample_messages();
+        let mut buf = Vec::new();
+        let send = counters();
+        {
+            let mut w = FrameWriter::new(&mut buf, Arc::clone(&send));
+            for m in &msgs {
+                w.write_message(m).unwrap();
+            }
+        }
+        let recv = counters();
+        let mut r = FrameReader::new(buf.as_slice(), Arc::clone(&recv));
+        let mut back = Vec::new();
+        while let Some(m) = r.read_message().unwrap() {
+            back.push(m);
+        }
+        assert_eq!(back, msgs);
+        let s = send.snapshot();
+        let g = recv.snapshot();
+        assert_eq!(s.frames_sent, msgs.len() as u64);
+        assert_eq!(g.frames_received, msgs.len() as u64);
+        assert_eq!(s.bytes_sent, g.bytes_received);
+        assert_eq!(s.bytes_sent, buf.len() as u64);
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        let mut frame = Vec::new();
+        let len = (MAX_FRAME as u32) + 1;
+        frame.extend_from_slice(&len.to_be_bytes());
+        frame.extend_from_slice(&frame_crc(len, &[]).to_be_bytes());
+        // No payload at all: the reader must refuse on the length alone.
+        let mut r = FrameReader::new(frame.as_slice(), counters());
+        assert!(matches!(
+            r.read_message(),
+            Err(WireError::Oversized { len: l }) if l == len
+        ));
+    }
+
+    #[test]
+    fn corrupted_frame_fails_crc() {
+        let mut buf = Vec::new();
+        FrameWriter::new(&mut buf, counters())
+            .write_message(&Message::Fetch { oid: ObjectId(3) })
+            .unwrap();
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x01;
+            let mut r = FrameReader::new(bad.as_slice(), counters());
+            let res = r.read_message();
+            assert!(
+                !matches!(res, Ok(Some(Message::Fetch { oid })) if oid == ObjectId(3)),
+                "flipped bit at byte {i} went unnoticed"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_an_error_not_a_panic() {
+        let mut buf = Vec::new();
+        {
+            let mut w = FrameWriter::new(&mut buf, counters());
+            for m in sample_messages() {
+                w.write_message(&m).unwrap();
+            }
+        }
+        for cut in 0..buf.len() {
+            let mut r = FrameReader::new(buf[..cut].as_ref(), counters());
+            loop {
+                match r.read_message() {
+                    Ok(Some(_)) => continue,
+                    Ok(None) => break, // clean EOF at a frame boundary
+                    Err(WireError::Truncated) => break,
+                    Err(e) => panic!("unexpected error at cut {cut}: {e}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hello_magic_is_checked() {
+        let msg = Message::Hello {
+            version: WIRE_VERSION,
+            alg: HashAlgorithm::Sha1,
+        };
+        let mut payload = encode_message(&msg);
+        payload[1] ^= 0xFF; // first magic byte
+        assert!(matches!(decode_message(&payload), Err(WireError::BadMagic)));
+    }
+
+    #[test]
+    fn unknown_type_and_trailing_bytes_rejected() {
+        assert!(matches!(
+            decode_message(&[0x7F]),
+            Err(WireError::BadType(0x7F))
+        ));
+        let mut payload = encode_message(&Message::Fetch { oid: ObjectId(1) });
+        payload.push(0x00);
+        assert!(matches!(
+            decode_message(&payload),
+            Err(WireError::Decode(DecodeError::TrailingBytes(1)))
+        ));
+    }
+
+    #[test]
+    fn data_count_cannot_force_allocation() {
+        // Claims u32::MAX entries but carries none.
+        let mut payload = vec![TYPE_DATA];
+        payload.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(matches!(
+            decode_message(&payload),
+            Err(WireError::Decode(DecodeError::UnexpectedEof))
+        ));
+    }
+}

@@ -22,6 +22,20 @@ pub fn crc32_update(mut state: u32, data: &[u8]) -> u32 {
     state
 }
 
+/// Frame checksum shared by every length-prefixed framing in the system
+/// (the [`crate::log`] durable log and the `tep-net` wire protocol):
+/// CRC-32 over the big-endian length prefix followed by the payload bytes.
+///
+/// Covering the length keeps a run of zero bytes from parsing as a valid
+/// empty frame (`crc32("") == 0`), which matters both for the log's
+/// torn-tail rescan and for resynchronization on a byte stream.
+pub fn frame_crc(len: u32, payload: &[u8]) -> u32 {
+    let mut state = CRC_INIT;
+    state = crc32_update(state, &len.to_be_bytes());
+    state = crc32_update(state, payload);
+    state ^ CRC_INIT
+}
+
 const TABLE: [u32; 256] = build_table();
 
 const fn build_table() -> [u32; 256] {
@@ -66,6 +80,18 @@ mod tests {
         state = crc32_update(state, &data[..5]);
         state = crc32_update(state, &data[5..]);
         assert_eq!(state ^ 0xFFFF_FFFF, crc32(data));
+    }
+
+    #[test]
+    fn frame_crc_binds_length_and_payload() {
+        let a = frame_crc(5, b"hello");
+        // Same payload under a different claimed length must differ.
+        assert_ne!(frame_crc(6, b"hello"), a);
+        // Same length, different payload must differ.
+        assert_ne!(frame_crc(5, b"hellp"), a);
+        // The empty frame is NOT the raw crc32("") == 0 — the length prefix
+        // is covered, so zero-runs never parse as valid frames.
+        assert_ne!(frame_crc(0, b""), 0);
     }
 
     #[test]

@@ -18,16 +18,7 @@
 //! error instead, since silently dropping interior records would be data
 //! loss.
 
-use crate::crc::{crc32_update, CRC_INIT};
-
-/// Frame checksum: CRC-32 over the big-endian length prefix followed by the
-/// payload bytes.
-fn frame_crc(len: u32, payload: &[u8]) -> u32 {
-    let mut state = CRC_INIT;
-    state = crc32_update(state, &len.to_be_bytes());
-    state = crc32_update(state, payload);
-    state ^ CRC_INIT
-}
+use crate::crc::frame_crc;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -333,6 +324,72 @@ mod tests {
         let rec2 = AppendLog::open(&path).unwrap();
         assert_eq!(rec2.payloads.len(), 2);
         assert_eq!(rec2.payloads[1], b"after recovery");
+    }
+
+    #[test]
+    fn torn_tail_inside_frame_header_is_truncated() {
+        // A tear can land inside the 8-byte frame header itself (len/crc),
+        // not just the payload. Every partial-header length must recover to
+        // the last good frame.
+        for kept_header_bytes in 1..FRAME_HEADER_LEN {
+            let path = temp_path(&format!("torn-hdr-{kept_header_bytes}"));
+            let _guard = Cleanup(path.clone());
+            let full_len;
+            {
+                let mut log = AppendLog::create(&path).unwrap();
+                log.append(b"keep me").unwrap();
+                full_len = log.len_bytes();
+                log.append(b"victim frame payload").unwrap();
+                log.sync().unwrap();
+            }
+            let f = OpenOptions::new().write(true).open(&path).unwrap();
+            f.set_len(full_len + kept_header_bytes as u64).unwrap();
+            drop(f);
+
+            let rec = AppendLog::open(&path).unwrap();
+            assert_eq!(rec.payloads.len(), 1, "tear after {kept_header_bytes}B");
+            assert_eq!(rec.payloads[0], b"keep me");
+            assert_eq!(rec.truncated_bytes, kept_header_bytes as u64);
+
+            // The recovered log must be appendable and reopen cleanly.
+            let mut log = rec.log;
+            log.append(b"after header tear").unwrap();
+            log.sync().unwrap();
+            drop(log);
+            let rec2 = AppendLog::open(&path).unwrap();
+            assert_eq!(rec2.truncated_bytes, 0);
+            assert_eq!(rec2.payloads.len(), 2);
+            assert_eq!(rec2.payloads[1], b"after header tear");
+        }
+    }
+
+    #[test]
+    fn torn_header_with_zero_filled_tail_is_truncated() {
+        // Crash mode where the filesystem grew the file but only part of the
+        // header block made it to disk: the rest of the frame reads as
+        // zeros. Because the frame CRC covers the length prefix, zero runs
+        // never parse as valid empty frames and the whole tail is dropped.
+        let path = temp_path("torn-hdr-zeros");
+        let _guard = Cleanup(path.clone());
+        let keep_upto;
+        {
+            let mut log = AppendLog::create(&path).unwrap();
+            log.append(b"survivor").unwrap();
+            keep_upto = log.len_bytes();
+            log.append(&[0xABu8; 100]).unwrap();
+            log.sync().unwrap();
+        }
+        // Zero everything after the first 4 header bytes of the last frame.
+        let mut data = std::fs::read(&path).unwrap();
+        for b in &mut data[keep_upto as usize + 4..] {
+            *b = 0;
+        }
+        std::fs::write(&path, &data).unwrap();
+
+        let rec = AppendLog::open(&path).unwrap();
+        assert_eq!(rec.payloads.len(), 1);
+        assert_eq!(rec.payloads[0], b"survivor");
+        assert!(rec.truncated_bytes > 0);
     }
 
     #[test]

@@ -43,6 +43,18 @@ impl StoredRecord {
         4 + 4 + 4 + self.checksum.len() as u64
     }
 
+    /// Canonical wire encoding of the row — used both for durable log
+    /// frames and for `tep-net` PROV frames, so a record's bytes are
+    /// identical at rest and in flight.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.encode()
+    }
+
+    /// Decodes a row from its [`Self::to_bytes`] encoding.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, DecodeError> {
+        Self::decode(buf)
+    }
+
     /// Wire encoding for the durable log.
     fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(32 + self.checksum.len() + self.payload.len());

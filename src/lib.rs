@@ -17,6 +17,9 @@
 //! * [`core`] — provenance records & checksums, Basic/Economical compound
 //!   hashing, inheritance, complex operations, DAG assembly, verification,
 //!   and an attack toolkit.
+//! * [`net`] — provenance exchange over TCP: deterministic wire format,
+//!   multithreaded server, and a retrying client with streaming
+//!   verify-on-receive.
 //! * [`workloads`] — the paper's synthetic tables and operation mixes.
 //!
 //! ## Quick start
@@ -53,6 +56,7 @@
 pub use tep_core as core;
 pub use tep_crypto as crypto;
 pub use tep_model as model;
+pub use tep_net as net;
 pub use tep_storage as storage;
 pub use tep_workloads as workloads;
 

@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--all] [--table1] [--fig6] [--fig7] [--fig8] [--fig9]
 //!       [--fig10] [--fig11] [--large [ROWS|paper]] [--chaining] [--verify-cost]
-//!       [--net] [--json] [--runs N] [--key-bits N] [--alg sha1|sha256] [--seed N] [--csv]
+//!       [--net] [--crash] [--json] [--runs N] [--key-bits N] [--alg sha1|sha256] [--seed N] [--csv]
 //! ```
 //!
 //! With no experiment flags, runs everything at laptop-friendly defaults
@@ -31,6 +31,7 @@ struct Args {
     verify_cost: bool,
     ablation: bool,
     net: bool,
+    crash: bool,
     json: bool,
     csv: bool,
     all: bool,
@@ -57,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
             "--verify-cost" => args.verify_cost = true,
             "--ablation" => args.ablation = true,
             "--net" => args.net = true,
+            "--crash" => args.crash = true,
             "--json" => args.json = true,
             "--large" => {
                 let rows = match it.peek() {
@@ -100,6 +102,7 @@ fn parse_args() -> Result<Args, String> {
         || args.verify_cost
         || args.ablation
         || args.net
+        || args.crash
         || args.json;
     if args.all || !experiments_requested {
         args.table1 = true;
@@ -114,6 +117,7 @@ fn parse_args() -> Result<Args, String> {
         args.verify_cost = true;
         args.ablation = true;
         args.net = true;
+        args.crash = true;
     }
     Ok(args)
 }
@@ -145,7 +149,7 @@ fn main() -> ExitCode {
                 "usage: repro [--all] [--table1] [--fig6] [--fig7] [--fig8] [--fig9] [--fig10] [--fig11]"
             );
             eprintln!(
-                "             [--large [ROWS|paper]] [--chaining] [--verify-cost] [--net] [--json]"
+                "             [--large [ROWS|paper]] [--chaining] [--verify-cost] [--net] [--crash] [--json]"
             );
             eprintln!(
                 "             [--runs N] [--key-bits N] [--alg sha1|sha256] [--seed N] [--csv]"
@@ -417,6 +421,29 @@ fn main() -> ExitCode {
                 "Provenance exchange over loopback TCP ({} records + {} nodes per object, verified on receive)",
                 r.records_per_object, r.nodes_per_object
             ),
+            &t,
+            args.csv,
+        );
+    }
+
+    if args.crash {
+        let r = run_recovery(&cfg, (cfg.runs as u64 * 1000).max(2000));
+        let mut t = TextTable::new(&[
+            "records",
+            "clean reopen (ms)",
+            "records/s",
+            "torn-tail reopen (ms)",
+            "quarantine reopen (ms)",
+        ]);
+        t.row(&[
+            r.records.to_string(),
+            format!("{:.2}", r.clean_reopen_ms),
+            format!("{:.0}", r.clean_records_per_sec),
+            format!("{:.2}", r.torn_reopen_ms),
+            format!("{:.2}", r.quarantine_reopen_ms),
+        ]);
+        emit(
+            "Durable-store crash recovery: reopen cost by damage class",
             &t,
             args.csv,
         );

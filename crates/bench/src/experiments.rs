@@ -15,7 +15,7 @@ use tep_core::prelude::*;
 use tep_core::Metrics;
 use tep_crypto::pki::Participant;
 use tep_model::{Forest, ObjectId};
-use tep_storage::ProvenanceDb;
+use tep_storage::{quarantine_path, ProvenanceDb, StoredRecord};
 use tep_workloads::{
     paper_database, setup_a_updates, setup_b_delete_rows, setup_b_insert_rows,
     setup_b_update_cells, setup_c_mix, stream_title_database, ComplexOp, MixSpec, TablePlan,
@@ -780,6 +780,114 @@ pub fn run_net_loopback(cfg: &ExperimentConfig, fetches: u64, threads: usize) ->
 }
 
 // ---------------------------------------------------------------------------
+// Crash-recovery cost (`repro --crash`)
+// ---------------------------------------------------------------------------
+
+/// Durable-store reopen cost on the real filesystem, for the three recovery
+/// paths: clean, torn tail (truncate), interior corruption (quarantine +
+/// atomic rewrite).
+#[derive(Clone, Debug)]
+pub struct RecoveryResult {
+    /// Records in the store when each reopen ran.
+    pub records: u64,
+    /// Reopen latency of a cleanly closed store (ms).
+    pub clean_reopen_ms: f64,
+    /// Records recovered per second on the clean reopen.
+    pub clean_records_per_sec: f64,
+    /// Reopen latency with a torn tail frame to truncate (ms).
+    pub torn_reopen_ms: f64,
+    /// Reopen latency with one interior corrupt frame — sidecar write plus
+    /// atomic rewrite of the whole log (ms).
+    pub quarantine_reopen_ms: f64,
+}
+
+/// Builds a `records`-record durable store, then times the three reopen
+/// paths. Recovery cost is CRC scanning and rewriting, so the records carry
+/// realistic sizes (128-byte checksum, 64-byte payload) but no signatures.
+pub fn run_recovery(cfg: &ExperimentConfig, records: u64) -> RecoveryResult {
+    let path = std::env::temp_dir().join(format!(
+        "tep-bench-recovery-{}-{}.teplog",
+        std::process::id(),
+        cfg.seed
+    ));
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(quarantine_path(&path));
+
+    {
+        let db = ProvenanceDb::durable(&path).unwrap();
+        for seq in 0..records {
+            db.append(StoredRecord {
+                seq_id: seq,
+                participant: ParticipantId(1),
+                oid: ObjectId(seq % 97),
+                checksum: vec![0xC5; 128],
+                payload: vec![0x7E; 64],
+            })
+            .unwrap();
+        }
+        db.sync().unwrap();
+    }
+
+    let time_reopen = |label: &str| {
+        let t = Instant::now();
+        let db =
+            ProvenanceDb::durable(&path).unwrap_or_else(|e| panic!("{label} reopen failed: {e}"));
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(db.len() as u64, records, "{label} reopen lost records");
+        ms
+    };
+
+    let clean_reopen_ms = time_reopen("clean");
+    let clean_records_per_sec = records as f64 / (clean_reopen_ms / 1e3);
+
+    // Torn tail: a partial frame header past the last synced frame, as a
+    // crash mid-append would leave.
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(&[0xDE, 0xAD, 0xBE]).unwrap();
+    }
+    let torn_reopen_ms = time_reopen("torn-tail");
+
+    // Interior corruption: flip a byte in the middle record's frame, which
+    // forces the quarantine + full atomic rewrite path.
+    {
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mut at = 12usize;
+        let mut frame = 0u64;
+        while at + 8 <= bytes.len() && frame < records / 2 {
+            let len = u32::from_be_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+            at += 8 + len;
+            frame += 1;
+        }
+        bytes[at + 8] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+    }
+    let t = Instant::now();
+    let db = ProvenanceDb::durable(&path).unwrap();
+    let quarantine_reopen_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        db.len() as u64,
+        records - 1,
+        "exactly one record quarantined"
+    );
+    drop(db);
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(quarantine_path(&path));
+    RecoveryResult {
+        records,
+        clean_reopen_ms,
+        clean_records_per_sec,
+        torn_reopen_ms,
+        quarantine_reopen_ms,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Machine-readable hot-path baseline (`repro --json`)
 // ---------------------------------------------------------------------------
 
@@ -805,6 +913,8 @@ pub struct BaselineResult {
     pub record_cost_us: f64,
     /// Verified loopback transfer throughput (`tep-net`).
     pub net: NetLoopbackResult,
+    /// Durable-store recovery cost (`tep-storage`).
+    pub recovery: RecoveryResult,
 }
 
 impl BaselineResult {
@@ -818,7 +928,10 @@ impl BaselineResult {
              \"net_loopback\": {{ \"records_per_object\": {}, \"nodes_per_object\": {}, \
              \"serial_objects_per_sec\": {:.1}, \"serial_mib_per_sec\": {:.2}, \
              \"threads\": {}, \"parallel_objects_per_sec\": {:.1}, \
-             \"parallel_mib_per_sec\": {:.2} }}\n}}\n",
+             \"parallel_mib_per_sec\": {:.2} }},\n  \
+             \"recovery\": {{ \"records\": {}, \"clean_reopen_ms\": {:.2}, \
+             \"clean_records_per_sec\": {:.1}, \"torn_reopen_ms\": {:.2}, \
+             \"quarantine_reopen_ms\": {:.2} }}\n}}\n",
             self.alg,
             self.key_bits,
             self.seed,
@@ -834,6 +947,11 @@ impl BaselineResult {
             self.net.threads,
             self.net.parallel_objects_per_sec,
             self.net.parallel_mib_per_sec,
+            self.recovery.records,
+            self.recovery.clean_reopen_ms,
+            self.recovery.clean_records_per_sec,
+            self.recovery.torn_reopen_ms,
+            self.recovery.quarantine_reopen_ms,
         )
     }
 }
@@ -906,6 +1024,9 @@ pub fn run_baseline(cfg: &ExperimentConfig) -> BaselineResult {
     // Verified network transfer over loopback, serial and 4-way.
     let net = run_net_loopback(cfg, (cfg.runs as u64 * 4).max(8), 4);
 
+    // Durable-store recovery cost on the real filesystem.
+    let recovery = run_recovery(cfg, (cfg.runs as u64 * 1000).max(2000));
+
     BaselineResult {
         alg: cfg.alg,
         key_bits: cfg.key_bits,
@@ -916,6 +1037,7 @@ pub fn run_baseline(cfg: &ExperimentConfig) -> BaselineResult {
         sha256_mib_per_sec,
         record_cost_us,
         net,
+        recovery,
     }
 }
 

@@ -74,6 +74,7 @@ pub struct TransferCounters {
     bytes_received: AtomicU64,
     verify_failures: AtomicU64,
     retries: AtomicU64,
+    worker_panics: AtomicU64,
 }
 
 /// A point-in-time copy of a [`TransferCounters`].
@@ -91,6 +92,9 @@ pub struct TransferSnapshot {
     pub verify_failures: u64,
     /// Connect/read attempts that were retried after a failure.
     pub retries: u64,
+    /// Server worker iterations that panicked and were isolated (the
+    /// worker recovered and kept serving).
+    pub worker_panics: u64,
 }
 
 impl TransferCounters {
@@ -121,6 +125,11 @@ impl TransferCounters {
         self.retries.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a worker panic that was caught and isolated.
+    pub fn worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Folds another endpoint's counters into this one (e.g. per-connection
     /// into per-server totals).
     pub fn merge(&self, other: &TransferSnapshot) {
@@ -135,6 +144,8 @@ impl TransferCounters {
         self.verify_failures
             .fetch_add(other.verify_failures, Ordering::Relaxed);
         self.retries.fetch_add(other.retries, Ordering::Relaxed);
+        self.worker_panics
+            .fetch_add(other.worker_panics, Ordering::Relaxed);
     }
 
     /// Reads all counters at once.
@@ -146,6 +157,7 @@ impl TransferCounters {
             bytes_received: self.bytes_received.load(Ordering::Relaxed),
             verify_failures: self.verify_failures.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
         }
     }
 }

@@ -104,6 +104,19 @@ pub enum TamperEvidence {
         /// The anchored sequence id.
         seq: u64,
     },
+    /// The durable store recovered in degraded mode: interior log
+    /// corruption was excised into the quarantine sidecar (or CRC-valid
+    /// frames failed to decode), so records are missing for a
+    /// storage-layer reason. Whatever chains the damage touched also
+    /// surface as [`TamperEvidence::MissingRecord`] /
+    /// [`TamperEvidence::BrokenChain`] (R2/R3); this evidence attributes
+    /// them to quarantined storage rather than an unexplained absence.
+    StorageQuarantine {
+        /// Number of quarantined ranges plus undecodable records.
+        gaps: u64,
+        /// Corrupt bytes moved to the quarantine sidecar.
+        bytes: u64,
+    },
 }
 
 impl fmt::Display for TamperEvidence {
@@ -155,6 +168,12 @@ impl fmt::Display for TamperEvidence {
                 write!(
                     f,
                     "trusted record ({oid}, seq {seq}) is missing or altered — history truncated or rolled back"
+                )
+            }
+            TamperEvidence::StorageQuarantine { gaps, bytes } => {
+                write!(
+                    f,
+                    "provenance store recovered in degraded mode: {gaps} corrupt range(s), {bytes} byte(s) quarantined (R2/R3 continuity not attestable)"
                 )
             }
         }
@@ -290,6 +309,30 @@ impl<'a> Verifier<'a> {
             }
         }
 
+        v
+    }
+
+    /// Like [`Self::verify`], but for provenance collected from a durable
+    /// store that went through crash recovery: `report` is what
+    /// [`tep_storage::ProvenanceDb::recovery`] found at open. A degraded
+    /// recovery (quarantined ranges or undecodable records) adds
+    /// [`TamperEvidence::StorageQuarantine`], so damaged chains never
+    /// verify clean and the `MissingRecord`/`BrokenChain` findings the
+    /// gaps cause are attributed to quarantined storage. A benign torn
+    /// tail (unacknowledged final append) adds nothing.
+    pub fn verify_recovered(
+        &self,
+        object_hash: &[u8],
+        prov: &ProvenanceObject,
+        report: &tep_storage::RecoveryReport,
+    ) -> Verification {
+        let mut v = self.verify(object_hash, prov);
+        if report.is_degraded() {
+            v.issues.push(TamperEvidence::StorageQuarantine {
+                gaps: report.gaps.len() as u64 + report.decode_failures,
+                bytes: report.quarantined_bytes,
+            });
+        }
         v
     }
 
@@ -715,6 +758,42 @@ mod tests {
         let hash = w.tracker.object_hash(root).unwrap();
         let v = Verifier::new(&w.keys, ALG).verify(&hash, &prov);
         assert!(v.verified(), "issues: {:?}", v.issues);
+    }
+
+    #[test]
+    fn degraded_recovery_adds_storage_quarantine_evidence() {
+        use tep_storage::{LogGap, RecoveryReport};
+        let mut w = world();
+        let (a, _) = w.tracker.insert(&w.alice, Value::Int(1), None).unwrap();
+        w.tracker.update(&w.bob, a, Value::Int(2)).unwrap();
+        let prov = collect(w.tracker.db(), a).unwrap();
+        let hash = w.tracker.object_hash(a).unwrap();
+        let verifier = Verifier::new(&w.keys, ALG);
+
+        // Clean recovery (even with a benign torn tail) changes nothing.
+        let clean = RecoveryReport {
+            truncated_bytes: 17,
+            ..RecoveryReport::default()
+        };
+        assert!(verifier.verify_recovered(&hash, &prov, &clean).verified());
+
+        // A quarantined gap must surface even when the surviving chain is
+        // internally consistent.
+        let degraded = RecoveryReport {
+            truncated_bytes: 0,
+            gaps: vec![LogGap {
+                preceding_frames: 1,
+                offset: 40,
+                bytes: 64,
+            }],
+            quarantined_bytes: 64,
+            decode_failures: 1,
+        };
+        let v = verifier.verify_recovered(&hash, &prov, &degraded);
+        assert!(!v.verified());
+        assert!(v
+            .issues
+            .contains(&TamperEvidence::StorageQuarantine { gaps: 2, bytes: 64 }));
     }
 
     #[test]

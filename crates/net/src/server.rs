@@ -24,8 +24,9 @@
 use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
@@ -142,6 +143,25 @@ impl Default for ServerConfig {
 /// How often the accept loop re-checks the shutdown flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(2);
 
+/// Locks `m`, recovering from poison. A thread that panicked while
+/// holding the queue lock must not wedge the accept loop or starve the
+/// remaining workers — the queue's invariants (a list of pending sockets)
+/// hold at every await point, so the contents are safe to reuse.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Runs one worker iteration with panic isolation: a panicking connection
+/// handler is counted in [`TransferCounters::worker_panics`] and the
+/// worker lives on to serve the next connection. Per-connection state is
+/// owned by the closure and dropped on unwind, so no broken invariants
+/// escape (hence `AssertUnwindSafe`).
+fn run_isolated(counters: &TransferCounters, f: impl FnOnce()) {
+    if panic::catch_unwind(AssertUnwindSafe(f)).is_err() {
+        counters.worker_panic();
+    }
+}
+
 struct Shared {
     queue: Mutex<VecDeque<TcpStream>>,
     available: Condvar,
@@ -239,7 +259,7 @@ fn accept_loop(
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                let mut queue = shared.queue.lock().expect("queue poisoned");
+                let mut queue = lock_recover(&shared.queue);
                 if queue.len() >= cfg.queue_depth {
                     drop(queue);
                     refuse_busy(stream, &counters, cfg);
@@ -276,7 +296,7 @@ fn worker_loop(
 ) {
     loop {
         let stream = {
-            let mut queue = shared.queue.lock().expect("queue poisoned");
+            let mut queue = lock_recover(&shared.queue);
             loop {
                 if let Some(s) = queue.pop_front() {
                     break Some(s);
@@ -287,14 +307,18 @@ fn worker_loop(
                 let (q, _timeout) = shared
                     .available
                     .wait_timeout(queue, Duration::from_millis(100))
-                    .expect("queue poisoned");
+                    .unwrap_or_else(PoisonError::into_inner);
                 queue = q;
             }
         };
         match stream {
             Some(s) => {
-                // A single bad connection must not take the worker down.
-                let _ = handle_connection(s, &catalog, &counters, cfg);
+                // A single bad connection must not take the worker down —
+                // neither via an I/O error (discarded) nor via a panic
+                // (caught, counted, isolated).
+                run_isolated(&counters, || {
+                    let _ = handle_connection(s, &catalog, &counters, cfg);
+                });
             }
             None => return,
         }
@@ -413,4 +437,55 @@ fn serve_fetch(
     }
 
     writer.write_message(&Message::Done { records, nodes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_isolated_catches_and_counts_panics() {
+        let counters = TransferCounters::new();
+        run_isolated(&counters, || {});
+        assert_eq!(counters.snapshot().worker_panics, 0);
+        run_isolated(&counters, || panic!("connection handler exploded"));
+        run_isolated(&counters, || panic!("again"));
+        assert_eq!(counters.snapshot().worker_panics, 2);
+        // The thread is still alive to run more work.
+        run_isolated(&counters, || {});
+        assert_eq!(counters.snapshot().worker_panics, 2);
+    }
+
+    #[test]
+    fn lock_recover_survives_a_poisoned_mutex() {
+        let m = Arc::new(Mutex::new(VecDeque::from([1, 2, 3])));
+        let m2 = Arc::clone(&m);
+        let _ = thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(m.lock().is_err(), "mutex should be poisoned");
+        // Queue contents are still intact and usable.
+        let mut q = lock_recover(&m);
+        assert_eq!(q.pop_front(), Some(1));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn wait_timeout_recovers_from_poison() {
+        let m = Arc::new((Mutex::new(0u32), Condvar::new()));
+        let m2 = Arc::clone(&m);
+        let _ = thread::spawn(move || {
+            let _guard = m2.0.lock().unwrap();
+            panic!("poison");
+        })
+        .join();
+        let guard = lock_recover(&m.0);
+        let (guard, timeout) =
+            m.1.wait_timeout(guard, Duration::from_millis(1))
+                .unwrap_or_else(PoisonError::into_inner);
+        assert!(timeout.timed_out());
+        assert_eq!(*guard, 0);
+    }
 }

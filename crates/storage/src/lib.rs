@@ -12,6 +12,10 @@
 //! * [`provenance_db`] — the provenance record store: the paper's
 //!   `⟨SeqID, Participant, Oid, Checksum(128)⟩` rows plus the full record
 //!   payload, indexed by object, optionally durable.
+//! * [`vfs`] — the virtual-filesystem seam every durable structure writes
+//!   through: a real `std::fs` passthrough for production and a seeded
+//!   deterministic fault injector (torn writes, lying fsync, ENOSPC,
+//!   crash-at-op-N) for crash-consistency testing.
 //!
 //! The back-end (user-data) database is the in-memory
 //! [`tep_model::Forest`]; its durability is out of scope for the paper's
@@ -25,7 +29,9 @@ pub mod crc;
 pub mod log;
 pub mod provenance_db;
 pub mod snapshot;
+pub mod vfs;
 
-pub use log::{AppendLog, LogError, RecoveredLog};
-pub use provenance_db::{ProvenanceDb, StoreError, StoredRecord};
-pub use snapshot::{load_forest, save_forest, SnapshotError};
+pub use log::{quarantine_path, AppendLog, LogError, LogGap, RecoveredLog};
+pub use provenance_db::{ProvenanceDb, RecoveryReport, StoreError, StoredRecord};
+pub use snapshot::{load_forest, load_forest_with, save_forest, save_forest_with, SnapshotError};
+pub use vfs::{FaultConfig, FaultVfs, RealVfs, Vfs, VirtualFile};

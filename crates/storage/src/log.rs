@@ -1,4 +1,5 @@
-//! CRC-framed append-only log with torn-write recovery.
+//! CRC-framed append-only log with torn-write recovery and corruption
+//! quarantine.
 //!
 //! Frame layout (all integers big-endian):
 //!
@@ -11,17 +12,30 @@
 //! `crc` covers the length prefix **and** the payload — covering the length
 //! keeps a run of zero bytes from parsing as a valid empty frame
 //! (`crc32("") == 0`), which matters for the torn-tail rescan below. On
-//! open, frames are scanned forward; the first
-//! incomplete or corrupt frame ends recovery and the file is truncated back
-//! to the last good frame — the standard WAL torn-tail rule. Corruption
-//! *before* the tail (i.e. followed by more valid data) is reported as an
-//! error instead, since silently dropping interior records would be data
-//! loss.
+//! open, frames are scanned forward; the first incomplete or corrupt frame
+//! at the *tail* (no valid data after it) ends recovery and the file is
+//! truncated back to the last good frame — the standard WAL torn-tail rule.
+//!
+//! Corruption *before* the tail (followed by more valid frames) means the
+//! medium, not a crash, damaged the log. Failing `open` outright would turn
+//! one bad sector into total data loss, so instead the log enters
+//! **quarantine recovery**: each corrupt byte range is excised into a
+//! `<path>.quarantine` sidecar (itself an append log, each frame prefixed
+//! with the 8-byte BE original file offset), the surviving frames are
+//! rewritten to a fresh file that atomically replaces the original, and the
+//! open succeeds with the damage reported as [`LogGap`]s in
+//! [`RecoveredLog::gaps`]. Callers (see `tep-core`'s Verifier) surface the
+//! missing frames as chain-continuity tamper evidence — corruption degrades
+//! to a detected, quarantined gap, never to a panic or silent loss.
+//!
+//! All I/O goes through [`crate::vfs::Vfs`], so the same code paths run
+//! against the real filesystem and the deterministic fault injector.
 
 use crate::crc::frame_crc;
-use std::fs::{File, OpenOptions};
+use crate::vfs::{real_vfs, Vfs, VirtualFile};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const MAGIC: &[u8; 8] = b"TEPLOG\x00\x01";
 const VERSION: u16 = 1;
@@ -38,11 +52,6 @@ pub enum LogError {
     Io(std::io::Error),
     /// The file exists but does not carry the log magic/version.
     BadHeader,
-    /// A corrupt frame was found *before* later valid frames.
-    InteriorCorruption {
-        /// Byte offset of the corrupt frame.
-        offset: u64,
-    },
     /// Payload exceeds [`MAX_PAYLOAD`].
     PayloadTooLarge(usize),
 }
@@ -52,9 +61,6 @@ impl std::fmt::Display for LogError {
         match self {
             LogError::Io(e) => write!(f, "log I/O error: {e}"),
             LogError::BadHeader => write!(f, "not a TEP log file (bad magic or version)"),
-            LogError::InteriorCorruption { offset } => {
-                write!(f, "corrupt frame at offset {offset} followed by valid data")
-            }
             LogError::PayloadTooLarge(n) => write!(f, "payload of {n} bytes exceeds frame limit"),
         }
     }
@@ -68,6 +74,18 @@ impl From<std::io::Error> for LogError {
     }
 }
 
+/// An interior corrupt byte range excised into the quarantine sidecar.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LogGap {
+    /// Intact frames recovered before this gap (the gap sits between
+    /// record `preceding_frames - 1` and record `preceding_frames`).
+    pub preceding_frames: u64,
+    /// Byte offset of the gap in the original file.
+    pub offset: u64,
+    /// Length of the corrupt range in bytes.
+    pub bytes: u64,
+}
+
 /// Outcome of opening a log: the handle plus recovered payloads.
 pub struct RecoveredLog {
     /// The writable log positioned after the last good frame.
@@ -76,6 +94,11 @@ pub struct RecoveredLog {
     pub payloads: Vec<Vec<u8>>,
     /// Number of bytes truncated from a torn tail (0 when clean).
     pub truncated_bytes: u64,
+    /// Interior corrupt ranges excised into the `.quarantine` sidecar
+    /// (empty when the log was clean or only torn at the tail).
+    pub gaps: Vec<LogGap>,
+    /// Total corrupt bytes moved to the sidecar this open.
+    pub quarantined_bytes: u64,
 }
 
 /// An append-only, CRC-framed log file.
@@ -93,24 +116,103 @@ pub struct RecoveredLog {
 /// # Ok::<(), tep_storage::LogError>(())
 /// ```
 pub struct AppendLog {
-    writer: BufWriter<File>,
+    writer: BufWriter<Box<dyn VirtualFile>>,
     path: PathBuf,
     end_offset: u64,
     frames: u64,
 }
 
+/// The sidecar path corrupt ranges of `path` are quarantined into.
+pub fn quarantine_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".quarantine");
+    PathBuf::from(os)
+}
+
+/// Result of the forward frame scan over a log's frame area.
+struct Scan {
+    payloads: Vec<Vec<u8>>,
+    /// Interior corrupt ranges, relative to the frame area.
+    gaps: Vec<LogGap>,
+    /// End of the last valid frame, relative to the frame area.
+    good_end: usize,
+    /// Bytes after `good_end` (the torn tail).
+    truncated_bytes: u64,
+}
+
+fn scan_frames(rest: &[u8]) -> Scan {
+    let mut payloads: Vec<Vec<u8>> = Vec::new();
+    let mut gaps = Vec::new();
+    let mut good_end = 0usize;
+    let mut bad_start: Option<usize> = None;
+    let mut pos = 0usize;
+    while pos + FRAME_HEADER_LEN <= rest.len() {
+        let len = u32::from_be_bytes(rest[pos..pos + 4].try_into().expect("4 bytes"));
+        let crc = u32::from_be_bytes(rest[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let body_start = pos + FRAME_HEADER_LEN;
+        let body_end = body_start.checked_add(len as usize);
+        let valid = len <= MAX_PAYLOAD
+            && body_end.is_some_and(|e| e <= rest.len())
+            && frame_crc(len, &rest[body_start..body_start + len as usize]) == crc;
+        if valid {
+            if let Some(bad) = bad_start.take() {
+                // Valid frame after a corrupt range: interior corruption.
+                gaps.push(LogGap {
+                    preceding_frames: payloads.len() as u64,
+                    offset: HEADER_LEN + bad as u64,
+                    bytes: (pos - bad) as u64,
+                });
+            }
+            payloads.push(rest[body_start..body_start + len as usize].to_vec());
+            pos = body_start + len as usize;
+            good_end = pos;
+        } else {
+            if bad_start.is_none() {
+                bad_start = Some(pos);
+            }
+            // Keep scanning byte-by-byte: if another valid frame follows,
+            // the bad range is interior (quarantine); otherwise it is a
+            // torn tail (truncate).
+            pos += 1;
+        }
+    }
+    Scan {
+        payloads,
+        gaps,
+        good_end,
+        truncated_bytes: (rest.len() - good_end) as u64,
+    }
+}
+
+/// Generates a sibling temp name unique to this process and call.
+pub(crate) fn unique_tmp_path(path: &Path) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let mut os = path.as_os_str().to_os_string();
+    os.push(format!(".{}.{}.tmp", std::process::id(), n));
+    PathBuf::from(os)
+}
+
 impl AppendLog {
-    /// Creates a new log, failing if the file already exists.
+    /// Creates a new log on the real filesystem, failing if the file
+    /// already exists.
     pub fn create(path: impl AsRef<Path>) -> Result<Self, LogError> {
+        Self::create_with(real_vfs(), path)
+    }
+
+    /// [`AppendLog::create`] against an explicit [`Vfs`]. The header and
+    /// the new directory entry are both fsynced before returning, so a
+    /// crash immediately after `create` cannot lose the file.
+    pub fn create_with(vfs: Arc<dyn Vfs>, path: impl AsRef<Path>) -> Result<Self, LogError> {
         let path = path.as_ref().to_path_buf();
-        let mut file = OpenOptions::new()
-            .write(true)
-            .create_new(true)
-            .open(&path)?;
+        let mut file = vfs.create_new(&path)?;
         file.write_all(MAGIC)?;
         file.write_all(&VERSION.to_be_bytes())?;
         file.write_all(&0u16.to_be_bytes())?;
         file.flush()?;
+        file.sync_data()?;
+        vfs.sync_parent_dir(&path)?;
         Ok(AppendLog {
             writer: BufWriter::new(file),
             path,
@@ -119,61 +221,74 @@ impl AppendLog {
         })
     }
 
-    /// Opens an existing log, replaying every intact frame and truncating a
-    /// torn tail if present.
+    /// Opens an existing log on the real filesystem, replaying every intact
+    /// frame; a torn tail is truncated and interior corruption is
+    /// quarantined (see the module docs).
     pub fn open(path: impl AsRef<Path>) -> Result<RecoveredLog, LogError> {
+        Self::open_with(real_vfs(), path)
+    }
+
+    /// [`AppendLog::open`] against an explicit [`Vfs`].
+    pub fn open_with(vfs: Arc<dyn Vfs>, path: impl AsRef<Path>) -> Result<RecoveredLog, LogError> {
         let path = path.as_ref().to_path_buf();
-        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
-
-        let mut header = [0u8; HEADER_LEN as usize];
-        file.read_exact(&mut header)
-            .map_err(|_| LogError::BadHeader)?;
-        if &header[..8] != MAGIC || u16::from_be_bytes([header[8], header[9]]) != VERSION {
-            return Err(LogError::BadHeader);
-        }
-
-        let mut rest = Vec::new();
-        file.read_to_end(&mut rest)?;
-
-        let mut payloads = Vec::new();
-        let mut good_end = 0usize; // relative to frame area
-        let mut bad_at: Option<usize> = None;
-        let mut pos = 0usize;
-        while pos + FRAME_HEADER_LEN <= rest.len() {
-            let len = u32::from_be_bytes(rest[pos..pos + 4].try_into().expect("4 bytes"));
-            let crc = u32::from_be_bytes(rest[pos + 4..pos + 8].try_into().expect("4 bytes"));
-            let body_start = pos + FRAME_HEADER_LEN;
-            let body_end = body_start.checked_add(len as usize);
-            let valid = len <= MAX_PAYLOAD
-                && body_end.is_some_and(|e| e <= rest.len())
-                && frame_crc(len, &rest[body_start..body_start + len as usize]) == crc;
-            if valid {
-                if let Some(bad) = bad_at {
-                    // Valid frame after a corrupt one: interior corruption.
-                    return Err(LogError::InteriorCorruption {
-                        offset: HEADER_LEN + bad as u64,
-                    });
-                }
-                payloads.push(rest[body_start..body_start + len as usize].to_vec());
-                pos = body_start + len as usize;
-                good_end = pos;
-            } else {
-                if bad_at.is_none() {
-                    bad_at = Some(pos);
-                }
-                // Keep scanning: if another *valid* frame follows we must
-                // report interior corruption rather than silently truncate.
-                pos += 1;
+        let (rest, scan) = {
+            let mut file = vfs.open_rw(&path)?;
+            let mut header = [0u8; HEADER_LEN as usize];
+            file.read_exact(&mut header)
+                .map_err(|_| LogError::BadHeader)?;
+            if &header[..8] != MAGIC || u16::from_be_bytes([header[8], header[9]]) != VERSION {
+                return Err(LogError::BadHeader);
             }
+            let mut rest = Vec::new();
+            file.read_to_end(&mut rest)?;
+            let scan = scan_frames(&rest);
+            (rest, scan)
+        };
+
+        if scan.gaps.is_empty() {
+            // Clean file or torn tail only: truncate in place.
+            let mut file = vfs.open_rw(&path)?;
+            let end_offset = HEADER_LEN + scan.good_end as u64;
+            if scan.truncated_bytes > 0 {
+                file.set_len(end_offset)?;
+            }
+            file.seek(SeekFrom::Start(end_offset))?;
+            let frames = scan.payloads.len() as u64;
+            return Ok(RecoveredLog {
+                log: AppendLog {
+                    writer: BufWriter::new(file),
+                    path,
+                    end_offset,
+                    frames,
+                },
+                payloads: scan.payloads,
+                truncated_bytes: scan.truncated_bytes,
+                gaps: Vec::new(),
+                quarantined_bytes: 0,
+            });
         }
 
-        let truncated_bytes = (rest.len() - good_end) as u64;
-        let end_offset = HEADER_LEN + good_end as u64;
-        if truncated_bytes > 0 {
-            file.set_len(end_offset)?;
-        }
+        // Interior corruption: excise the bad ranges into the sidecar, then
+        // atomically rewrite the log from the surviving frames.
+        //
+        // Ordering matters for crash safety: the sidecar is written and
+        // synced *before* the original is replaced, so no corrupt byte is
+        // ever dropped without a durable copy. A crash between the two
+        // steps leaves the original intact; the next open re-runs
+        // quarantine, which can at worst duplicate sidecar frames (each
+        // carries its original offset, so duplicates are identifiable).
+        let quarantined_bytes = Self::quarantine(&vfs, &path, &rest, &scan)?;
+        Self::rewrite_atomically(&vfs, &path, &scan.payloads)?;
+
+        let mut file = vfs.open_rw(&path)?;
+        let end_offset = HEADER_LEN
+            + scan
+                .payloads
+                .iter()
+                .map(|p| (FRAME_HEADER_LEN + p.len()) as u64)
+                .sum::<u64>();
         file.seek(SeekFrom::Start(end_offset))?;
-        let frames = payloads.len() as u64;
+        let frames = scan.payloads.len() as u64;
         Ok(RecoveredLog {
             log: AppendLog {
                 writer: BufWriter::new(file),
@@ -181,22 +296,144 @@ impl AppendLog {
                 end_offset,
                 frames,
             },
-            payloads,
-            truncated_bytes,
+            payloads: scan.payloads,
+            truncated_bytes: scan.truncated_bytes,
+            gaps: scan.gaps,
+            quarantined_bytes,
         })
     }
 
-    /// Opens if the file exists, otherwise creates it.
+    /// Appends every corrupt range to the `.quarantine` sidecar log, each
+    /// frame payload = 8-byte BE original file offset + the raw bytes.
+    fn quarantine(
+        vfs: &Arc<dyn Vfs>,
+        path: &Path,
+        rest: &[u8],
+        scan: &Scan,
+    ) -> Result<u64, LogError> {
+        let qpath = quarantine_path(path);
+        let mut side = Self::open_or_create_with(Arc::clone(vfs), &qpath)?.log;
+        let mut total = 0u64;
+        const CHUNK: usize = MAX_PAYLOAD as usize - 8;
+        for gap in &scan.gaps {
+            let start = (gap.offset - HEADER_LEN) as usize;
+            let end = start + gap.bytes as usize;
+            let mut at = start;
+            while at < end {
+                let upto = end.min(at + CHUNK);
+                let mut payload = Vec::with_capacity(8 + upto - at);
+                payload.extend_from_slice(&(HEADER_LEN + at as u64).to_be_bytes());
+                payload.extend_from_slice(&rest[at..upto]);
+                side.append(&payload)?;
+                at = upto;
+            }
+            total += gap.bytes;
+        }
+        side.sync()?;
+        vfs.sync_parent_dir(&qpath)?;
+        Ok(total)
+    }
+
+    /// Rewrites `path` to contain exactly `payloads`, via a unique O_EXCL
+    /// temp sibling + fsync + rename + parent-directory fsync.
+    fn rewrite_atomically(
+        vfs: &Arc<dyn Vfs>,
+        path: &Path,
+        payloads: &[Vec<u8>],
+    ) -> Result<(), LogError> {
+        let mut tmp_log = None;
+        let mut tmp_path = PathBuf::new();
+        for _ in 0..16 {
+            let candidate = unique_tmp_path(path);
+            match Self::create_with(Arc::clone(vfs), &candidate) {
+                Ok(l) => {
+                    tmp_log = Some(l);
+                    tmp_path = candidate;
+                    break;
+                }
+                Err(LogError::Io(e)) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        let Some(mut tmp_log) = tmp_log else {
+            return Err(LogError::Io(std::io::Error::new(
+                std::io::ErrorKind::AlreadyExists,
+                "could not allocate a unique temp file for log rewrite",
+            )));
+        };
+        let result = (|| {
+            for p in payloads {
+                tmp_log.append(p)?;
+            }
+            tmp_log.sync()?;
+            drop(tmp_log);
+            vfs.rename(&tmp_path, path)?;
+            vfs.sync_parent_dir(path)?;
+            Ok(())
+        })();
+        if result.is_err() {
+            // Best-effort cleanup; the unique name keeps a stale temp from
+            // ever colliding with a later rewrite.
+            let _ = vfs.remove_file(&tmp_path);
+        }
+        result
+    }
+
+    /// Opens if the file exists, otherwise creates it (real filesystem).
     pub fn open_or_create(path: impl AsRef<Path>) -> Result<RecoveredLog, LogError> {
-        if path.as_ref().exists() {
-            Self::open(path)
-        } else {
-            Ok(RecoveredLog {
-                log: Self::create(path)?,
+        Self::open_or_create_with(real_vfs(), path)
+    }
+
+    /// [`AppendLog::open_or_create`] against an explicit [`Vfs`].
+    pub fn open_or_create_with(
+        vfs: Arc<dyn Vfs>,
+        path: impl AsRef<Path>,
+    ) -> Result<RecoveredLog, LogError> {
+        let path = path.as_ref();
+        if !vfs.exists(path) {
+            return Ok(RecoveredLog {
+                log: Self::create_with(vfs, path)?,
                 payloads: Vec::new(),
                 truncated_bytes: 0,
-            })
+                gaps: Vec::new(),
+                quarantined_bytes: 0,
+            });
         }
+        // A file shorter than the 12-byte header can only be a create torn
+        // by a crash: `create` fsyncs the header (and the directory entry)
+        // before returning, so no acknowledged log is ever this short.
+        // Recreate it instead of failing the open. A full-length file with
+        // the wrong magic is still rejected — that is a foreign file, not
+        // a torn one.
+        let short = {
+            let mut f = vfs.open_rw(path)?;
+            let mut buf = [0u8; HEADER_LEN as usize];
+            let mut n = 0usize;
+            loop {
+                match f.read(&mut buf[n..]) {
+                    Ok(0) => break,
+                    Ok(r) => {
+                        n += r;
+                        if n == buf.len() {
+                            break;
+                        }
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            n < HEADER_LEN as usize
+        };
+        if short {
+            vfs.remove_file(path)?;
+            return Ok(RecoveredLog {
+                log: Self::create_with(vfs, path)?,
+                payloads: Vec::new(),
+                truncated_bytes: 0,
+                gaps: Vec::new(),
+                quarantined_bytes: 0,
+            });
+        }
+        Self::open_with(vfs, path)
     }
 
     /// Appends one frame; returns its byte offset in the file.
@@ -224,7 +461,7 @@ impl AppendLog {
     /// Flushes and fsyncs.
     pub fn sync(&mut self) -> Result<(), LogError> {
         self.writer.flush()?;
-        self.writer.get_ref().sync_data()?;
+        self.writer.get_mut().sync_data()?;
         Ok(())
     }
 
@@ -247,6 +484,7 @@ impl AppendLog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs::OpenOptions;
     use std::sync::atomic::{AtomicU64, Ordering};
 
     fn temp_path(tag: &str) -> PathBuf {
@@ -264,6 +502,7 @@ mod tests {
     impl Drop for Cleanup {
         fn drop(&mut self) {
             let _ = std::fs::remove_file(&self.0);
+            let _ = std::fs::remove_file(quarantine_path(&self.0));
         }
     }
 
@@ -281,6 +520,7 @@ mod tests {
         }
         let rec = AppendLog::open(&path).unwrap();
         assert_eq!(rec.truncated_bytes, 0);
+        assert!(rec.gaps.is_empty());
         assert_eq!(rec.payloads.len(), 3);
         assert_eq!(rec.payloads[0], b"alpha");
         assert_eq!(rec.payloads[1], b"");
@@ -315,6 +555,7 @@ mod tests {
         assert_eq!(rec.payloads.len(), 1);
         assert_eq!(rec.payloads[0], b"keep me");
         assert!(rec.truncated_bytes > 0);
+        assert!(rec.gaps.is_empty(), "torn tail must not be quarantined");
 
         // Appending after recovery works and survives a further reopen.
         let mut log = rec.log;
@@ -414,12 +655,14 @@ mod tests {
     }
 
     #[test]
-    fn interior_corruption_is_an_error() {
+    fn interior_corruption_is_quarantined_not_an_error() {
         let path = temp_path("interior");
         let _guard = Cleanup(path.clone());
+        let second_offset;
         {
             let mut log = AppendLog::create(&path).unwrap();
             log.append(b"first-frame-payload").unwrap();
+            second_offset = log.len_bytes();
             log.append(b"second-frame-payload").unwrap();
             log.sync().unwrap();
         }
@@ -427,10 +670,75 @@ mod tests {
         let mut data = std::fs::read(&path).unwrap();
         data[HEADER_LEN as usize + FRAME_HEADER_LEN + 2] ^= 0xFF;
         std::fs::write(&path, &data).unwrap();
-        assert!(matches!(
-            AppendLog::open(&path),
-            Err(LogError::InteriorCorruption { .. })
-        ));
+
+        // The old behavior was a hard `InteriorCorruption` open error; the
+        // log must now open in degraded mode instead.
+        let rec = AppendLog::open(&path).unwrap();
+        assert_eq!(rec.payloads, vec![b"second-frame-payload".to_vec()]);
+        assert_eq!(rec.gaps.len(), 1);
+        assert_eq!(rec.gaps[0].preceding_frames, 0);
+        assert_eq!(rec.gaps[0].offset, HEADER_LEN);
+        assert_eq!(rec.gaps[0].bytes, second_offset - HEADER_LEN);
+        assert_eq!(rec.quarantined_bytes, second_offset - HEADER_LEN);
+        drop(rec);
+
+        // The corrupt bytes live on in the sidecar, prefixed by offset.
+        let side = AppendLog::open(quarantine_path(&path)).unwrap();
+        assert_eq!(side.payloads.len(), 1);
+        let q = &side.payloads[0];
+        assert_eq!(u64::from_be_bytes(q[..8].try_into().unwrap()), HEADER_LEN);
+        assert_eq!(q.len() as u64 - 8, second_offset - HEADER_LEN);
+        drop(side);
+
+        // Recovery is idempotent: a second open sees a clean log,
+        // byte-identical to what the first rewrite produced.
+        let after_first = std::fs::read(&path).unwrap();
+        let rec2 = AppendLog::open(&path).unwrap();
+        assert!(rec2.gaps.is_empty());
+        assert_eq!(rec2.truncated_bytes, 0);
+        assert_eq!(rec2.payloads, vec![b"second-frame-payload".to_vec()]);
+        drop(rec2);
+        assert_eq!(std::fs::read(&path).unwrap(), after_first);
+
+        // And the recovered log accepts appends.
+        let mut log = AppendLog::open(&path).unwrap().log;
+        log.append(b"post-recovery").unwrap();
+        log.sync().unwrap();
+        drop(log);
+        let rec3 = AppendLog::open(&path).unwrap();
+        assert_eq!(rec3.payloads.len(), 2);
+    }
+
+    #[test]
+    fn multiple_interior_gaps_all_quarantined() {
+        let path = temp_path("multi-gap");
+        let _guard = Cleanup(path.clone());
+        let mut offsets = Vec::new();
+        {
+            let mut log = AppendLog::create(&path).unwrap();
+            for i in 0..5u8 {
+                offsets.push(log.append(&[i; 64]).unwrap());
+            }
+            log.sync().unwrap();
+        }
+        // Corrupt frames 1 and 3 (both interior: valid frames follow).
+        let mut data = std::fs::read(&path).unwrap();
+        data[offsets[1] as usize + FRAME_HEADER_LEN] ^= 0xFF;
+        data[offsets[3] as usize + FRAME_HEADER_LEN] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+
+        let rec = AppendLog::open(&path).unwrap();
+        assert_eq!(rec.payloads.len(), 3);
+        assert_eq!(rec.payloads[0], [0u8; 64]);
+        assert_eq!(rec.payloads[1], [2u8; 64]);
+        assert_eq!(rec.payloads[2], [4u8; 64]);
+        assert_eq!(rec.gaps.len(), 2);
+        assert_eq!(rec.gaps[0].preceding_frames, 1);
+        assert_eq!(rec.gaps[1].preceding_frames, 2);
+        drop(rec);
+
+        let side = AppendLog::open(quarantine_path(&path)).unwrap();
+        assert_eq!(side.payloads.len(), 2);
     }
 
     #[test]
@@ -465,5 +773,19 @@ mod tests {
         drop(log);
         let rec = AppendLog::open_or_create(&path).unwrap();
         assert_eq!(rec.payloads.len(), 1);
+    }
+
+    #[test]
+    fn log_round_trips_on_fault_vfs() {
+        use crate::vfs::{FaultConfig, FaultVfs};
+        let vfs: Arc<dyn Vfs> = FaultVfs::new(FaultConfig::default());
+        let path = Path::new("/log");
+        let mut log = AppendLog::create_with(Arc::clone(&vfs), path).unwrap();
+        log.append(b"one").unwrap();
+        log.append(b"two").unwrap();
+        log.sync().unwrap();
+        drop(log);
+        let rec = AppendLog::open_with(Arc::clone(&vfs), path).unwrap();
+        assert_eq!(rec.payloads, vec![b"one".to_vec(), b"two".to_vec()]);
     }
 }

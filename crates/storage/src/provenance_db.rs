@@ -10,10 +10,12 @@
 //! order. The store runs in-memory, optionally backed by a durable
 //! [`AppendLog`] with recovery on open.
 
-use crate::log::{AppendLog, LogError};
+use crate::log::{AppendLog, LogError, LogGap};
+use crate::vfs::{real_vfs, Vfs};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::Arc;
 use tep_model::encode::{DecodeError, Reader};
 use tep_model::ObjectId;
 use tep_model::ParticipantId;
@@ -91,8 +93,6 @@ impl StoredRecord {
 pub enum StoreError {
     /// Durable-log failure.
     Log(LogError),
-    /// A recovered frame could not be decoded as a record.
-    CorruptRecord(DecodeError),
     /// `retain` was called on a durable store; compaction must go through
     /// `compact_into` instead.
     DurableRetain,
@@ -102,7 +102,6 @@ impl std::fmt::Display for StoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             StoreError::Log(e) => write!(f, "provenance log error: {e}"),
-            StoreError::CorruptRecord(e) => write!(f, "corrupt provenance record: {e}"),
             StoreError::DurableRetain => {
                 write!(
                     f,
@@ -110,6 +109,34 @@ impl std::fmt::Display for StoreError {
                 )
             }
         }
+    }
+}
+
+/// What recovery found when a durable store was opened.
+///
+/// A clean open reports all-zero. Anything non-zero means the store came
+/// back in **degraded-read mode**: every surviving record loaded, and the
+/// damage is described here so the verification layer can surface it as
+/// chain-continuity tamper evidence instead of the open failing outright.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Bytes dropped from a torn tail (an interrupted, unacknowledged
+    /// append — expected after a crash, not evidence of tampering).
+    pub truncated_bytes: u64,
+    /// Interior corrupt ranges excised into the `.quarantine` sidecar.
+    pub gaps: Vec<LogGap>,
+    /// Total corrupt bytes quarantined during this open.
+    pub quarantined_bytes: u64,
+    /// CRC-valid frames that failed to decode as records (skipped, but
+    /// counted: a well-formed frame with garbage inside is suspicious).
+    pub decode_failures: u64,
+}
+
+impl RecoveryReport {
+    /// `true` when recovery found interior damage or undecodable records —
+    /// anything beyond the benign torn tail.
+    pub fn is_degraded(&self) -> bool {
+        !self.gaps.is_empty() || self.decode_failures > 0
     }
 }
 
@@ -126,6 +153,7 @@ struct Inner {
     by_object: HashMap<ObjectId, Vec<u32>>,
     log: Option<AppendLog>,
     paper_row_bytes: u64,
+    recovery: RecoveryReport,
 }
 
 /// The provenance record store.
@@ -170,27 +198,50 @@ impl ProvenanceDb {
                 by_object: HashMap::new(),
                 log: None,
                 paper_row_bytes: 0,
+                recovery: RecoveryReport::default(),
             }),
         }
     }
 
     /// Opens (or creates) a durable store at `path`, replaying any existing
-    /// records.
+    /// records. Storage damage never fails the open: a torn tail is
+    /// truncated, interior corruption is quarantined by the log layer, and
+    /// CRC-valid frames that fail to decode are skipped — everything found
+    /// is tallied in [`ProvenanceDb::recovery`] for the verifier to report.
     pub fn durable(path: impl AsRef<Path>) -> Result<Self, StoreError> {
-        let recovered = AppendLog::open_or_create(path)?;
+        Self::durable_with(real_vfs(), path)
+    }
+
+    /// [`ProvenanceDb::durable`] against an explicit [`Vfs`].
+    pub fn durable_with(vfs: Arc<dyn Vfs>, path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let recovered = AppendLog::open_or_create_with(vfs, path)?;
         let mut inner = Inner {
             records: Vec::with_capacity(recovered.payloads.len()),
             by_object: HashMap::new(),
             log: Some(recovered.log),
             paper_row_bytes: 0,
+            recovery: RecoveryReport {
+                truncated_bytes: recovered.truncated_bytes,
+                gaps: recovered.gaps,
+                quarantined_bytes: recovered.quarantined_bytes,
+                decode_failures: 0,
+            },
         };
         for frame in &recovered.payloads {
-            let rec = StoredRecord::decode(frame).map_err(StoreError::CorruptRecord)?;
-            index_record(&mut inner, rec);
+            match StoredRecord::decode(frame) {
+                Ok(rec) => index_record(&mut inner, rec),
+                Err(_) => inner.recovery.decode_failures += 1,
+            }
         }
         Ok(ProvenanceDb {
             inner: RwLock::new(inner),
         })
+    }
+
+    /// What recovery found when this store was opened (all-zero for
+    /// in-memory stores and clean opens).
+    pub fn recovery(&self) -> RecoveryReport {
+        self.inner.read().recovery.clone()
     }
 
     /// Appends a record (durably if the store is durable).
@@ -341,6 +392,7 @@ mod tests {
     impl Drop for Cleanup {
         fn drop(&mut self) {
             let _ = std::fs::remove_file(&self.0);
+            let _ = std::fs::remove_file(crate::log::quarantine_path(&self.0));
         }
     }
 
@@ -401,6 +453,64 @@ mod tests {
         assert_eq!(recs[1].participant, ParticipantId(11));
         assert_eq!(recs[1].payload, b"payload-1-1");
         assert_eq!(recs[1].checksum, vec![0xCC; 128]);
+    }
+
+    #[test]
+    fn interior_corruption_opens_degraded_with_gap_report() {
+        let path = temp_path("degraded");
+        let _guard = Cleanup(path.clone());
+        {
+            let db = ProvenanceDb::durable(&path).unwrap();
+            for seq in 0..4u64 {
+                db.append(rec(1, seq, 10)).unwrap();
+            }
+            db.sync().unwrap();
+        }
+        // Corrupt the second record's frame (interior: frames 3/4 follow).
+        let mut data = std::fs::read(&path).unwrap();
+        let frame0_len = 8 + rec(1, 0, 10).encode().len();
+        let hit = 12 + frame0_len + 8 + 4;
+        data[hit] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+
+        let db = ProvenanceDb::durable(&path).unwrap();
+        assert_eq!(db.len(), 3);
+        let seqs: Vec<u64> = db
+            .records_for(ObjectId(1))
+            .iter()
+            .map(|r| r.seq_id)
+            .collect();
+        assert_eq!(seqs, vec![0, 2, 3]);
+        let report = db.recovery();
+        assert!(report.is_degraded());
+        assert_eq!(report.gaps.len(), 1);
+        assert_eq!(report.gaps[0].preceding_frames, 1);
+        assert!(report.quarantined_bytes > 0);
+        drop(db);
+
+        // Reopen after quarantine: clean store, surviving records intact.
+        let db = ProvenanceDb::durable(&path).unwrap();
+        assert_eq!(db.len(), 3);
+        assert!(!db.recovery().is_degraded());
+    }
+
+    #[test]
+    fn undecodable_record_is_skipped_and_counted() {
+        let path = temp_path("badrec");
+        let _guard = Cleanup(path.clone());
+        {
+            // A CRC-valid frame that is not a StoredRecord encoding.
+            let mut log = AppendLog::create(&path).unwrap();
+            log.append(b"not a record").unwrap();
+            log.append(&rec(1, 0, 10).encode()).unwrap();
+            log.sync().unwrap();
+        }
+        let db = ProvenanceDb::durable(&path).unwrap();
+        assert_eq!(db.len(), 1);
+        let report = db.recovery();
+        assert!(report.is_degraded());
+        assert_eq!(report.decode_failures, 1);
+        assert!(report.gaps.is_empty());
     }
 
     #[test]

@@ -6,12 +6,17 @@
 //! followed by one frame per node in parent-before-child order, so loading
 //! is a single forward pass of `insert_with_id`.
 //!
-//! Snapshots are written to a temporary file and atomically renamed into
-//! place, so a crash mid-snapshot never clobbers the previous one; a torn
-//! tail (count mismatch) is detected at load time.
+//! Snapshots are written to a per-process unique temporary file (created
+//! with O_EXCL so concurrent savers cannot clobber each other), fsynced,
+//! atomically renamed into place, and the parent directory is fsynced so
+//! the rename itself survives power loss. A crash mid-snapshot never
+//! clobbers the previous one; a torn tail (count mismatch) is detected at
+//! load time.
 
-use crate::log::{AppendLog, LogError};
+use crate::log::{unique_tmp_path, AppendLog, LogError};
+use crate::vfs::{real_vfs, Vfs};
 use std::path::Path;
+use std::sync::Arc;
 use tep_model::encode::{decode_value, encode_value, Reader};
 use tep_model::{Forest, ObjectId};
 
@@ -84,14 +89,41 @@ fn encode_node(forest: &Forest, id: ObjectId) -> Vec<u8> {
     out
 }
 
-/// Saves `forest` to `path` atomically (temp file + rename). Any existing
-/// snapshot at `path` is replaced only after the new one is durable.
+/// Saves `forest` to `path` atomically (unique temp file, fsync, rename,
+/// directory fsync). Any existing snapshot at `path` is replaced only
+/// after the new one is durable.
 pub fn save_forest(forest: &Forest, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+    save_forest_with(real_vfs(), forest, path)
+}
+
+/// [`save_forest`] against an explicit [`Vfs`].
+pub fn save_forest_with(
+    vfs: Arc<dyn Vfs>,
+    forest: &Forest,
+    path: impl AsRef<Path>,
+) -> Result<(), SnapshotError> {
     let path = path.as_ref();
-    let tmp = path.with_extension("tmp");
-    let _ = std::fs::remove_file(&tmp);
-    {
-        let mut log = AppendLog::create(&tmp)?;
+    // Unique O_EXCL temp sibling: concurrent savers each get their own
+    // file instead of clobbering a shared `.tmp`.
+    let mut created = None;
+    for _ in 0..16 {
+        let candidate = unique_tmp_path(path);
+        match AppendLog::create_with(Arc::clone(&vfs), &candidate) {
+            Ok(log) => {
+                created = Some((candidate, log));
+                break;
+            }
+            Err(LogError::Io(e)) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let Some((tmp, mut log)) = created else {
+        return Err(SnapshotError::Io(std::io::Error::new(
+            std::io::ErrorKind::AlreadyExists,
+            "could not allocate a unique snapshot temp file",
+        )));
+    };
+    let result = (|| {
         let mut header = Vec::with_capacity(16);
         header.extend_from_slice(SNAP_MAGIC);
         header.extend_from_slice(&(forest.len() as u64).to_be_bytes());
@@ -104,14 +136,31 @@ pub fn save_forest(forest: &Forest, path: impl AsRef<Path>) -> Result<(), Snapsh
             }
         }
         log.sync()?;
+        drop(log);
+        vfs.rename(&tmp, path)?;
+        // Make the rename itself durable: without this, a crash right
+        // after `save` returns could resurrect the old snapshot — or, for
+        // a first save, lose the file entirely.
+        vfs.sync_parent_dir(path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = vfs.remove_file(&tmp);
     }
-    std::fs::rename(&tmp, path)?;
-    Ok(())
+    result
 }
 
 /// Loads a forest saved by [`save_forest`].
 pub fn load_forest(path: impl AsRef<Path>) -> Result<Forest, SnapshotError> {
-    let recovered = AppendLog::open(path.as_ref())?;
+    load_forest_with(real_vfs(), path)
+}
+
+/// [`load_forest`] against an explicit [`Vfs`].
+pub fn load_forest_with(
+    vfs: Arc<dyn Vfs>,
+    path: impl AsRef<Path>,
+) -> Result<Forest, SnapshotError> {
+    let recovered = AppendLog::open_with(vfs, path.as_ref())?;
     let mut frames = recovered.payloads.into_iter();
     let header = frames.next().ok_or(SnapshotError::BadHeader)?;
     let rest = header

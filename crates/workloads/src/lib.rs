@@ -10,6 +10,8 @@
 //!   all-updates), and **C** (mixed-ratio batches of 500 operations).
 //! * [`large`] — the §5.2 larger-than-memory `Title` table (18.9M rows,
 //!   56.9M nodes at paper scale), generated lazily for streaming hashing.
+//! * [`crash`] — recorded append/sync schedules the crash-consistency
+//!   harness replays under fault injection.
 //!
 //! All generation is seeded and deterministic, so experiment runs are
 //! reproducible bit-for-bit.
@@ -17,10 +19,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod crash;
 pub mod large;
 pub mod ops;
 pub mod synthetic;
 
+pub use crash::{CrashOp, CrashWorkload};
 pub use large::{stream_title_database, TitleHashResult, TitleRowIter, PAPER_TITLE_ROWS};
 pub use ops::{
     setup_a_updates, setup_b_delete_rows, setup_b_insert_rows, setup_b_update_cells, setup_c_mix,

@@ -184,6 +184,14 @@ fn verify(args: &[String]) -> Result<(), String> {
         .into_directory()
         .map_err(|e| format!("keyring validation failed: {e}"))?;
 
+    let recovery = db.recovery();
+    if recovery.is_degraded() {
+        eprintln!(
+            "warning: log opened in degraded mode ({} corrupt range(s), {} byte(s) quarantined)",
+            recovery.gaps.len(),
+            recovery.quarantined_bytes
+        );
+    }
     let prov = collect(&db, oid).map_err(|e| e.to_string())?;
     // With --hash we check the delivered object against the provenance;
     // without it we check internal integrity only (the latest record's
@@ -197,7 +205,7 @@ fn verify(args: &[String]) -> Result<(), String> {
         }
     };
 
-    let v = Verifier::new(&keys, alg).verify(&expected, &prov);
+    let v = Verifier::new(&keys, alg).verify_recovered(&expected, &prov, &recovery);
     println!(
         "{} records checked, {} participants",
         v.records_checked,

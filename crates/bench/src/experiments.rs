@@ -915,11 +915,23 @@ pub struct BaselineResult {
     pub net: NetLoopbackResult,
     /// Durable-store recovery cost (`tep-storage`).
     pub recovery: RecoveryResult,
+    /// Deterministic metric counts from a small fully instrumented workload
+    /// spanning every layer (see [`run_instrumented_metrics`]). Counter
+    /// values and histogram counts only — no timing sums — so two runs with
+    /// the same seed produce identical values.
+    pub metrics: Vec<(String, u64)>,
 }
 
 impl BaselineResult {
     /// Renders the result as a stable, hand-rolled JSON document.
     pub fn to_json(&self) -> String {
+        let mut metrics = String::new();
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                metrics.push(',');
+            }
+            metrics.push_str(&format!("\n    \"{name}\": {value}"));
+        }
         format!(
             "{{\n  \"alg\": \"{:?}\",\n  \"key_bits\": {},\n  \"seed\": {},\n  \
              \"sign_per_sec\": {:.1},\n  \"verify_per_sec\": {:.1},\n  \
@@ -931,7 +943,8 @@ impl BaselineResult {
              \"parallel_mib_per_sec\": {:.2} }},\n  \
              \"recovery\": {{ \"records\": {}, \"clean_reopen_ms\": {:.2}, \
              \"clean_records_per_sec\": {:.1}, \"torn_reopen_ms\": {:.2}, \
-             \"quarantine_reopen_ms\": {:.2} }}\n}}\n",
+             \"quarantine_reopen_ms\": {:.2} }},\n  \
+             \"metrics\": {{{metrics}\n  }}\n}}\n",
             self.alg,
             self.key_bits,
             self.seed,
@@ -954,6 +967,113 @@ impl BaselineResult {
             self.recovery.quarantine_reopen_ms,
         )
     }
+}
+
+/// Runs a small, fully instrumented workload spanning every layer —
+/// sign/verify (crypto), tracked inserts/updates and batch verification
+/// (core), a durable store behind an [`tep_storage::ObservedVfs`]
+/// (storage), and one verified loopback fetch (net) — all recording into a
+/// single registry. Returns the registry's deterministic counts (counter
+/// values and histogram observation counts; histogram entries are suffixed
+/// `_count`), sorted by name. Two runs with the same seed return identical
+/// values, which is what the seed-determinism regression test pins.
+pub fn run_instrumented_metrics(cfg: &ExperimentConfig) -> Vec<(String, u64)> {
+    use tep_net::{serve_with_registry, Catalog, Client, ClientConfig, ServerConfig};
+    use tep_obs::{MetricValue, Registry};
+    use tep_storage::vfs::{FaultConfig, FaultVfs};
+    use tep_storage::{record_recovery, ObservedVfs};
+
+    let registry = Registry::new();
+    let span = registry.span("instrumented_workload");
+
+    // Crypto: signer + key directory with latency instrumentation.
+    let (mut signer, mut keys) = cfg.make_signer();
+    signer.attach_obs(&registry);
+    keys.attach_obs(&registry);
+
+    // Storage: a durable store on a deterministic in-memory disk, every I/O
+    // operation counted by the ObservedVfs decorator.
+    let vfs = ObservedVfs::wrap(FaultVfs::new(FaultConfig::default()), &registry);
+    let db =
+        Arc::new(ProvenanceDb::durable_with(vfs, std::path::Path::new("/metrics.teplog")).unwrap());
+    record_recovery(&registry, &db.recovery());
+
+    // Core: a tracked mini-database (root → table → 4 rows × 2 cells) with
+    // cache/tracker instrumentation, then a round of cell updates.
+    let mut tracker = ProvenanceTracker::new(
+        TrackerConfig {
+            alg: cfg.alg,
+            strategy: HashingStrategy::Economical,
+        },
+        Arc::clone(&db),
+    );
+    tracker.attach_obs(&registry);
+    let (root, _) = tracker
+        .insert(&signer, tep_model::Value::text("metrics-db"), None)
+        .unwrap();
+    let (table, _) = tracker
+        .insert(&signer, tep_model::Value::text("t0"), Some(root))
+        .unwrap();
+    let mut cells = Vec::new();
+    for r in 0..4i64 {
+        let (row, _) = tracker
+            .insert(&signer, tep_model::Value::Null, Some(table))
+            .unwrap();
+        for c in 0..2i64 {
+            let (cell, _) = tracker
+                .insert(&signer, tep_model::Value::Int(r * 2 + c), Some(row))
+                .unwrap();
+            cells.push(cell);
+        }
+    }
+    for (i, &cell) in cells.iter().enumerate() {
+        tracker
+            .update(&signer, cell, tep_model::Value::Int(100 + i as i64))
+            .unwrap();
+    }
+    db.sync().unwrap();
+
+    // Batch verification of the root object's full history.
+    let prov = tep_core::provenance::collect(&db, root).unwrap();
+    let hash = tracker.object_hash(root).unwrap();
+    let mut verifier = Verifier::new(&keys, cfg.alg);
+    verifier.attach_obs(&registry);
+    assert!(verifier.verify(&hash, &prov).verified());
+
+    // Net: one verified loopback fetch, server and client recording into
+    // the same registry (connections, frames, bytes, streaming verify).
+    let catalog = Arc::new(Catalog::new(
+        tracker.forest().clone(),
+        Arc::clone(&db),
+        cfg.alg,
+        vec![root],
+    ));
+    let server = serve_with_registry(
+        catalog,
+        "127.0.0.1:0".parse().unwrap(),
+        ServerConfig::default(),
+        registry.clone(),
+    )
+    .unwrap();
+    let mut client = Client::new(server.addr(), ClientConfig::new(cfg.alg));
+    client.attach_obs(&registry);
+    let report = client.fetch_verified(root, &keys).unwrap();
+    assert!(report.verification.verified());
+    server.shutdown();
+    span.finish();
+
+    registry
+        .snapshot()
+        .into_iter()
+        .map(|s| {
+            let count = s.value.deterministic_count();
+            let name = match s.value {
+                MetricValue::Histogram { .. } => format!("{}_count", s.name),
+                _ => s.name,
+            };
+            (name, count)
+        })
+        .collect()
 }
 
 /// Measures the four hot paths the perf work targets: signing, verification,
@@ -1038,6 +1158,7 @@ pub fn run_baseline(cfg: &ExperimentConfig) -> BaselineResult {
         record_cost_us,
         net,
         recovery,
+        metrics: run_instrumented_metrics(cfg),
     }
 }
 

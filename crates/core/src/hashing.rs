@@ -20,6 +20,18 @@ use tep_crypto::digest::{Digest, HashAlgorithm};
 use tep_model::encode::{atom_preimage, node_prefix_into};
 use tep_model::idhash::IdMap;
 use tep_model::{DirtyMark, Forest, ObjectId, Value};
+use tep_obs::{Counter, Registry};
+
+/// Cache instrumentation: `tep_core_cache_{hits,misses,evictions}_total`.
+/// Hits count cached entries reused (at the walk root or as a clean child
+/// subtree); misses count nodes actually hashed; evictions count entries
+/// dropped by invalidation, dirty-log sync, or a Basic-strategy clear.
+#[derive(Clone, Debug)]
+struct CacheObs {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+}
 
 /// Hash of an atomic object: the paper's `h(A, val)` (§3).
 pub fn hash_atom(alg: HashAlgorithm, id: ObjectId, value: &Value) -> Vec<u8> {
@@ -47,6 +59,8 @@ pub struct HashCache {
     /// Subtree hash computations performed since the last counter reset
     /// (one per node hashed) — the work metric behind Figure 7.
     nodes_hashed: u64,
+    /// Optional tep-obs counters (hit/miss/eviction).
+    obs: Option<CacheObs>,
 }
 
 impl HashCache {
@@ -56,6 +70,26 @@ impl HashCache {
             alg,
             hashes: IdMap::default(),
             nodes_hashed: 0,
+            obs: None,
+        }
+    }
+
+    /// Attaches tep-obs hit/miss/eviction counters
+    /// (`tep_core_cache_*_total`).
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        self.obs = Some(CacheObs {
+            hits: registry.counter("tep_core_cache_hits_total"),
+            misses: registry.counter("tep_core_cache_misses_total"),
+            evictions: registry.counter("tep_core_cache_evictions_total"),
+        });
+    }
+
+    #[inline]
+    fn count_evictions(&self, n: u64) {
+        if n > 0 {
+            if let Some(obs) = &self.obs {
+                obs.evictions.add(n);
+            }
         }
     }
 
@@ -91,18 +125,21 @@ impl HashCache {
 
     /// Drops a cached entry (the node was deleted or dirtied).
     pub fn invalidate(&mut self, id: ObjectId) {
-        self.hashes.remove(&id);
+        if self.hashes.remove(&id).is_some() {
+            self.count_evictions(1);
+        }
     }
 
     /// Dirties `id` and every ancestor — the invalidation an update/insert/
     /// delete at `id` requires.
     pub fn invalidate_path(&mut self, forest: &Forest, id: ObjectId) {
-        self.hashes.remove(&id);
+        let mut evicted = u64::from(self.hashes.remove(&id).is_some());
         let mut cur = forest.node(id).and_then(|n| n.parent());
         while let Some(p) = cur {
-            self.hashes.remove(&p);
+            evicted += u64::from(self.hashes.remove(&p).is_some());
             cur = forest.node(p).and_then(|n| n.parent());
         }
+        self.count_evictions(evicted);
     }
 
     /// Drains the forest's dirty log and applies exactly the invalidations
@@ -134,18 +171,21 @@ impl HashCache {
     /// unconditionally — a freshly inserted node is absent while its
     /// ancestors still hold stale entries.)
     fn evict_path(&mut self, forest: &Forest, id: ObjectId) {
-        self.hashes.remove(&id);
+        let mut evicted = u64::from(self.hashes.remove(&id).is_some());
         let mut cur = forest.node(id).and_then(|n| n.parent());
         while let Some(p) = cur {
             if self.hashes.remove(&p).is_none() {
                 break;
             }
+            evicted += 1;
             cur = forest.node(p).and_then(|n| n.parent());
         }
+        self.count_evictions(evicted);
     }
 
     /// Clears everything (the Basic strategy does this before each walk).
     pub fn clear(&mut self) {
+        self.count_evictions(self.hashes.len() as u64);
         self.hashes.clear();
     }
 
@@ -156,8 +196,13 @@ impl HashCache {
     /// Panics if `id` is not in the forest.
     pub fn get_or_compute(&mut self, forest: &Forest, id: ObjectId) -> Vec<u8> {
         if let Some(h) = self.hashes.get(&id) {
+            if let Some(obs) = &self.obs {
+                obs.hits.inc();
+            }
             return h.to_vec();
         }
+        let mut hits = 0u64;
+        let mut misses = 0u64;
         // Iterative post-order: compute children before parents without
         // recursing (trees may be arbitrarily deep). Only cache misses are
         // ever pushed (each node has one parent, so no node is pushed
@@ -185,14 +230,21 @@ impl HashCache {
                 preimage.extend_from_slice(&count.to_be_bytes());
                 self.hashes.insert(n, self.alg.digest_fixed(&preimage));
                 self.nodes_hashed += 1;
+                misses += 1;
             } else {
                 stack.push((n, true));
                 for child in node.children() {
                     if !self.hashes.contains_key(&child) {
                         stack.push((child, false));
+                    } else {
+                        hits += 1;
                     }
                 }
             }
+        }
+        if let Some(obs) = &self.obs {
+            obs.hits.add(hits);
+            obs.misses.add(misses);
         }
         self.hashes[&id].to_vec()
     }
@@ -200,15 +252,19 @@ impl HashCache {
     /// Full recompute of `subtree(id)` ignoring the cache (Basic walk).
     /// The cache is repopulated with the fresh values.
     pub fn recompute_subtree(&mut self, forest: &Forest, id: ObjectId) -> Vec<u8> {
+        let mut evicted = 0u64;
         for n in forest.subtree_ids(id) {
-            self.hashes.remove(&n);
+            evicted += u64::from(self.hashes.remove(&n).is_some());
         }
+        self.count_evictions(evicted);
         self.get_or_compute(forest, id)
     }
 
     /// Drops cache entries for ids no longer in the forest.
     pub fn retain_live(&mut self, forest: &Forest) {
+        let before = self.hashes.len();
         self.hashes.retain(|id, _| forest.contains(*id));
+        self.count_evictions((before - self.hashes.len()) as u64);
     }
 }
 

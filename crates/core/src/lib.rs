@@ -81,7 +81,9 @@ pub use provenance::{collect, ProvenanceObject};
 pub use query::{DbStats, ProvenanceQuery};
 pub use record::{InputRef, ProvenanceRecord, RecordKind};
 pub use tracker::{ComplexReport, ProvenanceTracker, TrackerConfig};
-pub use verify::{StreamingVerifier, TamperEvidence, Verification, Verifier};
+pub use verify::{
+    EvidenceCounters, EvidenceKind, StreamingVerifier, TamperEvidence, Verification, Verifier,
+};
 
 /// Common imports for library users.
 pub mod prelude {

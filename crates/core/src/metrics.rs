@@ -13,6 +13,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+use tep_obs::{Counter, Registry};
 
 /// Timing/space breakdown of one or more tracked operations.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -75,6 +76,35 @@ pub struct TransferCounters {
     verify_failures: AtomicU64,
     retries: AtomicU64,
     worker_panics: AtomicU64,
+    obs: Option<TransferObs>,
+}
+
+/// Registry mirror for [`TransferCounters`]: every increment is doubled
+/// into these `tep_net_*` counters so transport traffic shows up in the
+/// shared metric registry alongside the crypto/core/storage metrics.
+#[derive(Clone, Debug)]
+struct TransferObs {
+    frames_sent: Counter,
+    frames_received: Counter,
+    bytes_sent: Counter,
+    bytes_received: Counter,
+    verify_failures: Counter,
+    retries: Counter,
+    worker_panics: Counter,
+}
+
+impl TransferObs {
+    fn new(registry: &Registry) -> Self {
+        TransferObs {
+            frames_sent: registry.counter("tep_net_frames_sent_total"),
+            frames_received: registry.counter("tep_net_frames_received_total"),
+            bytes_sent: registry.counter("tep_net_bytes_sent_total"),
+            bytes_received: registry.counter("tep_net_bytes_received_total"),
+            verify_failures: registry.counter("tep_net_verify_failures_total"),
+            retries: registry.counter("tep_net_retries_total"),
+            worker_panics: registry.counter("tep_net_worker_panics_total"),
+        }
+    }
 }
 
 /// A point-in-time copy of a [`TransferCounters`].
@@ -103,31 +133,57 @@ impl TransferCounters {
         Self::default()
     }
 
+    /// Fresh counters that additionally mirror every increment into
+    /// `registry` under the `tep_net_*` names.
+    pub fn observed(registry: &Registry) -> Self {
+        TransferCounters {
+            obs: Some(TransferObs::new(registry)),
+            ..Self::default()
+        }
+    }
+
     /// Records one sent frame of `bytes` total wire bytes.
     pub fn frame_sent(&self, bytes: u64) {
         self.frames_sent.fetch_add(1, Ordering::Relaxed);
         self.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+        if let Some(o) = &self.obs {
+            o.frames_sent.inc();
+            o.bytes_sent.add(bytes);
+        }
     }
 
     /// Records one received frame of `bytes` total wire bytes.
     pub fn frame_received(&self, bytes: u64) {
         self.frames_received.fetch_add(1, Ordering::Relaxed);
         self.bytes_received.fetch_add(bytes, Ordering::Relaxed);
+        if let Some(o) = &self.obs {
+            o.frames_received.inc();
+            o.bytes_received.add(bytes);
+        }
     }
 
     /// Records a transfer rejected by verification.
     pub fn verify_failure(&self) {
         self.verify_failures.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = &self.obs {
+            o.verify_failures.inc();
+        }
     }
 
     /// Records a retried connect/read attempt.
     pub fn retry(&self) {
         self.retries.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = &self.obs {
+            o.retries.inc();
+        }
     }
 
     /// Records a worker panic that was caught and isolated.
     pub fn worker_panic(&self) {
         self.worker_panics.fetch_add(1, Ordering::Relaxed);
+        if let Some(o) = &self.obs {
+            o.worker_panics.inc();
+        }
     }
 
     /// Folds another endpoint's counters into this one (e.g. per-connection
@@ -146,6 +202,15 @@ impl TransferCounters {
         self.retries.fetch_add(other.retries, Ordering::Relaxed);
         self.worker_panics
             .fetch_add(other.worker_panics, Ordering::Relaxed);
+        if let Some(o) = &self.obs {
+            o.frames_sent.add(other.frames_sent);
+            o.frames_received.add(other.frames_received);
+            o.bytes_sent.add(other.bytes_sent);
+            o.bytes_received.add(other.bytes_received);
+            o.verify_failures.add(other.verify_failures);
+            o.retries.add(other.retries);
+            o.worker_panics.add(other.worker_panics);
+        }
     }
 
     /// Reads all counters at once.

@@ -30,7 +30,39 @@ use std::time::Instant;
 use tep_crypto::digest::HashAlgorithm;
 use tep_crypto::pki::Participant;
 use tep_model::{AggregateMode, Forest, ObjectId, PrimitiveOp, Value};
+use tep_obs::{Counter, Histogram, Registry};
 use tep_storage::ProvenanceDb;
+
+/// Tracker instrumentation: operation/record counters, the
+/// records-per-batch histogram, and stored row bytes.
+#[derive(Clone)]
+struct TrackerObs {
+    ops: Counter,
+    records: Counter,
+    row_bytes: Counter,
+    batch_records: Histogram,
+}
+
+impl TrackerObs {
+    fn new(registry: &Registry) -> Self {
+        // Records per tracked operation: 1 (atomic op on a root) up to
+        // whole-table complex batches.
+        let bounds: Vec<u64> = (0..13).map(|i| 1u64 << i).collect();
+        TrackerObs {
+            ops: registry.counter("tep_core_tracker_ops_total"),
+            records: registry.counter("tep_core_tracker_records_total"),
+            row_bytes: registry.counter("tep_core_tracker_row_bytes_total"),
+            batch_records: registry.histogram("tep_core_tracker_batch_records", &bounds),
+        }
+    }
+
+    fn record(&self, m: &Metrics) {
+        self.ops.inc();
+        self.records.add(m.records);
+        self.row_bytes.add(m.row_bytes);
+        self.batch_records.observe(m.records);
+    }
+}
 
 /// Tracker configuration.
 #[derive(Clone, Copy, Debug, Default)]
@@ -59,6 +91,7 @@ pub struct ProvenanceTracker {
     heads: ChainHeads,
     db: Arc<ProvenanceDb>,
     config: TrackerConfig,
+    obs: Option<TrackerObs>,
 }
 
 impl ProvenanceTracker {
@@ -84,7 +117,15 @@ impl ProvenanceTracker {
             heads: ChainHeads::new(),
             db,
             config,
+            obs: None,
         }
+    }
+
+    /// Attaches tep-obs instrumentation to the tracker
+    /// (`tep_core_tracker_*`) and its hash cache (`tep_core_cache_*`).
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        self.obs = Some(TrackerObs::new(registry));
+        self.cache.attach_obs(registry);
     }
 
     /// Restores a tracker after a restart: the back-end forest comes from a
@@ -158,6 +199,9 @@ impl ProvenanceTracker {
                 b"genesis",
                 &mut metrics,
             )?;
+        }
+        if let Some(obs) = &self.obs {
+            obs.record(&metrics);
         }
         Ok(metrics)
     }
@@ -296,6 +340,9 @@ impl ProvenanceTracker {
         metrics.store_ns += t.elapsed().as_nanos() as u64;
         metrics.records += 1;
         self.heads.advance(output, seq, record.checksum);
+        if let Some(obs) = &self.obs {
+            obs.record(&metrics);
+        }
         Ok((output, metrics))
     }
 
@@ -509,6 +556,9 @@ impl ProvenanceTracker {
 
         if let Some(e) = failure {
             return Err(e);
+        }
+        if let Some(obs) = &self.obs {
+            obs.record(&metrics);
         }
         Ok(ComplexReport {
             created: created_order,

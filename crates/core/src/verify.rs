@@ -26,6 +26,156 @@ use std::fmt;
 use tep_crypto::digest::HashAlgorithm;
 use tep_crypto::pki::{KeyDirectory, ParticipantId};
 use tep_model::ObjectId;
+use tep_obs::{Counter, Histogram, Registry};
+
+/// The kind of a piece of tamper evidence, independent of the offending
+/// record's identity — the unit both verify paths (batch/recovered and the
+/// tep-net streaming client) report through, and the key of the
+/// `tep_core_evidence_<kind>_total` counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EvidenceKind {
+    /// [`TamperEvidence::OutputMismatch`].
+    OutputMismatch,
+    /// [`TamperEvidence::BadSignature`].
+    BadSignature,
+    /// [`TamperEvidence::MissingRecord`].
+    MissingRecord,
+    /// [`TamperEvidence::BrokenChain`].
+    BrokenChain,
+    /// [`TamperEvidence::ExtraneousRecord`].
+    ExtraneousRecord,
+    /// [`TamperEvidence::DuplicateRecord`].
+    DuplicateRecord,
+    /// [`TamperEvidence::UnknownParticipant`].
+    UnknownParticipant,
+    /// [`TamperEvidence::MalformedRecord`].
+    MalformedRecord,
+    /// [`TamperEvidence::NoRecords`].
+    NoRecords,
+    /// [`TamperEvidence::AnchorViolation`].
+    AnchorViolation,
+    /// [`TamperEvidence::StorageQuarantine`].
+    StorageQuarantine,
+    /// A provenance stream aborted with undecodable bytes — reported by
+    /// the tep-net client when a PROV/DATA frame fails structural
+    /// decoding. Has no [`TamperEvidence`] counterpart (the record never
+    /// existed to point at) but shares this enum so transport-layer
+    /// tamper shows up in the same counter family.
+    MalformedStream,
+}
+
+impl EvidenceKind {
+    /// Every kind, in counter/display order.
+    pub const ALL: [EvidenceKind; 12] = [
+        EvidenceKind::OutputMismatch,
+        EvidenceKind::BadSignature,
+        EvidenceKind::MissingRecord,
+        EvidenceKind::BrokenChain,
+        EvidenceKind::ExtraneousRecord,
+        EvidenceKind::DuplicateRecord,
+        EvidenceKind::UnknownParticipant,
+        EvidenceKind::MalformedRecord,
+        EvidenceKind::NoRecords,
+        EvidenceKind::AnchorViolation,
+        EvidenceKind::StorageQuarantine,
+        EvidenceKind::MalformedStream,
+    ];
+
+    /// Stable snake_case name, used as the counter-name suffix.
+    pub fn name(self) -> &'static str {
+        match self {
+            EvidenceKind::OutputMismatch => "output_mismatch",
+            EvidenceKind::BadSignature => "bad_signature",
+            EvidenceKind::MissingRecord => "missing_record",
+            EvidenceKind::BrokenChain => "broken_chain",
+            EvidenceKind::ExtraneousRecord => "extraneous_record",
+            EvidenceKind::DuplicateRecord => "duplicate_record",
+            EvidenceKind::UnknownParticipant => "unknown_participant",
+            EvidenceKind::MalformedRecord => "malformed_record",
+            EvidenceKind::NoRecords => "no_records",
+            EvidenceKind::AnchorViolation => "anchor_violation",
+            EvidenceKind::StorageQuarantine => "storage_quarantine",
+            EvidenceKind::MalformedStream => "malformed_stream",
+        }
+    }
+
+    /// Name of the tep-obs counter this kind increments
+    /// (`tep_core_evidence_<kind>_total`).
+    pub fn counter_name(self) -> String {
+        format!("tep_core_evidence_{}_total", self.name())
+    }
+}
+
+impl fmt::Display for EvidenceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One [`Counter`] per [`EvidenceKind`], registered as
+/// `tep_core_evidence_<kind>_total`. Cheap to clone; every verify surface
+/// (batch, recovered, streaming, tep-net client) attached to the same
+/// [`Registry`] shares the same counters.
+#[derive(Clone)]
+pub struct EvidenceCounters {
+    counters: Vec<Counter>,
+}
+
+impl EvidenceCounters {
+    /// Registers (or re-resolves) the per-kind counters in `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        EvidenceCounters {
+            counters: EvidenceKind::ALL
+                .iter()
+                .map(|k| registry.counter(&k.counter_name()))
+                .collect(),
+        }
+    }
+
+    /// Counts one piece of evidence of `kind`.
+    pub fn record(&self, kind: EvidenceKind) {
+        self.counters[kind as usize].inc();
+    }
+
+    /// Counts every issue in `issues` by kind.
+    pub fn record_issues(&self, issues: &[TamperEvidence]) {
+        for issue in issues {
+            self.record(issue.kind());
+        }
+    }
+}
+
+/// Verifier-side metrics bundle: run/record/tamper counters, verify
+/// latency, and the per-kind [`EvidenceCounters`].
+#[derive(Clone)]
+struct VerifyObs {
+    runs: Counter,
+    records: Counter,
+    tampered_runs: Counter,
+    latency_ns: Histogram,
+    evidence: EvidenceCounters,
+}
+
+impl VerifyObs {
+    fn new(registry: &Registry) -> Self {
+        VerifyObs {
+            runs: registry.counter("tep_core_verify_runs_total"),
+            records: registry.counter("tep_core_verify_records_total"),
+            tampered_runs: registry.counter("tep_core_verify_tampered_total"),
+            latency_ns: registry.latency_histogram("tep_core_verify_ns"),
+            evidence: EvidenceCounters::new(registry),
+        }
+    }
+
+    fn record_outcome(&self, v: &Verification) {
+        self.runs.inc();
+        self.records.add(v.records_checked as u64);
+        if !v.verified() {
+            self.tampered_runs.inc();
+        }
+        self.evidence.record_issues(&v.issues);
+    }
+}
 
 /// A specific piece of evidence that provenance was tampered with.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -119,6 +269,25 @@ pub enum TamperEvidence {
     },
 }
 
+impl TamperEvidence {
+    /// The kind of this evidence, for counting and cross-path comparison.
+    pub fn kind(&self) -> EvidenceKind {
+        match self {
+            TamperEvidence::OutputMismatch { .. } => EvidenceKind::OutputMismatch,
+            TamperEvidence::BadSignature { .. } => EvidenceKind::BadSignature,
+            TamperEvidence::MissingRecord { .. } => EvidenceKind::MissingRecord,
+            TamperEvidence::BrokenChain { .. } => EvidenceKind::BrokenChain,
+            TamperEvidence::ExtraneousRecord { .. } => EvidenceKind::ExtraneousRecord,
+            TamperEvidence::DuplicateRecord { .. } => EvidenceKind::DuplicateRecord,
+            TamperEvidence::UnknownParticipant { .. } => EvidenceKind::UnknownParticipant,
+            TamperEvidence::MalformedRecord { .. } => EvidenceKind::MalformedRecord,
+            TamperEvidence::NoRecords { .. } => EvidenceKind::NoRecords,
+            TamperEvidence::AnchorViolation { .. } => EvidenceKind::AnchorViolation,
+            TamperEvidence::StorageQuarantine { .. } => EvidenceKind::StorageQuarantine,
+        }
+    }
+}
+
 impl fmt::Display for TamperEvidence {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -202,17 +371,38 @@ impl Verification {
 pub struct Verifier<'a> {
     keys: &'a KeyDirectory,
     alg: HashAlgorithm,
+    obs: Option<VerifyObs>,
 }
 
 impl<'a> Verifier<'a> {
     /// Creates a verifier resolving participants through `keys`.
     pub fn new(keys: &'a KeyDirectory, alg: HashAlgorithm) -> Self {
-        Verifier { keys, alg }
+        Verifier {
+            keys,
+            alg,
+            obs: None,
+        }
+    }
+
+    /// Attaches tep-obs instrumentation: per-run/record counters, verify
+    /// latency, and `tep_core_evidence_<kind>_total` counters.
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        self.obs = Some(VerifyObs::new(registry));
     }
 
     /// Verifies that `prov` is an untampered history of the object whose
     /// current hash is `object_hash`.
     pub fn verify(&self, object_hash: &[u8], prov: &ProvenanceObject) -> Verification {
+        let timer = self.obs.as_ref().map(|o| o.latency_ns.start_timer());
+        let v = self.verify_inner(object_hash, prov);
+        if let Some(obs) = &self.obs {
+            obs.record_outcome(&v);
+        }
+        drop(timer);
+        v
+    }
+
+    fn verify_inner(&self, object_hash: &[u8], prov: &ProvenanceObject) -> Verification {
         let mut v = Verification::default();
         let target = prov.target;
 
@@ -328,10 +518,18 @@ impl<'a> Verifier<'a> {
     ) -> Verification {
         let mut v = self.verify(object_hash, prov);
         if report.is_degraded() {
-            v.issues.push(TamperEvidence::StorageQuarantine {
+            let evidence = TamperEvidence::StorageQuarantine {
                 gaps: report.gaps.len() as u64 + report.decode_failures,
                 bytes: report.quarantined_bytes,
-            });
+            };
+            if let Some(obs) = &self.obs {
+                obs.evidence.record(evidence.kind());
+                if v.verified() {
+                    // The quarantine finding flips this run to tampered.
+                    obs.tampered_runs.inc();
+                }
+            }
+            v.issues.push(evidence);
         }
         v
     }
@@ -439,15 +637,12 @@ fn check_record_signature(
         return;
     }
 
-    let key = match keys.public_key(r.participant) {
-        Ok(k) => k,
-        Err(_) => {
-            issues.push(TamperEvidence::UnknownParticipant {
-                participant: r.participant,
-            });
-            return;
-        }
-    };
+    if keys.public_key(r.participant).is_err() {
+        issues.push(TamperEvidence::UnknownParticipant {
+            participant: r.participant,
+        });
+        return;
+    }
     let prev_refs: Vec<&[u8]> = prev_checksums.iter().map(Vec::as_slice).collect();
     let msg = checksum_message(
         alg,
@@ -459,7 +654,10 @@ fn check_record_signature(
         &r.annotation,
         &prev_refs,
     );
-    if key.verify(alg, &msg, &r.checksum).is_err() {
+    if keys
+        .verify_signature(r.participant, alg, &msg, &r.checksum)
+        .is_err()
+    {
         issues.push(TamperEvidence::BadSignature {
             oid: r.output_oid,
             seq: r.seq_id,
@@ -502,6 +700,9 @@ pub struct StreamingVerifier<'a> {
     chain_tail: HashMap<ObjectId, u64>,
     /// `(seq_id, output_hash)` of the newest target record.
     latest_target: Option<(u64, Vec<u8>)>,
+    /// Optional tep-obs instrumentation (shared counter names with the
+    /// batch [`Verifier`]).
+    obs: Option<VerifyObs>,
 }
 
 impl<'a> StreamingVerifier<'a> {
@@ -519,7 +720,15 @@ impl<'a> StreamingVerifier<'a> {
             edges: HashMap::new(),
             chain_tail: HashMap::new(),
             latest_target: None,
+            obs: None,
         }
+    }
+
+    /// Attaches tep-obs instrumentation; evidence found at push/finish time
+    /// increments the same `tep_core_evidence_<kind>_total` counters the
+    /// batch [`Verifier`] uses.
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        self.obs = Some(VerifyObs::new(registry));
     }
 
     /// The object whose history is being verified.
@@ -611,20 +820,22 @@ impl<'a> StreamingVerifier<'a> {
 
         self.records_checked += 1;
         self.participants.insert(r.participant);
-        self.issues.len() - before
+        let new_evidence = self.issues.len() - before;
+        if let Some(obs) = &self.obs {
+            obs.records.inc();
+            obs.evidence.record_issues(&self.issues[before..]);
+        }
+        new_evidence
     }
 
     /// Finishes: checks the delivered object hash against the newest target
     /// record and sweeps for records unreachable from it.
     pub fn finish(mut self, object_hash: &[u8]) -> Verification {
+        let before_finish = self.issues.len();
         let Some((latest_seq, latest_hash)) = self.latest_target.take() else {
             self.issues
                 .push(TamperEvidence::NoRecords { oid: self.target });
-            return Verification {
-                issues: self.issues,
-                records_checked: self.records_checked,
-                participants: self.participants,
-            };
+            return self.conclude(before_finish);
         };
         if latest_hash != object_hash {
             self.issues
@@ -652,6 +863,19 @@ impl<'a> StreamingVerifier<'a> {
             }
         }
 
+        self.conclude(before_finish)
+    }
+
+    /// Records obs for the finish-time evidence and the run as a whole,
+    /// then assembles the final [`Verification`].
+    fn conclude(mut self, before_finish: usize) -> Verification {
+        if let Some(obs) = self.obs.take() {
+            obs.evidence.record_issues(&self.issues[before_finish..]);
+            obs.runs.inc();
+            if !self.issues.is_empty() {
+                obs.tampered_runs.inc();
+            }
+        }
         Verification {
             issues: self.issues,
             records_checked: self.records_checked,

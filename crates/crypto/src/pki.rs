@@ -13,6 +13,47 @@ use crate::rsa::{KeyPair, RsaError, RsaPublicKey};
 use rand::RngCore;
 use std::collections::HashMap;
 use std::fmt;
+use tep_obs::{Counter, Histogram, Registry};
+
+/// Signer-side instrumentation: `tep_crypto_sign_ns` latency,
+/// `tep_crypto_sign_total`, and the shared `tep_crypto_modpow_total`
+/// (one private-key modular exponentiation per signature).
+#[derive(Clone)]
+struct SignObs {
+    sign_ns: Histogram,
+    signs: Counter,
+    modpow: Counter,
+}
+
+impl SignObs {
+    fn new(registry: &Registry) -> Self {
+        SignObs {
+            sign_ns: registry.latency_histogram("tep_crypto_sign_ns"),
+            signs: registry.counter("tep_crypto_sign_total"),
+            modpow: registry.counter("tep_crypto_modpow_total"),
+        }
+    }
+}
+
+/// Recipient-side instrumentation: `tep_crypto_verify_ns` latency,
+/// `tep_crypto_verify_total`, and the shared `tep_crypto_modpow_total`
+/// (one public-key modular exponentiation per verification).
+#[derive(Clone)]
+struct VerifyObs {
+    verify_ns: Histogram,
+    verifies: Counter,
+    modpow: Counter,
+}
+
+impl VerifyObs {
+    fn new(registry: &Registry) -> Self {
+        VerifyObs {
+            verify_ns: registry.latency_histogram("tep_crypto_verify_ns"),
+            verifies: registry.counter("tep_crypto_verify_total"),
+            modpow: registry.counter("tep_crypto_modpow_total"),
+        }
+    }
+}
 
 /// Identity of a participant (user, process, transaction, …).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -279,6 +320,7 @@ impl CertificateAuthority {
             id: subject,
             keypair,
             certificate,
+            obs: None,
         }
     }
 }
@@ -289,6 +331,7 @@ pub struct Participant {
     id: ParticipantId,
     keypair: KeyPair,
     certificate: Certificate,
+    obs: Option<SignObs>,
 }
 
 impl Participant {
@@ -309,7 +352,20 @@ impl Participant {
 
     /// Signs `message` with the participant's key.
     pub fn sign(&self, alg: HashAlgorithm, message: &[u8]) -> Result<Vec<u8>, RsaError> {
-        self.keypair.sign(alg, message)
+        let timer = self.obs.as_ref().map(|o| o.sign_ns.start_timer());
+        let sig = self.keypair.sign(alg, message)?;
+        drop(timer);
+        if let Some(o) = &self.obs {
+            o.signs.inc();
+            o.modpow.inc();
+        }
+        Ok(sig)
+    }
+
+    /// Attaches metric instrumentation; subsequent [`Participant::sign`]
+    /// calls record `tep_crypto_sign_*` into `registry`.
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        self.obs = Some(SignObs::new(registry));
     }
 }
 
@@ -328,6 +384,7 @@ pub struct KeyDirectory {
     ca_key: RsaPublicKey,
     alg: HashAlgorithm,
     certs: HashMap<ParticipantId, Certificate>,
+    obs: Option<VerifyObs>,
 }
 
 impl KeyDirectory {
@@ -337,7 +394,35 @@ impl KeyDirectory {
             ca_key,
             alg,
             certs: HashMap::new(),
+            obs: None,
         }
+    }
+
+    /// Attaches metric instrumentation; subsequent
+    /// [`KeyDirectory::verify_signature`] calls record `tep_crypto_verify_*`
+    /// into `registry`.
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        self.obs = Some(VerifyObs::new(registry));
+    }
+
+    /// Resolves `p`'s public key and checks `signature` over `message`,
+    /// recording verification latency when instrumentation is attached.
+    pub fn verify_signature(
+        &self,
+        p: ParticipantId,
+        alg: HashAlgorithm,
+        message: &[u8],
+        signature: &[u8],
+    ) -> Result<(), PkiError> {
+        let key = self.public_key(p)?;
+        let timer = self.obs.as_ref().map(|o| o.verify_ns.start_timer());
+        let outcome = key.verify(alg, message, signature);
+        drop(timer);
+        if let Some(o) = &self.obs {
+            o.verifies.inc();
+            o.modpow.inc();
+        }
+        outcome.map_err(PkiError::from)
     }
 
     /// Registers a certificate after verifying the CA signature.

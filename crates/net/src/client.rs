@@ -28,11 +28,14 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tep_core::metrics::{TransferCounters, TransferSnapshot};
 use tep_core::streaming::{DepthStreamHasher, StreamError};
-use tep_core::verify::{StreamingVerifier, TamperEvidence, Verification};
+use tep_core::verify::{
+    EvidenceCounters, EvidenceKind, StreamingVerifier, TamperEvidence, Verification,
+};
 use tep_core::ProvenanceRecord;
 use tep_crypto::digest::HashAlgorithm;
 use tep_crypto::pki::KeyDirectory;
 use tep_model::ObjectId;
+use tep_obs::Registry;
 
 use crate::wire::{
     ErrorCode, FrameReader, FrameWriter, Message, OfferEntry, WireError, WIRE_VERSION,
@@ -188,6 +191,7 @@ pub struct Client {
     addr: SocketAddr,
     cfg: ClientConfig,
     counters: Arc<TransferCounters>,
+    registry: Option<Registry>,
     rng: StdRng,
 }
 
@@ -199,12 +203,36 @@ impl Client {
             cfg,
             rng: StdRng::seed_from_u64(cfg.jitter_seed),
             counters: Arc::new(TransferCounters::new()),
+            registry: None,
         }
+    }
+
+    /// Attaches metric instrumentation: frame/byte traffic mirrors into
+    /// `registry` under `tep_net_*`, and every piece of tamper evidence a
+    /// fetch detects increments its `tep_core_evidence_<kind>_total`
+    /// counter (including [`EvidenceKind::MalformedStream`] for
+    /// structurally bad DATA streams).
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        self.counters = Arc::new(TransferCounters::observed(registry));
+        self.registry = Some(registry.clone());
     }
 
     /// Transfer counters accumulated across every attempt so far.
     pub fn counters(&self) -> TransferSnapshot {
         self.counters.snapshot()
+    }
+
+    /// Requests the server's metric registry as text exposition (a STATS
+    /// frame), with retry.
+    pub fn stats(&mut self) -> Result<String, NetError> {
+        self.with_retry(|conn| {
+            conn.writer.write_message(&Message::StatsRequest)?;
+            match conn.reader.read_message()? {
+                Some(Message::Stats { text }) => Ok(text),
+                Some(Message::Error { code, detail }) => Err(NetError::Remote { code, detail }),
+                _ => Err(NetError::Protocol("expected STATS")),
+            }
+        })
     }
 
     /// Connects and returns the server's OFFER manifest (with retry).
@@ -223,7 +251,8 @@ impl Client {
     ) -> Result<FetchReport, NetError> {
         let alg = self.cfg.alg;
         let counters = Arc::clone(&self.counters);
-        self.with_retry(move |conn| fetch_on(conn, oid, keys, alg, &counters))
+        let registry = self.registry.clone();
+        self.with_retry(move |conn| fetch_on(conn, oid, keys, alg, &counters, registry.as_ref()))
     }
 
     /// Runs `op` on a fresh connection, retrying transient failures with
@@ -310,10 +339,14 @@ fn fetch_on(
     keys: &KeyDirectory,
     alg: HashAlgorithm,
     counters: &Arc<TransferCounters>,
+    registry: Option<&Registry>,
 ) -> Result<FetchReport, NetError> {
     conn.writer.write_message(&Message::Fetch { oid })?;
 
     let mut verifier = StreamingVerifier::new(keys, alg, oid);
+    if let Some(reg) = registry {
+        verifier.attach_obs(reg);
+    }
     let mut hasher = DepthStreamHasher::new(alg);
     let mut records = 0u64;
     let mut seen_data = false;
@@ -344,6 +377,7 @@ fn fetch_on(
                 for e in &entries {
                     if let Err(error) = hasher.push(e.depth as usize, e.id, &e.value) {
                         counters.verify_failure();
+                        record_malformed_stream(registry);
                         return Err(NetError::MalformedStream { frame, error });
                     }
                 }
@@ -357,6 +391,7 @@ fn fetch_on(
                     Ok(h) => h,
                     Err(error) => {
                         counters.verify_failure();
+                        record_malformed_stream(registry);
                         return Err(NetError::MalformedStream { frame, error });
                     }
                 };
@@ -386,5 +421,14 @@ fn fetch_on(
             Message::Error { code, detail } => return Err(NetError::Remote { code, detail }),
             _ => return Err(NetError::Protocol("unexpected message during transfer")),
         }
+    }
+}
+
+/// Counts a structurally malformed DATA stream under the unified evidence
+/// schema (`tep_core_evidence_malformed_stream_total`) — the one detection
+/// surface with no [`TamperEvidence`] variant of its own.
+fn record_malformed_stream(registry: Option<&Registry>) {
+    if let Some(reg) = registry {
+        EvidenceCounters::new(reg).record(EvidenceKind::MalformedStream);
     }
 }

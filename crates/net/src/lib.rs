@@ -35,5 +35,5 @@ pub mod wire;
 
 pub use client::{Client, ClientConfig, FetchReport, NetError, RetryPolicy};
 pub use proxy::{ProxyAction, TamperProxy};
-pub use server::{serve, Catalog, ServerConfig, ServerHandle};
+pub use server::{serve, serve_with_registry, Catalog, ServerConfig, ServerHandle};
 pub use wire::{DataEntry, ErrorCode, Message, OfferEntry, WireError, MAX_FRAME, WIRE_VERSION};

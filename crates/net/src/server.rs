@@ -34,6 +34,7 @@ use tep_core::metrics::{TransferCounters, TransferSnapshot};
 use tep_core::provenance::collect;
 use tep_crypto::digest::HashAlgorithm;
 use tep_model::{Forest, ObjectId};
+use tep_obs::{Counter, Registry};
 use tep_storage::ProvenanceDb;
 
 use crate::wire::{
@@ -168,12 +169,34 @@ struct Shared {
     shutdown: AtomicBool,
 }
 
+/// Server-level counters in the metric registry (frame/byte traffic is
+/// mirrored separately by the observed [`TransferCounters`]).
+#[derive(Clone)]
+struct ServerObs {
+    connections: Counter,
+    busy_rejections: Counter,
+    fetches: Counter,
+    stats_requests: Counter,
+}
+
+impl ServerObs {
+    fn new(registry: &Registry) -> Self {
+        ServerObs {
+            connections: registry.counter("tep_net_connections_total"),
+            busy_rejections: registry.counter("tep_net_busy_rejections_total"),
+            fetches: registry.counter("tep_net_fetches_total"),
+            stats_requests: registry.counter("tep_net_stats_requests_total"),
+        }
+    }
+}
+
 /// A running server; dropping (or calling [`Self::shutdown`]) stops it.
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     threads: Vec<JoinHandle<()>>,
     counters: Arc<TransferCounters>,
+    registry: Registry,
 }
 
 impl ServerHandle {
@@ -185,6 +208,12 @@ impl ServerHandle {
     /// Aggregated transfer counters across all connections so far.
     pub fn counters(&self) -> TransferSnapshot {
         self.counters.snapshot()
+    }
+
+    /// The server's metric registry: `tep_net_*` counters plus whatever the
+    /// caller pre-registered. This is the registry STATS frames expose.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Stops accepting, wakes the workers, and joins every thread.
@@ -208,11 +237,25 @@ impl Drop for ServerHandle {
 }
 
 /// Binds `addr` (use port 0 for an ephemeral port) and serves `catalog`
-/// until the returned handle is shut down or dropped.
+/// until the returned handle is shut down or dropped. The server records
+/// its `tep_net_*` metrics into a private registry, readable via
+/// [`ServerHandle::registry`] or a STATS frame.
 pub fn serve(
     catalog: Arc<Catalog>,
     addr: SocketAddr,
     cfg: ServerConfig,
+) -> io::Result<ServerHandle> {
+    serve_with_registry(catalog, addr, cfg, Registry::new())
+}
+
+/// Like [`serve`], but records metrics into the caller's `registry` — so a
+/// process embedding the server can expose net traffic next to its other
+/// metrics (and a STATS frame shows them all).
+pub fn serve_with_registry(
+    catalog: Arc<Catalog>,
+    addr: SocketAddr,
+    cfg: ServerConfig,
+    registry: Registry,
 ) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
@@ -223,22 +266,26 @@ pub fn serve(
         available: Condvar::new(),
         shutdown: AtomicBool::new(false),
     });
-    let counters = Arc::new(TransferCounters::new());
+    let counters = Arc::new(TransferCounters::observed(&registry));
+    let obs = ServerObs::new(&registry);
     let mut threads = Vec::with_capacity(cfg.workers + 1);
 
     {
         let shared = Arc::clone(&shared);
         let counters = Arc::clone(&counters);
+        let obs = obs.clone();
         threads.push(thread::spawn(move || {
-            accept_loop(listener, shared, counters, cfg)
+            accept_loop(listener, shared, counters, obs, cfg)
         }));
     }
     for _ in 0..cfg.workers.max(1) {
         let shared = Arc::clone(&shared);
         let catalog = Arc::clone(&catalog);
         let counters = Arc::clone(&counters);
+        let obs = obs.clone();
+        let registry = registry.clone();
         threads.push(thread::spawn(move || {
-            worker_loop(shared, catalog, counters, cfg)
+            worker_loop(shared, catalog, counters, obs, registry, cfg)
         }));
     }
 
@@ -247,6 +294,7 @@ pub fn serve(
         shared,
         threads,
         counters,
+        registry,
     })
 }
 
@@ -254,14 +302,17 @@ fn accept_loop(
     listener: TcpListener,
     shared: Arc<Shared>,
     counters: Arc<TransferCounters>,
+    obs: ServerObs,
     cfg: ServerConfig,
 ) {
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                obs.connections.inc();
                 let mut queue = lock_recover(&shared.queue);
                 if queue.len() >= cfg.queue_depth {
                     drop(queue);
+                    obs.busy_rejections.inc();
                     refuse_busy(stream, &counters, cfg);
                 } else {
                     queue.push_back(stream);
@@ -292,6 +343,8 @@ fn worker_loop(
     shared: Arc<Shared>,
     catalog: Arc<Catalog>,
     counters: Arc<TransferCounters>,
+    obs: ServerObs,
+    registry: Registry,
     cfg: ServerConfig,
 ) {
     loop {
@@ -317,7 +370,7 @@ fn worker_loop(
                 // neither via an I/O error (discarded) nor via a panic
                 // (caught, counted, isolated).
                 run_isolated(&counters, || {
-                    let _ = handle_connection(s, &catalog, &counters, cfg);
+                    let _ = handle_connection(s, &catalog, &counters, &obs, &registry, cfg);
                 });
             }
             None => return,
@@ -329,6 +382,8 @@ fn handle_connection(
     stream: TcpStream,
     catalog: &Catalog,
     counters: &Arc<TransferCounters>,
+    obs: &ServerObs,
+    registry: &Registry,
     cfg: ServerConfig,
 ) -> Result<(), WireError> {
     stream.set_read_timeout(Some(cfg.read_timeout))?;
@@ -371,7 +426,16 @@ fn handle_connection(
 
     while let Some(msg) = reader.read_message()? {
         match msg {
-            Message::Fetch { oid } => serve_fetch(catalog, &mut writer, oid)?,
+            Message::Fetch { oid } => {
+                obs.fetches.inc();
+                serve_fetch(catalog, &mut writer, oid)?;
+            }
+            Message::StatsRequest => {
+                obs.stats_requests.inc();
+                writer.write_message(&Message::Stats {
+                    text: registry.render_text(),
+                })?;
+            }
             _ => {
                 writer.write_message(&Message::Error {
                     code: ErrorCode::BadRequest,

@@ -60,6 +60,8 @@ const TYPE_PROV: u8 = 0x04;
 const TYPE_DATA: u8 = 0x05;
 const TYPE_DONE: u8 = 0x06;
 const TYPE_ERROR: u8 = 0x07;
+const TYPE_STATS_REQ: u8 = 0x08;
+const TYPE_STATS: u8 = 0x09;
 
 /// Why a peer refused a request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -174,6 +176,14 @@ pub enum Message {
         /// Human-readable detail.
         detail: String,
     },
+    /// Client asks the server for its metric registry.
+    StatsRequest,
+    /// The server's metrics in text exposition format
+    /// ([`tep_obs::Registry::render_text`]).
+    Stats {
+        /// The rendered exposition (UTF-8).
+        text: String,
+    },
 }
 
 /// Wire-layer failure.
@@ -279,6 +289,14 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             out.extend_from_slice(&(detail.len() as u64).to_be_bytes());
             out.extend_from_slice(detail.as_bytes());
         }
+        Message::StatsRequest => {
+            out.push(TYPE_STATS_REQ);
+        }
+        Message::Stats { text } => {
+            out.push(TYPE_STATS);
+            out.extend_from_slice(&(text.len() as u64).to_be_bytes());
+            out.extend_from_slice(text.as_bytes());
+        }
     }
     out
 }
@@ -341,6 +359,12 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, WireError> {
             let detail = String::from_utf8(r.len_prefixed()?.to_vec())
                 .map_err(|_| WireError::Decode(DecodeError::BadUtf8))?;
             Message::Error { code, detail }
+        }
+        TYPE_STATS_REQ => Message::StatsRequest,
+        TYPE_STATS => {
+            let text = String::from_utf8(r.len_prefixed()?.to_vec())
+                .map_err(|_| WireError::Decode(DecodeError::BadUtf8))?;
+            Message::Stats { text }
         }
         t => return Err(WireError::BadType(t)),
     };
@@ -517,6 +541,12 @@ mod tests {
             Message::Error {
                 code: ErrorCode::UnknownObject,
                 detail: "object 99 is not offered".into(),
+            },
+            Message::StatsRequest,
+            Message::Stats {
+                text: "# TYPE tep_net_frames_sent_total counter\n\
+                       tep_net_frames_sent_total 7\n"
+                    .into(),
             },
         ]
     }

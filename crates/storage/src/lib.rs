@@ -27,11 +27,13 @@
 
 pub mod crc;
 pub mod log;
+pub mod obs_vfs;
 pub mod provenance_db;
 pub mod snapshot;
 pub mod vfs;
 
 pub use log::{quarantine_path, AppendLog, LogError, LogGap, RecoveredLog};
+pub use obs_vfs::{record_recovery, ObservedVfs};
 pub use provenance_db::{ProvenanceDb, RecoveryReport, StoreError, StoredRecord};
 pub use snapshot::{load_forest, load_forest_with, save_forest, save_forest_with, SnapshotError};
 pub use vfs::{FaultConfig, FaultVfs, RealVfs, Vfs, VirtualFile};

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! tep demo <dir>                      generate a demo log + keyring
-//! tep stats <log>                     store statistics
+//! tep stats <log> [--metrics]         store statistics (+ metric registry)
 //! tep history <log> <oid>             one object's record chain
 //! tep blame <log> <oid>               most recent modifier
 //! tep participants <log> <oid>        everyone who touched the object
@@ -35,7 +35,7 @@ fn main() -> ExitCode {
             eprintln!();
             eprintln!("usage:");
             eprintln!("  tep demo <dir>");
-            eprintln!("  tep stats <log>");
+            eprintln!("  tep stats <log> [--metrics]");
             eprintln!("  tep history <log> <oid>");
             eprintln!("  tep blame <log> <oid>");
             eprintln!("  tep participants <log> <oid>");
@@ -54,7 +54,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing subcommand")?;
     match cmd.as_str() {
         "demo" => demo(args.get(1).ok_or("demo needs a directory")?),
-        "stats" => stats(open_db(args.get(1))?),
+        "stats" => stats(args),
         "history" => history(open_db(args.get(1))?, parse_oid(args.get(2))?),
         "blame" => blame(open_db(args.get(1))?, parse_oid(args.get(2))?),
         "participants" => participants(open_db(args.get(1))?, parse_oid(args.get(2))?),
@@ -87,7 +87,26 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
         .and_then(|i| args.get(i + 1))
 }
 
-fn stats(db: ProvenanceDb) -> Result<(), String> {
+fn stats(args: &[String]) -> Result<(), String> {
+    let with_metrics = args.iter().any(|a| a == "--metrics");
+    let path = args
+        .get(1)
+        .filter(|a| a.as_str() != "--metrics")
+        .ok_or("missing <log> path")?;
+
+    // With --metrics the log is opened through an ObservedVfs so the open
+    // itself populates the tep_storage_* I/O and recovery counters.
+    let registry = tepdb::obs::Registry::new();
+    let db = if with_metrics {
+        let vfs = tepdb::storage::ObservedVfs::wrap(tepdb::storage::vfs::real_vfs(), &registry);
+        let db = ProvenanceDb::durable_with(vfs, std::path::Path::new(path))
+            .map_err(|e| format!("cannot open {path}: {e}"))?;
+        tepdb::storage::record_recovery(&registry, &db.recovery());
+        db
+    } else {
+        open_db(Some(path))?
+    };
+
     let q = ProvenanceQuery::new(&db);
     let stats = q.stats().map_err(|e| e.to_string())?;
     println!("records:      {}", stats.records);
@@ -100,6 +119,10 @@ fn stats(db: ProvenanceDb) -> Result<(), String> {
     println!("\nactivity:");
     for (p, n) in q.activity() {
         println!("  {p}: {n} record(s)");
+    }
+    if with_metrics {
+        println!("\nmetrics:");
+        print!("{}", registry.render_text());
     }
     Ok(())
 }

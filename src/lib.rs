@@ -9,6 +9,9 @@
 //!
 //! This crate is a facade over the workspace:
 //!
+//! * [`obs`] — zero-dependency observability spine: sharded counters,
+//!   histograms, spans, and a text-exposition registry every layer records
+//!   into.
 //! * [`crypto`] — big integers, SHA-1/SHA-256, RSA-PKCS#1 v1.5, simulated
 //!   PKI (all implemented from scratch).
 //! * [`model`] — the forest-of-trees data model and primitive operations.
@@ -57,6 +60,7 @@ pub use tep_core as core;
 pub use tep_crypto as crypto;
 pub use tep_model as model;
 pub use tep_net as net;
+pub use tep_obs as obs;
 pub use tep_storage as storage;
 pub use tep_workloads as workloads;
 

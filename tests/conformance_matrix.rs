@@ -1,0 +1,559 @@
+//! Conformance matrix: guarantees **R1–R8** × `attack::Tamper` × surface.
+//!
+//! Every guarantee with a defined attack is exercised on each surface that
+//! can express the attack:
+//!
+//! * **in-memory** — tamper a collected [`ProvenanceObject`], batch-verify;
+//! * **storage reopen** — persist the tampered records through the durable
+//!   CRC-framed log on a [`FaultVfs`], power-cycle, reopen, re-collect,
+//!   and verify via [`Verifier::verify_recovered`];
+//! * **wire** — serve the honest catalog and replay the tamper in flight
+//!   through a [`TamperProxy`], letting the client's streaming verifier
+//!   catch it.
+//!
+//! Each detection is asserted twice: the verdict itself, and the matching
+//! `tep_core_evidence_<kind>_total` counter in a per-case [`Registry`] —
+//! the counters must account for *exactly* the reported evidence, kind by
+//! kind, on every surface.
+//!
+//! Attacks that require injecting frames (forged insertion / forged
+//! append, R3/R6) have no wire form — a path attacker can drop or mutate
+//! frames but cannot mint them mid-stream without breaking framing — so
+//! those (guarantee, wire) pairs are intentionally absent.
+
+use std::collections::HashMap;
+use std::io::{Seek, SeekFrom};
+use std::path::Path;
+use std::sync::{Arc, OnceLock};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tepdb::core::attack::{apply_tamper, collusion_splice, forge_insertion, Tamper};
+use tepdb::core::provenance::ProvenanceObject;
+use tepdb::core::verify::EvidenceKind;
+use tepdb::core::{
+    collect, ProvenanceRecord, ProvenanceTracker, TamperEvidence, TrackerConfig, Verifier,
+};
+use tepdb::model::ObjectId;
+use tepdb::net::proxy::Mutator;
+use tepdb::net::wire::Message;
+use tepdb::net::{
+    serve, Catalog, Client, ClientConfig, NetError, ProxyAction, ServerConfig, TamperProxy,
+};
+use tepdb::obs::Registry;
+use tepdb::prelude::*;
+use tepdb::storage::vfs::{FaultConfig, FaultVfs, Vfs};
+use tepdb::storage::ProvenanceDb;
+
+const ALG: HashAlgorithm = HashAlgorithm::Sha256;
+
+/// One shared provenance world (RSA keygen is the expensive part).
+struct World {
+    keys: KeyDirectory,
+    bob: Participant,
+    mallory: Participant,
+    /// Atomic object with a 5-record history: alice@0, bob@1, alice@2,
+    /// bob@3, carol@4 — bob's records sandwich alice@2 (collusion splice)
+    /// and carol@4 is the honest successor that exposes it.
+    doc: ObjectId,
+    doc_hash: Vec<u8>,
+    /// A second object with the same value: its hash must not vouch for
+    /// `doc`'s provenance (R5).
+    other_hash: Vec<u8>,
+    clean: ProvenanceObject,
+    catalog: Arc<Catalog>,
+}
+
+static WORLD: OnceLock<World> = OnceLock::new();
+
+fn world() -> &'static World {
+    WORLD.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xC04F);
+        let ca = CertificateAuthority::new(512, ALG, &mut rng);
+        let alice = ca.enroll(ParticipantId(1), 512, &mut rng);
+        let bob = ca.enroll(ParticipantId(2), 512, &mut rng);
+        let carol = ca.enroll(ParticipantId(3), 512, &mut rng);
+        let mallory = ca.enroll(ParticipantId(4), 512, &mut rng);
+        let mut keys = KeyDirectory::new(ca.public_key().clone(), ALG);
+        for p in [&alice, &bob, &carol, &mallory] {
+            keys.register(p.certificate().clone()).unwrap();
+        }
+
+        let db = Arc::new(ProvenanceDb::in_memory());
+        let mut tracker = ProvenanceTracker::new(
+            TrackerConfig {
+                alg: ALG,
+                ..Default::default()
+            },
+            Arc::clone(&db),
+        );
+        let (doc, _) = tracker.insert(&alice, Value::Int(0), None).unwrap();
+        tracker.update(&bob, doc, Value::Int(1)).unwrap();
+        tracker.update(&alice, doc, Value::Int(2)).unwrap();
+        tracker.update(&bob, doc, Value::Int(3)).unwrap();
+        tracker.update(&carol, doc, Value::Int(4)).unwrap();
+        let (other, _) = tracker.insert(&bob, Value::Int(4), None).unwrap();
+
+        let doc_hash = tracker.object_hash(doc).unwrap();
+        let other_hash = tracker.object_hash(other).unwrap();
+        let clean = collect(&db, doc).unwrap();
+        let catalog = Arc::new(Catalog::new(tracker.forest().clone(), db, ALG, vec![doc]));
+
+        World {
+            keys,
+            bob,
+            mallory,
+            doc,
+            doc_hash,
+            other_hash,
+            clean,
+            catalog,
+        }
+    })
+}
+
+/// An attack from the §2.2 toolkit, in matrix form.
+enum Attack {
+    /// A single-record mutation/removal (replayable on the wire).
+    Tamper(Tamper),
+    /// Mallory forges a record at an *interior* slot (R3).
+    ForgeInterior,
+    /// Mallory appends a forged most-recent record that tracks no real
+    /// operation (R3 footnote 5 / R6): caught by the data comparison.
+    ForgeAppend,
+    /// Bob splices alice@2 out between his own records and re-signs (R7);
+    /// carol's honest successor exposes it.
+    Splice,
+    /// The data is modified out-of-band, provenance left intact (R4).
+    DataModification,
+    /// Genuine provenance presented for a *different* object (R5).
+    Substitution,
+}
+
+struct Case {
+    guarantee: &'static str,
+    name: &'static str,
+    attack: Attack,
+    /// The evidence kind that must be reported (in-memory and wire).
+    expect: EvidenceKind,
+    /// Kind expected after a storage round-trip. Differs only for
+    /// `ForgeInterior`: the store's duplicate-slot collapse keeps one
+    /// record per `(oid, seq)`, so the forgery surfaces as the successor's
+    /// broken signature instead of a duplicate.
+    expect_storage: EvidenceKind,
+}
+
+fn cases() -> Vec<Case> {
+    let doc = world().doc;
+    let mallory = world().mallory.id();
+    let mut out = vec![
+        Case {
+            guarantee: "R1",
+            name: "flip output hash",
+            attack: Attack::Tamper(Tamper::FlipOutputHash { oid: doc, seq: 2 }),
+            expect: EvidenceKind::BadSignature,
+            expect_storage: EvidenceKind::BadSignature,
+        },
+        Case {
+            guarantee: "R1",
+            name: "flip input hash",
+            attack: Attack::Tamper(Tamper::FlipInputHash {
+                oid: doc,
+                seq: 2,
+                input: 0,
+            }),
+            expect: EvidenceKind::BadSignature,
+            expect_storage: EvidenceKind::BadSignature,
+        },
+        Case {
+            guarantee: "R1",
+            name: "flip checksum",
+            attack: Attack::Tamper(Tamper::FlipChecksum { oid: doc, seq: 2 }),
+            expect: EvidenceKind::BadSignature,
+            expect_storage: EvidenceKind::BadSignature,
+        },
+        Case {
+            guarantee: "R2",
+            name: "remove interior record",
+            attack: Attack::Tamper(Tamper::Remove { oid: doc, seq: 2 }),
+            expect: EvidenceKind::MissingRecord,
+            expect_storage: EvidenceKind::MissingRecord,
+        },
+        Case {
+            guarantee: "R3",
+            name: "forge interior insertion",
+            attack: Attack::ForgeInterior,
+            expect: EvidenceKind::DuplicateRecord,
+            expect_storage: EvidenceKind::BadSignature,
+        },
+        Case {
+            guarantee: "R4",
+            name: "modify data out-of-band",
+            attack: Attack::DataModification,
+            expect: EvidenceKind::OutputMismatch,
+            expect_storage: EvidenceKind::OutputMismatch,
+        },
+        Case {
+            guarantee: "R5",
+            name: "substitute provenance of another object",
+            attack: Attack::Substitution,
+            expect: EvidenceKind::OutputMismatch,
+            expect_storage: EvidenceKind::OutputMismatch,
+        },
+        Case {
+            guarantee: "R6",
+            name: "forged untracked append",
+            attack: Attack::ForgeAppend,
+            expect: EvidenceKind::OutputMismatch,
+            expect_storage: EvidenceKind::OutputMismatch,
+        },
+        Case {
+            guarantee: "R7",
+            name: "collusion splice with honest successor",
+            attack: Attack::Splice,
+            expect: EvidenceKind::BadSignature,
+            expect_storage: EvidenceKind::BadSignature,
+        },
+        Case {
+            guarantee: "R8",
+            name: "reattribute to another participant",
+            attack: Attack::Tamper(Tamper::Reattribute {
+                oid: doc,
+                seq: 1,
+                to: mallory,
+            }),
+            expect: EvidenceKind::BadSignature,
+            expect_storage: EvidenceKind::BadSignature,
+        },
+    ];
+    // Sanity: every guarantee appears.
+    for g in ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"] {
+        assert!(out.iter().any(|c| c.guarantee == g), "no case for {g}");
+    }
+    out.sort_by_key(|c| c.guarantee);
+    out
+}
+
+/// Builds the (claimed object hash, provenance) pair the verifier is
+/// handed after the attack.
+fn scenario(w: &World, attack: &Attack) -> (Vec<u8>, ProvenanceObject) {
+    let mut prov = w.clean.clone();
+    let hash = match attack {
+        Attack::Tamper(t) => {
+            assert!(apply_tamper(&mut prov, t), "tamper target must exist");
+            w.doc_hash.clone()
+        }
+        Attack::ForgeInterior => {
+            forge_insertion(&mut prov, ALG, &w.mallory, w.doc, 2, vec![0u8; 32]).unwrap();
+            w.doc_hash.clone()
+        }
+        Attack::ForgeAppend => {
+            forge_insertion(&mut prov, ALG, &w.mallory, w.doc, 5, vec![0u8; 32]).unwrap();
+            w.doc_hash.clone()
+        }
+        Attack::Splice => {
+            collusion_splice(&mut prov, ALG, w.doc, 1, 3, &w.bob).unwrap();
+            w.doc_hash.clone()
+        }
+        Attack::DataModification => {
+            let mut h = w.doc_hash.clone();
+            h[0] ^= 0x01;
+            h
+        }
+        Attack::Substitution => w.other_hash.clone(),
+    };
+    (hash, prov)
+}
+
+/// The per-kind evidence counters must account for exactly the reported
+/// issues — every detected kind incremented by its multiplicity, every
+/// other kind untouched.
+fn assert_evidence_counters(reg: &Registry, issues: &[TamperEvidence], ctx: &str) {
+    let mut want: HashMap<EvidenceKind, u64> = HashMap::new();
+    for issue in issues {
+        *want.entry(issue.kind()).or_insert(0) += 1;
+    }
+    for kind in EvidenceKind::ALL {
+        assert_eq!(
+            reg.counter_value(&kind.counter_name()),
+            want.get(&kind).copied().unwrap_or(0),
+            "{ctx}: `{kind}` counter does not match reported evidence",
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Surface 1: in-memory batch verification
+// ---------------------------------------------------------------------------
+
+#[test]
+fn in_memory_surface_detects_every_attack() {
+    let w = world();
+    for case in cases() {
+        let ctx = format!("{} ({}, in-memory)", case.guarantee, case.name);
+        let (hash, prov) = scenario(w, &case.attack);
+        let reg = Registry::new();
+        let mut verifier = Verifier::new(&w.keys, ALG);
+        verifier.attach_obs(&reg);
+        let v = verifier.verify(&hash, &prov);
+        assert!(!v.verified(), "{ctx}: attack went undetected");
+        assert!(
+            v.issues.iter().any(|i| i.kind() == case.expect),
+            "{ctx}: expected {:?} among {:?}",
+            case.expect,
+            v.issues,
+        );
+        assert_evidence_counters(&reg, &v.issues, &ctx);
+        assert_eq!(
+            reg.counter_value("tep_core_verify_tampered_total"),
+            1,
+            "{ctx}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Surface 2: durable log round-trip (write → power-cycle → recover)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn storage_reopen_surface_detects_every_attack() {
+    let w = world();
+    let path = Path::new("/matrix.teplog");
+    for case in cases() {
+        let ctx = format!("{} ({}, storage reopen)", case.guarantee, case.name);
+        let (hash, prov) = scenario(w, &case.attack);
+
+        // Persist the tampered records (reverse order so a forged
+        // duplicate shadows the original in the store's tie-keeping
+        // index), then simulate power loss and recover.
+        let vfs = FaultVfs::new(FaultConfig::default());
+        {
+            let db = ProvenanceDb::durable_with(vfs.clone(), path).unwrap();
+            for r in prov.records.iter().rev() {
+                db.append(r.to_stored()).unwrap();
+            }
+            db.sync().unwrap();
+        }
+        vfs.power_cycle();
+        let db = ProvenanceDb::durable_with(vfs, path).unwrap();
+        assert!(
+            !db.recovery().is_degraded(),
+            "{ctx}: synced log must recover clean"
+        );
+
+        let recovered = collect(&db, w.doc).unwrap();
+        let reg = Registry::new();
+        let mut verifier = Verifier::new(&w.keys, ALG);
+        verifier.attach_obs(&reg);
+        let v = verifier.verify_recovered(&hash, &recovered, &db.recovery());
+        assert!(!v.verified(), "{ctx}: attack went undetected");
+        assert!(
+            v.issues.iter().any(|i| i.kind() == case.expect_storage),
+            "{ctx}: expected {:?} among {:?}",
+            case.expect_storage,
+            v.issues,
+        );
+        assert_evidence_counters(&reg, &v.issues, &ctx);
+    }
+}
+
+/// Storage-layer tampering below the record level: flipping a byte of the
+/// log itself quarantines the damaged range at reopen, and
+/// `verify_recovered` folds that into `StorageQuarantine` evidence — a
+/// damaged chain never verifies clean.
+#[test]
+fn storage_quarantine_is_reported_as_evidence() {
+    let w = world();
+    let path = Path::new("/quarantine.teplog");
+    let vfs = FaultVfs::new(FaultConfig::default());
+    {
+        let db = ProvenanceDb::durable_with(vfs.clone(), path).unwrap();
+        for r in &w.clean.records {
+            db.append(r.to_stored()).unwrap();
+        }
+        db.sync().unwrap();
+    }
+    let len = {
+        let mut f = vfs.open_rw(path).unwrap();
+        f.seek(SeekFrom::End(0)).unwrap()
+    };
+    assert!(vfs.corrupt_byte(path, (len / 2) as usize));
+    vfs.power_cycle();
+
+    let db = ProvenanceDb::durable_with(vfs, path).unwrap();
+    assert!(db.recovery().is_degraded(), "corruption must quarantine");
+    let recovered = collect(&db, w.doc).unwrap();
+    let reg = Registry::new();
+    let mut verifier = Verifier::new(&w.keys, ALG);
+    verifier.attach_obs(&reg);
+    let v = verifier.verify_recovered(&w.doc_hash, &recovered, &db.recovery());
+    assert!(!v.verified(), "quarantined storage must not verify clean");
+    assert!(
+        v.issues
+            .iter()
+            .any(|i| i.kind() == EvidenceKind::StorageQuarantine),
+        "expected StorageQuarantine among {:?}",
+        v.issues,
+    );
+    assert_evidence_counters(&reg, &v.issues, "storage quarantine");
+}
+
+// ---------------------------------------------------------------------------
+// Surface 3: the wire (streaming verify-on-receive)
+// ---------------------------------------------------------------------------
+
+/// Replays an offline-tampered provenance object in flight: PROV frames
+/// whose record was removed are dropped, mutated ones are re-framed with
+/// a valid CRC — exactly what a path attacker can do.
+fn replay_mutator(tampered: ProvenanceObject) -> Mutator {
+    let map: HashMap<(ObjectId, u64), ProvenanceRecord> = tampered
+        .records
+        .into_iter()
+        .map(|r| ((r.output_oid, r.seq_id), r))
+        .collect();
+    Box::new(move |_frame, msg| {
+        let Message::Prov { record } = msg else {
+            return ProxyAction::Forward;
+        };
+        let Ok(rec) = ProvenanceRecord::from_stored(record) else {
+            return ProxyAction::Forward;
+        };
+        match map.get(&(rec.output_oid, rec.seq_id)) {
+            None => ProxyAction::Drop,
+            Some(t) if *t != rec => ProxyAction::Replace(Message::Prov {
+                record: t.to_stored(),
+            }),
+            Some(_) => ProxyAction::Forward,
+        }
+    })
+}
+
+/// The in-flight form of each attack, when one exists.
+fn wire_mutator(w: &World, attack: &Attack) -> Option<Mutator> {
+    match attack {
+        Attack::Tamper(_) | Attack::Splice => {
+            let (_, tampered) = scenario(w, attack);
+            Some(replay_mutator(tampered))
+        }
+        // R4 on the wire: mutate the data frame, leave provenance intact.
+        Attack::DataModification => Some(Box::new(|_frame, msg| {
+            let Message::Data { entries } = msg else {
+                return ProxyAction::Forward;
+            };
+            let mut entries = entries.clone();
+            entries[0].value = Value::Int(666_666);
+            ProxyAction::Replace(Message::Data { entries })
+        })),
+        // R5 on the wire: deliver a different object under genuine
+        // provenance by swapping the data node's identity.
+        Attack::Substitution => Some(Box::new(|_frame, msg| {
+            let Message::Data { entries } = msg else {
+                return ProxyAction::Forward;
+            };
+            let mut entries = entries.clone();
+            entries[0].id = ObjectId(entries[0].id.0 + 1);
+            ProxyAction::Replace(Message::Data { entries })
+        })),
+        // Frame injection is not in a path attacker's toolkit.
+        Attack::ForgeInterior | Attack::ForgeAppend => None,
+    }
+}
+
+#[test]
+fn wire_surface_detects_every_expressible_attack() {
+    let w = world();
+    let srv = serve(
+        Arc::clone(&w.catalog),
+        "127.0.0.1:0".parse().unwrap(),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let mut covered = 0;
+    for case in cases() {
+        let Some(mutator) = wire_mutator(w, &case.attack) else {
+            continue;
+        };
+        covered += 1;
+        let ctx = format!("{} ({}, wire)", case.guarantee, case.name);
+        let proxy = TamperProxy::spawn(srv.addr(), mutator).unwrap();
+        let reg = Registry::new();
+        let mut client = Client::new(proxy.addr(), ClientConfig::new(ALG));
+        client.attach_obs(&reg);
+        match client.fetch_verified(w.doc, &w.keys) {
+            Err(NetError::TamperDetected { issues, .. }) => {
+                assert!(
+                    issues.iter().any(|i| i.kind() == case.expect),
+                    "{ctx}: expected {:?} among {:?}",
+                    case.expect,
+                    issues,
+                );
+                assert_evidence_counters(&reg, &issues, &ctx);
+            }
+            other => panic!("{ctx}: expected TamperDetected, got {other:?}"),
+        }
+        assert_eq!(
+            reg.counter_value("tep_net_verify_failures_total"),
+            1,
+            "{ctx}: transfer failure not counted",
+        );
+        proxy.shutdown();
+    }
+    // R1 (×3), R2, R4, R5, R7, R8 all have wire forms.
+    assert_eq!(covered, 8, "wire coverage shrank");
+    srv.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Control: the honest path stays clean on every surface
+// ---------------------------------------------------------------------------
+
+#[test]
+fn honest_history_verifies_on_every_surface() {
+    let w = world();
+
+    // In-memory.
+    let reg = Registry::new();
+    let mut verifier = Verifier::new(&w.keys, ALG);
+    verifier.attach_obs(&reg);
+    assert!(verifier.verify(&w.doc_hash, &w.clean).verified());
+    assert_evidence_counters(&reg, &[], "honest in-memory");
+    assert_eq!(reg.counter_value("tep_core_verify_tampered_total"), 0);
+
+    // Storage reopen.
+    let path = Path::new("/honest.teplog");
+    let vfs = FaultVfs::new(FaultConfig::default());
+    {
+        let db = ProvenanceDb::durable_with(vfs.clone(), path).unwrap();
+        for r in &w.clean.records {
+            db.append(r.to_stored()).unwrap();
+        }
+        db.sync().unwrap();
+    }
+    vfs.power_cycle();
+    let db = ProvenanceDb::durable_with(vfs, path).unwrap();
+    let recovered = collect(&db, w.doc).unwrap();
+    let reg = Registry::new();
+    let mut verifier = Verifier::new(&w.keys, ALG);
+    verifier.attach_obs(&reg);
+    assert!(verifier
+        .verify_recovered(&w.doc_hash, &recovered, &db.recovery())
+        .verified());
+    assert_evidence_counters(&reg, &[], "honest storage reopen");
+
+    // Wire.
+    let srv = serve(
+        Arc::clone(&w.catalog),
+        "127.0.0.1:0".parse().unwrap(),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let reg = Registry::new();
+    let mut client = Client::new(srv.addr(), ClientConfig::new(ALG));
+    client.attach_obs(&reg);
+    let report = client.fetch_verified(w.doc, &w.keys).unwrap();
+    assert!(report.verification.verified());
+    assert_eq!(report.object_hash, w.doc_hash);
+    assert_evidence_counters(&reg, &[], "honest wire");
+    srv.shutdown();
+}

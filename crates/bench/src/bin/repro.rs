@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--all] [--table1] [--fig6] [--fig7] [--fig8] [--fig9]
 //!       [--fig10] [--fig11] [--large [ROWS|paper]] [--chaining] [--verify-cost]
-//!       [--net] [--crash] [--json] [--runs N] [--key-bits N] [--alg sha1|sha256] [--seed N] [--csv]
+//!       [--net] [--crash] [--resume] [--json] [--runs N] [--key-bits N] [--alg sha1|sha256] [--seed N] [--csv]
 //! ```
 //!
 //! With no experiment flags, runs everything at laptop-friendly defaults
@@ -32,6 +32,7 @@ struct Args {
     ablation: bool,
     net: bool,
     crash: bool,
+    resume: bool,
     json: bool,
     csv: bool,
     all: bool,
@@ -59,6 +60,7 @@ fn parse_args() -> Result<Args, String> {
             "--ablation" => args.ablation = true,
             "--net" => args.net = true,
             "--crash" => args.crash = true,
+            "--resume" => args.resume = true,
             "--json" => args.json = true,
             "--large" => {
                 let rows = match it.peek() {
@@ -103,6 +105,7 @@ fn parse_args() -> Result<Args, String> {
         || args.ablation
         || args.net
         || args.crash
+        || args.resume
         || args.json;
     if args.all || !experiments_requested {
         args.table1 = true;
@@ -118,6 +121,7 @@ fn parse_args() -> Result<Args, String> {
         args.ablation = true;
         args.net = true;
         args.crash = true;
+        args.resume = true;
     }
     Ok(args)
 }
@@ -149,7 +153,7 @@ fn main() -> ExitCode {
                 "usage: repro [--all] [--table1] [--fig6] [--fig7] [--fig8] [--fig9] [--fig10] [--fig11]"
             );
             eprintln!(
-                "             [--large [ROWS|paper]] [--chaining] [--verify-cost] [--net] [--crash] [--json]"
+                "             [--large [ROWS|paper]] [--chaining] [--verify-cost] [--net] [--crash] [--resume] [--json]"
             );
             eprintln!(
                 "             [--runs N] [--key-bits N] [--alg sha1|sha256] [--seed N] [--csv]"
@@ -444,6 +448,32 @@ fn main() -> ExitCode {
         ]);
         emit(
             "Durable-store crash recovery: reopen cost by damage class",
+            &t,
+            args.csv,
+        );
+    }
+
+    if args.resume {
+        let r = run_resume_savings(&cfg, (cfg.runs as u64 * 2000).clamp(1000, 10_000));
+        let mut t = TextTable::new(&[
+            "cut at",
+            "resumed (bytes)",
+            "restart (bytes)",
+            "saved (bytes)",
+        ]);
+        for cut in &r.cuts {
+            t.row(&[
+                format!("{}%", cut.cut_pct),
+                cut.resumed_bytes.to_string(),
+                cut.restart_bytes.to_string(),
+                cut.saved_bytes.to_string(),
+            ]);
+        }
+        emit(
+            &format!(
+                "RESUME vs restart-from-zero ({} records, {} bytes uncut)",
+                r.records, r.full_transfer_bytes
+            ),
             &t,
             args.csv,
         );

@@ -9,7 +9,7 @@ use crate::stats::{ns_to_ms, Summary};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use tep_core::hashing::{forest_hash, HashCache, HashingStrategy};
 use tep_core::prelude::*;
 use tep_core::Metrics;
@@ -888,6 +888,144 @@ pub fn run_recovery(cfg: &ExperimentConfig, records: u64) -> RecoveryResult {
 }
 
 // ---------------------------------------------------------------------------
+// Resume savings: RESUME vs restart-from-zero after a mid-transfer cut
+// ---------------------------------------------------------------------------
+
+/// One cut point of the resume-savings experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct ResumeCut {
+    /// Where the transfer was cut, as a percentage of its records.
+    pub cut_pct: u64,
+    /// Total bytes received across all attempts with RESUME enabled.
+    pub resumed_bytes: u64,
+    /// Total bytes received across all attempts when every retry restarts
+    /// from record zero.
+    pub restart_bytes: u64,
+    /// `restart_bytes - resumed_bytes`: the wire traffic RESUME avoided.
+    pub saved_bytes: i64,
+}
+
+/// Wire-traffic cost of recovering an interrupted transfer, with and
+/// without the RESUME protocol.
+#[derive(Clone, Debug)]
+pub struct ResumeSavings {
+    /// Provenance records in the transferred object's history.
+    pub records: u64,
+    /// Bytes received by one uninterrupted verified fetch.
+    pub full_transfer_bytes: u64,
+    /// One row per cut point (25/50/75% of the record stream).
+    pub cuts: Vec<ResumeCut>,
+}
+
+/// Builds a `records`-long single-object update chain, serves it over
+/// loopback, and cuts the transfer at 25/50/75% of its PROV stream with a
+/// one-shot fault proxy. Each cut runs twice — once with a resuming client
+/// (reconnect + RESUME from the last verified record) and once with resume
+/// disabled (retry refetches from record zero) — and reports total bytes
+/// received for each, i.e. what the checkpoint protocol saves on the wire.
+pub fn run_resume_savings(cfg: &ExperimentConfig, records: u64) -> ResumeSavings {
+    use tep_net::{
+        serve, Catalog, Client, ClientConfig, FaultKind, FaultListener, FaultPlan, RetryPolicy,
+        ServerConfig,
+    };
+
+    let records = records.max(8);
+    let (signer, keys) = cfg.make_signer();
+    let db = Arc::new(ProvenanceDb::in_memory());
+    let mut tracker = ProvenanceTracker::new(
+        TrackerConfig {
+            alg: cfg.alg,
+            strategy: HashingStrategy::Economical,
+        },
+        Arc::clone(&db),
+    );
+    let (chain, _) = tracker
+        .insert(&signer, tep_model::Value::Int(0), None)
+        .unwrap();
+    for i in 1..records as i64 {
+        tracker
+            .update(&signer, chain, tep_model::Value::Int(i))
+            .unwrap();
+    }
+    let catalog = Arc::new(Catalog::new(
+        tracker.forest().clone(),
+        db,
+        cfg.alg,
+        vec![chain],
+    ));
+    let server = serve(
+        catalog,
+        "127.0.0.1:0".parse().unwrap(),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let make_client = |addr, resume| {
+        let mut c = ClientConfig::new(cfg.alg);
+        c.resume = resume;
+        c.read_timeout = Duration::from_secs(5);
+        c.retry = RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(5),
+            ..RetryPolicy::default()
+        };
+        Client::new(addr, c)
+    };
+
+    // The uncut reference transfer.
+    let mut cl = make_client(addr, true);
+    let full = cl.fetch_verified(chain, &keys).unwrap();
+    assert_eq!(full.records, records);
+    let full_transfer_bytes = cl.counters().bytes_received;
+
+    // Cut after 25/50/75% of the PROV frames (downstream frame layout:
+    // HELLO = 0, OFFER = 1, PROV = 2..2+records, DATA, DONE), then measure
+    // total bytes to a verified finish with and without RESUME.
+    let cuts = [25u64, 50, 75]
+        .into_iter()
+        .map(|cut_pct| {
+            let cut_frame = 2 + records * cut_pct / 100;
+            let mut bytes_with = [0u64; 2];
+            for (i, resume) in [true, false].into_iter().enumerate() {
+                let fl = FaultListener::spawn(
+                    addr,
+                    FaultPlan {
+                        kind: FaultKind::CutBoundary,
+                        frame: cut_frame,
+                        seed: cut_pct,
+                        once: true,
+                    },
+                )
+                .unwrap();
+                let mut cl = make_client(fl.addr(), resume);
+                let rep = cl.fetch_verified(chain, &keys).unwrap();
+                assert_eq!(rep.records, records, "cut at {cut_pct}% came up short");
+                assert_eq!(rep.object_hash, full.object_hash);
+                assert_eq!(rep.resumed > 0, resume, "cut at {cut_pct}%");
+                bytes_with[i] = cl.counters().bytes_received;
+                fl.shutdown();
+            }
+            let [resumed_bytes, restart_bytes] = bytes_with;
+            ResumeCut {
+                cut_pct,
+                resumed_bytes,
+                restart_bytes,
+                saved_bytes: restart_bytes as i64 - resumed_bytes as i64,
+            }
+        })
+        .collect();
+    server.shutdown();
+
+    ResumeSavings {
+        records,
+        full_transfer_bytes,
+        cuts,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Machine-readable hot-path baseline (`repro --json`)
 // ---------------------------------------------------------------------------
 
@@ -915,6 +1053,9 @@ pub struct BaselineResult {
     pub net: NetLoopbackResult,
     /// Durable-store recovery cost (`tep-storage`).
     pub recovery: RecoveryResult,
+    /// Wire bytes saved by RESUME vs restart-from-zero after mid-transfer
+    /// cuts (`tep-net`).
+    pub resume: ResumeSavings,
     /// Deterministic metric counts from a small fully instrumented workload
     /// spanning every layer (see [`run_instrumented_metrics`]). Counter
     /// values and histogram counts only — no timing sums — so two runs with
@@ -932,6 +1073,19 @@ impl BaselineResult {
             }
             metrics.push_str(&format!("\n    \"{name}\": {value}"));
         }
+        let cuts = self
+            .resume
+            .cuts
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{ \"cut_pct\": {}, \"resumed_bytes\": {}, \"restart_bytes\": {}, \
+                     \"saved_bytes\": {} }}",
+                    c.cut_pct, c.resumed_bytes, c.restart_bytes, c.saved_bytes
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
         format!(
             "{{\n  \"alg\": \"{:?}\",\n  \"key_bits\": {},\n  \"seed\": {},\n  \
              \"sign_per_sec\": {:.1},\n  \"verify_per_sec\": {:.1},\n  \
@@ -944,6 +1098,8 @@ impl BaselineResult {
              \"recovery\": {{ \"records\": {}, \"clean_reopen_ms\": {:.2}, \
              \"clean_records_per_sec\": {:.1}, \"torn_reopen_ms\": {:.2}, \
              \"quarantine_reopen_ms\": {:.2} }},\n  \
+             \"resume\": {{ \"records\": {}, \"full_transfer_bytes\": {}, \
+             \"cuts\": [{cuts}] }},\n  \
              \"metrics\": {{{metrics}\n  }}\n}}\n",
             self.alg,
             self.key_bits,
@@ -965,6 +1121,8 @@ impl BaselineResult {
             self.recovery.clean_records_per_sec,
             self.recovery.torn_reopen_ms,
             self.recovery.quarantine_reopen_ms,
+            self.resume.records,
+            self.resume.full_transfer_bytes,
         )
     }
 }
@@ -1147,6 +1305,10 @@ pub fn run_baseline(cfg: &ExperimentConfig) -> BaselineResult {
     // Durable-store recovery cost on the real filesystem.
     let recovery = run_recovery(cfg, (cfg.runs as u64 * 1000).max(2000));
 
+    // RESUME vs restart-from-zero wire savings (10k-record chain at the
+    // default run count).
+    let resume = run_resume_savings(cfg, (cfg.runs as u64 * 2000).clamp(1000, 10_000));
+
     BaselineResult {
         alg: cfg.alg,
         key_bits: cfg.key_bits,
@@ -1158,6 +1320,7 @@ pub fn run_baseline(cfg: &ExperimentConfig) -> BaselineResult {
         record_cost_us,
         net,
         recovery,
+        resume,
         metrics: run_instrumented_metrics(cfg),
     }
 }
@@ -1269,5 +1432,29 @@ mod tests {
         let r = run_chaining(&cfg, 2, 3);
         assert!(r.local_ms > 0.0);
         assert!(r.global_ms > 0.0);
+    }
+
+    #[test]
+    fn resume_saves_bytes_at_every_cut_point() {
+        let cfg = tiny_cfg();
+        let r = run_resume_savings(&cfg, 64);
+        assert_eq!(r.records, 64);
+        assert!(r.full_transfer_bytes > 0);
+        assert_eq!(r.cuts.len(), 3);
+        for cut in &r.cuts {
+            assert!(
+                cut.resumed_bytes < cut.restart_bytes,
+                "cut at {}%: resumed {} should be below restart {}",
+                cut.cut_pct,
+                cut.resumed_bytes,
+                cut.restart_bytes
+            );
+            assert_eq!(
+                cut.saved_bytes,
+                cut.restart_bytes as i64 - cut.resumed_bytes as i64
+            );
+        }
+        // Deeper cuts preserve more of the already-transferred prefix.
+        assert!(r.cuts[2].saved_bytes >= r.cuts[0].saved_bytes);
     }
 }

@@ -12,7 +12,8 @@
 //! forest while holding only one root-to-leaf path of digest states.
 
 use tep_crypto::digest::{HashAlgorithm, Hasher};
-use tep_model::encode::node_prefix;
+use tep_crypto::pki::ParticipantId;
+use tep_model::encode::{node_prefix, DecodeError, Reader};
 use tep_model::{ObjectId, Value};
 
 /// Error from streaming construction.
@@ -300,6 +301,311 @@ impl DepthStreamHasher {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Resumable-transfer checkpoints
+// ---------------------------------------------------------------------------
+
+/// Magic bytes opening every sealed verifier checkpoint (family + version).
+pub const CHECKPOINT_MAGIC: [u8; 8] = *b"TEPCKPT\x01";
+
+/// Domain-separation tag for the rolling record-stream digest.
+const STREAM_DIGEST_TAG: &[u8] = b"tep-resume-stream\x01";
+
+/// Rolling digest over the canonical byte encodings of a record stream:
+/// `d₀ = h(tag ‖ alg ‖ target)`, `dᵢ₊₁ = h(dᵢ ‖ record_bytes)`.
+///
+/// Both ends of a resumable transfer compute this independently over the
+/// records they have sent/accepted, so a RESUME handshake can prove — not
+/// merely claim — that the first `k` records of both histories are
+/// byte-identical. Chaining through the previous state makes the digest
+/// position-dependent: reordered, dropped, or substituted records change
+/// every subsequent state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecordStreamDigest {
+    alg: HashAlgorithm,
+    state: Vec<u8>,
+}
+
+impl RecordStreamDigest {
+    /// The digest of an empty stream for `target`.
+    pub fn new(alg: HashAlgorithm, target: ObjectId) -> Self {
+        let mut h = alg.hasher();
+        h.update(STREAM_DIGEST_TAG);
+        h.update(&[alg.wire_id()]);
+        h.update(&target.raw().to_be_bytes());
+        RecordStreamDigest {
+            alg,
+            state: h.finalize(),
+        }
+    }
+
+    /// Rebuilds a digest from a previously observed `state` (e.g. out of a
+    /// sealed checkpoint). The state is trusted only as far as the
+    /// checkpoint's own authentication; a wrong state simply fails to match
+    /// the peer's recomputation.
+    pub fn resume(alg: HashAlgorithm, state: Vec<u8>) -> Self {
+        RecordStreamDigest { alg, state }
+    }
+
+    /// Folds the next record's canonical bytes into the digest.
+    pub fn push(&mut self, record_bytes: &[u8]) {
+        let mut h = self.alg.hasher();
+        h.update(&self.state);
+        h.update(record_bytes);
+        self.state = h.finalize();
+    }
+
+    /// The current digest state.
+    pub fn current(&self) -> &[u8] {
+        &self.state
+    }
+}
+
+/// Why a sealed checkpoint blob was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The blob does not start with [`CHECKPOINT_MAGIC`].
+    BadMagic,
+    /// The blob names a hash algorithm this build does not know.
+    UnknownAlgorithm(u8),
+    /// The self-authenticating trailer digest does not match the body —
+    /// the blob was corrupted or tampered with.
+    BadSeal,
+    /// The body failed structural decoding.
+    Malformed(DecodeError),
+    /// The body decoded but its fields contradict each other.
+    Inconsistent(&'static str),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not a verifier checkpoint (bad magic)"),
+            CheckpointError::UnknownAlgorithm(id) => {
+                write!(f, "checkpoint names unknown hash algorithm 0x{id:02x}")
+            }
+            CheckpointError::BadSeal => {
+                write!(f, "checkpoint seal digest mismatch (corrupt or tampered)")
+            }
+            CheckpointError::Malformed(e) => write!(f, "malformed checkpoint: {e}"),
+            CheckpointError::Inconsistent(why) => write!(f, "inconsistent checkpoint: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<DecodeError> for CheckpointError {
+    fn from(e: DecodeError) -> Self {
+        CheckpointError::Malformed(e)
+    }
+}
+
+/// A record slot `(oid, seq_id)` — the key every per-record table in a
+/// checkpoint (and in the verifier it restores) is indexed by.
+pub type RecordSlot = (ObjectId, u64);
+
+/// The full resumable state of a
+/// [`StreamingVerifier`](crate::verify::StreamingVerifier), with a
+/// **self-authenticating** byte encoding: [`seal`](Self::seal) appends a
+/// digest of everything before it, and [`open`](Self::open) refuses blobs
+/// whose trailer does not match. A checkpoint restored from a sealed blob
+/// is therefore exactly the state that was saved — a flipped bit anywhere
+/// (including in the trailer itself) surfaces as
+/// [`CheckpointError::BadSeal`], never as a silently different verifier.
+///
+/// The encoding is deterministic (maps are serialized in sorted key order)
+/// so equal states seal to identical bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifierCheckpoint {
+    /// Hash algorithm of the verification session.
+    pub alg: HashAlgorithm,
+    /// The object whose history is being verified.
+    pub target: ObjectId,
+    /// Records accepted so far (all clean — checkpoints of tampered
+    /// sessions do not exist; evidence is never resumed past).
+    pub records: u64,
+    /// State of the rolling [`RecordStreamDigest`] after `records` records.
+    pub stream_digest: Vec<u8>,
+    /// `(seq_id, output_hash)` of the newest target record seen, if any.
+    pub latest_target: Option<(u64, Vec<u8>)>,
+    /// Participants seen, ascending.
+    pub participants: Vec<ParticipantId>,
+    /// Highest sequence id per object chain, sorted by object.
+    pub chain_tail: Vec<RecordSlot>,
+    /// Push order of accepted record slots.
+    pub order: Vec<RecordSlot>,
+    /// Checksum of every accepted record, sorted by `(oid, seq)`.
+    pub checksums: Vec<(RecordSlot, Vec<u8>)>,
+    /// Predecessor edges per record slot, sorted by `(oid, seq)`.
+    pub edges: Vec<(RecordSlot, Vec<RecordSlot>)>,
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u64).to_be_bytes());
+    out.extend_from_slice(b);
+}
+
+fn put_key(out: &mut Vec<u8>, key: (ObjectId, u64)) {
+    out.extend_from_slice(&key.0.raw().to_be_bytes());
+    out.extend_from_slice(&key.1.to_be_bytes());
+}
+
+fn read_key(r: &mut Reader<'_>) -> Result<(ObjectId, u64), DecodeError> {
+    Ok((ObjectId(r.u64()?), r.u64()?))
+}
+
+impl VerifierCheckpoint {
+    /// Serializes and seals the checkpoint: `magic ‖ body ‖ digest(magic ‖ body)`.
+    pub fn seal(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128 + self.checksums.len() * 64);
+        out.extend_from_slice(&CHECKPOINT_MAGIC);
+        out.push(self.alg.wire_id());
+        out.extend_from_slice(&self.target.raw().to_be_bytes());
+        out.extend_from_slice(&self.records.to_be_bytes());
+        put_bytes(&mut out, &self.stream_digest);
+        match &self.latest_target {
+            None => out.push(0),
+            Some((seq, hash)) => {
+                out.push(1);
+                out.extend_from_slice(&seq.to_be_bytes());
+                put_bytes(&mut out, hash);
+            }
+        }
+        out.extend_from_slice(&(self.participants.len() as u32).to_be_bytes());
+        for p in &self.participants {
+            out.extend_from_slice(&p.0.to_be_bytes());
+        }
+        out.extend_from_slice(&(self.chain_tail.len() as u32).to_be_bytes());
+        for &(oid, seq) in &self.chain_tail {
+            put_key(&mut out, (oid, seq));
+        }
+        out.extend_from_slice(&(self.order.len() as u32).to_be_bytes());
+        for &key in &self.order {
+            put_key(&mut out, key);
+        }
+        out.extend_from_slice(&(self.checksums.len() as u32).to_be_bytes());
+        for (key, checksum) in &self.checksums {
+            put_key(&mut out, *key);
+            put_bytes(&mut out, checksum);
+        }
+        out.extend_from_slice(&(self.edges.len() as u32).to_be_bytes());
+        for (key, preds) in &self.edges {
+            put_key(&mut out, *key);
+            out.extend_from_slice(&(preds.len() as u32).to_be_bytes());
+            for &p in preds {
+                put_key(&mut out, p);
+            }
+        }
+        let seal = self.alg.digest(&out);
+        put_bytes(&mut out, &seal);
+        out
+    }
+
+    /// Parses and authenticates a sealed blob. Every failure mode —
+    /// truncation, bit flips, trailing garbage, internal contradictions —
+    /// is an error; no partially trusted checkpoint is ever returned.
+    pub fn open(blob: &[u8]) -> Result<Self, CheckpointError> {
+        let mut r = Reader::new(blob);
+        let magic: [u8; 8] = r.array()?;
+        if magic != CHECKPOINT_MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let alg_id = r.u8()?;
+        let alg =
+            HashAlgorithm::from_wire_id(alg_id).ok_or(CheckpointError::UnknownAlgorithm(alg_id))?;
+        let target = ObjectId(r.u64()?);
+        let records = r.u64()?;
+        let stream_digest = r.len_prefixed()?.to_vec();
+        let latest_target = match r.u8()? {
+            0 => None,
+            1 => {
+                let seq = r.u64()?;
+                let hash = r.len_prefixed()?.to_vec();
+                Some((seq, hash))
+            }
+            _ => return Err(CheckpointError::Inconsistent("bad latest-target tag")),
+        };
+        let n = r.u32()? as usize;
+        let mut participants = Vec::with_capacity(n.min(r.remaining() / 8 + 1));
+        for _ in 0..n {
+            participants.push(ParticipantId(r.u64()?));
+        }
+        let n = r.u32()? as usize;
+        let mut chain_tail = Vec::with_capacity(n.min(r.remaining() / 16 + 1));
+        for _ in 0..n {
+            chain_tail.push(read_key(&mut r)?);
+        }
+        let n = r.u32()? as usize;
+        let mut order = Vec::with_capacity(n.min(r.remaining() / 16 + 1));
+        for _ in 0..n {
+            order.push(read_key(&mut r)?);
+        }
+        let n = r.u32()? as usize;
+        let mut checksums = Vec::with_capacity(n.min(r.remaining() / 24 + 1));
+        for _ in 0..n {
+            let key = read_key(&mut r)?;
+            checksums.push((key, r.len_prefixed()?.to_vec()));
+        }
+        let n = r.u32()? as usize;
+        let mut edges = Vec::with_capacity(n.min(r.remaining() / 20 + 1));
+        for _ in 0..n {
+            let key = read_key(&mut r)?;
+            let m = r.u32()? as usize;
+            let mut preds = Vec::with_capacity(m.min(r.remaining() / 16 + 1));
+            for _ in 0..m {
+                preds.push(read_key(&mut r)?);
+            }
+            edges.push((key, preds));
+        }
+
+        // Authenticate: the trailer must be the digest of everything
+        // before it.
+        let body_len = blob.len() - r.remaining();
+        let seal = r.len_prefixed()?;
+        r.expect_end()?;
+        if seal != alg.digest(&blob[..body_len]) {
+            return Err(CheckpointError::BadSeal);
+        }
+
+        let cp = VerifierCheckpoint {
+            alg,
+            target,
+            records,
+            stream_digest,
+            latest_target,
+            participants,
+            chain_tail,
+            order,
+            checksums,
+            edges,
+        };
+        cp.check_consistency()?;
+        Ok(cp)
+    }
+
+    fn check_consistency(&self) -> Result<(), CheckpointError> {
+        if self.records != self.order.len() as u64 {
+            return Err(CheckpointError::Inconsistent(
+                "record count disagrees with push order",
+            ));
+        }
+        if self.checksums.len() > self.order.len() || self.edges.len() != self.checksums.len() {
+            return Err(CheckpointError::Inconsistent(
+                "checksum/edge tables disagree with push order",
+            ));
+        }
+        if !self.checksums.windows(2).all(|w| w[0].0 < w[1].0)
+            || !self.edges.windows(2).all(|w| w[0].0 < w[1].0)
+        {
+            return Err(CheckpointError::Inconsistent(
+                "map entries must be strictly sorted",
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -516,5 +822,115 @@ mod tests {
         let (hash, nodes) = stream.finish();
         assert_eq!(hash, subtree_hash(ALG, &f, t));
         assert_eq!(nodes, 1);
+    }
+
+    fn sample_checkpoint() -> VerifierCheckpoint {
+        VerifierCheckpoint {
+            alg: ALG,
+            target: ObjectId(7),
+            records: 3,
+            stream_digest: vec![0xAB; 32],
+            latest_target: Some((2, vec![0xCD; 32])),
+            participants: vec![ParticipantId(1), ParticipantId(4)],
+            chain_tail: vec![(ObjectId(3), 1), (ObjectId(7), 2)],
+            order: vec![(ObjectId(3), 0), (ObjectId(3), 1), (ObjectId(7), 2)],
+            checksums: vec![
+                ((ObjectId(3), 0), vec![1; 64]),
+                ((ObjectId(3), 1), vec![2; 64]),
+                ((ObjectId(7), 2), vec![3; 64]),
+            ],
+            edges: vec![
+                ((ObjectId(3), 0), vec![]),
+                ((ObjectId(3), 1), vec![(ObjectId(3), 0)]),
+                ((ObjectId(7), 2), vec![(ObjectId(3), 1)]),
+            ],
+        }
+    }
+
+    #[test]
+    fn checkpoint_seal_open_roundtrips() {
+        let cp = sample_checkpoint();
+        let blob = cp.seal();
+        let back = VerifierCheckpoint::open(&blob).unwrap();
+        assert_eq!(back, cp);
+        // Determinism: equal states seal to identical bytes.
+        assert_eq!(cp.seal(), blob);
+    }
+
+    #[test]
+    fn checkpoint_rejects_every_single_bit_flip() {
+        let blob = sample_checkpoint().seal();
+        for byte in 0..blob.len() {
+            let mut bad = blob.clone();
+            bad[byte] ^= 0x01;
+            assert!(
+                VerifierCheckpoint::open(&bad).is_err(),
+                "flipped bit in byte {byte} of {} went unnoticed",
+                blob.len()
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_rejects_truncation_and_trailing_garbage() {
+        let blob = sample_checkpoint().seal();
+        for cut in 0..blob.len() {
+            assert!(
+                VerifierCheckpoint::open(&blob[..cut]).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+        let mut extended = blob.clone();
+        extended.push(0);
+        assert!(VerifierCheckpoint::open(&extended).is_err());
+    }
+
+    #[test]
+    fn checkpoint_rejects_internal_contradictions() {
+        // Re-sealed with a record count that disagrees with the order list:
+        // structurally valid, correctly sealed, still refused.
+        let mut cp = sample_checkpoint();
+        cp.records = 99;
+        assert_eq!(
+            VerifierCheckpoint::open(&cp.seal()),
+            Err(CheckpointError::Inconsistent(
+                "record count disagrees with push order"
+            ))
+        );
+
+        let mut cp = sample_checkpoint();
+        cp.checksums.swap(0, 1); // unsorted map entries
+        assert!(matches!(
+            VerifierCheckpoint::open(&cp.seal()),
+            Err(CheckpointError::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn record_stream_digest_is_position_and_content_dependent() {
+        let a = b"record-a".as_slice();
+        let b = b"record-b".as_slice();
+        let mut ab = RecordStreamDigest::new(ALG, ObjectId(1));
+        ab.push(a);
+        ab.push(b);
+        let mut ba = RecordStreamDigest::new(ALG, ObjectId(1));
+        ba.push(b);
+        ba.push(a);
+        assert_ne!(ab.current(), ba.current(), "order must matter");
+
+        let mut other_target = RecordStreamDigest::new(ALG, ObjectId(2));
+        other_target.push(a);
+        let mut same = RecordStreamDigest::new(ALG, ObjectId(1));
+        same.push(a);
+        assert_ne!(
+            other_target.current(),
+            same.current(),
+            "target must be domain-separated"
+        );
+
+        // Resuming from a serialized state continues the same chain.
+        let mut resumed = RecordStreamDigest::resume(ALG, same.current().to_vec());
+        resumed.push(b);
+        assert_eq!(resumed.current(), ab.current());
     }
 }

@@ -21,6 +21,7 @@
 use crate::parallel::parallel_map;
 use crate::provenance::ProvenanceObject;
 use crate::record::{checksum_message, ProvenanceRecord, RecordKind};
+use crate::streaming::{CheckpointError, RecordSlot, RecordStreamDigest, VerifierCheckpoint};
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::fmt;
 use tep_crypto::digest::HashAlgorithm;
@@ -62,11 +63,13 @@ pub enum EvidenceKind {
     /// existed to point at) but shares this enum so transport-layer
     /// tamper shows up in the same counter family.
     MalformedStream,
+    /// [`TamperEvidence::ResumeMismatch`].
+    ResumeMismatch,
 }
 
 impl EvidenceKind {
     /// Every kind, in counter/display order.
-    pub const ALL: [EvidenceKind; 12] = [
+    pub const ALL: [EvidenceKind; 13] = [
         EvidenceKind::OutputMismatch,
         EvidenceKind::BadSignature,
         EvidenceKind::MissingRecord,
@@ -79,6 +82,7 @@ impl EvidenceKind {
         EvidenceKind::AnchorViolation,
         EvidenceKind::StorageQuarantine,
         EvidenceKind::MalformedStream,
+        EvidenceKind::ResumeMismatch,
     ];
 
     /// Stable snake_case name, used as the counter-name suffix.
@@ -96,6 +100,7 @@ impl EvidenceKind {
             EvidenceKind::AnchorViolation => "anchor_violation",
             EvidenceKind::StorageQuarantine => "storage_quarantine",
             EvidenceKind::MalformedStream => "malformed_stream",
+            EvidenceKind::ResumeMismatch => "resume_mismatch",
         }
     }
 
@@ -267,6 +272,24 @@ pub enum TamperEvidence {
         /// Corrupt bytes moved to the quarantine sidecar.
         bytes: u64,
     },
+    /// A resumable transfer's RESUME handshake failed: the server's record
+    /// stream up to the claimed resume point is **not** byte-identical to
+    /// the records the client already verified (its rolling
+    /// [`RecordStreamDigest`](crate::streaming::RecordStreamDigest)
+    /// disagrees), or the server claims a different resume offset than the
+    /// checkpoint proves. Either the server's history changed between
+    /// connections or the peer is lying about where the transfer stopped —
+    /// both are R2/R3-grade discontinuities, so the transfer is rejected
+    /// and never retried.
+    ResumeMismatch {
+        /// The object being transferred.
+        oid: ObjectId,
+        /// Records the client's checkpoint covers.
+        claimed: u64,
+        /// Records the peer confirmed (its echoed resume offset, or
+        /// `claimed` when the offsets agree but the digests do not).
+        confirmed: u64,
+    },
 }
 
 impl TamperEvidence {
@@ -284,6 +307,7 @@ impl TamperEvidence {
             TamperEvidence::NoRecords { .. } => EvidenceKind::NoRecords,
             TamperEvidence::AnchorViolation { .. } => EvidenceKind::AnchorViolation,
             TamperEvidence::StorageQuarantine { .. } => EvidenceKind::StorageQuarantine,
+            TamperEvidence::ResumeMismatch { .. } => EvidenceKind::ResumeMismatch,
         }
     }
 }
@@ -343,6 +367,16 @@ impl fmt::Display for TamperEvidence {
                 write!(
                     f,
                     "provenance store recovered in degraded mode: {gaps} corrupt range(s), {bytes} byte(s) quarantined (R2/R3 continuity not attestable)"
+                )
+            }
+            TamperEvidence::ResumeMismatch {
+                oid,
+                claimed,
+                confirmed,
+            } => {
+                write!(
+                    f,
+                    "resume point for object {oid} does not verify: checkpoint proves {claimed} record(s), peer confirmed {confirmed} — history diverged or peer is lying (R2/R3)"
                 )
             }
         }
@@ -700,6 +734,9 @@ pub struct StreamingVerifier<'a> {
     chain_tail: HashMap<ObjectId, u64>,
     /// `(seq_id, output_hash)` of the newest target record.
     latest_target: Option<(u64, Vec<u8>)>,
+    /// Rolling digest of the accepted records' canonical bytes, for
+    /// proving a resume point to a sender ([`Self::stream_digest`]).
+    digest: RecordStreamDigest,
     /// Optional tep-obs instrumentation (shared counter names with the
     /// batch [`Verifier`]).
     obs: Option<VerifyObs>,
@@ -720,6 +757,7 @@ impl<'a> StreamingVerifier<'a> {
             edges: HashMap::new(),
             chain_tail: HashMap::new(),
             latest_target: None,
+            digest: RecordStreamDigest::new(alg, target),
             obs: None,
         }
     }
@@ -820,12 +858,85 @@ impl<'a> StreamingVerifier<'a> {
 
         self.records_checked += 1;
         self.participants.insert(r.participant);
+        self.digest.push(&r.to_stored().to_bytes());
         let new_evidence = self.issues.len() - before;
         if let Some(obs) = &self.obs {
             obs.records.inc();
             obs.evidence.record_issues(&self.issues[before..]);
         }
         new_evidence
+    }
+
+    /// The rolling digest over the canonical bytes of every record pushed
+    /// so far — the proof-of-position a resumable transfer sends in its
+    /// RESUME frame.
+    pub fn stream_digest(&self) -> &[u8] {
+        self.digest.current()
+    }
+
+    /// Serializes the verifier's full state into a sealed, self-
+    /// authenticating blob (see
+    /// [`VerifierCheckpoint`](crate::streaming::VerifierCheckpoint)), or
+    /// `None` if any tamper evidence has been found — evidence is
+    /// terminal, never suspended and resumed past.
+    pub fn checkpoint(&self) -> Option<Vec<u8>> {
+        if !self.issues.is_empty() {
+            return None;
+        }
+        let mut participants: Vec<ParticipantId> = self.participants.iter().copied().collect();
+        participants.sort();
+        let mut chain_tail: Vec<RecordSlot> =
+            self.chain_tail.iter().map(|(&o, &s)| (o, s)).collect();
+        chain_tail.sort();
+        let mut checksums: Vec<(RecordSlot, Vec<u8>)> = self
+            .checksums
+            .iter()
+            .map(|(&k, c)| (k, c.clone()))
+            .collect();
+        checksums.sort_by_key(|(k, _)| *k);
+        let mut edges: Vec<(RecordSlot, Vec<RecordSlot>)> =
+            self.edges.iter().map(|(&k, p)| (k, p.clone())).collect();
+        edges.sort_by_key(|(k, _)| *k);
+        Some(
+            VerifierCheckpoint {
+                alg: self.alg,
+                target: self.target,
+                records: self.records_checked as u64,
+                stream_digest: self.digest.current().to_vec(),
+                latest_target: self.latest_target.clone(),
+                participants,
+                chain_tail,
+                order: self.order.clone(),
+                checksums,
+                edges,
+            }
+            .seal(),
+        )
+    }
+
+    /// Rebuilds a verifier from a sealed checkpoint blob. The blob is
+    /// authenticated before anything is trusted; corruption anywhere
+    /// yields a [`CheckpointError`], never a silently different verifier.
+    /// The restored verifier continues exactly where [`Self::checkpoint`]
+    /// stopped: pushing the remaining records and finishing produces the
+    /// same verdict as an uninterrupted run.
+    pub fn restore(keys: &'a KeyDirectory, blob: &[u8]) -> Result<Self, CheckpointError> {
+        let cp = VerifierCheckpoint::open(blob)?;
+        Ok(StreamingVerifier {
+            keys,
+            alg: cp.alg,
+            target: cp.target,
+            issues: Vec::new(),
+            records_checked: cp.records as usize,
+            participants: cp.participants.into_iter().collect(),
+            checksums: cp.checksums.into_iter().collect(),
+            order: cp.order,
+            edges: cp.edges.into_iter().collect(),
+            chain_tail: cp.chain_tail.into_iter().collect(),
+            latest_target: cp.latest_target,
+            digest: RecordStreamDigest::resume(cp.alg, cp.stream_digest),
+            obs: None,
+        })
     }
 
     /// Finishes: checks the delivered object hash against the newest target
@@ -1266,6 +1377,90 @@ mod tests {
             .issues()
             .contains(&TamperEvidence::BadSignature { oid: a, seq: 1 }));
         assert!(!sv.finish(&hash).verified());
+    }
+
+    #[test]
+    fn checkpoint_restore_continues_identically_at_every_cut() {
+        let (mut w, d) = dag_world();
+        let prov = collect(w.tracker.db(), d).unwrap();
+        let hash = w.tracker.object_hash(d).unwrap();
+        let recs = wire_order(&prov);
+
+        // Uncut baseline.
+        let mut sv = StreamingVerifier::new(&w.keys, ALG, d);
+        for r in &recs {
+            sv.push_record(r);
+        }
+        let full_digest = sv.stream_digest().to_vec();
+        let baseline = sv.finish(&hash);
+        assert!(baseline.verified());
+
+        for cut in 0..=recs.len() {
+            let mut first = StreamingVerifier::new(&w.keys, ALG, d);
+            for r in &recs[..cut] {
+                first.push_record(r);
+            }
+            let blob = first.checkpoint().expect("clean verifier checkpoints");
+            let mut resumed = StreamingVerifier::restore(&w.keys, &blob).unwrap();
+            assert_eq!(resumed.records_checked(), cut);
+            assert_eq!(resumed.stream_digest(), first.stream_digest());
+            for r in &recs[cut..] {
+                assert_eq!(resumed.push_record(r), 0, "cut {cut} flagged clean record");
+            }
+            assert_eq!(resumed.stream_digest(), full_digest.as_slice());
+            let v = resumed.finish(&hash);
+            assert!(v.verified(), "cut {cut}: {:?}", v.issues);
+            assert_eq!(v.records_checked, baseline.records_checked);
+            assert_eq!(v.participants, baseline.participants);
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_preserves_tamper_verdict() {
+        let (mut w, d) = dag_world();
+        let prov = collect(w.tracker.db(), d).unwrap();
+        let hash = w.tracker.object_hash(d).unwrap();
+        let mut recs = wire_order(&prov);
+        let bad_idx = recs.len() - 2;
+        recs[bad_idx].checksum[7] ^= 0x40;
+
+        // Uncut tampered run.
+        let mut sv = StreamingVerifier::new(&w.keys, ALG, d);
+        for r in &recs {
+            sv.push_record(r);
+        }
+        let uncut = sv.finish(&hash);
+        assert!(!uncut.verified());
+
+        // Cut before the tampered record, resume, continue: same verdict,
+        // same evidence kinds.
+        let cut = bad_idx; // tampered record arrives after the resume
+        let mut first = StreamingVerifier::new(&w.keys, ALG, d);
+        for r in &recs[..cut] {
+            first.push_record(r);
+        }
+        let blob = first.checkpoint().unwrap();
+        let mut resumed = StreamingVerifier::restore(&w.keys, &blob).unwrap();
+        for r in &recs[cut..] {
+            resumed.push_record(r);
+        }
+        let v = resumed.finish(&hash);
+        assert_eq!(multiset(&v.issues), multiset(&uncut.issues));
+    }
+
+    #[test]
+    fn tampered_verifier_refuses_to_checkpoint() {
+        let mut w = world();
+        let (a, _) = w.tracker.insert(&w.alice, Value::Int(1), None).unwrap();
+        let prov = collect(w.tracker.db(), a).unwrap();
+        let mut rec = wire_order(&prov)[0].clone();
+        rec.checksum[0] ^= 0xFF;
+        let mut sv = StreamingVerifier::new(&w.keys, ALG, a);
+        assert!(sv.push_record(&rec) > 0);
+        assert!(
+            sv.checkpoint().is_none(),
+            "evidence must never be suspended into a checkpoint"
+        );
     }
 
     #[test]

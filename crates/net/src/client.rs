@@ -1,5 +1,5 @@
 //! Fetching client: connect/read retry with decorrelated-jitter backoff,
-//! and **streaming verify-on-receive**.
+//! **streaming verify-on-receive**, and checkpointed resume.
 //!
 //! Every PROV frame is pushed into a `tep-core`
 //! [`StreamingVerifier`](tep_core::verify::StreamingVerifier) the moment it
@@ -12,9 +12,20 @@
 //! newest provenance record (R4/R5) and every record verified (R1–R3).
 //!
 //! Transient failures (refused connections, timeouts, truncated streams,
-//! `ERR busy`) are retried with *decorrelated jitter*:
-//! `delay = min(cap, uniform(base, prev_delay * 3))` — the strategy that
-//! avoids retry thundering herds without coordination. Tamper evidence is
+//! frame corruption, `ERR busy`/`ERR deadline`) are retried with
+//! *decorrelated jitter*: `delay = min(cap, uniform(base, prev_delay * 3))`
+//! — the strategy that avoids retry thundering herds without coordination.
+//! A server-supplied `Retry-After` hint sets a floor under the jittered
+//! delay, and the whole retry loop is bounded by a wall-clock
+//! [`RetryPolicy::deadline`] on top of the attempt cap.
+//!
+//! When a transfer dies after k verified records, the client seals the
+//! verifier state into a checkpoint ([`StreamingVerifier::checkpoint`]) and
+//! the next attempt opens with `RESUME` instead of `FETCH`: it claims
+//! offset k and proves it with the rolling record-stream digest. The server
+//! recomputes the digest over its own first k records; only a byte-identical
+//! prefix resumes. A server that confirms a different offset or digest is
+//! rejected as [`TamperEvidence::ResumeMismatch`] — and tamper evidence is
 //! **never** retried: a forged history does not become honest on the second
 //! download.
 
@@ -22,7 +33,7 @@ use std::fmt;
 use std::io;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -50,6 +61,11 @@ pub struct RetryPolicy {
     pub base: Duration,
     /// Upper bound the jittered delay is clamped to.
     pub cap: Duration,
+    /// Total wall-clock budget across all attempts *and* backoff sleeps.
+    /// Once elapsed, the next transient failure is returned instead of
+    /// retried — so a flapping server cannot pin a caller for
+    /// `max_attempts × cap` regardless of how slow each attempt is.
+    pub deadline: Duration,
 }
 
 impl Default for RetryPolicy {
@@ -58,6 +74,7 @@ impl Default for RetryPolicy {
             max_attempts: 4,
             base: Duration::from_millis(10),
             cap: Duration::from_millis(500),
+            deadline: Duration::from_secs(30),
         }
     }
 }
@@ -73,6 +90,9 @@ pub struct ClientConfig {
     pub read_timeout: Duration,
     /// Seed for the backoff jitter (deterministic for reproducible tests).
     pub jitter_seed: u64,
+    /// Resume interrupted transfers with RESUME instead of refetching from
+    /// record zero (on by default; disable to measure the difference).
+    pub resume: bool,
 }
 
 impl ClientConfig {
@@ -83,6 +103,7 @@ impl ClientConfig {
             retry: RetryPolicy::default(),
             read_timeout: Duration::from_secs(5),
             jitter_seed: 0x7E94_E75D,
+            resume: true,
         }
     }
 }
@@ -94,12 +115,20 @@ pub struct FetchReport {
     pub verification: Verification,
     /// The object hash recomputed from the delivered data.
     pub object_hash: Vec<u8>,
-    /// Provenance records received.
+    /// Provenance records received and verified (across all attempts —
+    /// resumed records are counted once).
     pub records: u64,
     /// Data nodes received.
     pub nodes: u64,
-    /// The server's OFFER manifest from this connection.
+    /// The server's OFFER manifest from the final connection.
     pub offer: Vec<OfferEntry>,
+    /// How many attempts continued a previous attempt via RESUME (0 for an
+    /// uninterrupted transfer).
+    pub resumed: u32,
+    /// The rolling record-stream digest over every verified record, in
+    /// order — two transfers delivered the byte-identical record sequence
+    /// iff their digests are equal.
+    pub stream_digest: Vec<u8>,
 }
 
 /// Client-side failure.
@@ -111,9 +140,15 @@ pub enum NetError {
     Remote {
         /// The server's error code.
         code: ErrorCode,
+        /// The server's backoff hint, if it sent one.
+        retry_after: Option<Duration>,
         /// The server's detail string.
         detail: String,
     },
+    /// The connection ended cleanly in the middle of a transfer — the
+    /// server (or the network) hung up at a frame boundary. Retryable, and
+    /// resumable from the last verified record.
+    Interrupted,
     /// The peer violated the protocol state machine.
     Protocol(&'static str),
     /// The provenance failed cryptographic verification — the transfer was
@@ -140,7 +175,10 @@ impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetError::Wire(e) => write!(f, "wire error: {e}"),
-            NetError::Remote { code, detail } => write!(f, "server refused ({code}): {detail}"),
+            NetError::Remote { code, detail, .. } => {
+                write!(f, "server refused ({code}): {detail}")
+            }
+            NetError::Interrupted => write!(f, "connection closed mid-transfer"),
             NetError::Protocol(why) => write!(f, "protocol violation: {why}"),
             NetError::TamperDetected { frame, issues } => {
                 match frame {
@@ -176,12 +214,29 @@ impl From<io::Error> for NetError {
 
 impl NetError {
     /// Whether retrying could plausibly help. Cryptographic rejections and
-    /// protocol violations are terminal; connectivity hiccups are not.
+    /// protocol violations are terminal; connectivity hiccups — including
+    /// *accidental* frame corruption, which is exactly what the CRC exists
+    /// to catch — are not. (Deliberate tampering survives the CRC, is
+    /// caught by signature verification, and is never retried.)
     pub fn is_retryable(&self) -> bool {
         match self {
-            NetError::Wire(WireError::Io(_)) | NetError::Wire(WireError::Truncated) => true,
-            NetError::Remote { code, .. } => *code == ErrorCode::Busy,
+            NetError::Wire(WireError::Io(_))
+            | NetError::Wire(WireError::Truncated)
+            | NetError::Wire(WireError::BadCrc)
+            | NetError::Wire(WireError::Oversized { .. })
+            | NetError::Interrupted => true,
+            NetError::Remote { code, .. } => {
+                matches!(code, ErrorCode::Busy | ErrorCode::Deadline)
+            }
             _ => false,
+        }
+    }
+
+    /// The server's `Retry-After` hint, if this failure carried one.
+    pub fn retry_after(&self) -> Option<Duration> {
+        match self {
+            NetError::Remote { retry_after, .. } => *retry_after,
+            _ => None,
         }
     }
 }
@@ -211,7 +266,8 @@ impl Client {
     /// `registry` under `tep_net_*`, and every piece of tamper evidence a
     /// fetch detects increments its `tep_core_evidence_<kind>_total`
     /// counter (including [`EvidenceKind::MalformedStream`] for
-    /// structurally bad DATA streams).
+    /// structurally bad DATA streams and [`EvidenceKind::ResumeMismatch`]
+    /// for resume points the peer cannot or will not honor honestly).
     pub fn attach_obs(&mut self, registry: &Registry) {
         self.counters = Arc::new(TransferCounters::observed(registry));
         self.registry = Some(registry.clone());
@@ -229,7 +285,11 @@ impl Client {
             conn.writer.write_message(&Message::StatsRequest)?;
             match conn.reader.read_message()? {
                 Some(Message::Stats { text }) => Ok(text),
-                Some(Message::Error { code, detail }) => Err(NetError::Remote { code, detail }),
+                Some(Message::Error {
+                    code,
+                    retry_after_ms,
+                    detail,
+                }) => Err(remote_error(code, retry_after_ms, detail)),
                 _ => Err(NetError::Protocol("expected STATS")),
             }
         })
@@ -242,26 +302,42 @@ impl Client {
 
     /// Fetches `oid`, verifying every record as it arrives and the
     /// recomputed object hash at the end. Transient failures are retried
-    /// per the policy; tamper evidence aborts immediately and is returned
-    /// as [`NetError::TamperDetected`].
+    /// per the policy; when [`ClientConfig::resume`] is on, a retry after k
+    /// verified records reconnects with RESUME and continues from k+1
+    /// instead of refetching. Tamper evidence aborts immediately and is
+    /// returned as [`NetError::TamperDetected`].
     pub fn fetch_verified(
         &mut self,
         oid: ObjectId,
         keys: &KeyDirectory,
     ) -> Result<FetchReport, NetError> {
-        let alg = self.cfg.alg;
+        let cfg = self.cfg;
         let counters = Arc::clone(&self.counters);
         let registry = self.registry.clone();
-        self.with_retry(move |conn| fetch_on(conn, oid, keys, alg, &counters, registry.as_ref()))
+        let mut session = FetchSession::default();
+        self.with_retry(move |conn| {
+            fetch_on(
+                conn,
+                oid,
+                keys,
+                cfg,
+                &mut session,
+                &counters,
+                registry.as_ref(),
+            )
+        })
     }
 
     /// Runs `op` on a fresh connection, retrying transient failures with
-    /// decorrelated jitter.
+    /// decorrelated jitter until the attempt cap or the wall-clock deadline
+    /// is hit — whichever comes first. A server `Retry-After` hint floors
+    /// the jittered delay.
     fn with_retry<T>(
         &mut self,
-        op: impl Fn(&mut Connection) -> Result<T, NetError>,
+        mut op: impl FnMut(&mut Connection) -> Result<T, NetError>,
     ) -> Result<T, NetError> {
         let policy = self.cfg.retry;
+        let started = Instant::now();
         let mut delay = policy.base;
         let mut attempt = 0u32;
         loop {
@@ -269,10 +345,15 @@ impl Client {
             let outcome = self.connect().and_then(|mut conn| op(&mut conn));
             match outcome {
                 Ok(v) => return Ok(v),
-                Err(e) if e.is_retryable() && attempt < policy.max_attempts.max(1) => {
+                Err(e)
+                    if e.is_retryable()
+                        && attempt < policy.max_attempts.max(1)
+                        && started.elapsed() < policy.deadline =>
+                {
                     self.counters.retry();
                     delay = self.next_delay(delay, policy);
-                    std::thread::sleep(delay);
+                    let wait = e.retry_after().map_or(delay, |hint| delay.max(hint));
+                    std::thread::sleep(wait);
                 }
                 Err(e) => return Err(e),
             }
@@ -280,11 +361,23 @@ impl Client {
     }
 
     /// Decorrelated jitter: `min(cap, uniform(base, prev * 3))`.
+    ///
+    /// All arithmetic is carried out in saturating u64 milliseconds so a
+    /// pathological `cap` (or a previous delay near it) can never overflow:
+    /// `prev * 3` saturates, and the sample range is clamped to
+    /// `[base, cap]` before the draw rather than after.
     fn next_delay(&mut self, prev: Duration, policy: RetryPolicy) -> Duration {
-        let base = policy.base.as_millis().max(1) as u64;
-        let hi = (prev.as_millis() as u64).saturating_mul(3).max(base + 1);
-        let picked = self.rng.gen_range(base..hi);
-        Duration::from_millis(picked).min(policy.cap)
+        fn ms(d: Duration) -> u64 {
+            u64::try_from(d.as_millis()).unwrap_or(u64::MAX)
+        }
+        let cap = ms(policy.cap).max(1);
+        let base = ms(policy.base).clamp(1, cap);
+        // Upper bound of the draw, exclusive: at least base+1 (so the range
+        // is never empty), at most cap+1 (so the pick never exceeds cap).
+        let hi = ms(prev)
+            .saturating_mul(3)
+            .clamp(base.saturating_add(1), cap.saturating_add(1));
+        Duration::from_millis(self.rng.gen_range(base..hi))
     }
 
     /// Dials the server and completes the HELLO exchange.
@@ -304,17 +397,29 @@ impl Client {
         match reader.read_message()? {
             Some(Message::Hello { version, alg })
                 if version == WIRE_VERSION && alg == self.cfg.alg => {}
-            Some(Message::Error { code, detail }) => {
-                return Err(NetError::Remote { code, detail });
+            Some(Message::Error {
+                code,
+                retry_after_ms,
+                detail,
+            }) => {
+                return Err(remote_error(code, retry_after_ms, detail));
             }
-            Some(_) | None => return Err(NetError::Protocol("expected HELLO")),
+            Some(_) => return Err(NetError::Protocol("expected HELLO")),
+            // EOF before the handshake: the peer (or the path) dropped the
+            // connection before saying anything — transient, retryable.
+            None => return Err(NetError::Interrupted),
         }
         let offer = match reader.read_message()? {
             Some(Message::Offer { entries }) => Some(entries),
-            Some(Message::Error { code, detail }) => {
-                return Err(NetError::Remote { code, detail });
+            Some(Message::Error {
+                code,
+                retry_after_ms,
+                detail,
+            }) => {
+                return Err(remote_error(code, retry_after_ms, detail));
             }
-            _ => return Err(NetError::Protocol("expected OFFER")),
+            Some(_) => return Err(NetError::Protocol("expected OFFER")),
+            None => return Err(NetError::Interrupted),
         };
         Ok(Connection {
             reader,
@@ -331,55 +436,179 @@ struct Connection {
     offer: Option<Vec<OfferEntry>>,
 }
 
-/// One fetch on an established connection: streams PROV frames through the
-/// verifier, DATA frames through the subtree hasher, and settles at DONE.
+/// Resume state carried across the attempts of one `fetch_verified` call.
+#[derive(Default)]
+struct FetchSession {
+    /// Sealed verifier checkpoint + verified-record count from the last
+    /// interrupted attempt, if any.
+    checkpoint: Option<(Vec<u8>, u64)>,
+    /// Attempts that successfully resumed a previous attempt.
+    resumed: u32,
+}
+
+/// Converts a wire ERR into [`NetError::Remote`], decoding the hint.
+fn remote_error(code: ErrorCode, retry_after_ms: u64, detail: String) -> NetError {
+    NetError::Remote {
+        code,
+        retry_after: (retry_after_ms > 0).then(|| Duration::from_millis(retry_after_ms)),
+        detail,
+    }
+}
+
+/// Builds the terminal [`TamperEvidence::ResumeMismatch`] rejection: the
+/// peer either refused a checkpoint this client verified record-by-record,
+/// or confirmed a resume point it cannot prove. Either way the two ends
+/// disagree about history, which is an R2/R3 violation, not a retry.
+fn resume_mismatch(
+    oid: ObjectId,
+    claimed: u64,
+    confirmed: u64,
+    frame: u64,
+    counters: &Arc<TransferCounters>,
+    registry: Option<&Registry>,
+) -> NetError {
+    counters.verify_failure();
+    if let Some(reg) = registry {
+        EvidenceCounters::new(reg).record(EvidenceKind::ResumeMismatch);
+    }
+    NetError::TamperDetected {
+        frame: Some(frame),
+        issues: vec![TamperEvidence::ResumeMismatch {
+            oid,
+            claimed,
+            confirmed,
+        }],
+    }
+}
+
+/// Opens the transfer on a fresh connection: RESUME from the session's
+/// checkpoint when there is one, FETCH from scratch otherwise. Returns the
+/// verifier (restored or new) and the record offset the stream starts at.
+fn open_transfer<'a>(
+    conn: &mut Connection,
+    oid: ObjectId,
+    keys: &'a KeyDirectory,
+    cfg: ClientConfig,
+    session: &mut FetchSession,
+    counters: &Arc<TransferCounters>,
+    registry: Option<&Registry>,
+) -> Result<(StreamingVerifier<'a>, u64), NetError> {
+    if cfg.resume {
+        if let Some((blob, claimed)) = session.checkpoint.take() {
+            // The blob was sealed by our own verifier an attempt ago; if it
+            // no longer opens, local state is damaged — fall back to a full
+            // fetch rather than claiming a prefix we cannot prove.
+            if let Ok(mut verifier) = StreamingVerifier::restore(keys, &blob) {
+                if let Some(reg) = registry {
+                    verifier.attach_obs(reg);
+                }
+                let digest = verifier.stream_digest().to_vec();
+                conn.writer.write_message(&Message::Resume {
+                    oid,
+                    records: claimed,
+                    digest: digest.clone(),
+                })?;
+                let frame = conn.reader.frames();
+                return match conn.reader.read_message()? {
+                    Some(Message::ResumeOk {
+                        records: confirmed,
+                        digest: theirs,
+                    }) => {
+                        if confirmed != claimed || theirs != digest {
+                            // The server "accepted" a resume point it
+                            // cannot prove — it is lying about history.
+                            Err(resume_mismatch(
+                                oid, claimed, confirmed, frame, counters, registry,
+                            ))
+                        } else {
+                            session.resumed += 1;
+                            Ok((verifier, claimed))
+                        }
+                    }
+                    Some(Message::Error {
+                        code: ErrorCode::ResumeMismatch,
+                        ..
+                    }) => {
+                        // The server's history diverged from the prefix we
+                        // verified — or it rewrote it. Terminal evidence.
+                        Err(resume_mismatch(oid, claimed, 0, frame, counters, registry))
+                    }
+                    Some(Message::Error {
+                        code,
+                        retry_after_ms,
+                        detail,
+                    }) => Err(remote_error(code, retry_after_ms, detail)),
+                    Some(_) | None => Err(NetError::Protocol("expected RESUME_OK")),
+                };
+            }
+        }
+    }
+    conn.writer.write_message(&Message::Fetch { oid })?;
+    let mut verifier = StreamingVerifier::new(keys, cfg.alg, oid);
+    if let Some(reg) = registry {
+        verifier.attach_obs(reg);
+    }
+    Ok((verifier, 0))
+}
+
+/// One attempt on an established connection: opens (or resumes) the
+/// transfer, streams PROV frames through the verifier and DATA frames
+/// through the subtree hasher, and settles at DONE. On a *retryable*
+/// failure after at least one verified record, the verifier state is
+/// sealed into the session so the next attempt can RESUME.
 fn fetch_on(
     conn: &mut Connection,
     oid: ObjectId,
     keys: &KeyDirectory,
-    alg: HashAlgorithm,
+    cfg: ClientConfig,
+    session: &mut FetchSession,
     counters: &Arc<TransferCounters>,
     registry: Option<&Registry>,
 ) -> Result<FetchReport, NetError> {
-    conn.writer.write_message(&Message::Fetch { oid })?;
-
-    let mut verifier = StreamingVerifier::new(keys, alg, oid);
-    if let Some(reg) = registry {
-        verifier.attach_obs(reg);
-    }
-    let mut hasher = DepthStreamHasher::new(alg);
-    let mut records = 0u64;
+    let (mut verifier, start_records) =
+        open_transfer(conn, oid, keys, cfg, session, counters, registry)?;
+    let mut hasher = DepthStreamHasher::new(cfg.alg);
+    let mut records = start_records;
     let mut seen_data = false;
 
-    loop {
+    let failure: NetError = loop {
         let frame = conn.reader.frames(); // index of the frame about to arrive
-        let msg = conn
-            .reader
-            .read_message()?
-            .ok_or(NetError::Protocol("connection closed mid-transfer"))?;
+        let msg = match conn.reader.read_message() {
+            Ok(Some(m)) => m,
+            Ok(None) => break NetError::Interrupted,
+            Err(e) => break NetError::Wire(e),
+        };
         match msg {
             Message::Prov { record } => {
                 if seen_data {
-                    return Err(NetError::Protocol("PROV after DATA"));
+                    break NetError::Protocol("PROV after DATA");
                 }
-                let rec = ProvenanceRecord::from_stored(&record).map_err(WireError::Decode)?;
+                let rec = match ProvenanceRecord::from_stored(&record) {
+                    Ok(r) => r,
+                    Err(e) => break NetError::Wire(WireError::Decode(e)),
+                };
                 records += 1;
                 if verifier.push_record(&rec) > 0 {
                     counters.verify_failure();
-                    return Err(NetError::TamperDetected {
+                    break NetError::TamperDetected {
                         frame: Some(frame),
                         issues: verifier.issues().to_vec(),
-                    });
+                    };
                 }
             }
             Message::Data { entries } => {
                 seen_data = true;
+                let mut bad = None;
                 for e in &entries {
                     if let Err(error) = hasher.push(e.depth as usize, e.id, &e.value) {
-                        counters.verify_failure();
-                        record_malformed_stream(registry);
-                        return Err(NetError::MalformedStream { frame, error });
+                        bad = Some(error);
+                        break;
                     }
+                }
+                if let Some(error) = bad {
+                    counters.verify_failure();
+                    record_malformed_stream(registry);
+                    break NetError::MalformedStream { frame, error };
                 }
             }
             Message::Done {
@@ -398,6 +627,7 @@ fn fetch_on(
                 // Verify FIRST: if frames were removed in flight, the
                 // evidence (broken chains, missing records) matters more
                 // than the bare count mismatch.
+                let stream_digest = verifier.stream_digest().to_vec();
                 let verification = verifier.finish(&object_hash);
                 if !verification.verified() {
                     counters.verify_failure();
@@ -409,19 +639,35 @@ fn fetch_on(
                 if sent_records != records || sent_nodes != nodes {
                     return Err(NetError::Protocol("DONE totals disagree with transfer"));
                 }
-                let ret = FetchReport {
+                return Ok(FetchReport {
                     verification,
                     object_hash,
                     records,
                     nodes,
                     offer: conn.offer.clone().unwrap_or_default(),
-                };
-                return Ok(ret);
+                    resumed: session.resumed,
+                    stream_digest,
+                });
             }
-            Message::Error { code, detail } => return Err(NetError::Remote { code, detail }),
-            _ => return Err(NetError::Protocol("unexpected message during transfer")),
+            Message::Error {
+                code,
+                retry_after_ms,
+                detail,
+            } => break remote_error(code, retry_after_ms, detail),
+            _ => break NetError::Protocol("unexpected message during transfer"),
+        }
+    };
+
+    // A retryable interruption after verified records: seal the verifier so
+    // the next attempt can prove where this one stopped. Tamper evidence
+    // never reaches here retryably, and a tainted verifier refuses to
+    // checkpoint anyway.
+    if cfg.resume && failure.is_retryable() && records > 0 {
+        if let Some(blob) = verifier.checkpoint() {
+            session.checkpoint = Some((blob, records));
         }
     }
+    Err(failure)
 }
 
 /// Counts a structurally malformed DATA stream under the unified evidence
@@ -430,5 +676,72 @@ fn fetch_on(
 fn record_malformed_stream(registry: Option<&Registry>) {
     if let Some(reg) = registry {
         EvidenceCounters::new(reg).record(EvidenceKind::MalformedStream);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_client(policy: RetryPolicy) -> Client {
+        let cfg = ClientConfig {
+            retry: policy,
+            ..ClientConfig::new(HashAlgorithm::Sha256)
+        };
+        Client::new("127.0.0.1:9".parse().unwrap(), cfg)
+    }
+
+    /// The decorrelated-jitter sequence for the default seed and policy is
+    /// pinned: a change here means every deployment's backoff behavior
+    /// changed, which should be a deliberate decision, not a side effect.
+    #[test]
+    fn jitter_sequence_is_pinned_for_default_seed() {
+        let policy = RetryPolicy::default();
+        let mut c = test_client(policy);
+        let mut delay = policy.base;
+        let mut seq = Vec::new();
+        for _ in 0..8 {
+            delay = c.next_delay(delay, policy);
+            seq.push(u64::try_from(delay.as_millis()).unwrap());
+        }
+        assert_eq!(seq, [21, 25, 25, 23, 34, 92, 190, 127]);
+        let base = u64::try_from(policy.base.as_millis()).unwrap();
+        let cap = u64::try_from(policy.cap.as_millis()).unwrap();
+        for &ms in &seq {
+            assert!((base..=cap).contains(&ms), "{ms}ms outside [{base}, {cap}]");
+        }
+    }
+
+    /// `prev * 3` must not overflow for caps near `Duration::MAX`; the
+    /// delay stays within `[base, cap]` no matter how extreme the inputs.
+    #[test]
+    fn jitter_never_overflows_at_extreme_caps() {
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(10),
+            cap: Duration::MAX,
+            deadline: Duration::from_secs(30),
+        };
+        let mut c = test_client(policy);
+        let mut delay = Duration::MAX; // worst-case previous delay
+        for _ in 0..64 {
+            delay = c.next_delay(delay, policy);
+            assert!(delay >= Duration::from_millis(10));
+            assert!(delay <= policy.cap);
+        }
+    }
+
+    /// A zero/degenerate policy must not panic (empty sample ranges).
+    #[test]
+    fn jitter_handles_degenerate_policies() {
+        let policy = RetryPolicy {
+            max_attempts: 1,
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+            deadline: Duration::ZERO,
+        };
+        let mut c = test_client(policy);
+        let d = c.next_delay(Duration::ZERO, policy);
+        assert_eq!(d, Duration::from_millis(1));
     }
 }

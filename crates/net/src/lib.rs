@@ -21,6 +21,16 @@
 //! * [`proxy`] — a man-in-the-middle harness that tampers with frames *in
 //!   flight* (recomputing the CRC, as a real attacker would) so tests can
 //!   demonstrate the R1–R5 guarantees hold on the wire.
+//! * [`fault`] — deterministic seeded fault injection (the network twin of
+//!   `tep_storage::vfs::FaultVfs`): [`fault::FaultStream`] crashes the
+//!   codec at any byte, [`fault::FaultListener`] crashes a live TCP path
+//!   at any frame — resets, torn frames, bit flips, stalls.
+//!
+//! Transfers are *resumable*: a client cut after k verified records
+//! reconnects with a RESUME frame proving its position via a rolling
+//! record-stream digest, and continues verify-on-receive from k+1. A
+//! server that cannot (or will not honestly) confirm the position is
+//! rejected as `ResumeMismatch` tamper evidence.
 //!
 //! Per-connection traffic and verification counters come from
 //! [`tep_core::metrics::TransferCounters`].
@@ -29,11 +39,13 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
+pub mod fault;
 pub mod proxy;
 pub mod server;
 pub mod wire;
 
 pub use client::{Client, ClientConfig, FetchReport, NetError, RetryPolicy};
+pub use fault::{FaultKind, FaultListener, FaultPlan, FaultStream, StreamFault, StreamFaultPlan};
 pub use proxy::{ProxyAction, TamperProxy};
 pub use server::{serve, serve_with_registry, Catalog, ServerConfig, ServerHandle};
 pub use wire::{DataEntry, ErrorCode, Message, OfferEntry, WireError, MAX_FRAME, WIRE_VERSION};

@@ -7,6 +7,13 @@
 //! pin a worker forever. [`ServerHandle::shutdown`] stops the accept loop,
 //! wakes the workers, and joins every thread.
 //!
+//! Graceful degradation under load: connections arriving while the queue
+//! is at the shed watermark are refused with `ERR busy` *plus* a
+//! `Retry-After` hint scaled to the backlog, every connection is bounded by
+//! a wall-clock deadline (`ERR deadline` + close, resumable), and a peer
+//! that vanishes mid-transfer is counted in `tep_net_write_aborts_total`
+//! rather than folded into generic i/o noise.
+//!
 //! Per connection the server speaks the `wire` protocol:
 //!
 //! ```text
@@ -20,6 +27,12 @@
 //!         ◀─ DONE             (totals)
 //!         … more FETCHes, or client closes …
 //! ```
+//!
+//! A client resuming a cut transfer sends `RESUME oid k digest` instead of
+//! `FETCH`; the server recomputes the record-stream digest over the first
+//! `k` records it would have sent and answers `RESUME_OK` + the tail of
+//! the stream only if the prefix is byte-identical — otherwise
+//! `ERR resume-mismatch` (see `tep_core::streaming::RecordStreamDigest`).
 
 use std::collections::VecDeque;
 use std::io;
@@ -28,13 +41,14 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use tep_core::metrics::{TransferCounters, TransferSnapshot};
-use tep_core::provenance::collect;
+use tep_core::provenance::{collect, ProvenanceObject};
+use tep_core::streaming::RecordStreamDigest;
 use tep_crypto::digest::HashAlgorithm;
 use tep_model::{Forest, ObjectId};
-use tep_obs::{Counter, Registry};
+use tep_obs::{names, Counter, Registry};
 use tep_storage::ProvenanceDb;
 
 use crate::wire::{
@@ -128,6 +142,17 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     /// Per-connection socket write timeout.
     pub write_timeout: Duration,
+    /// Load-shedding watermark: connections arriving while the queue holds
+    /// this many (or more) waiting sockets are refused with `ERR busy` and
+    /// a `Retry-After` hint, *before* the hard `queue_depth` cap is hit.
+    /// Defaults to `usize::MAX`, i.e. shed only at the hard cap; the
+    /// effective threshold is always `min(shed_watermark, queue_depth)`.
+    pub shed_watermark: usize,
+    /// Wall-clock budget for one connection, covering every request served
+    /// on it. Exceeding it mid-stream sends `ERR deadline` and closes —
+    /// the client can reconnect and RESUME — so a slow-reading peer holds
+    /// a worker for a bounded time no matter how many frames remain.
+    pub connection_deadline: Duration,
 }
 
 impl Default for ServerConfig {
@@ -137,8 +162,26 @@ impl Default for ServerConfig {
             queue_depth: 32,
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
+            shed_watermark: usize::MAX,
+            connection_deadline: Duration::from_secs(30),
         }
     }
+}
+
+impl ServerConfig {
+    /// The queue length at which new connections are refused.
+    fn effective_watermark(&self) -> usize {
+        self.shed_watermark.min(self.queue_depth)
+    }
+}
+
+/// The `Retry-After` hint sent with a shed connection, scaled to the
+/// backlog the refused client would have waited behind (deterministic, so
+/// tests can pin it).
+fn shed_retry_after_ms(backlog: usize) -> u64 {
+    ((backlog as u64).saturating_add(1))
+        .saturating_mul(25)
+        .min(1_000)
 }
 
 /// How often the accept loop re-checks the shutdown flag.
@@ -170,23 +213,45 @@ struct Shared {
 }
 
 /// Server-level counters in the metric registry (frame/byte traffic is
-/// mirrored separately by the observed [`TransferCounters`]).
+/// mirrored separately by the observed [`TransferCounters`]). Names come
+/// from [`tep_obs::names`] so the harnesses asserting on them cannot
+/// drift.
 #[derive(Clone)]
 struct ServerObs {
     connections: Counter,
     busy_rejections: Counter,
     fetches: Counter,
+    resumes: Counter,
     stats_requests: Counter,
+    shed: Counter,
+    deadline_closes: Counter,
+    write_aborts: Counter,
 }
 
 impl ServerObs {
     fn new(registry: &Registry) -> Self {
         ServerObs {
-            connections: registry.counter("tep_net_connections_total"),
-            busy_rejections: registry.counter("tep_net_busy_rejections_total"),
-            fetches: registry.counter("tep_net_fetches_total"),
-            stats_requests: registry.counter("tep_net_stats_requests_total"),
+            connections: registry.counter(names::NET_CONNECTIONS),
+            busy_rejections: registry.counter(names::NET_BUSY_REJECTIONS),
+            fetches: registry.counter(names::NET_FETCHES),
+            resumes: registry.counter(names::NET_RESUMES),
+            stats_requests: registry.counter(names::NET_STATS_REQUESTS),
+            shed: registry.counter(names::NET_SHED),
+            deadline_closes: registry.counter(names::NET_DEADLINE_CLOSES),
+            write_aborts: registry.counter(names::NET_WRITE_ABORTS),
         }
+    }
+
+    /// A transfer write that failed because the peer is gone. Counted
+    /// separately from shed/panic so `render_text` can tell them apart.
+    fn send<W: io::Write>(
+        &self,
+        writer: &mut FrameWriter<W>,
+        msg: &Message,
+    ) -> Result<(), WireError> {
+        writer
+            .write_message(msg)
+            .inspect_err(|_| self.write_aborts.inc())
     }
 }
 
@@ -310,10 +375,12 @@ fn accept_loop(
             Ok((stream, _peer)) => {
                 obs.connections.inc();
                 let mut queue = lock_recover(&shared.queue);
-                if queue.len() >= cfg.queue_depth {
+                let backlog = queue.len();
+                if backlog >= cfg.effective_watermark() {
                     drop(queue);
                     obs.busy_rejections.inc();
-                    refuse_busy(stream, &counters, cfg);
+                    obs.shed.inc();
+                    refuse_busy(stream, &counters, cfg, backlog);
                 } else {
                     queue.push_back(stream);
                     drop(queue);
@@ -328,13 +395,20 @@ fn accept_loop(
     shared.available.notify_all();
 }
 
-/// Best-effort `ERR busy` so the refused client sees a protocol answer
-/// rather than a bare RST.
-fn refuse_busy(stream: TcpStream, counters: &Arc<TransferCounters>, cfg: ServerConfig) {
+/// Best-effort `ERR busy` + `Retry-After` so the refused client sees a
+/// protocol answer (and a backoff hint scaled to the backlog) rather than
+/// a bare RST.
+fn refuse_busy(
+    stream: TcpStream,
+    counters: &Arc<TransferCounters>,
+    cfg: ServerConfig,
+    backlog: usize,
+) {
     let _ = stream.set_write_timeout(Some(cfg.write_timeout));
     let mut w = FrameWriter::new(stream, Arc::clone(counters));
     let _ = w.write_message(&Message::Error {
         code: ErrorCode::Busy,
+        retry_after_ms: shed_retry_after_ms(backlog),
         detail: "accept queue full".into(),
     });
 }
@@ -378,6 +452,13 @@ fn worker_loop(
     }
 }
 
+/// Whether the connection may serve another request.
+#[derive(PartialEq, Eq)]
+enum Flow {
+    Continue,
+    Close,
+}
+
 fn handle_connection(
     stream: TcpStream,
     catalog: &Catalog,
@@ -390,6 +471,9 @@ fn handle_connection(
     stream.set_write_timeout(Some(cfg.write_timeout))?;
     let mut reader = FrameReader::new(stream.try_clone()?, Arc::clone(counters));
     let mut writer = FrameWriter::new(stream, Arc::clone(counters));
+    // `None` only for deadlines so large the Instant would overflow —
+    // which means "effectively unbounded" anyway.
+    let deadline = Instant::now().checked_add(cfg.connection_deadline);
 
     // HELLO exchange: version and algorithm must match exactly.
     match reader.read_message()? {
@@ -404,6 +488,7 @@ fn handle_connection(
         Some(Message::Hello { version, alg }) => {
             writer.write_message(&Message::Error {
                 code: ErrorCode::VersionMismatch,
+                retry_after_ms: 0,
                 detail: format!(
                     "server speaks v{WIRE_VERSION}/{:?}, client sent v{version}/{alg:?}",
                     catalog.alg()
@@ -414,6 +499,7 @@ fn handle_connection(
         _ => {
             writer.write_message(&Message::Error {
                 code: ErrorCode::BadRequest,
+                retry_after_ms: 0,
                 detail: "expected HELLO".into(),
             })?;
             return Ok(());
@@ -425,58 +511,202 @@ fn handle_connection(
     })?;
 
     while let Some(msg) = reader.read_message()? {
-        match msg {
+        if past_deadline(deadline) {
+            refuse_deadline(obs, &mut writer)?;
+            return Ok(());
+        }
+        let flow = match msg {
             Message::Fetch { oid } => {
                 obs.fetches.inc();
-                serve_fetch(catalog, &mut writer, oid)?;
+                serve_fetch(catalog, &mut writer, oid, deadline, obs)?
+            }
+            Message::Resume {
+                oid,
+                records,
+                digest,
+            } => {
+                obs.resumes.inc();
+                serve_resume(catalog, &mut writer, oid, records, &digest, deadline, obs)?
             }
             Message::StatsRequest => {
                 obs.stats_requests.inc();
                 writer.write_message(&Message::Stats {
                     text: registry.render_text(),
                 })?;
+                Flow::Continue
             }
             _ => {
                 writer.write_message(&Message::Error {
                     code: ErrorCode::BadRequest,
-                    detail: "expected FETCH".into(),
+                    retry_after_ms: 0,
+                    detail: "expected FETCH or RESUME".into(),
                 })?;
                 return Ok(());
             }
+        };
+        if flow == Flow::Close {
+            return Ok(());
         }
     }
     Ok(())
+}
+
+fn past_deadline(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+/// Tells the peer its connection ran out of wall-clock budget. The error
+/// is retryable client-side (reconnect + RESUME picks up where the stream
+/// stopped), so the hint is small and flat.
+fn refuse_deadline<W: io::Write>(
+    obs: &ServerObs,
+    writer: &mut FrameWriter<W>,
+) -> Result<(), WireError> {
+    obs.deadline_closes.inc();
+    obs.send(
+        writer,
+        &Message::Error {
+            code: ErrorCode::Deadline,
+            retry_after_ms: 10,
+            detail: "connection deadline exceeded; reconnect and RESUME".into(),
+        },
+    )
+}
+
+/// Looks up `oid`'s provenance, answering `ERR unknown-object` on misses.
+fn lookup<W: io::Write>(
+    catalog: &Catalog,
+    writer: &mut FrameWriter<W>,
+    oid: ObjectId,
+    obs: &ServerObs,
+) -> Result<Option<ProvenanceObject>, WireError> {
+    if !catalog.is_offered(oid) || !catalog.forest.contains(oid) {
+        obs.send(
+            writer,
+            &Message::Error {
+                code: ErrorCode::UnknownObject,
+                retry_after_ms: 0,
+                detail: format!("object {oid} is not offered"),
+            },
+        )?;
+        return Ok(None);
+    }
+    match collect(&catalog.db, oid) {
+        Ok(p) => Ok(Some(p)),
+        Err(_) => {
+            obs.send(
+                writer,
+                &Message::Error {
+                    code: ErrorCode::UnknownObject,
+                    retry_after_ms: 0,
+                    detail: format!("object {oid} has no provenance"),
+                },
+            )?;
+            Ok(None)
+        }
+    }
 }
 
 fn serve_fetch(
     catalog: &Catalog,
     writer: &mut FrameWriter<TcpStream>,
     oid: ObjectId,
-) -> Result<(), WireError> {
-    if !catalog.is_offered(oid) || !catalog.forest.contains(oid) {
-        return writer.write_message(&Message::Error {
-            code: ErrorCode::UnknownObject,
-            detail: format!("object {oid} is not offered"),
-        });
-    }
-    let prov = match collect(&catalog.db, oid) {
-        Ok(p) => p,
-        Err(_) => {
-            return writer.write_message(&Message::Error {
-                code: ErrorCode::UnknownObject,
-                detail: format!("object {oid} has no provenance"),
-            });
-        }
+    deadline: Option<Instant>,
+    obs: &ServerObs,
+) -> Result<Flow, WireError> {
+    let Some(prov) = lookup(catalog, writer, oid, obs)? else {
+        return Ok(Flow::Continue);
     };
+    stream_object(catalog, writer, oid, &prov, 0, deadline, obs)
+}
 
-    // Records are already sorted by (output_oid, seq_id) — the topological
-    // order the client's streaming verifier requires.
+/// Serves a RESUME: honors the claimed offset only if the client's rolling
+/// digest matches the one this server recomputes over the identical prefix
+/// — byte-for-byte, in collect order. Anything else (offset beyond the
+/// end, digest mismatch, unknown object) is refused without sending a
+/// single record, so a malformed resume can never yield a partial
+/// verified result.
+fn serve_resume(
+    catalog: &Catalog,
+    writer: &mut FrameWriter<TcpStream>,
+    oid: ObjectId,
+    claimed: u64,
+    digest: &[u8],
+    deadline: Option<Instant>,
+    obs: &ServerObs,
+) -> Result<Flow, WireError> {
+    let Some(prov) = lookup(catalog, writer, oid, obs)? else {
+        return Ok(Flow::Continue);
+    };
+    let total = prov.records.len() as u64;
+    if claimed > total {
+        obs.send(
+            writer,
+            &Message::Error {
+                code: ErrorCode::ResumeMismatch,
+                retry_after_ms: 0,
+                detail: format!("resume offset {claimed} beyond end of stream ({total})"),
+            },
+        )?;
+        return Ok(Flow::Continue);
+    }
+    let mut ours = RecordStreamDigest::new(catalog.alg, oid);
+    for record in &prov.records[..claimed as usize] {
+        ours.push(&record.to_stored().to_bytes());
+    }
+    if ours.current() != digest {
+        obs.send(
+            writer,
+            &Message::Error {
+                code: ErrorCode::ResumeMismatch,
+                retry_after_ms: 0,
+                detail: format!("record-stream digest disagrees at offset {claimed}"),
+            },
+        )?;
+        return Ok(Flow::Continue);
+    }
+    obs.send(
+        writer,
+        &Message::ResumeOk {
+            records: claimed,
+            digest: ours.current().to_vec(),
+        },
+    )?;
+    stream_object(catalog, writer, oid, &prov, claimed, deadline, obs)
+}
+
+/// Streams the transfer body: PROV records from `skip` onward (records are
+/// already sorted by `(output_oid, seq_id)` — the topological order the
+/// client's streaming verifier requires), then the full data subtree
+/// chunked by encoded size, then DONE with whole-transfer totals. The
+/// connection deadline is checked between frames; exceeding it sends
+/// `ERR deadline` and closes, which a resuming client treats as a
+/// retryable cut.
+fn stream_object(
+    catalog: &Catalog,
+    writer: &mut FrameWriter<TcpStream>,
+    oid: ObjectId,
+    prov: &ProvenanceObject,
+    skip: u64,
+    deadline: Option<Instant>,
+    obs: &ServerObs,
+) -> Result<Flow, WireError> {
     let mut records = 0u64;
     for record in &prov.records {
-        writer.write_message(&Message::Prov {
-            record: record.to_stored(),
-        })?;
         records += 1;
+        if records <= skip {
+            continue;
+        }
+        if past_deadline(deadline) {
+            refuse_deadline(obs, writer)?;
+            return Ok(Flow::Close);
+        }
+        obs.send(
+            writer,
+            &Message::Prov {
+                record: record.to_stored(),
+            },
+        )?;
     }
 
     // Data subtree, chunked by actual encoded size so no frame exceeds
@@ -487,9 +717,16 @@ fn serve_fetch(
     for entry in catalog.data_entries(oid) {
         let entry_bytes = 10 + tep_model::encode::value_bytes(&entry.value).len();
         if !chunk.is_empty() && chunk_bytes + entry_bytes > DATA_CHUNK_BYTES {
-            writer.write_message(&Message::Data {
-                entries: std::mem::take(&mut chunk),
-            })?;
+            if past_deadline(deadline) {
+                refuse_deadline(obs, writer)?;
+                return Ok(Flow::Close);
+            }
+            obs.send(
+                writer,
+                &Message::Data {
+                    entries: std::mem::take(&mut chunk),
+                },
+            )?;
             chunk_bytes = 0;
         }
         chunk_bytes += entry_bytes;
@@ -497,10 +734,11 @@ fn serve_fetch(
         chunk.push(entry);
     }
     if !chunk.is_empty() {
-        writer.write_message(&Message::Data { entries: chunk })?;
+        obs.send(writer, &Message::Data { entries: chunk })?;
     }
 
-    writer.write_message(&Message::Done { records, nodes })
+    obs.send(writer, &Message::Done { records, nodes })?;
+    Ok(Flow::Continue)
 }
 
 #[cfg(test)]
@@ -551,5 +789,23 @@ mod tests {
                 .unwrap_or_else(PoisonError::into_inner);
         assert!(timeout.timed_out());
         assert_eq!(*guard, 0);
+    }
+
+    #[test]
+    fn shed_hint_scales_with_backlog_and_saturates() {
+        assert_eq!(shed_retry_after_ms(0), 25);
+        assert_eq!(shed_retry_after_ms(3), 100);
+        assert_eq!(shed_retry_after_ms(1_000_000), 1_000);
+        assert_eq!(shed_retry_after_ms(usize::MAX), 1_000);
+    }
+
+    #[test]
+    fn effective_watermark_never_exceeds_the_hard_cap() {
+        let mut cfg = ServerConfig::default();
+        assert_eq!(cfg.effective_watermark(), cfg.queue_depth);
+        cfg.shed_watermark = 4;
+        assert_eq!(cfg.effective_watermark(), 4);
+        cfg.queue_depth = 2;
+        assert_eq!(cfg.effective_watermark(), 2);
     }
 }

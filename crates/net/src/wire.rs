@@ -42,8 +42,9 @@ use tep_storage::StoredRecord;
 /// Magic bytes opening every HELLO body (protocol family + format version).
 pub const WIRE_MAGIC: [u8; 8] = *b"TEPNET\x00\x01";
 
-/// Protocol version negotiated in HELLO.
-pub const WIRE_VERSION: u16 = 1;
+/// Protocol version negotiated in HELLO. v2 added RESUME/RESUME_OK and the
+/// ERR `retry_after_ms` hint.
+pub const WIRE_VERSION: u16 = 2;
 
 /// Hard cap on a frame's payload length. Enforced before allocating, so a
 /// hostile 4 GiB length prefix costs the decoder nothing.
@@ -62,6 +63,8 @@ const TYPE_DONE: u8 = 0x06;
 const TYPE_ERROR: u8 = 0x07;
 const TYPE_STATS_REQ: u8 = 0x08;
 const TYPE_STATS: u8 = 0x09;
+const TYPE_RESUME: u8 = 0x0A;
+const TYPE_RESUME_OK: u8 = 0x0B;
 
 /// Why a peer refused a request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -74,6 +77,12 @@ pub enum ErrorCode {
     Busy,
     /// The peer sent a message the protocol state does not allow.
     BadRequest,
+    /// A RESUME offset/digest does not match the server's history — the
+    /// claimed prefix is not byte-identical to what the server would send.
+    ResumeMismatch,
+    /// The connection exceeded the server's per-connection deadline and
+    /// was closed; reconnect (and resume) to continue.
+    Deadline,
 }
 
 impl ErrorCode {
@@ -83,6 +92,8 @@ impl ErrorCode {
             ErrorCode::UnknownObject => 2,
             ErrorCode::Busy => 3,
             ErrorCode::BadRequest => 4,
+            ErrorCode::ResumeMismatch => 5,
+            ErrorCode::Deadline => 6,
         }
     }
 
@@ -92,6 +103,8 @@ impl ErrorCode {
             2 => Some(ErrorCode::UnknownObject),
             3 => Some(ErrorCode::Busy),
             4 => Some(ErrorCode::BadRequest),
+            5 => Some(ErrorCode::ResumeMismatch),
+            6 => Some(ErrorCode::Deadline),
             _ => None,
         }
     }
@@ -104,6 +117,8 @@ impl fmt::Display for ErrorCode {
             ErrorCode::UnknownObject => "unknown object",
             ErrorCode::Busy => "server busy",
             ErrorCode::BadRequest => "bad request",
+            ErrorCode::ResumeMismatch => "resume mismatch",
+            ErrorCode::Deadline => "connection deadline exceeded",
         };
         f.write_str(s)
     }
@@ -173,6 +188,10 @@ pub enum Message {
     Error {
         /// Machine-readable reason.
         code: ErrorCode,
+        /// Backoff hint in milliseconds (0 = none): how long the peer
+        /// suggests waiting before retrying. Sent with `Busy`/`Deadline`
+        /// when the server is load-shedding.
+        retry_after_ms: u64,
         /// Human-readable detail.
         detail: String,
     },
@@ -183,6 +202,29 @@ pub enum Message {
     Stats {
         /// The rendered exposition (UTF-8).
         text: String,
+    },
+    /// Client reopens a transfer that was cut after `records` records,
+    /// proving where it stopped with its verifier's rolling stream digest.
+    Resume {
+        /// The object being transferred.
+        oid: ObjectId,
+        /// Records already received **and verified** by the client.
+        records: u64,
+        /// The client's [`RecordStreamDigest`] state after those records
+        /// ([`tep_core::streaming::RecordStreamDigest`]).
+        digest: Vec<u8>,
+    },
+    /// Server accepts a RESUME: it echoes the offset and its **own**
+    /// recomputed digest over the first `records` records it would have
+    /// sent, then continues the transfer from `records + 1`. A client
+    /// whose digest disagrees rejects the transfer as `ResumeMismatch`
+    /// evidence.
+    ResumeOk {
+        /// The resume offset being honored.
+        records: u64,
+        /// The server's recomputed stream digest over its own first
+        /// `records` records.
+        digest: Vec<u8>,
     },
 }
 
@@ -283,9 +325,14 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             out.extend_from_slice(&records.to_be_bytes());
             out.extend_from_slice(&nodes.to_be_bytes());
         }
-        Message::Error { code, detail } => {
+        Message::Error {
+            code,
+            retry_after_ms,
+            detail,
+        } => {
             out.push(TYPE_ERROR);
             out.push(code.wire_id());
+            out.extend_from_slice(&retry_after_ms.to_be_bytes());
             out.extend_from_slice(&(detail.len() as u64).to_be_bytes());
             out.extend_from_slice(detail.as_bytes());
         }
@@ -296,6 +343,23 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             out.push(TYPE_STATS);
             out.extend_from_slice(&(text.len() as u64).to_be_bytes());
             out.extend_from_slice(text.as_bytes());
+        }
+        Message::Resume {
+            oid,
+            records,
+            digest,
+        } => {
+            out.push(TYPE_RESUME);
+            out.extend_from_slice(&oid.raw().to_be_bytes());
+            out.extend_from_slice(&records.to_be_bytes());
+            out.extend_from_slice(&(digest.len() as u64).to_be_bytes());
+            out.extend_from_slice(digest);
+        }
+        Message::ResumeOk { records, digest } => {
+            out.push(TYPE_RESUME_OK);
+            out.extend_from_slice(&records.to_be_bytes());
+            out.extend_from_slice(&(digest.len() as u64).to_be_bytes());
+            out.extend_from_slice(digest);
         }
     }
     out
@@ -356,9 +420,14 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, WireError> {
             let code_id = r.u8()?;
             let code = ErrorCode::from_wire_id(code_id)
                 .ok_or(WireError::Decode(DecodeError::BadTag(code_id)))?;
+            let retry_after_ms = r.u64()?;
             let detail = String::from_utf8(r.len_prefixed()?.to_vec())
                 .map_err(|_| WireError::Decode(DecodeError::BadUtf8))?;
-            Message::Error { code, detail }
+            Message::Error {
+                code,
+                retry_after_ms,
+                detail,
+            }
         }
         TYPE_STATS_REQ => Message::StatsRequest,
         TYPE_STATS => {
@@ -366,6 +435,15 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, WireError> {
                 .map_err(|_| WireError::Decode(DecodeError::BadUtf8))?;
             Message::Stats { text }
         }
+        TYPE_RESUME => Message::Resume {
+            oid: ObjectId(r.u64()?),
+            records: r.u64()?,
+            digest: r.len_prefixed()?.to_vec(),
+        },
+        TYPE_RESUME_OK => Message::ResumeOk {
+            records: r.u64()?,
+            digest: r.len_prefixed()?.to_vec(),
+        },
         t => return Err(WireError::BadType(t)),
     };
     r.expect_end()?;
@@ -540,13 +618,28 @@ mod tests {
             },
             Message::Error {
                 code: ErrorCode::UnknownObject,
+                retry_after_ms: 0,
                 detail: "object 99 is not offered".into(),
+            },
+            Message::Error {
+                code: ErrorCode::Busy,
+                retry_after_ms: 250,
+                detail: "queue full".into(),
             },
             Message::StatsRequest,
             Message::Stats {
                 text: "# TYPE tep_net_frames_sent_total counter\n\
                        tep_net_frames_sent_total 7\n"
                     .into(),
+            },
+            Message::Resume {
+                oid: ObjectId(7),
+                records: 3,
+                digest: vec![0x5A; 32],
+            },
+            Message::ResumeOk {
+                records: 3,
+                digest: vec![0x5A; 32],
             },
         ]
     }

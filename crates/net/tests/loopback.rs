@@ -156,6 +156,7 @@ fn impatient_client(addr: SocketAddr, max_attempts: u32) -> Client {
         max_attempts,
         base: Duration::from_millis(1),
         cap: Duration::from_millis(5),
+        ..RetryPolicy::default()
     };
     Client::new(addr, cfg)
 }

@@ -50,6 +50,7 @@ fn sample_stream() -> Vec<u8> {
         },
         Message::Error {
             code: ErrorCode::Busy,
+            retry_after_ms: 25,
             detail: "accept queue full".into(),
         },
     ] {

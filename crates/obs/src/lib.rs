@@ -30,6 +30,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod names;
+
 use std::cell::Cell;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;

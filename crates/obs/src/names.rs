@@ -1,0 +1,38 @@
+//! Canonical metric names for the tep-net transfer path.
+//!
+//! The rest of the workspace registers counters ad hoc with string
+//! literals; the net server's degradation counters are shared between the
+//! server (which increments them), the chaos harness (which asserts on
+//! them), and the docs — so their names live here, in one place, instead
+//! of being retyped in every crate. Names follow the
+//! `tep_<crate>_<name>_total` schema from DESIGN.md §"Observability".
+
+/// Connections accepted (or refused) by the server's accept loop.
+pub const NET_CONNECTIONS: &str = "tep_net_connections_total";
+
+/// Connections refused with `ERR busy` because the hand-off queue was at
+/// its hard cap.
+pub const NET_BUSY_REJECTIONS: &str = "tep_net_busy_rejections_total";
+
+/// FETCH requests served (successfully or not).
+pub const NET_FETCHES: &str = "tep_net_fetches_total";
+
+/// RESUME requests served — accepted resumptions *and* refused mismatches
+/// both count; `tep_core_evidence_resume_mismatch_total` separates them.
+pub const NET_RESUMES: &str = "tep_net_resumes_total";
+
+/// STATS requests served.
+pub const NET_STATS_REQUESTS: &str = "tep_net_stats_requests_total";
+
+/// Connections shed at the load-shedding watermark with `ERR busy` +
+/// a `Retry-After` hint (a subset of, or equal to, busy rejections).
+pub const NET_SHED: &str = "tep_net_shed_total";
+
+/// Connections closed because they exceeded the per-connection deadline
+/// (the client is told via `ERR deadline` and may reconnect + RESUME).
+pub const NET_DEADLINE_CLOSES: &str = "tep_net_deadline_closes_total";
+
+/// Transfer writes aborted because the peer vanished mid-stream (socket
+/// write failure during PROV/DATA/DONE) — distinguishable from shed and
+/// panic counts in `render_text`.
+pub const NET_WRITE_ABORTS: &str = "tep_net_write_aborts_total";

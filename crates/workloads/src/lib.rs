@@ -12,6 +12,8 @@
 //!   56.9M nodes at paper scale), generated lazily for streaming hashing.
 //! * [`crash`] — recorded append/sync schedules the crash-consistency
 //!   harness replays under fault injection.
+//! * [`chaos`] — seeded, transport-agnostic fault schedules the network
+//!   chaos harness sweeps (cut/flip/stall/reset at every frame).
 //!
 //! All generation is seeded and deterministic, so experiment runs are
 //! reproducible bit-for-bit.
@@ -19,11 +21,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod crash;
 pub mod large;
 pub mod ops;
 pub mod synthetic;
 
+pub use chaos::{schedule, seeds_from_env, ChaosPoint, WireFault, DEFAULT_CHAOS_SEEDS};
 pub use crash::{CrashOp, CrashWorkload};
 pub use large::{stream_title_database, TitleHashResult, TitleRowIter, PAPER_TITLE_ROWS};
 pub use ops::{

@@ -3,7 +3,8 @@
 //! ```text
 //! repro [--all] [--table1] [--fig6] [--fig7] [--fig8] [--fig9]
 //!       [--fig10] [--fig11] [--large [ROWS|paper]] [--chaining] [--verify-cost]
-//!       [--net] [--crash] [--resume] [--json] [--runs N] [--key-bits N] [--alg sha1|sha256] [--seed N] [--csv]
+//!       [--net] [--net-scale [CONNS]] [--crash] [--resume] [--json]
+//!       [--runs N] [--key-bits N] [--alg sha1|sha256] [--seed N] [--csv]
 //! ```
 //!
 //! With no experiment flags, runs everything at laptop-friendly defaults
@@ -31,6 +32,7 @@ struct Args {
     verify_cost: bool,
     ablation: bool,
     net: bool,
+    net_scale: Option<usize>,
     crash: bool,
     resume: bool,
     json: bool,
@@ -59,6 +61,17 @@ fn parse_args() -> Result<Args, String> {
             "--verify-cost" => args.verify_cost = true,
             "--ablation" => args.ablation = true,
             "--net" => args.net = true,
+            "--net-scale" => {
+                let conns = match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let v = it.next().expect("peeked");
+                        v.parse()
+                            .map_err(|_| format!("bad connection count: {v}"))?
+                    }
+                    _ => 64,
+                };
+                args.net_scale = Some(conns);
+            }
             "--crash" => args.crash = true,
             "--resume" => args.resume = true,
             "--json" => args.json = true,
@@ -104,6 +117,7 @@ fn parse_args() -> Result<Args, String> {
         || args.verify_cost
         || args.ablation
         || args.net
+        || args.net_scale.is_some()
         || args.crash
         || args.resume
         || args.json;
@@ -120,6 +134,7 @@ fn parse_args() -> Result<Args, String> {
         args.verify_cost = true;
         args.ablation = true;
         args.net = true;
+        args.net_scale.get_or_insert(64);
         args.crash = true;
         args.resume = true;
     }
@@ -153,7 +168,7 @@ fn main() -> ExitCode {
                 "usage: repro [--all] [--table1] [--fig6] [--fig7] [--fig8] [--fig9] [--fig10] [--fig11]"
             );
             eprintln!(
-                "             [--large [ROWS|paper]] [--chaining] [--verify-cost] [--net] [--crash] [--resume] [--json]"
+                "             [--large [ROWS|paper]] [--chaining] [--verify-cost] [--net] [--net-scale [CONNS]] [--crash] [--resume] [--json]"
             );
             eprintln!(
                 "             [--runs N] [--key-bits N] [--alg sha1|sha256] [--seed N] [--csv]"
@@ -424,6 +439,26 @@ fn main() -> ExitCode {
             &format!(
                 "Provenance exchange over loopback TCP ({} records + {} nodes per object, verified on receive)",
                 r.records_per_object, r.nodes_per_object
+            ),
+            &t,
+            args.csv,
+        );
+    }
+
+    if let Some(conns) = args.net_scale {
+        let r = run_net_scale(&cfg, conns, (conns as u64) * 8);
+        let mut t = TextTable::new(&["connections", "objects", "objects/s", "MiB/s", "p99 (ms)"]);
+        t.row(&[
+            r.connections.to_string(),
+            r.objects.to_string(),
+            format!("{:.1}", r.objects_per_sec),
+            format!("{:.2}", r.mib_per_sec),
+            format!("{:.1}", r.p99_latency_ms),
+        ]);
+        emit(
+            &format!(
+                "Event-loop fan-in with cross-connection batch verify ({} records per object)",
+                r.records_per_object
             ),
             &t,
             args.csv,

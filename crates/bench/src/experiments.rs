@@ -780,6 +780,143 @@ pub fn run_net_loopback(cfg: &ExperimentConfig, fetches: u64, threads: usize) ->
 }
 
 // ---------------------------------------------------------------------------
+// Net scale — event-loop fan-in with cross-connection batch verify
+// ---------------------------------------------------------------------------
+
+/// Throughput of the event-loop server under many concurrent client
+/// connections, with signature verification batched *across* connections.
+#[derive(Clone, Copy, Debug)]
+pub struct NetScaleResult {
+    /// Concurrent client threads (each reconnecting per fetch).
+    pub connections: usize,
+    /// Objects fetched and verified in total, across all connections.
+    pub objects: u64,
+    /// Provenance records per object.
+    pub records_per_object: u64,
+    /// Aggregate verified objects per second.
+    pub objects_per_sec: f64,
+    /// Aggregate wire throughput, MiB/s received.
+    pub mib_per_sec: f64,
+    /// p99 per-fetch latency — connect, handshake, stream, and the batched
+    /// verification verdict — in milliseconds (bucketed upper bound).
+    pub p99_latency_ms: f64,
+}
+
+/// Latency buckets for the per-fetch histogram, in milliseconds.
+const NET_SCALE_LAT_MS: [u64; 14] = [
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10_000, 30_000,
+];
+
+/// Fans `connections` client threads into one event-loop server, each
+/// fetching a small update-chained object in a loop and submitting the
+/// arrived provenance to a **shared** [`tep_core::VerifyBatcher`] (the
+/// cross-connection batch-verify path). Small objects on purpose: this
+/// experiment measures connection fan-in, event-loop turnaround, and
+/// batching overhead — `net_loopback` covers bulk streaming of a large
+/// object.
+pub fn run_net_scale(cfg: &ExperimentConfig, connections: usize, objects: u64) -> NetScaleResult {
+    use tep_core::{BatcherConfig, VerifyBatcher};
+    use tep_net::{serve, Catalog, Client, ClientConfig, RetryPolicy, ServerConfig};
+    use tep_obs::Registry;
+
+    let connections = connections.max(1);
+    let per_conn = (objects / connections as u64).max(1);
+    let (signer, keys) = cfg.make_signer();
+    let db = Arc::new(ProvenanceDb::in_memory());
+    let mut tracker = ProvenanceTracker::new(
+        TrackerConfig {
+            alg: cfg.alg,
+            strategy: HashingStrategy::Economical,
+        },
+        Arc::clone(&db),
+    );
+    let (chain, _) = tracker
+        .insert(&signer, tep_model::Value::Int(0), None)
+        .unwrap();
+    for i in 1..12i64 {
+        tracker
+            .update(&signer, chain, tep_model::Value::Int(i))
+            .unwrap();
+    }
+    let catalog = Arc::new(Catalog::new(
+        tracker.forest().clone(),
+        db,
+        cfg.alg,
+        vec![chain],
+    ));
+    let server = serve(
+        catalog,
+        "127.0.0.1:0".parse().unwrap(),
+        ServerConfig {
+            queue_depth: connections * 2,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            connection_deadline: Duration::from_secs(30),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let keys = Arc::new(keys);
+    let batcher = VerifyBatcher::new(Arc::clone(&keys), cfg.alg, BatcherConfig::default(), None);
+    let registry = Registry::new();
+
+    let t = Instant::now();
+    let (bytes, records_per_object) = std::thread::scope(|s| {
+        let batcher = &batcher;
+        let registry = &registry;
+        let handles: Vec<_> = (0..connections)
+            .map(|_| {
+                s.spawn(move || {
+                    let lat = registry.histogram("tep_bench_net_scale_fetch_ms", &NET_SCALE_LAT_MS);
+                    let mut c = ClientConfig::new(cfg.alg);
+                    c.read_timeout = Duration::from_secs(10);
+                    c.retry = RetryPolicy {
+                        max_attempts: 5,
+                        base: Duration::from_millis(1),
+                        cap: Duration::from_millis(20),
+                        ..RetryPolicy::default()
+                    };
+                    let mut client = Client::new(addr, c);
+                    let mut records = 0u64;
+                    for _ in 0..per_conn {
+                        let t = Instant::now();
+                        let v = client
+                            .fetch_batched(chain, batcher)
+                            .expect("net-scale fetch failed");
+                        lat.observe(t.elapsed().as_millis() as u64);
+                        records = v.records_checked as u64;
+                    }
+                    (client.counters().bytes_received, records)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("net-scale client thread panicked"))
+            .fold((0u64, 0u64), |(bytes, _), (b, r)| (bytes + b, r))
+    });
+    let secs = t.elapsed().as_secs_f64();
+    server.shutdown();
+    drop(batcher);
+
+    let lat = registry.histogram("tep_bench_net_scale_fetch_ms", &NET_SCALE_LAT_MS);
+    let total = per_conn * connections as u64;
+    const MIB: f64 = (1u64 << 20) as f64;
+    NetScaleResult {
+        connections,
+        objects: total,
+        records_per_object,
+        objects_per_sec: total as f64 / secs,
+        mib_per_sec: bytes as f64 / MIB / secs,
+        p99_latency_ms: lat
+            .quantile(0.99)
+            .unwrap_or(*NET_SCALE_LAT_MS.last().unwrap()) as f64,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Crash-recovery cost (`repro --crash`)
 // ---------------------------------------------------------------------------
 
@@ -1051,6 +1188,9 @@ pub struct BaselineResult {
     pub record_cost_us: f64,
     /// Verified loopback transfer throughput (`tep-net`).
     pub net: NetLoopbackResult,
+    /// Event-loop fan-in throughput with cross-connection batch verify
+    /// (`tep-net` + `tep_core::VerifyBatcher`).
+    pub net_scale: NetScaleResult,
     /// Durable-store recovery cost (`tep-storage`).
     pub recovery: RecoveryResult,
     /// Wire bytes saved by RESUME vs restart-from-zero after mid-transfer
@@ -1095,6 +1235,9 @@ impl BaselineResult {
              \"serial_objects_per_sec\": {:.1}, \"serial_mib_per_sec\": {:.2}, \
              \"threads\": {}, \"parallel_objects_per_sec\": {:.1}, \
              \"parallel_mib_per_sec\": {:.2} }},\n  \
+             \"net_scale\": {{ \"connections\": {}, \"objects\": {}, \
+             \"records_per_object\": {}, \"objects_per_sec\": {:.1}, \
+             \"mib_per_sec\": {:.2}, \"p99_latency_ms\": {:.1} }},\n  \
              \"recovery\": {{ \"records\": {}, \"clean_reopen_ms\": {:.2}, \
              \"clean_records_per_sec\": {:.1}, \"torn_reopen_ms\": {:.2}, \
              \"quarantine_reopen_ms\": {:.2} }},\n  \
@@ -1116,6 +1259,12 @@ impl BaselineResult {
             self.net.threads,
             self.net.parallel_objects_per_sec,
             self.net.parallel_mib_per_sec,
+            self.net_scale.connections,
+            self.net_scale.objects,
+            self.net_scale.records_per_object,
+            self.net_scale.objects_per_sec,
+            self.net_scale.mib_per_sec,
+            self.net_scale.p99_latency_ms,
             self.recovery.records,
             self.recovery.clean_reopen_ms,
             self.recovery.clean_records_per_sec,
@@ -1223,6 +1372,12 @@ pub fn run_instrumented_metrics(cfg: &ExperimentConfig) -> Vec<(String, u64)> {
     registry
         .snapshot()
         .into_iter()
+        // The event loop's wakeup counter ticks with wall time (every
+        // `poll(2)` return, including idle timeout ticks), not with the
+        // seeded workload — it is the one metric in the registry two
+        // same-seed runs legitimately disagree on (see
+        // `tep_obs::names::NET_EPOLL_WAKEUPS`).
+        .filter(|s| s.name != tep_obs::names::NET_EPOLL_WAKEUPS)
         .map(|s| {
             let count = s.value.deterministic_count();
             let name = match s.value {
@@ -1302,6 +1457,10 @@ pub fn run_baseline(cfg: &ExperimentConfig) -> BaselineResult {
     // Verified network transfer over loopback, serial and 4-way.
     let net = run_net_loopback(cfg, (cfg.runs as u64 * 4).max(8), 4);
 
+    // Event-loop fan-in: 64 concurrent connections batch-verifying small
+    // objects through one shared VerifyBatcher.
+    let net_scale = run_net_scale(cfg, 64, 512);
+
     // Durable-store recovery cost on the real filesystem.
     let recovery = run_recovery(cfg, (cfg.runs as u64 * 1000).max(2000));
 
@@ -1319,6 +1478,7 @@ pub fn run_baseline(cfg: &ExperimentConfig) -> BaselineResult {
         sha256_mib_per_sec,
         record_cost_us,
         net,
+        net_scale,
         recovery,
         resume,
         metrics: run_instrumented_metrics(cfg),
@@ -1432,6 +1592,18 @@ mod tests {
         let r = run_chaining(&cfg, 2, 3);
         assert!(r.local_ms > 0.0);
         assert!(r.global_ms > 0.0);
+    }
+
+    #[test]
+    fn net_scale_verifies_every_object_across_connections() {
+        let cfg = tiny_cfg();
+        let r = run_net_scale(&cfg, 4, 8);
+        assert_eq!(r.connections, 4);
+        assert_eq!(r.objects, 8);
+        assert_eq!(r.records_per_object, 12);
+        assert!(r.objects_per_sec > 0.0);
+        assert!(r.mib_per_sec > 0.0);
+        assert!(r.p99_latency_ms > 0.0);
     }
 
     #[test]

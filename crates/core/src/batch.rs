@@ -1,0 +1,364 @@
+//! Cross-connection verify batching for the network path.
+//!
+//! The event-loop server (tep-net) multiplexes hundreds of connections on
+//! one thread, and each finished transfer wants its signatures checked.
+//! Calling [`Verifier::verify`] inline would serialize the crypto behind
+//! the slowest caller; spawning a thread per verification would rebuild
+//! the thread-per-connection server the event loop just replaced. The
+//! [`VerifyBatcher`] sits between: callers [`submit`](VerifyBatcher::submit)
+//! `(object hash, provenance)` jobs from any thread and immediately get a
+//! [`VerifyTicket`]; a single collector thread coalesces submissions into
+//! micro-batches bounded by a **size watermark** (`max_batch`) and a
+//! **latency watermark** (`max_wait`), runs each batch through
+//! [`Verifier::verify_all_parallel`], and answers every ticket.
+//!
+//! The watermarks trade latency for batch efficiency: under load the size
+//! watermark dominates (full batches, maximum parallel efficiency); when
+//! traffic is sparse the latency watermark bounds how long a lone job can
+//! be held hostage waiting for company. Verdicts are exactly those of
+//! calling [`Verifier::verify`] per job — batching changes scheduling,
+//! never semantics (§3.2 per-object chaining keeps jobs independent).
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use tep_crypto::digest::HashAlgorithm;
+use tep_crypto::pki::KeyDirectory;
+use tep_obs::{names, Histogram, Registry};
+
+use crate::parallel::default_threads;
+use crate::provenance::ProvenanceObject;
+use crate::verify::{Verification, Verifier};
+
+/// Watermarks and sizing for a [`VerifyBatcher`].
+#[derive(Clone, Copy, Debug)]
+pub struct BatcherConfig {
+    /// Size watermark: a batch is dispatched as soon as it holds this many
+    /// jobs, regardless of how recently it started filling.
+    pub max_batch: usize,
+    /// Latency watermark: a batch is dispatched this long after its first
+    /// job arrived, regardless of how empty it is.
+    pub max_wait: Duration,
+    /// Worker threads `verify_all_parallel` fans each batch over.
+    pub threads: usize,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        BatcherConfig {
+            max_batch: 64,
+            max_wait: Duration::from_micros(500),
+            threads: default_threads(),
+        }
+    }
+}
+
+struct Job {
+    object_hash: Vec<u8>,
+    prov: ProvenanceObject,
+    reply: mpsc::Sender<Verification>,
+}
+
+/// A pending verification handed out by [`VerifyBatcher::submit`].
+///
+/// Redeem it with [`wait`](VerifyTicket::wait); tickets are independent,
+/// so many threads can submit concurrently and block only on their own
+/// verdicts.
+pub struct VerifyTicket {
+    rx: mpsc::Receiver<Verification>,
+}
+
+impl VerifyTicket {
+    /// Blocks until the batch containing this job has been verified.
+    /// Returns `None` if the batcher shut down before answering (it was
+    /// dropped with jobs still queued).
+    pub fn wait(self) -> Option<Verification> {
+        self.rx.recv().ok()
+    }
+
+    /// Like [`wait`](Self::wait) but gives up after `timeout`.
+    pub fn wait_timeout(self, timeout: Duration) -> Option<Verification> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+/// A shared micro-batching front end to [`Verifier::verify_all_parallel`].
+///
+/// Cheap to clone ([`Arc`] internally is not needed — clone the handle by
+/// wrapping in your own `Arc`); submissions are thread-safe through the
+/// internal channel. Dropping the last handle joins the collector thread
+/// after it drains every queued job, so no ticket is ever silently lost
+/// on graceful shutdown.
+pub struct VerifyBatcher {
+    tx: Option<mpsc::Sender<Job>>,
+    collector: Option<thread::JoinHandle<()>>,
+}
+
+impl VerifyBatcher {
+    /// Spawns the collector thread. `keys` must contain every participant
+    /// the submitted provenance can reference; `registry`, when given,
+    /// attaches verifier obs (evidence counters, verify latency) and
+    /// records each dispatched batch's size into the
+    /// `tep_net_batch_verify_size` histogram.
+    pub fn new(
+        keys: Arc<KeyDirectory>,
+        alg: HashAlgorithm,
+        cfg: BatcherConfig,
+        registry: Option<&Registry>,
+    ) -> Self {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let registry = registry.cloned();
+        let collector = thread::Builder::new()
+            .name("tep-verify-batcher".into())
+            .spawn(move || collect_loop(rx, keys, alg, cfg, registry))
+            .expect("spawn verify batcher collector");
+        VerifyBatcher {
+            tx: Some(tx),
+            collector: Some(collector),
+        }
+    }
+
+    /// Queues one `(object hash, provenance)` verification and returns its
+    /// ticket. Never blocks on the crypto — only on the channel send.
+    pub fn submit(&self, object_hash: Vec<u8>, prov: ProvenanceObject) -> VerifyTicket {
+        let (reply, rx) = mpsc::channel();
+        let job = Job {
+            object_hash,
+            prov,
+            reply,
+        };
+        if let Some(tx) = &self.tx {
+            // A send can only fail if the collector died (panicked); the
+            // ticket then reports `None` rather than hanging.
+            let _ = tx.send(job);
+        }
+        VerifyTicket { rx }
+    }
+}
+
+impl Drop for VerifyBatcher {
+    fn drop(&mut self) {
+        // Closing the channel lets the collector drain and exit; joining
+        // makes shutdown deterministic (every submitted ticket answered).
+        drop(self.tx.take());
+        if let Some(handle) = self.collector.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn collect_loop(
+    rx: mpsc::Receiver<Job>,
+    keys: Arc<KeyDirectory>,
+    alg: HashAlgorithm,
+    cfg: BatcherConfig,
+    registry: Option<Registry>,
+) {
+    let mut verifier = Verifier::new(&keys, alg);
+    if let Some(reg) = &registry {
+        verifier.attach_obs(reg);
+    }
+    let batch_sizes: Option<Histogram> = registry
+        .as_ref()
+        .map(|reg| reg.histogram(names::NET_BATCH_VERIFY_SIZE, &[1, 2, 4, 8, 16, 32, 64, 128]));
+    let max_batch = cfg.max_batch.max(1);
+
+    let mut disconnected = false;
+    while !disconnected {
+        // Sleep until the first job of the next batch arrives.
+        let first = match rx.recv() {
+            Ok(job) => job,
+            Err(_) => break,
+        };
+        let mut jobs = vec![first];
+        // Fill until a watermark trips: size (batch full) or latency
+        // (max_wait since the batch opened).
+        let deadline = Instant::now() + cfg.max_wait;
+        while jobs.len() < max_batch {
+            let now = Instant::now();
+            let left = deadline.saturating_duration_since(now);
+            if left.is_zero() {
+                break;
+            }
+            match rx.recv_timeout(left) {
+                Ok(job) => jobs.push(job),
+                Err(mpsc::RecvTimeoutError::Timeout) => break,
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+
+        if let Some(h) = &batch_sizes {
+            h.observe(jobs.len() as u64);
+        }
+        let (pairs, replies): (Vec<_>, Vec<_>) = jobs
+            .into_iter()
+            .map(|j| ((j.object_hash, j.prov), j.reply))
+            .unzip();
+        let verdicts = verifier.verify_all_parallel(&pairs, cfg.threads);
+        for (reply, verdict) in replies.into_iter().zip(verdicts) {
+            // A caller that dropped its ticket just doesn't hear back.
+            let _ = reply.send(verdict);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provenance::collect;
+    use crate::tracker::{ProvenanceTracker, TrackerConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tep_crypto::pki::{CertificateAuthority, ParticipantId};
+    use tep_model::Value;
+    use tep_storage::ProvenanceDb;
+
+    struct World {
+        keys: Arc<KeyDirectory>,
+        jobs: Vec<(Vec<u8>, ProvenanceObject)>,
+    }
+
+    fn world(objects: usize) -> World {
+        let mut rng = StdRng::seed_from_u64(77);
+        let ca = CertificateAuthority::new(512, HashAlgorithm::Sha256, &mut rng);
+        let alice = ca.enroll(ParticipantId(1), 512, &mut rng);
+        let mut keys = KeyDirectory::new(ca.public_key().clone(), HashAlgorithm::Sha256);
+        keys.register(alice.certificate().clone()).unwrap();
+
+        let db = Arc::new(ProvenanceDb::in_memory());
+        let mut tracker = ProvenanceTracker::new(TrackerConfig::default(), db);
+        let jobs = (0..objects)
+            .map(|i| {
+                let (obj, _) = tracker.insert(&alice, Value::Int(i as i64), None).unwrap();
+                tracker
+                    .update(&alice, obj, Value::Int(i as i64 + 1))
+                    .unwrap();
+                let prov = collect(tracker.db(), obj).unwrap();
+                let hash = tracker.object_hash(obj).unwrap();
+                (hash, prov)
+            })
+            .collect();
+        World {
+            keys: Arc::new(keys),
+            jobs,
+        }
+    }
+
+    #[test]
+    fn batched_verdicts_match_sequential_ones() {
+        let w = world(6);
+        let registry = Registry::new();
+        let batcher = VerifyBatcher::new(
+            Arc::clone(&w.keys),
+            HashAlgorithm::Sha256,
+            BatcherConfig {
+                max_batch: 4,
+                max_wait: Duration::from_millis(5),
+                threads: 2,
+            },
+            Some(&registry),
+        );
+        let tickets: Vec<_> = w
+            .jobs
+            .iter()
+            .map(|(hash, prov)| batcher.submit(hash.clone(), prov.clone()))
+            .collect();
+        let sequential = Verifier::new(&w.keys, HashAlgorithm::Sha256);
+        for (ticket, (hash, prov)) in tickets.into_iter().zip(&w.jobs) {
+            let batched = ticket.wait().expect("batcher answered");
+            let direct = sequential.verify(hash, prov);
+            assert_eq!(batched.verified(), direct.verified());
+            assert_eq!(batched.records_checked, direct.records_checked);
+        }
+        drop(batcher);
+        // Batch sizes were recorded, and every job landed in some batch.
+        let sizes = registry.snapshot();
+        let batch = sizes
+            .iter()
+            .find(|s| s.name == names::NET_BATCH_VERIFY_SIZE)
+            .expect("batch size histogram registered");
+        match &batch.value {
+            tep_obs::MetricValue::Histogram { sum, count, .. } => {
+                assert_eq!(*sum, w.jobs.len() as u64, "every job batched exactly once");
+                assert!(*count >= 1);
+            }
+            other => panic!("unexpected metric kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tampering_is_still_detected_through_the_batcher() {
+        let w = world(2);
+        let batcher = VerifyBatcher::new(
+            Arc::clone(&w.keys),
+            HashAlgorithm::Sha256,
+            BatcherConfig::default(),
+            None,
+        );
+        let (hash, prov) = &w.jobs[0];
+        let mut forged = prov.clone();
+        forged.records[0].output_hash[0] ^= 1;
+        let clean = batcher.submit(hash.clone(), prov.clone());
+        let tampered = batcher.submit(hash.clone(), forged);
+        assert!(clean.wait().unwrap().verified());
+        assert!(!tampered.wait().unwrap().verified());
+    }
+
+    #[test]
+    fn size_watermark_dispatches_full_batches_without_waiting() {
+        let w = world(8);
+        let registry = Registry::new();
+        let batcher = VerifyBatcher::new(
+            Arc::clone(&w.keys),
+            HashAlgorithm::Sha256,
+            BatcherConfig {
+                max_batch: 2,
+                // A latency watermark far beyond the test timeout: only the
+                // size watermark can dispatch these batches.
+                max_wait: Duration::from_secs(60),
+                threads: 1,
+            },
+            Some(&registry),
+        );
+        let tickets: Vec<_> = w
+            .jobs
+            .iter()
+            .map(|(hash, prov)| batcher.submit(hash.clone(), prov.clone()))
+            .collect();
+        for ticket in tickets {
+            assert!(ticket
+                .wait_timeout(Duration::from_secs(30))
+                .expect("size watermark dispatched without waiting out max_wait")
+                .verified());
+        }
+    }
+
+    #[test]
+    fn drop_drains_queued_jobs_before_joining() {
+        let w = world(3);
+        let batcher = VerifyBatcher::new(
+            Arc::clone(&w.keys),
+            HashAlgorithm::Sha256,
+            BatcherConfig {
+                max_batch: 64,
+                max_wait: Duration::from_millis(1),
+                threads: 1,
+            },
+            None,
+        );
+        let tickets: Vec<_> = w
+            .jobs
+            .iter()
+            .map(|(hash, prov)| batcher.submit(hash.clone(), prov.clone()))
+            .collect();
+        drop(batcher); // joins the collector; all queued jobs must answer
+        for ticket in tickets {
+            assert!(ticket.wait().expect("drained on drop").verified());
+        }
+    }
+}

@@ -52,6 +52,7 @@
 
 pub mod atomic;
 pub mod attack;
+pub mod batch;
 pub mod chain;
 pub mod checkpoint;
 pub mod error;
@@ -69,6 +70,7 @@ pub mod tracker;
 pub mod verify;
 
 pub use atomic::AtomicLedger;
+pub use batch::{BatcherConfig, VerifyBatcher, VerifyTicket};
 pub use checkpoint::TrustAnchor;
 pub use error::CoreError;
 pub use export::to_opm_json;

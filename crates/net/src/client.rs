@@ -42,7 +42,7 @@ use tep_core::streaming::{DepthStreamHasher, StreamError};
 use tep_core::verify::{
     EvidenceCounters, EvidenceKind, StreamingVerifier, TamperEvidence, Verification,
 };
-use tep_core::ProvenanceRecord;
+use tep_core::{ProvenanceObject, ProvenanceRecord, VerifyBatcher};
 use tep_crypto::digest::HashAlgorithm;
 use tep_crypto::pki::KeyDirectory;
 use tep_model::ObjectId;
@@ -328,6 +328,34 @@ impl Client {
         })
     }
 
+    /// Fetches `oid` and hands verification to a cross-connection
+    /// [`VerifyBatcher`] instead of checking records inline: the records
+    /// are collected, the object hash is recomputed from the delivered
+    /// data, and the `(hash, provenance)` pair is submitted to `batcher`,
+    /// blocking only on this transfer's own [ticket]. Many client threads
+    /// sharing one batcher amortize signature checks into micro-batches —
+    /// the throughput path the `net_scale` benchmark measures.
+    ///
+    /// Trade-off versus [`fetch_verified`](Self::fetch_verified):
+    /// tampering is still always detected (same verifier, same verdicts),
+    /// but only *after* the whole object has arrived, with no per-frame
+    /// attribution and no checkpoint/RESUME — a retryable failure
+    /// refetches from record zero.
+    ///
+    /// [ticket]: tep_core::VerifyTicket
+    pub fn fetch_batched(
+        &mut self,
+        oid: ObjectId,
+        batcher: &VerifyBatcher,
+    ) -> Result<Verification, NetError> {
+        let cfg = self.cfg;
+        let counters = Arc::clone(&self.counters);
+        let registry = self.registry.clone();
+        self.with_retry(move |conn| {
+            fetch_batched_on(conn, oid, cfg, &counters, batcher, registry.as_ref())
+        })
+    }
+
     /// Runs `op` on a fresh connection, retrying transient failures with
     /// decorrelated jitter until the attempt cap or the wall-clock deadline
     /// is hit — whichever comes first. A server `Retry-After` hint floors
@@ -385,6 +413,7 @@ impl Client {
         let stream = TcpStream::connect(self.addr)?;
         stream.set_read_timeout(Some(self.cfg.read_timeout))?;
         stream.set_nodelay(true)?;
+        let control = stream.try_clone().map_err(WireError::Io)?;
         let mut reader = FrameReader::new(
             stream.try_clone().map_err(WireError::Io)?,
             Arc::clone(&self.counters),
@@ -425,6 +454,7 @@ impl Client {
             reader,
             writer,
             offer,
+            stream: control,
         })
     }
 }
@@ -434,6 +464,22 @@ struct Connection {
     reader: FrameReader<TcpStream>,
     writer: FrameWriter<TcpStream>,
     offer: Option<Vec<OfferEntry>>,
+    /// A control handle on the same socket as `reader`/`writer`, kept so
+    /// the fetch path can rescale the read timeout once the OFFER reveals
+    /// how large the transfer will be (`set_read_timeout` acts on the
+    /// shared fd, so the reader's clone sees the new value).
+    stream: TcpStream,
+}
+
+impl Connection {
+    /// Chain length the server's OFFER claims for `oid`, if offered.
+    fn offered_records(&self, oid: ObjectId) -> Option<u64> {
+        self.offer
+            .as_ref()?
+            .iter()
+            .find(|e| e.oid == oid)
+            .map(|e| e.records)
+    }
 }
 
 /// Resume state carried across the attempts of one `fetch_verified` call.
@@ -444,6 +490,29 @@ struct FetchSession {
     checkpoint: Option<(Vec<u8>, u64)>,
     /// Attempts that successfully resumed a previous attempt.
     resumed: u32,
+}
+
+/// Per-read socket timeout for a transfer the OFFER says carries
+/// `records` provenance records: the configured base plus 2ms of slack
+/// per record, saturating at 10 000 records' worth (+20s).
+///
+/// The base timeout is sized to catch a *stalled* peer quickly. But on a
+/// loaded event-loop server the gap between two frames of one stream
+/// grows with how much other work the loop interleaves, and long streams
+/// hit the write high-watermark (where the server deliberately pauses the
+/// job) far more often than short ones — so a flat per-read timeout that
+/// is right for a 10-record object spuriously kills a 10 000-record one
+/// under fan-in. Scaling by offered size keeps big transfers alive under
+/// load while small ones still fail fast, and the slope is shallow enough
+/// that a genuinely wedged stream is detected well inside any realistic
+/// stall-injection window (e.g. 350ms base + 12 records = 374ms, still
+/// far under a 600ms stall).
+pub fn scaled_read_timeout(base: Duration, records: u64) -> Duration {
+    const PER_RECORD_MS: u64 = 2;
+    const RECORD_CAP: u64 = 10_000;
+    base.saturating_add(Duration::from_millis(
+        records.min(RECORD_CAP) * PER_RECORD_MS,
+    ))
 }
 
 /// Converts a wire ERR into [`NetError::Remote`], decoding the hint.
@@ -565,6 +634,13 @@ fn fetch_on(
     counters: &Arc<TransferCounters>,
     registry: Option<&Registry>,
 ) -> Result<FetchReport, NetError> {
+    // Rescale the socket timeout to the transfer's offered size before any
+    // stream frames are read. Connections are per-attempt, so the base
+    // timeout never needs restoring.
+    if let Some(records) = conn.offered_records(oid) {
+        conn.stream
+            .set_read_timeout(Some(scaled_read_timeout(cfg.read_timeout, records)))?;
+    }
     let (mut verifier, start_records) =
         open_transfer(conn, oid, keys, cfg, session, counters, registry)?;
     let mut hasher = DepthStreamHasher::new(cfg.alg);
@@ -670,6 +746,100 @@ fn fetch_on(
     Err(failure)
 }
 
+/// One batched-verify attempt: stream the object, recompute the object
+/// hash, submit `(hash, provenance)` to the batcher, and relay its
+/// verdict. Unlike [`fetch_on`] there is no per-frame verification and no
+/// checkpointing — the verifier runs once, inside the batcher's collector.
+fn fetch_batched_on(
+    conn: &mut Connection,
+    oid: ObjectId,
+    cfg: ClientConfig,
+    counters: &Arc<TransferCounters>,
+    batcher: &VerifyBatcher,
+    registry: Option<&Registry>,
+) -> Result<Verification, NetError> {
+    if let Some(records) = conn.offered_records(oid) {
+        conn.stream
+            .set_read_timeout(Some(scaled_read_timeout(cfg.read_timeout, records)))?;
+    }
+    conn.writer.write_message(&Message::Fetch { oid })?;
+    let mut records: Vec<ProvenanceRecord> = Vec::new();
+    let mut hasher = DepthStreamHasher::new(cfg.alg);
+    let mut seen_data = false;
+    loop {
+        let frame = conn.reader.frames();
+        let msg = match conn.reader.read_message() {
+            Ok(Some(m)) => m,
+            Ok(None) => return Err(NetError::Interrupted),
+            Err(e) => return Err(NetError::Wire(e)),
+        };
+        match msg {
+            Message::Prov { record } => {
+                if seen_data {
+                    return Err(NetError::Protocol("PROV after DATA"));
+                }
+                records.push(
+                    ProvenanceRecord::from_stored(&record)
+                        .map_err(|e| NetError::Wire(WireError::Decode(e)))?,
+                );
+            }
+            Message::Data { entries } => {
+                seen_data = true;
+                for e in &entries {
+                    if let Err(error) = hasher.push(e.depth as usize, e.id, &e.value) {
+                        counters.verify_failure();
+                        record_malformed_stream(registry);
+                        return Err(NetError::MalformedStream { frame, error });
+                    }
+                }
+            }
+            Message::Done {
+                records: sent_records,
+                nodes: sent_nodes,
+            } => {
+                let nodes = hasher.node_count();
+                let (object_hash, _) = match hasher.finish() {
+                    Ok(h) => h,
+                    Err(error) => {
+                        counters.verify_failure();
+                        record_malformed_stream(registry);
+                        return Err(NetError::MalformedStream { frame, error });
+                    }
+                };
+                if sent_records != records.len() as u64 || sent_nodes != nodes {
+                    return Err(NetError::Protocol("DONE totals disagree with transfer"));
+                }
+                // The verifier expects collect()-order: (object, seqID).
+                records.sort_by_key(|r| (r.output_oid, r.seq_id));
+                let ticket = batcher.submit(
+                    object_hash,
+                    ProvenanceObject {
+                        target: oid,
+                        records,
+                    },
+                );
+                let verification = ticket
+                    .wait()
+                    .ok_or(NetError::Protocol("verify batcher shut down"))?;
+                if !verification.verified() {
+                    counters.verify_failure();
+                    return Err(NetError::TamperDetected {
+                        frame: None,
+                        issues: verification.issues,
+                    });
+                }
+                return Ok(verification);
+            }
+            Message::Error {
+                code,
+                retry_after_ms,
+                detail,
+            } => return Err(remote_error(code, retry_after_ms, detail)),
+            _ => return Err(NetError::Protocol("unexpected message during transfer")),
+        }
+    }
+}
+
 /// Counts a structurally malformed DATA stream under the unified evidence
 /// schema (`tep_core_evidence_malformed_stream_total`) — the one detection
 /// surface with no [`TamperEvidence`] variant of its own.
@@ -689,6 +859,35 @@ mod tests {
             ..ClientConfig::new(HashAlgorithm::Sha256)
         };
         Client::new("127.0.0.1:9".parse().unwrap(), cfg)
+    }
+
+    /// The timeout-scaling slope is pinned: base + 2ms per offered record.
+    /// The chaos harness relies on the small-object end staying far below
+    /// its stall-injection window (350ms base + 12 records = 374ms < 600ms).
+    #[test]
+    fn read_timeout_scales_linearly_with_offered_records() {
+        let base = Duration::from_millis(350);
+        assert_eq!(scaled_read_timeout(base, 0), base);
+        assert_eq!(scaled_read_timeout(base, 12), Duration::from_millis(374));
+        assert_eq!(
+            scaled_read_timeout(Duration::from_secs(5), 162),
+            Duration::from_millis(5324)
+        );
+    }
+
+    /// An absurd OFFER (or a hostile one) cannot push the timeout past
+    /// base + 20s: the record term saturates at 10 000.
+    #[test]
+    fn read_timeout_scaling_saturates_at_the_record_cap() {
+        let base = Duration::from_millis(350);
+        assert_eq!(
+            scaled_read_timeout(base, u64::MAX),
+            base + Duration::from_secs(20)
+        );
+        assert_eq!(
+            scaled_read_timeout(base, 10_000),
+            scaled_read_timeout(base, 1_000_000)
+        );
     }
 
     /// The decorrelated-jitter sequence for the default seed and policy is

@@ -10,9 +10,11 @@
 //!   reuses the storage layer's CRC framing and the model's canonical value
 //!   encoding, hardened against hostile input (allocation caps, strict
 //!   decoding).
-//! * [`server`] — a std-only multithreaded TCP server (bounded accept
-//!   queue, worker pool, socket timeouts, graceful shutdown) serving
-//!   objects out of a [`tep_storage::ProvenanceDb`] + data forest.
+//! * [`server`] — a std-only readiness-driven event-loop server
+//!   (nonblocking sockets multiplexed over raw `poll(2)` via [`sys`],
+//!   per-connection state machine, vectored writes, bounded concurrency,
+//!   graceful shutdown) serving objects out of a
+//!   [`tep_storage::ProvenanceDb`] + data forest.
 //! * [`client`] — a retrying client (decorrelated-jitter backoff) that
 //!   performs **streaming verify-on-receive**: every provenance record is
 //!   checked the moment its frame arrives, the object hash is recomputed
@@ -36,15 +38,19 @@
 //! [`tep_core::metrics::TransferCounters`].
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide; the single exception is the `sys` module,
+// which wraps the raw `poll(2)` syscall behind a safe API and opts in with
+// a scoped `#![allow(unsafe_code)]` + SAFETY comment.
+#![deny(unsafe_code)]
 
 pub mod client;
 pub mod fault;
 pub mod proxy;
 pub mod server;
+pub mod sys;
 pub mod wire;
 
-pub use client::{Client, ClientConfig, FetchReport, NetError, RetryPolicy};
+pub use client::{scaled_read_timeout, Client, ClientConfig, FetchReport, NetError, RetryPolicy};
 pub use fault::{FaultKind, FaultListener, FaultPlan, FaultStream, StreamFault, StreamFaultPlan};
 pub use proxy::{ProxyAction, TamperProxy};
 pub use server::{serve, serve_with_registry, Catalog, ServerConfig, ServerHandle};

@@ -1,18 +1,27 @@
-//! Multithreaded TCP server for provenance exchange.
+//! Readiness-driven event-loop TCP server for provenance exchange.
 //!
-//! std-only: a nonblocking accept loop feeds a **bounded** hand-off queue
-//! (overflow connections are refused with `ERR busy` instead of queueing
-//! unboundedly), a fixed pool of worker threads drains it, and every
-//! connection socket carries read/write timeouts so a stalled peer cannot
-//! pin a worker forever. [`ServerHandle::shutdown`] stops the accept loop,
-//! wakes the workers, and joins every thread.
+//! std-only: a single thread multiplexes the listener and every live
+//! connection over raw `poll(2)` (see [`crate::sys`] — no mio/tokio).
+//! Each connection is a nonblocking socket owned by a [`Conn`] state
+//! machine (`Handshake → Ready → Streaming → Draining`) with its own read
+//! and write buffers; outbound frames are scatter-gathered onto the socket
+//! with vectored writes (pending backlog + freshly encoded frame in one
+//! syscall) so the hot path never copies a frame into the backlog buffer
+//! unless the socket is actually full.
 //!
-//! Graceful degradation under load: connections arriving while the queue
-//! is at the shed watermark are refused with `ERR busy` *plus* a
-//! `Retry-After` hint scaled to the backlog, every connection is bounded by
-//! a wall-clock deadline (`ERR deadline` + close, resumable), and a peer
-//! that vanishes mid-transfer is counted in `tep_net_write_aborts_total`
-//! rather than folded into generic i/o noise.
+//! Graceful degradation under load is unchanged from the worker-pool
+//! predecessor: connections arriving while the server already owns
+//! `min(shed_watermark, queue_depth)` active connections are refused with
+//! `ERR busy` *plus* a `Retry-After` hint scaled to the backlog, every
+//! connection is bounded by a wall-clock deadline (`ERR deadline` + close,
+//! resumable), and a peer that vanishes mid-transfer is counted in
+//! `tep_net_write_aborts_total` rather than folded into generic i/o noise.
+//!
+//! Fairness: per readiness wakeup each connection ingests a bounded number
+//! of bytes and each streaming job queues frames only until its write
+//! buffer reaches a high watermark — a slow-reading peer parks its
+//! connection on `POLLOUT` instead of starving the loop, and a fast one
+//! cannot monopolize a wakeup.
 //!
 //! Per connection the server speaks the `wire` protocol:
 //!
@@ -34,13 +43,13 @@
 //! the stream only if the prefix is byte-identical — otherwise
 //! `ERR resume-mismatch` (see `tep_core::streaming::RecordStreamDigest`).
 
-use std::collections::VecDeque;
-use std::io;
+use std::io::{self, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
-use std::thread::{self, JoinHandle};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use tep_core::metrics::{TransferCounters, TransferSnapshot};
@@ -48,12 +57,14 @@ use tep_core::provenance::{collect, ProvenanceObject};
 use tep_core::streaming::RecordStreamDigest;
 use tep_crypto::digest::HashAlgorithm;
 use tep_model::{Forest, ObjectId};
-use tep_obs::{names, Counter, Registry};
+use tep_obs::{names, Counter, Gauge, Histogram, Registry};
+use tep_storage::crc::frame_crc;
 use tep_storage::ProvenanceDb;
 
+use crate::sys;
 use crate::wire::{
-    DataEntry, ErrorCode, FrameReader, FrameWriter, Message, OfferEntry, WireError,
-    DATA_CHUNK_BYTES, WIRE_VERSION,
+    decode_message, frame_message_into, DataEntry, ErrorCode, Message, OfferEntry, WireError,
+    DATA_CHUNK_BYTES, MAX_FRAME, WIRE_VERSION,
 };
 
 /// What a server serves: a snapshot of the data forest, the provenance
@@ -133,25 +144,31 @@ impl Catalog {
 /// Server tuning knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct ServerConfig {
-    /// Worker threads handling connections.
+    /// Retained for configuration compatibility with the worker-pool
+    /// server this event loop replaced. The loop is single-threaded (one
+    /// thread multiplexes every connection), so the value is ignored.
     pub workers: usize,
-    /// Maximum connections waiting for a worker; beyond this, new
-    /// connections are refused with `ERR busy`.
+    /// Maximum connections the event loop serves concurrently; beyond
+    /// this, new connections are refused with `ERR busy`.
     pub queue_depth: usize,
-    /// Per-connection socket read timeout.
+    /// How long a connection may sit idle (no request bytes arriving)
+    /// before it is closed.
     pub read_timeout: Duration,
-    /// Per-connection socket write timeout.
+    /// How long an outbound backlog may make zero progress (peer not
+    /// reading) before the connection is closed.
     pub write_timeout: Duration,
-    /// Load-shedding watermark: connections arriving while the queue holds
-    /// this many (or more) waiting sockets are refused with `ERR busy` and
-    /// a `Retry-After` hint, *before* the hard `queue_depth` cap is hit.
-    /// Defaults to `usize::MAX`, i.e. shed only at the hard cap; the
-    /// effective threshold is always `min(shed_watermark, queue_depth)`.
+    /// Load-shedding watermark: connections arriving while the server
+    /// already owns this many (or more) active connections are refused
+    /// with `ERR busy` and a `Retry-After` hint, *before* the hard
+    /// `queue_depth` cap is hit. Defaults to `usize::MAX`, i.e. shed only
+    /// at the hard cap; the effective threshold is always
+    /// `min(shed_watermark, queue_depth)`.
     pub shed_watermark: usize,
     /// Wall-clock budget for one connection, covering every request served
     /// on it. Exceeding it mid-stream sends `ERR deadline` and closes —
     /// the client can reconnect and RESUME — so a slow-reading peer holds
-    /// a worker for a bounded time no matter how many frames remain.
+    /// a connection slot for a bounded time no matter how many frames
+    /// remain.
     pub connection_deadline: Duration,
 }
 
@@ -169,7 +186,7 @@ impl Default for ServerConfig {
 }
 
 impl ServerConfig {
-    /// The queue length at which new connections are refused.
+    /// The active-connection count at which new connections are refused.
     fn effective_watermark(&self) -> usize {
         self.shed_watermark.min(self.queue_depth)
     }
@@ -184,22 +201,48 @@ fn shed_retry_after_ms(backlog: usize) -> u64 {
         .min(1_000)
 }
 
-/// How often the accept loop re-checks the shutdown flag.
-const ACCEPT_POLL: Duration = Duration::from_millis(2);
+/// The poll timeout: bounds how stale the loop's view of the shutdown
+/// flag, connection deadlines, and idle timers can get.
+const POLL_TICK: Duration = Duration::from_millis(10);
+
+/// Bytes read into a connection's buffer per `read` call.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// `read` calls per connection per wakeup — bounds how much one chatty
+/// peer can ingest before the loop moves on (fairness).
+const READ_ROUND_LIMIT: usize = 4;
+
+/// A streaming job stops queueing frames once this much outbound data is
+/// pending; it resumes when `POLLOUT` drains the backlog. Bounds per-
+/// connection memory against a slow reader and bounds the work one
+/// connection does per wakeup (fairness).
+const WBUF_HIGH: usize = 256 * 1024;
+
+/// Accepted connections per wakeup — bounds accept work so a connect
+/// storm cannot starve established connections.
+const ACCEPT_BURST: usize = 128;
+
+/// Backlog offset at which a partially-drained write buffer is compacted
+/// (consumed prefix memmoved away) instead of growing forever.
+const WBUF_COMPACT: usize = 32 * 1024;
+
+/// On shutdown, connections get at most this long (and never more than
+/// `write_timeout`) to flush queued frames before being force-closed.
+const SHUTDOWN_GRACE_CAP: Duration = Duration::from_millis(500);
 
 /// Locks `m`, recovering from poison. A thread that panicked while
-/// holding the queue lock must not wedge the accept loop or starve the
-/// remaining workers — the queue's invariants (a list of pending sockets)
-/// hold at every await point, so the contents are safe to reuse.
+/// holding a server lock must not wedge shutdown — the protected data's
+/// invariants (a list of joinable threads) hold at every await point, so
+/// the contents are safe to reuse.
 fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// Runs one worker iteration with panic isolation: a panicking connection
-/// handler is counted in [`TransferCounters::worker_panics`] and the
-/// worker lives on to serve the next connection. Per-connection state is
-/// owned by the closure and dropped on unwind, so no broken invariants
-/// escape (hence `AssertUnwindSafe`).
+/// Runs one dispatch with panic isolation: a panicking connection handler
+/// is counted in [`TransferCounters::worker_panics`] and the event loop
+/// lives on to serve every other connection. Per-connection state is
+/// owned by the closure and the connection is closed afterwards, so no
+/// broken invariants escape (hence `AssertUnwindSafe`).
 fn run_isolated(counters: &TransferCounters, f: impl FnOnce()) {
     if panic::catch_unwind(AssertUnwindSafe(f)).is_err() {
         counters.worker_panic();
@@ -207,8 +250,6 @@ fn run_isolated(counters: &TransferCounters, f: impl FnOnce()) {
 }
 
 struct Shared {
-    queue: Mutex<VecDeque<TcpStream>>,
-    available: Condvar,
     shutdown: AtomicBool,
 }
 
@@ -241,17 +282,885 @@ impl ServerObs {
             write_aborts: registry.counter(names::NET_WRITE_ABORTS),
         }
     }
+}
 
-    /// A transfer write that failed because the peer is gone. Counted
-    /// separately from shed/panic so `render_text` can tell them apart.
-    fn send<W: io::Write>(
-        &self,
-        writer: &mut FrameWriter<W>,
-        msg: &Message,
-    ) -> Result<(), WireError> {
-        writer
-            .write_message(msg)
-            .inspect_err(|_| self.write_aborts.inc())
+/// Event-loop instrumentation: wakeup counter, connection-state gauges,
+/// and the request-frame turnaround histogram.
+#[derive(Clone)]
+struct LoopObs {
+    wakeups: Counter,
+    open: Gauge,
+    handshake: Gauge,
+    ready: Gauge,
+    streaming: Gauge,
+    draining: Gauge,
+    turnaround: Histogram,
+}
+
+impl LoopObs {
+    fn new(registry: &Registry) -> Self {
+        LoopObs {
+            wakeups: registry.counter(names::NET_EPOLL_WAKEUPS),
+            open: registry.gauge(names::NET_OPEN_CONNECTIONS),
+            handshake: registry.gauge(names::NET_CONNS_HANDSHAKE),
+            ready: registry.gauge(names::NET_CONNS_READY),
+            streaming: registry.gauge(names::NET_CONNS_STREAMING),
+            draining: registry.gauge(names::NET_CONNS_DRAINING),
+            turnaround: registry.latency_histogram(names::NET_FRAME_TURNAROUND),
+        }
+    }
+}
+
+/// Everything a connection's dispatch path needs, bundled so the event
+/// loop can hand out `&Env` alongside a `&mut Conn` (disjoint fields).
+struct Env {
+    catalog: Arc<Catalog>,
+    counters: Arc<TransferCounters>,
+    obs: ServerObs,
+    loop_obs: LoopObs,
+    registry: Registry,
+}
+
+/// Connection state-machine phases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ConnState {
+    /// Accepted; waiting for the client's HELLO.
+    Handshake,
+    /// Handshake done; waiting for FETCH/RESUME/STATS.
+    Ready,
+    /// A transfer job is emitting PROV/DATA/DONE frames.
+    Streaming,
+    /// A terminal reply is queued; close once it flushes.
+    Draining,
+}
+
+/// An in-flight transfer: the collected provenance, the data subtree, and
+/// cursors marking how much of each has been queued. DONE totals always
+/// cover the *whole* object (a RESUME skips sending the verified prefix
+/// but the totals the client checks are unchanged).
+struct StreamJob {
+    prov: ProvenanceObject,
+    data: Vec<DataEntry>,
+    next_record: usize,
+    data_pos: usize,
+    done_queued: bool,
+}
+
+/// The next frame a streaming job wants queued (computed under a short
+/// borrow of the job, queued after the borrow ends).
+enum StreamStep {
+    Prov(Box<Message>),
+    Data(Vec<DataEntry>),
+    Done { records: u64, nodes: u64 },
+    Finished,
+}
+
+/// What a round of reads produced.
+enum FillOutcome {
+    /// Bytes arrived (or the socket simply had nothing more).
+    Open,
+    /// The peer closed its write side cleanly.
+    Eof,
+    /// The socket errored.
+    Error,
+}
+
+/// One connection owned by the event loop: nonblocking stream, state
+/// machine phase, and read/write buffers. Generic over the stream so the
+/// state machine is unit-testable against scripted fakes; the event loop
+/// itself uses `Conn<TcpStream>`.
+struct Conn<S> {
+    stream: S,
+    state: ConnState,
+    /// Refused at accept time (`ERR busy` queued); excluded from the
+    /// backlog count that scales other clients' `Retry-After` hints.
+    refused: bool,
+    closed: bool,
+    /// An abortable reply (PROV/DATA/DONE/ResumeOk/retryable ERR) has
+    /// bytes not yet handed to the kernel; losing the connection now is a
+    /// *write abort*, not a clean close.
+    abort_owed: bool,
+    rbuf: Vec<u8>,
+    rpos: usize,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Frame-encode scratch, reused across frames (no per-frame allocs).
+    scratch: Vec<u8>,
+    job: Option<StreamJob>,
+    /// `None` only for deadlines so large the Instant would overflow —
+    /// which means "effectively unbounded" anyway.
+    deadline: Option<Instant>,
+    read_activity: Instant,
+    write_activity: Instant,
+}
+
+impl<S: Read + Write> Conn<S> {
+    fn new(stream: S, deadline: Option<Instant>, now: Instant) -> Self {
+        Conn {
+            stream,
+            state: ConnState::Handshake,
+            refused: false,
+            closed: false,
+            abort_owed: false,
+            rbuf: Vec::new(),
+            rpos: 0,
+            wbuf: Vec::new(),
+            wpos: 0,
+            scratch: Vec::new(),
+            job: None,
+            deadline,
+            read_activity: now,
+            write_activity: now,
+        }
+    }
+
+    fn pending_write(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+
+    /// Frames are only parsed before and between requests — never while a
+    /// reply is streaming or draining (pipelined requests wait in `rbuf`).
+    fn wants_read(&self) -> bool {
+        !self.closed && matches!(self.state, ConnState::Handshake | ConnState::Ready)
+    }
+
+    fn wanted_events(&self) -> i16 {
+        let mut ev = 0;
+        if self.wants_read() {
+            ev |= sys::POLLIN;
+        }
+        if self.pending_write() > 0 {
+            ev |= sys::POLLOUT;
+        }
+        ev
+    }
+
+    fn close_now(&mut self) {
+        self.closed = true;
+    }
+
+    /// Closes a connection that still owed abortable reply bytes: the
+    /// peer vanished (or stalled past its budget) mid-transfer.
+    fn close_aborting(&mut self, obs: &ServerObs) {
+        if self.abort_owed {
+            self.abort_owed = false;
+            obs.write_aborts.inc();
+        }
+        self.closed = true;
+    }
+
+    /// Terminal reply queued: close as soon as the backlog flushes.
+    fn drain_then_close(&mut self) {
+        self.job = None;
+        if self.pending_write() == 0 {
+            self.closed = true;
+        } else {
+            self.state = ConnState::Draining;
+        }
+    }
+
+    fn compact_wbuf(&mut self) {
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        } else if self.wpos >= WBUF_COMPACT {
+            self.wbuf.drain(..self.wpos);
+            self.wpos = 0;
+        }
+    }
+
+    /// Encodes `msg` into the scratch buffer and pushes it toward the
+    /// socket: pending backlog and fresh frame go out in one vectored
+    /// write (scatter-gather — the frame is only *copied* into the
+    /// backlog if the socket cannot take it right now).
+    fn queue_frame(&mut self, msg: &Message, abortable: bool, env: &Env, now: Instant) {
+        if self.closed {
+            return;
+        }
+        frame_message_into(msg, &mut self.scratch);
+        env.counters.frame_sent(self.scratch.len() as u64);
+        if abortable {
+            self.abort_owed = true;
+        }
+        let mut sent = 0usize;
+        loop {
+            let pending = &self.wbuf[self.wpos..];
+            let fresh = &self.scratch[sent..];
+            if pending.is_empty() && fresh.is_empty() {
+                break;
+            }
+            let slices = [IoSlice::new(pending), IoSlice::new(fresh)];
+            match self.stream.write_vectored(&slices) {
+                Ok(0) => break,
+                Ok(n) => {
+                    self.write_activity = now;
+                    let from_pending = n.min(pending.len());
+                    self.wpos += from_pending;
+                    sent += n - from_pending;
+                    if self.wpos == self.wbuf.len() {
+                        self.wbuf.clear();
+                        self.wpos = 0;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_aborting(&env.obs);
+                    return;
+                }
+            }
+        }
+        if sent == self.scratch.len() && self.pending_write() == 0 {
+            // Fully on the wire: nothing is owed.
+            self.abort_owed = false;
+        } else {
+            self.compact_wbuf();
+            let rest_start = sent;
+            // Split borrow: scratch is a different field than wbuf.
+            let (wbuf, scratch) = (&mut self.wbuf, &self.scratch);
+            wbuf.extend_from_slice(&scratch[rest_start..]);
+        }
+    }
+
+    /// Drains the write backlog as far as the socket allows.
+    fn flush(&mut self, obs: &ServerObs, now: Instant) {
+        while !self.closed && self.pending_write() > 0 {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => break,
+                Ok(n) => {
+                    self.wpos += n;
+                    self.write_activity = now;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_aborting(obs);
+                    return;
+                }
+            }
+        }
+        if self.pending_write() == 0 {
+            self.wbuf.clear();
+            self.wpos = 0;
+            self.abort_owed = false;
+            if self.state == ConnState::Draining {
+                self.closed = true;
+            }
+        } else {
+            self.compact_wbuf();
+        }
+    }
+
+    /// Reads a bounded amount into `rbuf` (nonblocking).
+    fn fill(&mut self, now: Instant) -> FillOutcome {
+        let mut tmp = [0u8; READ_CHUNK];
+        let mut rounds = 0;
+        while rounds < READ_ROUND_LIMIT {
+            match self.stream.read(&mut tmp) {
+                Ok(0) => return FillOutcome::Eof,
+                Ok(n) => {
+                    self.rbuf.extend_from_slice(&tmp[..n]);
+                    self.read_activity = now;
+                    rounds += 1;
+                    if n < tmp.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return FillOutcome::Error,
+            }
+        }
+        FillOutcome::Open
+    }
+
+    fn compact_rbuf(&mut self) {
+        if self.rpos == self.rbuf.len() {
+            self.rbuf.clear();
+            self.rpos = 0;
+        } else if self.rpos > 0 {
+            self.rbuf.drain(..self.rpos);
+            self.rpos = 0;
+        }
+    }
+
+    /// Tries to parse one complete frame out of `rbuf`. `Ok(None)` means
+    /// "need more bytes"; errors (oversized, bad CRC, malformed body)
+    /// close the connection — same as the blocking reader treating the
+    /// stream as poisoned.
+    fn try_parse(&mut self, counters: &TransferCounters) -> Result<Option<Message>, WireError> {
+        let avail = self.rbuf.len() - self.rpos;
+        if avail < 8 {
+            self.compact_rbuf();
+            return Ok(None);
+        }
+        let header = &self.rbuf[self.rpos..self.rpos + 8];
+        let len = u32::from_be_bytes(header[0..4].try_into().expect("4 bytes"));
+        let crc = u32::from_be_bytes(header[4..8].try_into().expect("4 bytes"));
+        if len as usize > MAX_FRAME {
+            return Err(WireError::Oversized { len });
+        }
+        if avail < 8 + len as usize {
+            self.compact_rbuf();
+            return Ok(None);
+        }
+        let payload = &self.rbuf[self.rpos + 8..self.rpos + 8 + len as usize];
+        if frame_crc(len, payload) != crc {
+            return Err(WireError::BadCrc);
+        }
+        let msg = decode_message(payload)?;
+        self.rpos += 8 + len as usize;
+        counters.frame_received(8 + len as u64);
+        if self.rpos == self.rbuf.len() {
+            self.rbuf.clear();
+            self.rpos = 0;
+        }
+        Ok(Some(msg))
+    }
+}
+
+fn past_deadline(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+/// Tells the peer its connection ran out of wall-clock budget. The error
+/// is retryable client-side (reconnect + RESUME picks up where the stream
+/// stopped), so the hint is small and flat.
+fn refuse_deadline<S: Read + Write>(conn: &mut Conn<S>, env: &Env, now: Instant) {
+    env.obs.deadline_closes.inc();
+    conn.queue_frame(
+        &Message::Error {
+            code: ErrorCode::Deadline,
+            retry_after_ms: 10,
+            detail: "connection deadline exceeded; reconnect and RESUME".into(),
+        },
+        true,
+        env,
+        now,
+    );
+    conn.drain_then_close();
+}
+
+/// Routes one parsed frame through the connection's state machine.
+fn dispatch<S: Read + Write>(conn: &mut Conn<S>, msg: Message, env: &Env, now: Instant) {
+    match conn.state {
+        ConnState::Handshake => on_hello(conn, msg, env, now),
+        ConnState::Ready => on_request(conn, msg, env, now),
+        // Frames are never parsed in these states (`wants_read` is false).
+        ConnState::Streaming | ConnState::Draining => {}
+    }
+}
+
+/// HELLO exchange: version and algorithm must match exactly.
+fn on_hello<S: Read + Write>(conn: &mut Conn<S>, msg: Message, env: &Env, now: Instant) {
+    match msg {
+        Message::Hello { version, alg } if version == WIRE_VERSION && alg == env.catalog.alg() => {
+            conn.queue_frame(
+                &Message::Hello {
+                    version: WIRE_VERSION,
+                    alg: env.catalog.alg(),
+                },
+                false,
+                env,
+                now,
+            );
+            conn.queue_frame(
+                &Message::Offer {
+                    entries: env.catalog.offer_entries(),
+                },
+                false,
+                env,
+                now,
+            );
+            conn.state = ConnState::Ready;
+        }
+        Message::Hello { version, alg } => {
+            conn.queue_frame(
+                &Message::Error {
+                    code: ErrorCode::VersionMismatch,
+                    retry_after_ms: 0,
+                    detail: format!(
+                        "server speaks v{WIRE_VERSION}/{:?}, client sent v{version}/{alg:?}",
+                        env.catalog.alg()
+                    ),
+                },
+                false,
+                env,
+                now,
+            );
+            conn.drain_then_close();
+        }
+        _ => {
+            conn.queue_frame(
+                &Message::Error {
+                    code: ErrorCode::BadRequest,
+                    retry_after_ms: 0,
+                    detail: "expected HELLO".into(),
+                },
+                false,
+                env,
+                now,
+            );
+            conn.drain_then_close();
+        }
+    }
+}
+
+/// One request frame in the `Ready` state. The connection deadline is
+/// checked here — *after* the handshake, before dispatch — so even a
+/// zero-budget connection completes HELLO/OFFER and gets a protocol-level
+/// `ERR deadline` instead of a hang.
+fn on_request<S: Read + Write>(conn: &mut Conn<S>, msg: Message, env: &Env, now: Instant) {
+    if past_deadline(conn.deadline) {
+        refuse_deadline(conn, env, now);
+        return;
+    }
+    match msg {
+        Message::Fetch { oid } => {
+            env.obs.fetches.inc();
+            if let Some(prov) = lookup(conn, oid, env, now) {
+                start_stream(conn, oid, prov, 0, env, now);
+            }
+        }
+        Message::Resume {
+            oid,
+            records,
+            digest,
+        } => {
+            env.obs.resumes.inc();
+            let Some(prov) = lookup(conn, oid, env, now) else {
+                return;
+            };
+            let total = prov.records.len() as u64;
+            if records > total {
+                conn.queue_frame(
+                    &Message::Error {
+                        code: ErrorCode::ResumeMismatch,
+                        retry_after_ms: 0,
+                        detail: format!("resume offset {records} beyond end of stream ({total})"),
+                    },
+                    true,
+                    env,
+                    now,
+                );
+                return;
+            }
+            let mut ours = RecordStreamDigest::new(env.catalog.alg, oid);
+            for record in &prov.records[..records as usize] {
+                ours.push(&record.to_stored().to_bytes());
+            }
+            if ours.current() != digest.as_slice() {
+                conn.queue_frame(
+                    &Message::Error {
+                        code: ErrorCode::ResumeMismatch,
+                        retry_after_ms: 0,
+                        detail: format!("record-stream digest disagrees at offset {records}"),
+                    },
+                    true,
+                    env,
+                    now,
+                );
+                return;
+            }
+            conn.queue_frame(
+                &Message::ResumeOk {
+                    records,
+                    digest: ours.current().to_vec(),
+                },
+                true,
+                env,
+                now,
+            );
+            start_stream(conn, oid, prov, records as usize, env, now);
+        }
+        Message::StatsRequest => {
+            env.obs.stats_requests.inc();
+            conn.queue_frame(
+                &Message::Stats {
+                    text: env.registry.render_text(),
+                },
+                false,
+                env,
+                now,
+            );
+        }
+        _ => {
+            conn.queue_frame(
+                &Message::Error {
+                    code: ErrorCode::BadRequest,
+                    retry_after_ms: 0,
+                    detail: "expected FETCH or RESUME".into(),
+                },
+                false,
+                env,
+                now,
+            );
+            conn.drain_then_close();
+        }
+    }
+}
+
+/// Looks up `oid`'s provenance, answering `ERR unknown-object` on misses
+/// (the connection stays usable).
+fn lookup<S: Read + Write>(
+    conn: &mut Conn<S>,
+    oid: ObjectId,
+    env: &Env,
+    now: Instant,
+) -> Option<ProvenanceObject> {
+    if !env.catalog.is_offered(oid) || !env.catalog.forest.contains(oid) {
+        conn.queue_frame(
+            &Message::Error {
+                code: ErrorCode::UnknownObject,
+                retry_after_ms: 0,
+                detail: format!("object {oid} is not offered"),
+            },
+            true,
+            env,
+            now,
+        );
+        return None;
+    }
+    match collect(&env.catalog.db, oid) {
+        Ok(p) => Some(p),
+        Err(_) => {
+            conn.queue_frame(
+                &Message::Error {
+                    code: ErrorCode::UnknownObject,
+                    retry_after_ms: 0,
+                    detail: format!("object {oid} has no provenance"),
+                },
+                true,
+                env,
+                now,
+            );
+            None
+        }
+    }
+}
+
+/// Begins streaming `prov` (records from `skip` onward — records are
+/// already sorted by `(output_oid, seq_id)`, the topological order the
+/// client's streaming verifier requires) followed by the full data
+/// subtree and DONE with whole-object totals.
+fn start_stream<S: Read + Write>(
+    conn: &mut Conn<S>,
+    oid: ObjectId,
+    prov: ProvenanceObject,
+    skip: usize,
+    env: &Env,
+    now: Instant,
+) {
+    conn.job = Some(StreamJob {
+        data: env.catalog.data_entries(oid),
+        prov,
+        next_record: skip,
+        data_pos: 0,
+        done_queued: false,
+    });
+    conn.state = ConnState::Streaming;
+    pump(conn, env, now);
+}
+
+/// The next `DATA` chunk: entries greedily packed by actual encoded size
+/// so no frame exceeds the chunk target by more than one entry (identical
+/// grouping to the worker-pool server, so resumed transfers stay
+/// byte-identical).
+fn next_data_chunk(job: &mut StreamJob) -> Vec<DataEntry> {
+    let mut chunk = Vec::new();
+    let mut chunk_bytes = 0usize;
+    while job.data_pos < job.data.len() {
+        let entry = &job.data[job.data_pos];
+        let entry_bytes = 10 + tep_model::encode::value_bytes(&entry.value).len();
+        if !chunk.is_empty() && chunk_bytes + entry_bytes > DATA_CHUNK_BYTES {
+            break;
+        }
+        chunk_bytes += entry_bytes;
+        chunk.push(entry.clone());
+        job.data_pos += 1;
+    }
+    chunk
+}
+
+/// Advances a streaming job: queues PROV/DATA/DONE frames until the job
+/// finishes or the write buffer reaches its high watermark (fairness —
+/// `POLLOUT` resumes it later). The connection deadline is checked
+/// between frames; exceeding it sends `ERR deadline` and closes, which a
+/// resuming client treats as a retryable cut.
+fn pump<S: Read + Write>(conn: &mut Conn<S>, env: &Env, now: Instant) {
+    while !conn.closed && conn.state == ConnState::Streaming && conn.pending_write() < WBUF_HIGH {
+        let Some(done_queued) = conn.job.as_ref().map(|j| j.done_queued) else {
+            conn.state = ConnState::Ready;
+            return;
+        };
+        if !done_queued && past_deadline(conn.deadline) {
+            refuse_deadline(conn, env, now);
+            return;
+        }
+        let step = {
+            let job = conn.job.as_mut().expect("streaming connection owns a job");
+            if job.next_record < job.prov.records.len() {
+                let record = job.prov.records[job.next_record].to_stored();
+                job.next_record += 1;
+                StreamStep::Prov(Box::new(Message::Prov { record }))
+            } else if job.data_pos < job.data.len() {
+                StreamStep::Data(next_data_chunk(job))
+            } else if !job.done_queued {
+                job.done_queued = true;
+                StreamStep::Done {
+                    records: job.prov.records.len() as u64,
+                    nodes: job.data.len() as u64,
+                }
+            } else {
+                StreamStep::Finished
+            }
+        };
+        match step {
+            StreamStep::Prov(msg) => conn.queue_frame(&msg, true, env, now),
+            StreamStep::Data(entries) => {
+                conn.queue_frame(&Message::Data { entries }, true, env, now)
+            }
+            StreamStep::Done { records, nodes } => {
+                conn.queue_frame(&Message::Done { records, nodes }, true, env, now)
+            }
+            StreamStep::Finished => {
+                conn.job = None;
+                conn.state = ConnState::Ready;
+                return;
+            }
+        }
+    }
+}
+
+/// Fills the read buffer and parses/dispatches every complete frame
+/// buffered so far. Returns after the connection stops wanting reads
+/// (streaming, draining, closed) or the buffer runs dry; pipelined
+/// requests left in `rbuf` are picked up when the state returns to
+/// `Ready`.
+fn service_readable<S: Read + Write>(conn: &mut Conn<S>, env: &Env, now: Instant) {
+    let outcome = conn.fill(now);
+    if matches!(outcome, FillOutcome::Error) {
+        conn.close_aborting(&env.obs);
+        return;
+    }
+    drain_parsed_frames(conn, env, now);
+    if matches!(outcome, FillOutcome::Eof)
+        && !conn.closed
+        && matches!(conn.state, ConnState::Handshake | ConnState::Ready)
+    {
+        // Clean close from the peer: flush whatever is queued, then close.
+        conn.drain_then_close();
+    }
+}
+
+/// Parses and dispatches buffered frames while the connection is in a
+/// frame-accepting state.
+fn drain_parsed_frames<S: Read + Write>(conn: &mut Conn<S>, env: &Env, now: Instant) {
+    while conn.wants_read() {
+        match conn.try_parse(&env.counters) {
+            Ok(Some(msg)) => {
+                let started = Instant::now();
+                let in_ready = conn.state == ConnState::Ready;
+                let mut completed = false;
+                run_isolated(&env.counters, || {
+                    dispatch(conn, msg, env, now);
+                    completed = true;
+                });
+                if !completed {
+                    // The dispatch panicked mid-flight; its state is gone
+                    // (unwound), so the connection cannot continue.
+                    conn.close_now();
+                }
+                if in_ready {
+                    env.loop_obs.turnaround.observe_duration(started.elapsed());
+                }
+            }
+            Ok(None) => return,
+            Err(_) => {
+                // Oversized/corrupt/malformed frame: the stream is
+                // poisoned — drop it (no protocol answer is trustworthy).
+                conn.close_now();
+                return;
+            }
+        }
+    }
+}
+
+/// Per-tick timer sweep for one connection: idle requests and stalled
+/// writers are bounded even when no readiness event ever fires.
+fn check_timers<S: Read + Write>(
+    conn: &mut Conn<S>,
+    cfg: &ServerConfig,
+    obs: &ServerObs,
+    now: Instant,
+) {
+    if conn.closed {
+        return;
+    }
+    if conn.pending_write() > 0 {
+        if now.duration_since(conn.write_activity) >= cfg.write_timeout {
+            conn.close_aborting(obs);
+        }
+    } else if matches!(conn.state, ConnState::Handshake | ConnState::Ready)
+        && now.duration_since(conn.read_activity) >= cfg.read_timeout
+    {
+        conn.close_now();
+    }
+}
+
+/// The single-threaded event loop: owns the listener and every
+/// connection, multiplexed over `poll(2)`.
+struct EventLoop {
+    env: Env,
+    cfg: ServerConfig,
+    shared: Arc<Shared>,
+    conns: Vec<Conn<TcpStream>>,
+}
+
+impl EventLoop {
+    fn run(mut self, listener: TcpListener) {
+        let mut fds: Vec<sys::PollFd> = Vec::new();
+        let mut shutdown_since: Option<Instant> = None;
+        loop {
+            let now = Instant::now();
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                let since = *shutdown_since.get_or_insert(now);
+                let grace = self.cfg.write_timeout.min(SHUTDOWN_GRACE_CAP);
+                let grace_over = now.duration_since(since) >= grace;
+                for c in &mut self.conns {
+                    if (c.pending_write() == 0 && c.job.is_none()) || grace_over {
+                        c.close_aborting(&self.env.obs);
+                    }
+                }
+            }
+            self.conns.retain(|c| !c.closed);
+            if shutdown_since.is_some() && self.conns.is_empty() {
+                break;
+            }
+
+            let poll_listener = shutdown_since.is_none();
+            fds.clear();
+            if poll_listener {
+                fds.push(sys::PollFd::new(listener.as_raw_fd(), sys::POLLIN));
+            }
+            for c in &self.conns {
+                fds.push(sys::PollFd::new(c.stream.as_raw_fd(), c.wanted_events()));
+            }
+            let _ = sys::poll_fds(&mut fds, POLL_TICK);
+            self.env.loop_obs.wakeups.inc();
+
+            let base = usize::from(poll_listener);
+            let n_existing = self.conns.len();
+            if poll_listener && fds[0].readable() {
+                self.accept_burst(&listener, now);
+            }
+            // New conns were appended past `n_existing`; indices of the
+            // polled ones are unchanged.
+            for i in 0..n_existing {
+                self.handle_events(i, fds[base + i], now);
+            }
+
+            let now = Instant::now();
+            for c in &mut self.conns {
+                check_timers(c, &self.cfg, &self.env.obs, now);
+            }
+            self.publish_gauges();
+        }
+        self.conns.clear();
+        self.publish_gauges();
+    }
+
+    fn accept_burst(&mut self, listener: &TcpListener, now: Instant) {
+        for _ in 0..ACCEPT_BURST {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    self.env.obs.connections.inc();
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let deadline = Instant::now().checked_add(self.cfg.connection_deadline);
+                    let active = self.conns.iter().filter(|c| !c.refused).count();
+                    let mut conn = Conn::new(stream, deadline, now);
+                    if active >= self.cfg.effective_watermark() {
+                        // Best-effort `ERR busy` + `Retry-After` so the
+                        // refused client sees a protocol answer (and a
+                        // backoff hint scaled to the backlog) rather than
+                        // a bare RST.
+                        self.env.obs.busy_rejections.inc();
+                        self.env.obs.shed.inc();
+                        conn.refused = true;
+                        conn.queue_frame(
+                            &Message::Error {
+                                code: ErrorCode::Busy,
+                                retry_after_ms: shed_retry_after_ms(active),
+                                detail: "accept queue full".into(),
+                            },
+                            false,
+                            &self.env,
+                            now,
+                        );
+                        conn.drain_then_close();
+                    }
+                    if !conn.closed {
+                        self.conns.push(conn);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn handle_events(&mut self, i: usize, pfd: sys::PollFd, now: Instant) {
+        let conn = &mut self.conns[i];
+        if conn.closed {
+            return;
+        }
+        if pfd.error() {
+            conn.close_aborting(&self.env.obs);
+            return;
+        }
+        if pfd.writable() && conn.pending_write() > 0 {
+            conn.flush(&self.env.obs, now);
+        }
+        if !conn.closed && conn.state == ConnState::Streaming && conn.pending_write() < WBUF_HIGH {
+            let env = &self.env;
+            run_isolated(&env.counters, || pump(conn, env, now));
+        }
+        let conn = &mut self.conns[i];
+        if !conn.closed && pfd.readable() && conn.wants_read() {
+            service_readable(conn, &self.env, now);
+        }
+        let conn = &mut self.conns[i];
+        if !conn.closed && pfd.hangup() && !pfd.readable() {
+            // Peer fully closed while we were not reading (streaming or
+            // draining): any bytes still owed are lost.
+            conn.close_aborting(&self.env.obs);
+        }
+    }
+
+    /// Single-writer gauge refresh: absolute counts per state, published
+    /// once per wakeup.
+    fn publish_gauges(&self) {
+        let mut handshake = 0i64;
+        let mut ready = 0i64;
+        let mut streaming = 0i64;
+        let mut draining = 0i64;
+        for c in &self.conns {
+            match c.state {
+                ConnState::Handshake => handshake += 1,
+                ConnState::Ready => ready += 1,
+                ConnState::Streaming => streaming += 1,
+                ConnState::Draining => draining += 1,
+            }
+        }
+        let lo = &self.env.loop_obs;
+        lo.open.set(self.conns.len() as i64);
+        lo.handshake.set(handshake);
+        lo.ready.set(ready);
+        lo.streaming.set(streaming);
+        lo.draining.set(draining);
     }
 }
 
@@ -259,7 +1168,7 @@ impl ServerObs {
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    threads: Vec<JoinHandle<()>>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
     counters: Arc<TransferCounters>,
     registry: Registry,
 }
@@ -281,15 +1190,15 @@ impl ServerHandle {
         &self.registry
     }
 
-    /// Stops accepting, wakes the workers, and joins every thread.
-    pub fn shutdown(mut self) {
+    /// Stops accepting, drains in-flight connections (bounded grace), and
+    /// joins the event-loop thread.
+    pub fn shutdown(self) {
         self.stop();
     }
 
-    fn stop(&mut self) {
+    fn stop(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.available.notify_all();
-        for t in self.threads.drain(..) {
+        for t in lock_recover(&self.threads).drain(..) {
             let _ = t.join();
         }
     }
@@ -327,423 +1236,40 @@ pub fn serve_with_registry(
     listener.set_nonblocking(true)?;
 
     let shared = Arc::new(Shared {
-        queue: Mutex::new(VecDeque::new()),
-        available: Condvar::new(),
         shutdown: AtomicBool::new(false),
     });
     let counters = Arc::new(TransferCounters::observed(&registry));
-    let obs = ServerObs::new(&registry);
-    let mut threads = Vec::with_capacity(cfg.workers + 1);
-
-    {
-        let shared = Arc::clone(&shared);
-        let counters = Arc::clone(&counters);
-        let obs = obs.clone();
-        threads.push(thread::spawn(move || {
-            accept_loop(listener, shared, counters, obs, cfg)
-        }));
-    }
-    for _ in 0..cfg.workers.max(1) {
-        let shared = Arc::clone(&shared);
-        let catalog = Arc::clone(&catalog);
-        let counters = Arc::clone(&counters);
-        let obs = obs.clone();
-        let registry = registry.clone();
-        threads.push(thread::spawn(move || {
-            worker_loop(shared, catalog, counters, obs, registry, cfg)
-        }));
-    }
+    let env = Env {
+        catalog,
+        counters: Arc::clone(&counters),
+        obs: ServerObs::new(&registry),
+        loop_obs: LoopObs::new(&registry),
+        registry: registry.clone(),
+    };
+    let ev = EventLoop {
+        env,
+        cfg,
+        shared: Arc::clone(&shared),
+        conns: Vec::new(),
+    };
+    let thread = std::thread::Builder::new()
+        .name("tep-net-loop".into())
+        .spawn(move || ev.run(listener))?;
 
     Ok(ServerHandle {
         addr: local,
         shared,
-        threads,
+        threads: Mutex::new(vec![thread]),
         counters,
         registry,
     })
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    shared: Arc<Shared>,
-    counters: Arc<TransferCounters>,
-    obs: ServerObs,
-    cfg: ServerConfig,
-) {
-    while !shared.shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                obs.connections.inc();
-                let mut queue = lock_recover(&shared.queue);
-                let backlog = queue.len();
-                if backlog >= cfg.effective_watermark() {
-                    drop(queue);
-                    obs.busy_rejections.inc();
-                    obs.shed.inc();
-                    refuse_busy(stream, &counters, cfg, backlog);
-                } else {
-                    queue.push_back(stream);
-                    drop(queue);
-                    shared.available.notify_one();
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
-            Err(_) => thread::sleep(ACCEPT_POLL),
-        }
-    }
-    // Unblock any worker still waiting.
-    shared.available.notify_all();
-}
-
-/// Best-effort `ERR busy` + `Retry-After` so the refused client sees a
-/// protocol answer (and a backoff hint scaled to the backlog) rather than
-/// a bare RST.
-fn refuse_busy(
-    stream: TcpStream,
-    counters: &Arc<TransferCounters>,
-    cfg: ServerConfig,
-    backlog: usize,
-) {
-    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
-    let mut w = FrameWriter::new(stream, Arc::clone(counters));
-    let _ = w.write_message(&Message::Error {
-        code: ErrorCode::Busy,
-        retry_after_ms: shed_retry_after_ms(backlog),
-        detail: "accept queue full".into(),
-    });
-}
-
-fn worker_loop(
-    shared: Arc<Shared>,
-    catalog: Arc<Catalog>,
-    counters: Arc<TransferCounters>,
-    obs: ServerObs,
-    registry: Registry,
-    cfg: ServerConfig,
-) {
-    loop {
-        let stream = {
-            let mut queue = lock_recover(&shared.queue);
-            loop {
-                if let Some(s) = queue.pop_front() {
-                    break Some(s);
-                }
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    break None;
-                }
-                let (q, _timeout) = shared
-                    .available
-                    .wait_timeout(queue, Duration::from_millis(100))
-                    .unwrap_or_else(PoisonError::into_inner);
-                queue = q;
-            }
-        };
-        match stream {
-            Some(s) => {
-                // A single bad connection must not take the worker down —
-                // neither via an I/O error (discarded) nor via a panic
-                // (caught, counted, isolated).
-                run_isolated(&counters, || {
-                    let _ = handle_connection(s, &catalog, &counters, &obs, &registry, cfg);
-                });
-            }
-            None => return,
-        }
-    }
-}
-
-/// Whether the connection may serve another request.
-#[derive(PartialEq, Eq)]
-enum Flow {
-    Continue,
-    Close,
-}
-
-fn handle_connection(
-    stream: TcpStream,
-    catalog: &Catalog,
-    counters: &Arc<TransferCounters>,
-    obs: &ServerObs,
-    registry: &Registry,
-    cfg: ServerConfig,
-) -> Result<(), WireError> {
-    stream.set_read_timeout(Some(cfg.read_timeout))?;
-    stream.set_write_timeout(Some(cfg.write_timeout))?;
-    let mut reader = FrameReader::new(stream.try_clone()?, Arc::clone(counters));
-    let mut writer = FrameWriter::new(stream, Arc::clone(counters));
-    // `None` only for deadlines so large the Instant would overflow —
-    // which means "effectively unbounded" anyway.
-    let deadline = Instant::now().checked_add(cfg.connection_deadline);
-
-    // HELLO exchange: version and algorithm must match exactly.
-    match reader.read_message()? {
-        Some(Message::Hello { version, alg })
-            if version == WIRE_VERSION && alg == catalog.alg() =>
-        {
-            writer.write_message(&Message::Hello {
-                version: WIRE_VERSION,
-                alg: catalog.alg(),
-            })?;
-        }
-        Some(Message::Hello { version, alg }) => {
-            writer.write_message(&Message::Error {
-                code: ErrorCode::VersionMismatch,
-                retry_after_ms: 0,
-                detail: format!(
-                    "server speaks v{WIRE_VERSION}/{:?}, client sent v{version}/{alg:?}",
-                    catalog.alg()
-                ),
-            })?;
-            return Ok(());
-        }
-        _ => {
-            writer.write_message(&Message::Error {
-                code: ErrorCode::BadRequest,
-                retry_after_ms: 0,
-                detail: "expected HELLO".into(),
-            })?;
-            return Ok(());
-        }
-    }
-
-    writer.write_message(&Message::Offer {
-        entries: catalog.offer_entries(),
-    })?;
-
-    while let Some(msg) = reader.read_message()? {
-        if past_deadline(deadline) {
-            refuse_deadline(obs, &mut writer)?;
-            return Ok(());
-        }
-        let flow = match msg {
-            Message::Fetch { oid } => {
-                obs.fetches.inc();
-                serve_fetch(catalog, &mut writer, oid, deadline, obs)?
-            }
-            Message::Resume {
-                oid,
-                records,
-                digest,
-            } => {
-                obs.resumes.inc();
-                serve_resume(catalog, &mut writer, oid, records, &digest, deadline, obs)?
-            }
-            Message::StatsRequest => {
-                obs.stats_requests.inc();
-                writer.write_message(&Message::Stats {
-                    text: registry.render_text(),
-                })?;
-                Flow::Continue
-            }
-            _ => {
-                writer.write_message(&Message::Error {
-                    code: ErrorCode::BadRequest,
-                    retry_after_ms: 0,
-                    detail: "expected FETCH or RESUME".into(),
-                })?;
-                return Ok(());
-            }
-        };
-        if flow == Flow::Close {
-            return Ok(());
-        }
-    }
-    Ok(())
-}
-
-fn past_deadline(deadline: Option<Instant>) -> bool {
-    deadline.is_some_and(|d| Instant::now() >= d)
-}
-
-/// Tells the peer its connection ran out of wall-clock budget. The error
-/// is retryable client-side (reconnect + RESUME picks up where the stream
-/// stopped), so the hint is small and flat.
-fn refuse_deadline<W: io::Write>(
-    obs: &ServerObs,
-    writer: &mut FrameWriter<W>,
-) -> Result<(), WireError> {
-    obs.deadline_closes.inc();
-    obs.send(
-        writer,
-        &Message::Error {
-            code: ErrorCode::Deadline,
-            retry_after_ms: 10,
-            detail: "connection deadline exceeded; reconnect and RESUME".into(),
-        },
-    )
-}
-
-/// Looks up `oid`'s provenance, answering `ERR unknown-object` on misses.
-fn lookup<W: io::Write>(
-    catalog: &Catalog,
-    writer: &mut FrameWriter<W>,
-    oid: ObjectId,
-    obs: &ServerObs,
-) -> Result<Option<ProvenanceObject>, WireError> {
-    if !catalog.is_offered(oid) || !catalog.forest.contains(oid) {
-        obs.send(
-            writer,
-            &Message::Error {
-                code: ErrorCode::UnknownObject,
-                retry_after_ms: 0,
-                detail: format!("object {oid} is not offered"),
-            },
-        )?;
-        return Ok(None);
-    }
-    match collect(&catalog.db, oid) {
-        Ok(p) => Ok(Some(p)),
-        Err(_) => {
-            obs.send(
-                writer,
-                &Message::Error {
-                    code: ErrorCode::UnknownObject,
-                    retry_after_ms: 0,
-                    detail: format!("object {oid} has no provenance"),
-                },
-            )?;
-            Ok(None)
-        }
-    }
-}
-
-fn serve_fetch(
-    catalog: &Catalog,
-    writer: &mut FrameWriter<TcpStream>,
-    oid: ObjectId,
-    deadline: Option<Instant>,
-    obs: &ServerObs,
-) -> Result<Flow, WireError> {
-    let Some(prov) = lookup(catalog, writer, oid, obs)? else {
-        return Ok(Flow::Continue);
-    };
-    stream_object(catalog, writer, oid, &prov, 0, deadline, obs)
-}
-
-/// Serves a RESUME: honors the claimed offset only if the client's rolling
-/// digest matches the one this server recomputes over the identical prefix
-/// — byte-for-byte, in collect order. Anything else (offset beyond the
-/// end, digest mismatch, unknown object) is refused without sending a
-/// single record, so a malformed resume can never yield a partial
-/// verified result.
-fn serve_resume(
-    catalog: &Catalog,
-    writer: &mut FrameWriter<TcpStream>,
-    oid: ObjectId,
-    claimed: u64,
-    digest: &[u8],
-    deadline: Option<Instant>,
-    obs: &ServerObs,
-) -> Result<Flow, WireError> {
-    let Some(prov) = lookup(catalog, writer, oid, obs)? else {
-        return Ok(Flow::Continue);
-    };
-    let total = prov.records.len() as u64;
-    if claimed > total {
-        obs.send(
-            writer,
-            &Message::Error {
-                code: ErrorCode::ResumeMismatch,
-                retry_after_ms: 0,
-                detail: format!("resume offset {claimed} beyond end of stream ({total})"),
-            },
-        )?;
-        return Ok(Flow::Continue);
-    }
-    let mut ours = RecordStreamDigest::new(catalog.alg, oid);
-    for record in &prov.records[..claimed as usize] {
-        ours.push(&record.to_stored().to_bytes());
-    }
-    if ours.current() != digest {
-        obs.send(
-            writer,
-            &Message::Error {
-                code: ErrorCode::ResumeMismatch,
-                retry_after_ms: 0,
-                detail: format!("record-stream digest disagrees at offset {claimed}"),
-            },
-        )?;
-        return Ok(Flow::Continue);
-    }
-    obs.send(
-        writer,
-        &Message::ResumeOk {
-            records: claimed,
-            digest: ours.current().to_vec(),
-        },
-    )?;
-    stream_object(catalog, writer, oid, &prov, claimed, deadline, obs)
-}
-
-/// Streams the transfer body: PROV records from `skip` onward (records are
-/// already sorted by `(output_oid, seq_id)` — the topological order the
-/// client's streaming verifier requires), then the full data subtree
-/// chunked by encoded size, then DONE with whole-transfer totals. The
-/// connection deadline is checked between frames; exceeding it sends
-/// `ERR deadline` and closes, which a resuming client treats as a
-/// retryable cut.
-fn stream_object(
-    catalog: &Catalog,
-    writer: &mut FrameWriter<TcpStream>,
-    oid: ObjectId,
-    prov: &ProvenanceObject,
-    skip: u64,
-    deadline: Option<Instant>,
-    obs: &ServerObs,
-) -> Result<Flow, WireError> {
-    let mut records = 0u64;
-    for record in &prov.records {
-        records += 1;
-        if records <= skip {
-            continue;
-        }
-        if past_deadline(deadline) {
-            refuse_deadline(obs, writer)?;
-            return Ok(Flow::Close);
-        }
-        obs.send(
-            writer,
-            &Message::Prov {
-                record: record.to_stored(),
-            },
-        )?;
-    }
-
-    // Data subtree, chunked by actual encoded size so no frame exceeds
-    // the chunk target by more than one entry.
-    let mut nodes = 0u64;
-    let mut chunk: Vec<DataEntry> = Vec::new();
-    let mut chunk_bytes = 0usize;
-    for entry in catalog.data_entries(oid) {
-        let entry_bytes = 10 + tep_model::encode::value_bytes(&entry.value).len();
-        if !chunk.is_empty() && chunk_bytes + entry_bytes > DATA_CHUNK_BYTES {
-            if past_deadline(deadline) {
-                refuse_deadline(obs, writer)?;
-                return Ok(Flow::Close);
-            }
-            obs.send(
-                writer,
-                &Message::Data {
-                    entries: std::mem::take(&mut chunk),
-                },
-            )?;
-            chunk_bytes = 0;
-        }
-        chunk_bytes += entry_bytes;
-        nodes += 1;
-        chunk.push(entry);
-    }
-    if !chunk.is_empty() {
-        obs.send(writer, &Message::Data { entries: chunk })?;
-    }
-
-    obs.send(writer, &Message::Done { records, nodes })?;
-    Ok(Flow::Continue)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::VecDeque;
+    use std::thread;
 
     #[test]
     fn run_isolated_catches_and_counts_panics() {
@@ -776,7 +1302,7 @@ mod tests {
 
     #[test]
     fn wait_timeout_recovers_from_poison() {
-        let m = Arc::new((Mutex::new(0u32), Condvar::new()));
+        let m = Arc::new((Mutex::new(0u32), std::sync::Condvar::new()));
         let m2 = Arc::clone(&m);
         let _ = thread::spawn(move || {
             let _guard = m2.0.lock().unwrap();
@@ -807,5 +1333,546 @@ mod tests {
         assert_eq!(cfg.effective_watermark(), 4);
         cfg.queue_depth = 2;
         assert_eq!(cfg.effective_watermark(), 2);
+    }
+
+    // ── Connection state machine against scripted streams ──────────────
+    //
+    // Every state (Handshake/Ready/Streaming/Draining) crossed with the
+    // readiness events the loop can deliver (readable, writable, error,
+    // EOF) and the I/O shapes a nonblocking socket produces (short reads,
+    // short writes, WouldBlock, hard errors).
+
+    use std::io::Cursor;
+    use std::sync::OnceLock;
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tep_core::hashing::HashingStrategy;
+    use tep_core::{ProvenanceTracker, TrackerConfig};
+    use tep_crypto::pki::{CertificateAuthority, ParticipantId};
+    use tep_model::Value;
+
+    use crate::wire::FrameReader;
+
+    const ALG: HashAlgorithm = HashAlgorithm::Sha256;
+
+    /// A scripted nonblocking stream: reads pop chunks off a queue (an
+    /// empty chunk is EOF, an empty queue is WouldBlock), writes collect
+    /// into a buffer and can be capped short, blocked, or broken.
+    #[derive(Default)]
+    struct FakeStream {
+        to_read: VecDeque<Vec<u8>>,
+        written: Vec<u8>,
+        /// Max bytes accepted per write call (short writes).
+        write_cap: Option<usize>,
+        /// All writes return WouldBlock.
+        blocked: bool,
+        /// All writes return BrokenPipe.
+        broken: bool,
+    }
+
+    impl Read for FakeStream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.to_read.pop_front() {
+                None => Err(io::ErrorKind::WouldBlock.into()),
+                Some(chunk) if chunk.is_empty() => Ok(0),
+                Some(chunk) => {
+                    let n = chunk.len().min(buf.len());
+                    buf[..n].copy_from_slice(&chunk[..n]);
+                    if n < chunk.len() {
+                        self.to_read.push_front(chunk[n..].to_vec());
+                    }
+                    Ok(n)
+                }
+            }
+        }
+    }
+
+    impl Write for FakeStream {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.broken {
+                return Err(io::ErrorKind::BrokenPipe.into());
+            }
+            if self.blocked {
+                return Err(io::ErrorKind::WouldBlock.into());
+            }
+            let n = self.write_cap.map_or(buf.len(), |cap| cap.min(buf.len()));
+            self.written.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// The expensive world parts (RSA keygen), built once per process:
+    /// a catalog offering one compound object (root + one child node,
+    /// three provenance records).
+    fn shared_world() -> &'static (Arc<Catalog>, ObjectId) {
+        static WORLD: OnceLock<(Arc<Catalog>, ObjectId)> = OnceLock::new();
+        WORLD.get_or_init(|| {
+            let mut rng = StdRng::seed_from_u64(0xE7E7);
+            let ca = CertificateAuthority::new(512, ALG, &mut rng);
+            let alice = ca.enroll(ParticipantId(1), 512, &mut rng);
+            let db = Arc::new(ProvenanceDb::in_memory());
+            let mut tracker = ProvenanceTracker::new(
+                TrackerConfig {
+                    alg: ALG,
+                    strategy: HashingStrategy::Economical,
+                },
+                Arc::clone(&db),
+            );
+            let (root, _) = tracker
+                .insert(&alice, Value::Text("root".into()), None)
+                .unwrap();
+            tracker.insert(&alice, Value::Int(7), Some(root)).unwrap();
+            tracker
+                .update(&alice, root, Value::Text("root2".into()))
+                .unwrap();
+            let catalog = Arc::new(Catalog::new(tracker.forest().clone(), db, ALG, vec![root]));
+            (catalog, root)
+        })
+    }
+
+    fn test_env() -> (Env, ObjectId) {
+        let (catalog, root) = shared_world();
+        let registry = Registry::new();
+        let env = Env {
+            catalog: Arc::clone(catalog),
+            counters: Arc::new(TransferCounters::new()),
+            obs: ServerObs::new(&registry),
+            loop_obs: LoopObs::new(&registry),
+            registry: registry.clone(),
+        };
+        (env, *root)
+    }
+
+    fn frame(msg: &Message) -> Vec<u8> {
+        let mut f = Vec::new();
+        frame_message_into(msg, &mut f);
+        f
+    }
+
+    fn hello() -> Message {
+        Message::Hello {
+            version: WIRE_VERSION,
+            alg: ALG,
+        }
+    }
+
+    /// Decodes every frame the connection has written so far.
+    fn written_messages(conn: &Conn<FakeStream>) -> Vec<Message> {
+        let mut r = FrameReader::new(
+            Cursor::new(conn.stream.written.clone()),
+            Arc::new(TransferCounters::new()),
+        );
+        let mut out = Vec::new();
+        while let Some(m) = r.read_message().expect("clean reply stream") {
+            out.push(m);
+        }
+        out
+    }
+
+    /// Pumps the read path until the script runs dry or the conn closes.
+    fn drive(conn: &mut Conn<FakeStream>, env: &Env) {
+        for _ in 0..200 {
+            if conn.closed || conn.stream.to_read.is_empty() {
+                break;
+            }
+            service_readable(conn, env, Instant::now());
+        }
+        if !conn.closed {
+            service_readable(conn, env, Instant::now());
+        }
+    }
+
+    fn handshaken(env: &Env) -> Conn<FakeStream> {
+        let mut conn = Conn::new(FakeStream::default(), None, Instant::now());
+        conn.stream.to_read.push_back(frame(&hello()));
+        drive(&mut conn, env);
+        assert_eq!(conn.state, ConnState::Ready);
+        conn
+    }
+
+    #[test]
+    fn handshake_completes_across_byte_sized_reads() {
+        let (env, _) = test_env();
+        let mut conn = Conn::new(FakeStream::default(), None, Instant::now());
+        for b in frame(&hello()) {
+            conn.stream.to_read.push_back(vec![b]);
+        }
+        drive(&mut conn, &env);
+        assert_eq!(conn.state, ConnState::Ready);
+        let replies = written_messages(&conn);
+        assert!(matches!(replies[0], Message::Hello { .. }));
+        assert!(matches!(replies[1], Message::Offer { .. }));
+        assert_eq!(replies.len(), 2);
+    }
+
+    #[test]
+    fn handshake_version_mismatch_answers_and_closes() {
+        let (env, _) = test_env();
+        let mut conn = Conn::new(FakeStream::default(), None, Instant::now());
+        conn.stream.to_read.push_back(frame(&Message::Hello {
+            version: WIRE_VERSION + 1,
+            alg: ALG,
+        }));
+        drive(&mut conn, &env);
+        assert!(conn.closed);
+        let replies = written_messages(&conn);
+        assert!(matches!(
+            &replies[..],
+            [Message::Error {
+                code: ErrorCode::VersionMismatch,
+                ..
+            }]
+        ));
+    }
+
+    #[test]
+    fn handshake_non_hello_is_a_bad_request() {
+        let (env, root) = test_env();
+        let mut conn = Conn::new(FakeStream::default(), None, Instant::now());
+        conn.stream
+            .to_read
+            .push_back(frame(&Message::Fetch { oid: root }));
+        drive(&mut conn, &env);
+        assert!(conn.closed);
+        match &written_messages(&conn)[..] {
+            [Message::Error { code, detail, .. }] => {
+                assert_eq!(*code, ErrorCode::BadRequest);
+                assert_eq!(detail, "expected HELLO");
+            }
+            other => panic!("unexpected replies: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fetch_streams_prov_data_done_and_returns_to_ready() {
+        let (env, root) = test_env();
+        let mut conn = handshaken(&env);
+        conn.stream
+            .to_read
+            .push_back(frame(&Message::Fetch { oid: root }));
+        drive(&mut conn, &env);
+        assert_eq!(conn.state, ConnState::Ready);
+        assert!(conn.job.is_none());
+        assert_eq!(env.obs.fetches.value(), 1);
+        let prov = collect(&env.catalog.db, root).unwrap();
+        let replies = written_messages(&conn);
+        let provs = replies
+            .iter()
+            .filter(|m| matches!(m, Message::Prov { .. }))
+            .count();
+        assert_eq!(provs, prov.records.len());
+        match replies.last() {
+            Some(Message::Done { records, nodes }) => {
+                assert_eq!(*records, prov.records.len() as u64);
+                assert_eq!(*nodes, 2); // root + one child
+            }
+            other => panic!("expected DONE, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn short_writes_still_deliver_the_whole_stream() {
+        let (env, root) = test_env();
+        let mut conn = Conn::new(FakeStream::default(), None, Instant::now());
+        conn.stream.write_cap = Some(3);
+        conn.stream.to_read.push_back(frame(&hello()));
+        conn.stream
+            .to_read
+            .push_back(frame(&Message::Fetch { oid: root }));
+        drive(&mut conn, &env);
+        assert_eq!(conn.state, ConnState::Ready);
+        assert_eq!(conn.pending_write(), 0);
+        assert!(matches!(
+            written_messages(&conn).last(),
+            Some(Message::Done { .. })
+        ));
+    }
+
+    #[test]
+    fn blocked_socket_buffers_frames_until_writable() {
+        let (env, root) = test_env();
+        let mut conn = handshaken(&env);
+        let before = conn.stream.written.len();
+        conn.stream.blocked = true;
+        conn.stream
+            .to_read
+            .push_back(frame(&Message::Fetch { oid: root }));
+        drive(&mut conn, &env);
+        // Nothing reached the socket; the frames wait in the backlog and
+        // an abortable reply is owed.
+        assert_eq!(conn.stream.written.len(), before);
+        assert!(conn.pending_write() > 0);
+        assert!(conn.abort_owed);
+        assert!(!conn.closed);
+        // POLLOUT: the backlog drains and the stream completes.
+        conn.stream.blocked = false;
+        conn.flush(&env.obs, Instant::now());
+        assert_eq!(conn.pending_write(), 0);
+        assert!(!conn.abort_owed);
+        assert!(matches!(
+            written_messages(&conn).last(),
+            Some(Message::Done { .. })
+        ));
+    }
+
+    #[test]
+    fn streaming_pauses_at_the_write_high_watermark() {
+        let (env, root) = test_env();
+        let mut conn = handshaken(&env);
+        conn.stream.blocked = true;
+        // A synthetic job big enough to out-run the watermark.
+        let big = vec![
+            DataEntry {
+                depth: 0,
+                id: ObjectId(1),
+                value: Value::Text("x".repeat(1024)),
+            };
+            600
+        ];
+        conn.job = Some(StreamJob {
+            prov: ProvenanceObject {
+                target: root,
+                records: Vec::new(),
+            },
+            data: big,
+            next_record: 0,
+            data_pos: 0,
+            done_queued: false,
+        });
+        conn.state = ConnState::Streaming;
+        pump(&mut conn, &env, Instant::now());
+        // Paused: job unfinished, backlog parked just past the watermark.
+        assert_eq!(conn.state, ConnState::Streaming);
+        assert!(conn.job.is_some());
+        assert!(conn.pending_write() >= WBUF_HIGH);
+        assert!(conn.pending_write() < WBUF_HIGH + DATA_CHUNK_BYTES + 4096);
+        // Writable again: alternating flush/pump finishes the job.
+        conn.stream.blocked = false;
+        for _ in 0..100 {
+            conn.flush(&env.obs, Instant::now());
+            pump(&mut conn, &env, Instant::now());
+            if conn.state == ConnState::Ready && conn.pending_write() == 0 {
+                break;
+            }
+        }
+        assert_eq!(conn.state, ConnState::Ready);
+        assert!(matches!(
+            written_messages(&conn).last(),
+            Some(Message::Done { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_object_error_keeps_the_connection_usable() {
+        let (env, root) = test_env();
+        let mut conn = handshaken(&env);
+        conn.stream.to_read.push_back(frame(&Message::Fetch {
+            oid: ObjectId(0xDEAD),
+        }));
+        drive(&mut conn, &env);
+        assert_eq!(conn.state, ConnState::Ready);
+        assert!(!conn.closed);
+        assert!(written_messages(&conn).iter().any(|m| matches!(
+            m,
+            Message::Error {
+                code: ErrorCode::UnknownObject,
+                ..
+            }
+        )));
+        // The same connection still serves a real fetch.
+        conn.stream
+            .to_read
+            .push_back(frame(&Message::Fetch { oid: root }));
+        drive(&mut conn, &env);
+        assert!(matches!(
+            written_messages(&conn).last(),
+            Some(Message::Done { .. })
+        ));
+    }
+
+    #[test]
+    fn resume_at_offset_replays_only_the_tail() {
+        let (env, root) = test_env();
+        let prov = collect(&env.catalog.db, root).unwrap();
+        let total = prov.records.len();
+        assert!(total >= 2, "world must have a resumable prefix");
+        let k = 1usize;
+        let mut digest = RecordStreamDigest::new(ALG, root);
+        for r in &prov.records[..k] {
+            digest.push(&r.to_stored().to_bytes());
+        }
+        let mut conn = handshaken(&env);
+        conn.stream.to_read.push_back(frame(&Message::Resume {
+            oid: root,
+            records: k as u64,
+            digest: digest.current().to_vec(),
+        }));
+        drive(&mut conn, &env);
+        assert_eq!(conn.state, ConnState::Ready);
+        let replies: Vec<Message> = written_messages(&conn)[2..].to_vec();
+        assert!(matches!(
+            replies[0],
+            Message::ResumeOk { records, .. } if records == k as u64
+        ));
+        let provs = replies
+            .iter()
+            .filter(|m| matches!(m, Message::Prov { .. }))
+            .count();
+        assert_eq!(provs, total - k);
+        assert!(matches!(
+            replies.last(),
+            Some(Message::Done { records, .. }) if *records == total as u64
+        ));
+    }
+
+    #[test]
+    fn resume_digest_mismatch_is_refused_but_conn_survives() {
+        let (env, root) = test_env();
+        let mut conn = handshaken(&env);
+        conn.stream.to_read.push_back(frame(&Message::Resume {
+            oid: root,
+            records: 1,
+            digest: vec![0u8; 32],
+        }));
+        drive(&mut conn, &env);
+        assert_eq!(conn.state, ConnState::Ready);
+        assert!(!conn.closed);
+        assert_eq!(env.obs.resumes.value(), 1);
+        assert!(matches!(
+            written_messages(&conn).last(),
+            Some(Message::Error {
+                code: ErrorCode::ResumeMismatch,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn requests_after_deadline_get_a_retryable_deadline_error() {
+        let (env, root) = test_env();
+        // Deadline already spent — but the handshake must still complete
+        // so the client gets a protocol-level answer, not a hang.
+        let mut conn = Conn::new(FakeStream::default(), Some(Instant::now()), Instant::now());
+        conn.stream.to_read.push_back(frame(&hello()));
+        drive(&mut conn, &env);
+        assert_eq!(conn.state, ConnState::Ready);
+        conn.stream
+            .to_read
+            .push_back(frame(&Message::Fetch { oid: root }));
+        drive(&mut conn, &env);
+        assert!(conn.closed);
+        assert_eq!(env.obs.deadline_closes.value(), 1);
+        match written_messages(&conn).last() {
+            Some(Message::Error {
+                code,
+                retry_after_ms,
+                ..
+            }) => {
+                assert_eq!(*code, ErrorCode::Deadline);
+                assert_eq!(*retry_after_ms, 10);
+            }
+            other => panic!("expected ERR deadline, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_frame_closes_without_a_reply() {
+        let (env, root) = test_env();
+        let mut conn = handshaken(&env);
+        let sent_before = conn.stream.written.len();
+        let mut bad = frame(&Message::Fetch { oid: root });
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF; // CRC no longer matches
+        conn.stream.to_read.push_back(bad);
+        drive(&mut conn, &env);
+        assert!(conn.closed);
+        assert_eq!(
+            conn.stream.written.len(),
+            sent_before,
+            "a poisoned stream gets no protocol answer"
+        );
+    }
+
+    #[test]
+    fn peer_eof_flushes_queued_replies_then_closes() {
+        let (env, _) = test_env();
+        let mut conn = Conn::new(FakeStream::default(), None, Instant::now());
+        conn.stream.to_read.push_back(frame(&hello()));
+        conn.stream.to_read.push_back(Vec::new()); // EOF
+        drive(&mut conn, &env);
+        assert!(conn.closed);
+        let replies = written_messages(&conn);
+        assert_eq!(replies.len(), 2, "HELLO/OFFER still go out before close");
+    }
+
+    #[test]
+    fn write_error_mid_stream_counts_an_abort() {
+        let (env, root) = test_env();
+        let mut conn = handshaken(&env);
+        conn.stream.broken = true;
+        conn.stream
+            .to_read
+            .push_back(frame(&Message::Fetch { oid: root }));
+        drive(&mut conn, &env);
+        assert!(conn.closed);
+        assert_eq!(env.obs.write_aborts.value(), 1);
+    }
+
+    #[test]
+    fn idle_connection_times_out_silently() {
+        let (env, _) = test_env();
+        let cfg = ServerConfig::default();
+        let mut conn = handshaken(&env);
+        let sent_before = conn.stream.written.len();
+        check_timers(&mut conn, &cfg, &env.obs, Instant::now() + cfg.read_timeout);
+        assert!(conn.closed);
+        assert_eq!(conn.stream.written.len(), sent_before);
+        assert_eq!(env.obs.write_aborts.value(), 0);
+    }
+
+    #[test]
+    fn stalled_writer_times_out_and_counts_the_owed_abort() {
+        let (env, root) = test_env();
+        let cfg = ServerConfig::default();
+        let mut conn = handshaken(&env);
+        conn.stream.blocked = true;
+        conn.stream
+            .to_read
+            .push_back(frame(&Message::Fetch { oid: root }));
+        drive(&mut conn, &env);
+        assert!(conn.pending_write() > 0 && conn.abort_owed);
+        // No progress within the write budget: the peer is gone.
+        check_timers(
+            &mut conn,
+            &cfg,
+            &env.obs,
+            Instant::now() + cfg.write_timeout,
+        );
+        assert!(conn.closed);
+        assert_eq!(env.obs.write_aborts.value(), 1);
+    }
+
+    #[test]
+    fn dispatch_panic_is_isolated_to_the_connection() {
+        let (env, _) = test_env();
+        let mut conn = handshaken(&env);
+        // Mirror drain_parsed_frames' isolation contract: a panicking
+        // dispatch is counted, and the conn (whose mid-flight state is
+        // gone) is closed rather than left half-mutated.
+        let mut completed = false;
+        run_isolated(&env.counters, || {
+            conn.state = ConnState::Streaming;
+            panic!("handler exploded");
+        });
+        if !completed {
+            conn.close_now();
+        }
+        completed = true;
+        assert!(completed && conn.closed);
+        assert_eq!(env.counters.snapshot().worker_panics, 1);
     }
 }

@@ -287,6 +287,16 @@ impl From<DecodeError> for WireError {
 /// Encodes `msg` into a payload (type byte + body), without framing.
 pub fn encode_message(msg: &Message) -> Vec<u8> {
     let mut out = Vec::with_capacity(64);
+    encode_message_into(msg, &mut out);
+    out
+}
+
+/// Appends `msg`'s payload (type byte + body) to `out` without clearing
+/// it — the allocation-free twin of [`encode_message`]. Callers that frame
+/// messages reserve header space in `out` first and patch it afterwards
+/// (see [`FrameWriter::write_message`]), so a warm buffer encodes and
+/// frames with zero allocations.
+pub fn encode_message_into(msg: &Message, out: &mut Vec<u8>) {
     match msg {
         Message::Hello { version, alg } => {
             out.push(TYPE_HELLO);
@@ -309,7 +319,7 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
         }
         Message::Prov { record } => {
             out.push(TYPE_PROV);
-            out.extend_from_slice(&record.to_bytes());
+            record.encode_into(out);
         }
         Message::Data { entries } => {
             out.push(TYPE_DATA);
@@ -317,7 +327,7 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             for e in entries {
                 out.extend_from_slice(&e.depth.to_be_bytes());
                 out.extend_from_slice(&e.id.raw().to_be_bytes());
-                encode_value(&e.value, &mut out);
+                encode_value(&e.value, out);
             }
         }
         Message::Done { records, nodes } => {
@@ -362,7 +372,6 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             out.extend_from_slice(digest);
         }
     }
-    out
 }
 
 /// Decodes one message from a complete frame payload.
@@ -456,6 +465,9 @@ pub struct FrameReader<R> {
     inner: R,
     counters: Arc<TransferCounters>,
     frames: u64,
+    /// Reusable payload buffer: resized (within the [`MAX_FRAME`]-bounded
+    /// capacity it converges to) instead of freshly allocated per frame.
+    payload: Vec<u8>,
 }
 
 impl<R: Read> FrameReader<R> {
@@ -465,12 +477,19 @@ impl<R: Read> FrameReader<R> {
             inner,
             counters,
             frames: 0,
+            payload: Vec::new(),
         }
     }
 
     /// Frames read so far on this stream.
     pub fn frames(&self) -> u64 {
         self.frames
+    }
+
+    /// Current capacity of the reusable payload buffer (pinned by the
+    /// no-alloc regression test: it must stop growing once warm).
+    pub fn payload_capacity(&self) -> usize {
+        self.payload.capacity()
     }
 
     /// Reads the next message. `Ok(None)` means the peer closed the stream
@@ -486,14 +505,17 @@ impl<R: Read> FrameReader<R> {
         if len as usize > MAX_FRAME {
             return Err(WireError::Oversized { len });
         }
-        let mut payload = vec![0u8; len as usize];
-        self.inner.read_exact(&mut payload)?;
-        if frame_crc(len, &payload) != crc {
+        // The length is capped, so the buffer's capacity is bounded; resize
+        // reuses it across frames instead of allocating anew.
+        self.payload.clear();
+        self.payload.resize(len as usize, 0);
+        self.inner.read_exact(&mut self.payload)?;
+        if frame_crc(len, &self.payload) != crc {
             return Err(WireError::BadCrc);
         }
         self.frames += 1;
         self.counters.frame_received(8 + len as u64);
-        decode_message(&payload).map(Some)
+        decode_message(&self.payload).map(Some)
     }
 }
 
@@ -528,12 +550,20 @@ fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<ReadOutcome, W
 pub struct FrameWriter<W> {
     inner: W,
     counters: Arc<TransferCounters>,
+    /// Reusable frame buffer: header placeholder + payload encoded in
+    /// place, CRC patched over the placeholder — one buffer, zero fresh
+    /// allocations per frame once warm.
+    scratch: Vec<u8>,
 }
 
 impl<W: Write> FrameWriter<W> {
     /// Wraps `inner`; sent frames/bytes are tallied into `counters`.
     pub fn new(inner: W, counters: Arc<TransferCounters>) -> Self {
-        FrameWriter { inner, counters }
+        FrameWriter {
+            inner,
+            counters,
+            scratch: Vec::new(),
+        }
     }
 
     /// Consumes the writer, returning the underlying sink (useful for
@@ -542,21 +572,35 @@ impl<W: Write> FrameWriter<W> {
         self.inner
     }
 
+    /// Current capacity of the reusable frame buffer (pinned by the
+    /// no-alloc regression test: it must stop growing once warm).
+    pub fn scratch_capacity(&self) -> usize {
+        self.scratch.capacity()
+    }
+
     /// Frames and sends one message.
     pub fn write_message(&mut self, msg: &Message) -> Result<(), WireError> {
-        let payload = encode_message(msg);
-        debug_assert!(payload.len() <= MAX_FRAME, "oversized outbound frame");
-        let len = payload.len() as u32;
-        let crc = frame_crc(len, &payload);
-        let mut frame = Vec::with_capacity(8 + payload.len());
-        frame.extend_from_slice(&len.to_be_bytes());
-        frame.extend_from_slice(&crc.to_be_bytes());
-        frame.extend_from_slice(&payload);
-        self.inner.write_all(&frame)?;
+        frame_message_into(msg, &mut self.scratch);
+        self.inner.write_all(&self.scratch)?;
         self.inner.flush()?;
-        self.counters.frame_sent(frame.len() as u64);
+        self.counters.frame_sent(self.scratch.len() as u64);
         Ok(())
     }
+}
+
+/// Replaces `frame` with the complete wire frame (header + payload) for
+/// `msg`, reusing the buffer's capacity: the 8-byte header is reserved up
+/// front, the payload encoded directly behind it, and the length/CRC
+/// patched into the reservation — no intermediate payload `Vec`.
+pub fn frame_message_into(msg: &Message, frame: &mut Vec<u8>) {
+    frame.clear();
+    frame.extend_from_slice(&[0u8; 8]);
+    encode_message_into(msg, frame);
+    let len = (frame.len() - 8) as u32;
+    debug_assert!(len as usize <= MAX_FRAME, "oversized outbound frame");
+    let crc = frame_crc(len, &frame[8..]);
+    frame[0..4].copy_from_slice(&len.to_be_bytes());
+    frame[4..8].copy_from_slice(&crc.to_be_bytes());
 }
 
 #[cfg(test)]
@@ -756,6 +800,68 @@ mod tests {
             decode_message(&payload),
             Err(WireError::Decode(DecodeError::TrailingBytes(1)))
         ));
+    }
+
+    /// Pins the hot path's allocation behavior: once a [`FrameWriter`]'s
+    /// scratch and a [`FrameReader`]'s payload buffer have seen the
+    /// largest frame of a stream, re-sending the same traffic must not
+    /// grow either buffer again — capacity stability is the observable
+    /// proxy for "no per-frame allocation".
+    #[test]
+    fn warm_codec_buffers_stop_allocating() {
+        let msgs = sample_messages();
+        let mut warm = Vec::new();
+        let mut w = FrameWriter::new(&mut warm, counters());
+        // Warm-up pass: buffers grow to the high-water mark.
+        for m in &msgs {
+            w.write_message(m).unwrap();
+        }
+        let warm_cap = w.scratch_capacity();
+        assert!(warm_cap > 0);
+        // Steady state: 100 more rounds of identical traffic, zero growth.
+        for _ in 0..100 {
+            for m in &msgs {
+                w.write_message(m).unwrap();
+            }
+            assert_eq!(
+                w.scratch_capacity(),
+                warm_cap,
+                "encode scratch grew after warm-up — a per-frame allocation crept back in"
+            );
+        }
+        let stream = w.into_inner().clone();
+
+        let mut r = FrameReader::new(stream.as_slice(), counters());
+        // Warm-up: one full pass of the stream's frames.
+        for _ in 0..msgs.len() {
+            r.read_message().unwrap().unwrap();
+        }
+        let warm_cap = r.payload_capacity();
+        assert!(warm_cap > 0);
+        while let Some(_m) = r.read_message().unwrap() {
+            assert_eq!(
+                r.payload_capacity(),
+                warm_cap,
+                "decode payload buffer grew after warm-up"
+            );
+        }
+    }
+
+    /// The in-place framing helper produces byte-identical frames to the
+    /// historical encode-then-copy path (len ‖ crc ‖ payload).
+    #[test]
+    fn frame_message_into_matches_reference_framing() {
+        let mut frame = Vec::new();
+        for msg in sample_messages() {
+            frame_message_into(&msg, &mut frame);
+            let payload = encode_message(&msg);
+            let len = payload.len() as u32;
+            let mut reference = Vec::new();
+            reference.extend_from_slice(&len.to_be_bytes());
+            reference.extend_from_slice(&frame_crc(len, &payload).to_be_bytes());
+            reference.extend_from_slice(&payload);
+            assert_eq!(frame, reference, "framing diverged for {msg:?}");
+        }
     }
 
     #[test]

@@ -361,39 +361,47 @@ fn crash_recovered_stores_never_yield_partial_verified_results() {
 /// TamperProxy composition: a tampered stream that is *also* cut and
 /// resumed must surface the same evidence kind as the uncut tampered
 /// stream — resumption must not launder or reclassify an attack.
+/// A proxy mutator that applies `tamper` to whichever PROV record it
+/// matches, recomputing the frame CRC as a real attacker would.
+fn tamper_mutator(tamper: Tamper) -> tep_net::proxy::Mutator {
+    Box::new(move |_frame, msg| {
+        let Message::Prov { record } = msg else {
+            return ProxyAction::Forward;
+        };
+        let Ok(rec) = ProvenanceRecord::from_stored(record) else {
+            return ProxyAction::Forward;
+        };
+        let mut holder = ProvenanceObject {
+            target: rec.output_oid,
+            records: vec![rec],
+        };
+        if !tep_core::attack::apply_tamper(&mut holder, &tamper) {
+            return ProxyAction::Forward;
+        }
+        match holder.records.into_iter().next() {
+            Some(t) => ProxyAction::Replace(Message::Prov {
+                record: t.to_stored(),
+            }),
+            None => ProxyAction::Drop,
+        }
+    })
+}
+
+/// The tamper every proxy-based test applies: flip the newest record's
+/// output hash (the paper's canonical R1 violation).
+fn flip_last_tamper() -> Tamper {
+    let last = world().prov.records.last().unwrap();
+    Tamper::FlipOutputHash {
+        oid: last.output_oid,
+        seq: last.seq_id,
+    }
+}
+
 #[test]
 fn resumed_tampered_stream_reports_the_same_evidence_kind() {
     let w = world();
     let srv = start_server();
-    let last = w.prov.records.last().unwrap();
-    let tamper = Tamper::FlipOutputHash {
-        oid: last.output_oid,
-        seq: last.seq_id,
-    };
-
-    let mutator = |tamper: Tamper| -> tep_net::proxy::Mutator {
-        Box::new(move |_frame, msg| {
-            let Message::Prov { record } = msg else {
-                return ProxyAction::Forward;
-            };
-            let Ok(rec) = ProvenanceRecord::from_stored(record) else {
-                return ProxyAction::Forward;
-            };
-            let mut holder = ProvenanceObject {
-                target: rec.output_oid,
-                records: vec![rec],
-            };
-            if !tep_core::attack::apply_tamper(&mut holder, &tamper) {
-                return ProxyAction::Forward;
-            }
-            match holder.records.into_iter().next() {
-                Some(t) => ProxyAction::Replace(Message::Prov {
-                    record: t.to_stored(),
-                }),
-                None => ProxyAction::Drop,
-            }
-        })
-    };
+    let tamper = flip_last_tamper();
 
     let kind_of = |err: NetError| -> Vec<EvidenceKind> {
         match err {
@@ -403,13 +411,13 @@ fn resumed_tampered_stream_reports_the_same_evidence_kind() {
     };
 
     // Uncut tampered run.
-    let proxy = TamperProxy::spawn(srv.addr(), mutator(tamper.clone())).unwrap();
+    let proxy = TamperProxy::spawn(srv.addr(), tamper_mutator(tamper.clone())).unwrap();
     let mut cl = chaos_client(proxy.addr(), 1, true);
     let uncut_kinds = kind_of(cl.fetch_verified(w.chain, &w.keys).unwrap_err());
     proxy.shutdown();
 
     // Cut, resumed, tampered run: same attack, interrupted mid-stream.
-    let proxy = TamperProxy::spawn(srv.addr(), mutator(tamper)).unwrap();
+    let proxy = TamperProxy::spawn(srv.addr(), tamper_mutator(tamper)).unwrap();
     let fl = FaultListener::spawn(
         proxy.addr(),
         FaultPlan {
@@ -433,5 +441,244 @@ fn resumed_tampered_stream_reports_the_same_evidence_kind() {
     );
     fl.shutdown();
     proxy.shutdown();
+    srv.shutdown();
+}
+
+/// A generously-budgeted client for the thousand-connection soak: on a
+/// loaded single-core box a thread may sit descheduled for whole seconds,
+/// so the per-read timeout and retry budget are sized for scheduling
+/// noise, not for fault detection (the soak's faults are cuts and
+/// tampering, not stalls).
+fn soak_client(addr: SocketAddr, max_attempts: u32, resume: bool) -> Client {
+    let mut cfg = ClientConfig::new(ALG);
+    cfg.resume = resume;
+    cfg.read_timeout = Duration::from_secs(10);
+    cfg.retry = RetryPolicy {
+        max_attempts,
+        base: Duration::from_millis(2),
+        cap: Duration::from_millis(50),
+        deadline: Duration::from_secs(120),
+    };
+    Client::new(addr, cfg)
+}
+
+/// Every `tep_core_evidence_*` counter in `reg` with a nonzero total,
+/// sorted by name — the per-kind evidence ledger.
+fn evidence_counts(reg: &tep_obs::Registry) -> Vec<(String, u64)> {
+    let mut v: Vec<(String, u64)> = reg
+        .snapshot()
+        .into_iter()
+        .filter(|s| s.name.starts_with("tep_core_evidence_"))
+        .filter_map(|s| match s.value {
+            tep_obs::MetricValue::Counter(n) if n > 0 => Some((s.name, n)),
+            _ => None,
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+/// The value of counter `name` in a STATS text exposition.
+fn stats_counter(stats: &str, name: &str) -> u64 {
+    let prefix = format!("{name} ");
+    stats
+        .lines()
+        .find_map(|l| l.strip_prefix(&prefix))
+        .unwrap_or_else(|| panic!("{name} not in stats"))
+        .trim()
+        .parse()
+        .unwrap_or_else(|e| panic!("{name} not a counter: {e}"))
+}
+
+/// The event-loop rewrite's scale target: 1000+ concurrent connections
+/// multiplexed on the one server thread, with clean, cut, persistently
+/// faulty, and tampered traffic interleaved. Every connection must settle
+/// in the invariant quartet — complete, resumed, clean retryable error,
+/// attributed evidence — and the evidence ledger must account for each
+/// tampered connection **exactly, per kind**: the expected counts are 8×
+/// whatever one control run of the same attack records, so a detection
+/// that goes missing (or fires twice) under load fails the soak.
+#[test]
+fn thousand_connection_soak_settles_every_outcome() {
+    const CLEAN: usize = 1000;
+    const CUT: usize = 8;
+    const FAULTY: usize = 8;
+    const TAMPERED: usize = 8;
+
+    let w = world();
+    let srv = serve(
+        Arc::clone(&w.catalog),
+        "127.0.0.1:0".parse().unwrap(),
+        ServerConfig {
+            queue_depth: 2048,
+            read_timeout: Duration::from_secs(60),
+            write_timeout: Duration::from_secs(60),
+            connection_deadline: Duration::from_secs(60),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let base = Arc::new(baseline(srv.addr()));
+    let addr = srv.addr();
+
+    // Control: the per-kind evidence one flipped-hash transfer records.
+    let expected = {
+        let control_reg = tep_obs::Registry::new();
+        let proxy = TamperProxy::spawn(addr, tamper_mutator(flip_last_tamper())).unwrap();
+        let mut cl = soak_client(proxy.addr(), 1, true);
+        cl.attach_obs(&control_reg);
+        let err = cl.fetch_verified(w.chain, &w.keys).unwrap_err();
+        assert!(
+            matches!(err, NetError::TamperDetected { .. }),
+            "control run must detect the flip: {err}"
+        );
+        proxy.shutdown();
+        evidence_counts(&control_reg)
+    };
+    assert!(!expected.is_empty(), "control run recorded no evidence");
+
+    let tamper_reg = tep_obs::Registry::new();
+    let mut handles = Vec::with_capacity(CLEAN + CUT + FAULTY + TAMPERED);
+    let spawn = |name: String, body: Box<dyn FnOnce() + Send>| {
+        std::thread::Builder::new()
+            .name(name)
+            .stack_size(256 * 1024)
+            .spawn(body)
+            .expect("spawn soak thread")
+    };
+
+    for i in 0..CLEAN {
+        let base = Arc::clone(&base);
+        handles.push(spawn(
+            format!("soak-clean-{i}"),
+            Box::new(move || {
+                // Stagger the connect wave so the kernel accept queue is
+                // not hit by 1000 SYNs in the same millisecond.
+                std::thread::sleep(Duration::from_millis((i % 64) as u64));
+                let w = world();
+                let mut cl = soak_client(addr, 8, true);
+                let rep = cl
+                    .fetch_verified(w.chain, &w.keys)
+                    .unwrap_or_else(|e| panic!("clean #{i}: {e}"));
+                assert!(rep.verification.verified(), "clean #{i}");
+                assert_eq!(rep.records, base.records, "clean #{i}: short record set");
+                assert_eq!(rep.nodes, base.nodes, "clean #{i}: short data set");
+                assert_eq!(
+                    rep.stream_digest, base.stream_digest,
+                    "clean #{i}: record bytes differ"
+                );
+                assert_eq!(
+                    rep.object_hash, base.object_hash,
+                    "clean #{i}: hash differs"
+                );
+            }),
+        ));
+    }
+
+    for i in 0..CUT {
+        let base = Arc::clone(&base);
+        handles.push(spawn(
+            format!("soak-cut-{i}"),
+            Box::new(move || {
+                let w = world();
+                let fl = FaultListener::spawn(
+                    addr,
+                    FaultPlan {
+                        kind: FaultKind::CutBoundary,
+                        // Frames 4..9: 2-7 PROV records delivered before
+                        // the cut, so a checkpoint always exists.
+                        frame: 4 + (i as u64 % 6),
+                        seed: 0x50AC ^ i as u64,
+                        once: true,
+                    },
+                )
+                .unwrap();
+                let mut cl = soak_client(fl.addr(), 8, true);
+                let rep = cl
+                    .fetch_verified(w.chain, &w.keys)
+                    .unwrap_or_else(|e| panic!("cut #{i}: did not recover: {e}"));
+                assert!(rep.verification.verified(), "cut #{i}");
+                assert!(rep.resumed >= 1, "cut #{i}: recovered without RESUME");
+                assert_eq!(
+                    rep.stream_digest, base.stream_digest,
+                    "cut #{i}: record bytes differ"
+                );
+                assert_eq!(rep.object_hash, base.object_hash, "cut #{i}: hash differs");
+                fl.shutdown();
+            }),
+        ));
+    }
+
+    for i in 0..FAULTY {
+        handles.push(spawn(
+            format!("soak-faulty-{i}"),
+            Box::new(move || {
+                let w = world();
+                let fl = FaultListener::spawn(
+                    addr,
+                    FaultPlan {
+                        kind: FaultKind::CutBoundary,
+                        frame: 2,
+                        seed: 0xFA17 ^ i as u64,
+                        once: false,
+                    },
+                )
+                .unwrap();
+                let mut cl = soak_client(fl.addr(), 2, false);
+                let err = cl
+                    .fetch_verified(w.chain, &w.keys)
+                    .expect_err("faulty: cannot complete through a persistent cut");
+                assert!(err.is_retryable(), "faulty #{i}: terminal error {err}");
+                fl.shutdown();
+            }),
+        ));
+    }
+
+    for i in 0..TAMPERED {
+        let reg = tamper_reg.clone();
+        handles.push(spawn(
+            format!("soak-tamper-{i}"),
+            Box::new(move || {
+                let w = world();
+                let proxy = TamperProxy::spawn(addr, tamper_mutator(flip_last_tamper())).unwrap();
+                let mut cl = soak_client(proxy.addr(), 1, true);
+                cl.attach_obs(&reg);
+                let err = cl
+                    .fetch_verified(w.chain, &w.keys)
+                    .expect_err("tampered: must not verify");
+                assert!(
+                    matches!(err, NetError::TamperDetected { .. }),
+                    "tampered #{i}: wrong failure class: {err}"
+                );
+                proxy.shutdown();
+            }),
+        ));
+    }
+
+    for h in handles {
+        h.join().expect("soak thread panicked");
+    }
+
+    // Per-kind exactness: 8 tampered connections, each recording exactly
+    // the control run's evidence — no more (double counting under load),
+    // no less (detections lost in the fan-in).
+    let want: Vec<(String, u64)> = expected
+        .iter()
+        .map(|(name, n)| (name.clone(), n * TAMPERED as u64))
+        .collect();
+    assert_eq!(
+        evidence_counts(&tamper_reg),
+        want,
+        "evidence ledger must account for all {TAMPERED} tampered connections exactly"
+    );
+
+    // The one event-loop thread really did carry the whole fleet.
+    let mut cl = soak_client(addr, 3, true);
+    let stats = cl.stats().unwrap();
+    let conns = stats_counter(&stats, "tep_net_connections_total");
+    assert!(
+        conns >= (CLEAN + CUT + FAULTY + TAMPERED) as u64,
+        "server saw only {conns} connections"
+    );
     srv.shutdown();
 }

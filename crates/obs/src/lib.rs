@@ -259,6 +259,28 @@ impl Histogram {
             .map(|b| b.load(Ordering::Relaxed))
             .collect()
     }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0 ≤ q ≤ 1.0`): the
+    /// inclusive upper bound of the first bucket whose cumulative count
+    /// reaches `ceil(q · count)`. Returns `None` when the histogram is
+    /// empty, or when the quantile lands in the `+Inf` overflow bucket
+    /// (no finite upper bound exists). Bucketed, so it over-estimates by
+    /// at most one bucket width — fine for a p99 report, not for math.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let count = self.count();
+        if count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.inner.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if cumulative >= rank {
+                return self.inner.bounds.get(i).copied();
+            }
+        }
+        None
+    }
 }
 
 impl std::fmt::Debug for Histogram {
@@ -664,6 +686,69 @@ mod tests {
         assert_eq!(h.bucket_counts(), vec![1, 1, 1]);
         assert_eq!(h.count(), 3);
         assert_eq!(h.sum(), 1021);
+    }
+
+    #[test]
+    fn quantile_reports_bucket_upper_bounds() {
+        let h = Histogram::with_bounds(&[10, 100, 1000]);
+        assert_eq!(h.quantile(0.99), None); // empty
+        for _ in 0..98 {
+            h.observe(5); // le=10
+        }
+        h.observe(50); // le=100
+        h.observe(500); // le=1000
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile(0.50), Some(10));
+        assert_eq!(h.quantile(0.98), Some(10));
+        assert_eq!(h.quantile(0.99), Some(100));
+        assert_eq!(h.quantile(1.0), Some(1000));
+        // Overflow bucket has no finite bound.
+        h.observe(u64::MAX);
+        assert_eq!(h.quantile(1.0), None);
+        // Out-of-range q is rejected, not clamped.
+        assert_eq!(h.quantile(1.5), None);
+    }
+
+    /// Pins the exposition format of the event-loop metrics added for the
+    /// readiness-driven server: a rename or kind change here breaks every
+    /// dashboard scraping them, so the full text is asserted verbatim.
+    #[test]
+    fn event_loop_metrics_exposition_snapshot() {
+        let reg = Registry::new();
+        let wakeups = reg.counter(names::NET_EPOLL_WAKEUPS);
+        let open = reg.gauge(names::NET_OPEN_CONNECTIONS);
+        let batch = reg.histogram(names::NET_BATCH_VERIFY_SIZE, &[1, 8, 64]);
+        let turnaround = reg.latency_histogram(names::NET_FRAME_TURNAROUND);
+
+        wakeups.add(7);
+        open.add(3);
+        open.sub(1);
+        batch.observe(1);
+        batch.observe(5);
+        batch.observe(64);
+        batch.observe(200);
+        turnaround.observe(250);
+
+        let text = reg.render_text();
+        let expected = "\
+# TYPE tep_net_batch_verify_size histogram
+tep_net_batch_verify_size_bucket{le=\"1\"} 1
+tep_net_batch_verify_size_bucket{le=\"8\"} 2
+tep_net_batch_verify_size_bucket{le=\"64\"} 3
+tep_net_batch_verify_size_bucket{le=\"+Inf\"} 4
+tep_net_batch_verify_size_sum 270
+tep_net_batch_verify_size_count 4
+# TYPE tep_net_epoll_wakeups_total counter
+tep_net_epoll_wakeups_total 7
+# TYPE tep_net_frame_turnaround_ns histogram
+tep_net_frame_turnaround_ns_bucket{le=\"250\"} 1
+";
+        assert!(
+            text.starts_with(expected),
+            "exposition drifted:\n{text}\nexpected prefix:\n{expected}"
+        );
+        assert!(text.contains("# TYPE tep_net_open_connections gauge\ntep_net_open_connections 2"));
+        assert!(text.contains("tep_net_frame_turnaround_ns_count 1"));
     }
 
     #[test]

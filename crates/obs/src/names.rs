@@ -36,3 +36,38 @@ pub const NET_DEADLINE_CLOSES: &str = "tep_net_deadline_closes_total";
 /// write failure during PROV/DATA/DONE) — distinguishable from shed and
 /// panic counts in `render_text`.
 pub const NET_WRITE_ABORTS: &str = "tep_net_write_aborts_total";
+
+/// Readiness wakeups: one per return from the event loop's `poll(2)` call.
+/// Wall-clock dependent (a stalled peer wakes nobody; a chatty one wakes
+/// the loop often), so this counter is **excluded** from the seeded
+/// deterministic metrics block — it exists for live dashboards only.
+pub const NET_EPOLL_WAKEUPS: &str = "tep_net_epoll_wakeups_total";
+
+/// Cross-connection verify batcher: histogram of jobs per micro-batch
+/// handed to `verify_all_parallel` (size watermark = bucket ceiling).
+pub const NET_BATCH_VERIFY_SIZE: &str = "tep_net_batch_verify_size";
+
+/// Gauge of connections the event loop currently owns, across every
+/// state (handshake, ready, streaming, draining).
+pub const NET_OPEN_CONNECTIONS: &str = "tep_net_open_connections";
+
+/// Histogram of request-frame turnaround: nanoseconds from decoding a
+/// complete FETCH/RESUME/STATS frame to its reply bytes being queued
+/// (event-loop service time, not client-observed latency).
+pub const NET_FRAME_TURNAROUND: &str = "tep_net_frame_turnaround_ns";
+
+/// Gauge of connections currently in the `Handshake` state (accepted,
+/// HELLO not yet answered).
+pub const NET_CONNS_HANDSHAKE: &str = "tep_net_conns_handshake";
+
+/// Gauge of connections currently in the `Ready` state (handshake done,
+/// waiting for the next FETCH/RESUME/STATS request).
+pub const NET_CONNS_READY: &str = "tep_net_conns_ready";
+
+/// Gauge of connections currently in the `Streaming` state (a transfer
+/// job is emitting PROV/DATA/DONE frames).
+pub const NET_CONNS_STREAMING: &str = "tep_net_conns_streaming";
+
+/// Gauge of connections currently in the `Draining` state (a terminal
+/// reply is queued; the connection closes once it flushes).
+pub const NET_CONNS_DRAINING: &str = "tep_net_conns_draining";

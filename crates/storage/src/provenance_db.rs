@@ -49,17 +49,15 @@ impl StoredRecord {
     /// frames and for `tep-net` PROV frames, so a record's bytes are
     /// identical at rest and in flight.
     pub fn to_bytes(&self) -> Vec<u8> {
-        self.encode()
-    }
-
-    /// Decodes a row from its [`Self::to_bytes`] encoding.
-    pub fn from_bytes(buf: &[u8]) -> Result<Self, DecodeError> {
-        Self::decode(buf)
-    }
-
-    /// Wire encoding for the durable log.
-    fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(32 + self.checksum.len() + self.payload.len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Appends the [`Self::to_bytes`] encoding to `out` without clearing
+    /// it — lets hot paths (tep-net PROV framing) reuse one scratch buffer
+    /// instead of allocating a fresh `Vec` per record.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.seq_id.to_be_bytes());
         out.extend_from_slice(&self.participant.0.to_be_bytes());
         out.extend_from_slice(&self.oid.raw().to_be_bytes());
@@ -67,7 +65,11 @@ impl StoredRecord {
         out.extend_from_slice(&self.checksum);
         out.extend_from_slice(&(self.payload.len() as u64).to_be_bytes());
         out.extend_from_slice(&self.payload);
-        out
+    }
+
+    /// Decodes a row from its [`Self::to_bytes`] encoding.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, DecodeError> {
+        Self::decode(buf)
     }
 
     fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
@@ -248,7 +250,7 @@ impl ProvenanceDb {
     pub fn append(&self, record: StoredRecord) -> Result<(), StoreError> {
         let mut inner = self.inner.write();
         if let Some(log) = inner.log.as_mut() {
-            log.append(&record.encode())?;
+            log.append(&record.to_bytes())?;
         }
         index_record(&mut inner, record);
         Ok(())
@@ -468,7 +470,7 @@ mod tests {
         }
         // Corrupt the second record's frame (interior: frames 3/4 follow).
         let mut data = std::fs::read(&path).unwrap();
-        let frame0_len = 8 + rec(1, 0, 10).encode().len();
+        let frame0_len = 8 + rec(1, 0, 10).to_bytes().len();
         let hit = 12 + frame0_len + 8 + 4;
         data[hit] ^= 0xFF;
         std::fs::write(&path, &data).unwrap();
@@ -502,7 +504,7 @@ mod tests {
             // A CRC-valid frame that is not a StoredRecord encoding.
             let mut log = AppendLog::create(&path).unwrap();
             log.append(b"not a record").unwrap();
-            log.append(&rec(1, 0, 10).encode()).unwrap();
+            log.append(&rec(1, 0, 10).to_bytes()).unwrap();
             log.sync().unwrap();
         }
         let db = ProvenanceDb::durable(&path).unwrap();
@@ -516,7 +518,7 @@ mod tests {
     #[test]
     fn record_encode_decode_roundtrip() {
         let r = rec(42, 7, 3);
-        let encoded = r.encode();
+        let encoded = r.to_bytes();
         assert_eq!(StoredRecord::decode(&encoded).unwrap(), r);
         // Truncation is detected.
         assert!(StoredRecord::decode(&encoded[..encoded.len() - 1]).is_err());

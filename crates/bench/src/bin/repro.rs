@@ -3,8 +3,8 @@
 //! ```text
 //! repro [--all] [--table1] [--fig6] [--fig7] [--fig8] [--fig9]
 //!       [--fig10] [--fig11] [--large [ROWS|paper]] [--chaining] [--verify-cost]
-//!       [--net] [--net-scale [CONNS]] [--crash] [--resume] [--json]
-//!       [--runs N] [--key-bits N] [--alg sha1|sha256] [--seed N] [--csv]
+//!       [--net] [--net-scale [CONNS]] [--crash] [--resume] [--query [RECORDS]]
+//!       [--json] [--runs N] [--key-bits N] [--alg sha1|sha256] [--seed N] [--csv]
 //! ```
 //!
 //! With no experiment flags, runs everything at laptop-friendly defaults
@@ -35,6 +35,7 @@ struct Args {
     net_scale: Option<usize>,
     crash: bool,
     resume: bool,
+    query: Option<u64>,
     json: bool,
     csv: bool,
     all: bool,
@@ -74,6 +75,16 @@ fn parse_args() -> Result<Args, String> {
             }
             "--crash" => args.crash = true,
             "--resume" => args.resume = true,
+            "--query" => {
+                let records = match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let v = it.next().expect("peeked");
+                        v.parse().map_err(|_| format!("bad record count: {v}"))?
+                    }
+                    _ => 1_000_000,
+                };
+                args.query = Some(records);
+            }
             "--json" => args.json = true,
             "--large" => {
                 let rows = match it.peek() {
@@ -120,6 +131,7 @@ fn parse_args() -> Result<Args, String> {
         || args.net_scale.is_some()
         || args.crash
         || args.resume
+        || args.query.is_some()
         || args.json;
     if args.all || !experiments_requested {
         args.table1 = true;
@@ -137,6 +149,7 @@ fn parse_args() -> Result<Args, String> {
         args.net_scale.get_or_insert(64);
         args.crash = true;
         args.resume = true;
+        args.query.get_or_insert(1_000_000);
     }
     Ok(args)
 }
@@ -168,7 +181,7 @@ fn main() -> ExitCode {
                 "usage: repro [--all] [--table1] [--fig6] [--fig7] [--fig8] [--fig9] [--fig10] [--fig11]"
             );
             eprintln!(
-                "             [--large [ROWS|paper]] [--chaining] [--verify-cost] [--net] [--net-scale [CONNS]] [--crash] [--resume] [--json]"
+                "             [--large [ROWS|paper]] [--chaining] [--verify-cost] [--net] [--net-scale [CONNS]] [--crash] [--resume] [--query [RECORDS]] [--json]"
             );
             eprintln!(
                 "             [--runs N] [--key-bits N] [--alg sha1|sha256] [--seed N] [--csv]"
@@ -508,6 +521,28 @@ fn main() -> ExitCode {
             &format!(
                 "RESUME vs restart-from-zero ({} records, {} bytes uncut)",
                 r.records, r.full_transfer_bytes
+            ),
+            &t,
+            args.csv,
+        );
+    }
+
+    if let Some(records) = args.query {
+        let r = run_query(&cfg, records);
+        let mut t = TextTable::new(&["operator", "queries", "ops/s", "p99 (ms)", "slice records"]);
+        for o in &r.ops {
+            t.row(&[
+                o.op.to_string(),
+                o.queries.to_string(),
+                format!("{:.1}", o.ops_per_sec),
+                format!("{:.3}", o.p99_ms),
+                format!("{:.1}", o.mean_slice_records),
+            ]);
+        }
+        emit(
+            &format!(
+                "tep-query: verifiable slices over a {}-record lineage DAG ({} objects, {} participants; generated in {:.0} ms, index built in {:.0} ms)",
+                r.records, r.objects, r.participants, r.generate_ms, r.index_build_ms
             ),
             &t,
             args.csv,

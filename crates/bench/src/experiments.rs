@@ -917,6 +917,130 @@ pub fn run_net_scale(cfg: &ExperimentConfig, connections: usize, objects: u64) -
 }
 
 // ---------------------------------------------------------------------------
+// Verifiable query throughput (`repro --query`)
+// ---------------------------------------------------------------------------
+
+/// Per-operator throughput of the query engine.
+#[derive(Clone, Debug)]
+pub struct QueryOpStats {
+    /// Operator name (`ancestors`, `descendants`, `lineage`, `audit`,
+    /// `polynomial`).
+    pub op: &'static str,
+    /// Queries executed.
+    pub queries: u64,
+    /// Proof-producing queries per second.
+    pub ops_per_sec: f64,
+    /// p99 per-query latency in milliseconds (bucketed upper bound).
+    pub p99_ms: f64,
+    /// Mean records per answered slice.
+    pub mean_slice_records: f64,
+}
+
+/// `repro --query`: tep-query over a seeded lineage DAG.
+#[derive(Clone, Debug)]
+pub struct QueryBenchResult {
+    /// Records in the generated DAG.
+    pub records: u64,
+    /// Distinct objects.
+    pub objects: u64,
+    /// Participants records are attributed to.
+    pub participants: u64,
+    /// Wall time to generate the DAG (not a tep-query cost — reported so
+    /// headline runs can separate setup from measurement).
+    pub generate_ms: f64,
+    /// One-shot secondary-index build over the full log, in ms.
+    pub index_build_ms: f64,
+    /// Per-operator stats, in [`tep_core::slice::QueryOp::ALL`] order.
+    pub ops: Vec<QueryOpStats>,
+}
+
+/// Latency buckets for per-query latency, in microseconds.
+const QUERY_LAT_US: [u64; 16] = [
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10_000, 25_000, 100_000, 1_000_000,
+];
+
+/// Builds a `records`-record lineage DAG (`tep_workloads::lineage`), builds
+/// the secondary indexes once over the whole log, then drives every query
+/// operator over rotating targets: ancestors/descendants/lineage/polynomial
+/// against sampled cluster-closing objects (worst-case closures for the
+/// DAG's shape), audits against rotating participants. Every query
+/// materializes its full [`tep_core::slice::SliceProof`] — this measures
+/// the cost of *provable* answers, not bare traversals.
+pub fn run_query(cfg: &ExperimentConfig, records: u64) -> QueryBenchResult {
+    use tep_core::slice::{QueryBounds, QueryOp, QuerySpec};
+    use tep_obs::Registry;
+    use tep_query::QueryEngine;
+    use tep_workloads::build_lineage_db;
+
+    let t = Instant::now();
+    let dag = build_lineage_db(records, cfg.seed);
+    let generate_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let registry = Registry::new();
+    let mut engine = QueryEngine::new(Arc::clone(&dag.db), cfg.alg);
+    engine.attach_obs(&registry);
+    let t = Instant::now();
+    engine.sync();
+    let index_build_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let iters = ((cfg.runs as u64) * 64).clamp(64, 512);
+    let ops = QueryOp::ALL
+        .iter()
+        .map(|&op| {
+            let name = op.name();
+            let lat = registry.histogram(&format!("tep_bench_query_{name}_us"), &QUERY_LAT_US);
+            let mut slice_records = 0u64;
+            let t = Instant::now();
+            for i in 0..iters {
+                let spec = match op {
+                    QueryOp::AuditSlice => {
+                        QuerySpec::audit(tep_crypto::pki::ParticipantId(1 + i % dag.participants))
+                    }
+                    // Forward queries start at cluster roots (everything
+                    // downstream), backward ones at cluster closers
+                    // (everything upstream).
+                    QueryOp::Descendants => QuerySpec {
+                        op,
+                        target: dag.roots[(i as usize) % dag.roots.len()],
+                        participant: None,
+                        bounds: QueryBounds::default(),
+                    },
+                    _ => QuerySpec {
+                        op,
+                        target: dag.targets[(i as usize) % dag.targets.len()],
+                        participant: None,
+                        bounds: QueryBounds::default(),
+                    },
+                };
+                let q = Instant::now();
+                let proof = engine
+                    .execute(&spec)
+                    .expect("query bench: slice exceeded the engine cap");
+                lat.observe(q.elapsed().as_micros() as u64);
+                slice_records += proof.records.len() as u64;
+            }
+            let secs = t.elapsed().as_secs_f64();
+            QueryOpStats {
+                op: name,
+                queries: iters,
+                ops_per_sec: iters as f64 / secs,
+                p99_ms: lat.quantile(0.99).unwrap_or(*QUERY_LAT_US.last().unwrap()) as f64 / 1e3,
+                mean_slice_records: slice_records as f64 / iters as f64,
+            }
+        })
+        .collect();
+
+    QueryBenchResult {
+        records: dag.records,
+        objects: dag.objects,
+        participants: dag.participants,
+        generate_ms,
+        index_build_ms,
+        ops,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Crash-recovery cost (`repro --crash`)
 // ---------------------------------------------------------------------------
 
@@ -1196,6 +1320,8 @@ pub struct BaselineResult {
     /// Wire bytes saved by RESUME vs restart-from-zero after mid-transfer
     /// cuts (`tep-net`).
     pub resume: ResumeSavings,
+    /// Verifiable query throughput over a lineage DAG (`tep-query`).
+    pub query: QueryBenchResult,
     /// Deterministic metric counts from a small fully instrumented workload
     /// spanning every layer (see [`run_instrumented_metrics`]). Counter
     /// values and histogram counts only — no timing sums — so two runs with
@@ -1213,6 +1339,19 @@ impl BaselineResult {
             }
             metrics.push_str(&format!("\n    \"{name}\": {value}"));
         }
+        let query_ops = self
+            .query
+            .ops
+            .iter()
+            .map(|o| {
+                format!(
+                    "\"{}\": {{ \"queries\": {}, \"ops_per_sec\": {:.1}, \"p99_ms\": {:.3}, \
+                     \"mean_slice_records\": {:.1} }}",
+                    o.op, o.queries, o.ops_per_sec, o.p99_ms, o.mean_slice_records
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
         let cuts = self
             .resume
             .cuts
@@ -1243,6 +1382,8 @@ impl BaselineResult {
              \"quarantine_reopen_ms\": {:.2} }},\n  \
              \"resume\": {{ \"records\": {}, \"full_transfer_bytes\": {}, \
              \"cuts\": [{cuts}] }},\n  \
+             \"query\": {{ \"records\": {}, \"objects\": {}, \"participants\": {}, \
+             \"index_build_ms\": {:.2}, \"ops\": {{ {query_ops} }} }},\n  \
              \"metrics\": {{{metrics}\n  }}\n}}\n",
             self.alg,
             self.key_bits,
@@ -1272,6 +1413,10 @@ impl BaselineResult {
             self.recovery.quarantine_reopen_ms,
             self.resume.records,
             self.resume.full_transfer_bytes,
+            self.query.records,
+            self.query.objects,
+            self.query.participants,
+            self.query.index_build_ms,
         )
     }
 }
@@ -1366,6 +1511,19 @@ pub fn run_instrumented_metrics(cfg: &ExperimentConfig) -> Vec<(String, u64)> {
     client.attach_obs(&registry);
     let report = client.fetch_verified(root, &keys).unwrap();
     assert!(report.verification.verified());
+
+    // Query: two verifiable QUERY/QRESULT round-trips through the same
+    // server (whose engine records into the same registry) — ancestors of
+    // the root and an audit of the signer — each slice proof re-verified
+    // on receive. Deterministic: the workload above is seeded, so the
+    // query counters and slice-size histogram counts are pinned too.
+    use tep_core::slice::{QueryOp, QuerySpec};
+    let rep = client
+        .query(&QuerySpec::new(QueryOp::Ancestors, root), &keys)
+        .unwrap();
+    assert!(rep.verification.verified());
+    let rep = client.query(&QuerySpec::audit(signer.id()), &keys).unwrap();
+    assert!(rep.verification.verified());
     server.shutdown();
     span.finish();
 
@@ -1468,6 +1626,10 @@ pub fn run_baseline(cfg: &ExperimentConfig) -> BaselineResult {
     // default run count).
     let resume = run_resume_savings(cfg, (cfg.runs as u64 * 2000).clamp(1000, 10_000));
 
+    // Verifiable queries over a mid-size lineage DAG (`repro --query` runs
+    // the headline 1M-record version).
+    let query = run_query(cfg, (cfg.runs as u64 * 10_000).clamp(20_000, 100_000));
+
     BaselineResult {
         alg: cfg.alg,
         key_bits: cfg.key_bits,
@@ -1481,6 +1643,7 @@ pub fn run_baseline(cfg: &ExperimentConfig) -> BaselineResult {
         net_scale,
         recovery,
         resume,
+        query,
         metrics: run_instrumented_metrics(cfg),
     }
 }
@@ -1604,6 +1767,24 @@ mod tests {
         assert!(r.objects_per_sec > 0.0);
         assert!(r.mib_per_sec > 0.0);
         assert!(r.p99_latency_ms > 0.0);
+    }
+
+    #[test]
+    fn query_bench_covers_every_operator() {
+        let cfg = tiny_cfg();
+        let r = run_query(&cfg, 4_000);
+        assert_eq!(r.records, 4_000);
+        assert!(r.objects > 0);
+        assert_eq!(r.ops.len(), 5);
+        for o in &r.ops {
+            assert!(o.queries > 0, "{}: no queries ran", o.op);
+            assert!(o.ops_per_sec > 0.0, "{}: zero throughput", o.op);
+            assert!(o.mean_slice_records >= 1.0, "{}: empty slices", o.op);
+        }
+        // Backward queries over cluster closers must pull real closures,
+        // not single records.
+        let lineage = r.ops.iter().find(|o| o.op == "lineage").unwrap();
+        assert!(lineage.mean_slice_records > 2.0);
     }
 
     #[test]

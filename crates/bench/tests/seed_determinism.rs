@@ -91,7 +91,13 @@ fn same_seed_produces_identical_metric_counts() {
 
     // The instrumented workload must actually span every layer: at least
     // one nonzero counter per crate prefix.
-    for prefix in ["tep_crypto_", "tep_core_", "tep_storage_", "tep_net_"] {
+    for prefix in [
+        "tep_crypto_",
+        "tep_core_",
+        "tep_storage_",
+        "tep_net_",
+        "tep_query_",
+    ] {
         assert!(
             a.iter().any(|(name, v)| name.starts_with(prefix) && *v > 0),
             "no nonzero {prefix}* metric in {a:?}",

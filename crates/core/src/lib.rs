@@ -65,6 +65,7 @@ pub mod proof;
 pub mod provenance;
 pub mod query;
 pub mod record;
+pub mod slice;
 pub mod streaming;
 pub mod tracker;
 pub mod verify;
@@ -80,8 +81,11 @@ pub use metrics::{Metrics, TransferCounters, TransferSnapshot};
 pub use parallel::{default_threads, parallel_map};
 pub use proof::{prove, ProofError, SubtreeProof};
 pub use provenance::{collect, ProvenanceObject};
-pub use query::{DbStats, ProvenanceQuery};
+pub use query::{DbStats, EdgeIndex, ProvenanceQuery};
 pub use record::{InputRef, ProvenanceRecord, RecordKind};
+pub use slice::{
+    BoundaryLink, Polynomial, QueryAnswer, QueryBounds, QueryOp, QuerySpec, SliceProof,
+};
 pub use tracker::{ComplexReport, ProvenanceTracker, TrackerConfig};
 pub use verify::{
     EvidenceCounters, EvidenceKind, StreamingVerifier, TamperEvidence, Verification, Verifier,
@@ -95,6 +99,7 @@ pub mod prelude {
     pub use crate::hashing::HashingStrategy;
     pub use crate::provenance::{collect, ProvenanceObject};
     pub use crate::query::ProvenanceQuery;
+    pub use crate::slice::{QueryOp, QuerySpec, SliceProof};
     pub use crate::tracker::{ProvenanceTracker, TrackerConfig};
     pub use crate::verify::{StreamingVerifier, TamperEvidence, Verification, Verifier};
     pub use tep_crypto::digest::HashAlgorithm;

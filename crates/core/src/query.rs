@@ -7,10 +7,90 @@
 
 use crate::error::CoreError;
 use crate::record::{ProvenanceRecord, RecordKind};
+use std::cell::OnceCell;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use tep_crypto::pki::ParticipantId;
 use tep_model::ObjectId;
 use tep_storage::ProvenanceDb;
+
+/// Reverse derivation-edge index: object → the aggregate records that
+/// consumed it as an input. Built from the append-ordered record log and
+/// kept current with [`EdgeIndex::sync`] (which only reads records
+/// appended since the last sync), so a consumers lookup is O(out-degree)
+/// instead of an O(n) full-log scan.
+///
+/// Undecodable records are skipped — attributing damage is the verifier's
+/// job; the index answers questions about what *can* be read.
+#[derive(Clone, Debug, Default)]
+pub struct EdgeIndex {
+    synced: usize,
+    consumers: BTreeMap<ObjectId, Vec<(ObjectId, u64)>>,
+}
+
+impl EdgeIndex {
+    /// An empty index; call [`Self::sync`] to populate it.
+    pub fn new() -> Self {
+        EdgeIndex::default()
+    }
+
+    /// Indexes every record appended since the last sync, returning how
+    /// many records were read.
+    pub fn sync(&mut self, db: &ProvenanceDb) -> usize {
+        let fresh = db.records_from(self.synced);
+        for stored in &fresh {
+            if let Ok(rec) = ProvenanceRecord::from_stored(stored) {
+                if rec.kind == RecordKind::Aggregate {
+                    for input in &rec.inputs {
+                        if input.oid != rec.output_oid {
+                            self.consumers
+                                .entry(input.oid)
+                                .or_default()
+                                .push((rec.output_oid, rec.seq_id));
+                        }
+                    }
+                }
+            }
+        }
+        self.synced += fresh.len();
+        fresh.len()
+    }
+
+    /// Log position up to which this index is current.
+    pub fn synced(&self) -> usize {
+        self.synced
+    }
+
+    /// The aggregate records `(output, seq_id)` that consumed `oid`, in
+    /// append order.
+    pub fn consumers_of(&self, oid: ObjectId) -> &[(ObjectId, u64)] {
+        self.consumers.get(&oid).map_or(&[], Vec::as_slice)
+    }
+
+    /// Total number of derivation edges indexed.
+    pub fn edge_count(&self) -> usize {
+        self.consumers.values().map(Vec::len).sum()
+    }
+
+    /// Iterates `(source, consumers)` pairs in object order — the
+    /// serialization feed for index sidecars.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &[(ObjectId, u64)])> {
+        self.consumers.iter().map(|(&oid, v)| (oid, v.as_slice()))
+    }
+
+    /// Reassembles an index from persisted parts. `synced` must be the
+    /// log position the entries reflect; callers are responsible for
+    /// validating that binding (e.g. against the checksum of the last
+    /// indexed record) before trusting a sidecar.
+    pub fn from_parts(
+        synced: usize,
+        entries: impl IntoIterator<Item = (ObjectId, Vec<(ObjectId, u64)>)>,
+    ) -> Self {
+        EdgeIndex {
+            synced,
+            consumers: entries.into_iter().collect(),
+        }
+    }
+}
 
 /// Read-only provenance queries.
 ///
@@ -33,6 +113,7 @@ use tep_storage::ProvenanceDb;
 /// ```
 pub struct ProvenanceQuery<'a> {
     db: &'a ProvenanceDb,
+    edges: OnceCell<EdgeIndex>,
 }
 
 /// Aggregate statistics over a provenance store.
@@ -57,7 +138,29 @@ pub struct DbStats {
 impl<'a> ProvenanceQuery<'a> {
     /// Wraps a provenance store for querying.
     pub fn new(db: &'a ProvenanceDb) -> Self {
-        ProvenanceQuery { db }
+        ProvenanceQuery {
+            db,
+            edges: OnceCell::new(),
+        }
+    }
+
+    /// The reverse-edge index, built lazily on first use over the records
+    /// present at that moment (this is a read-only snapshot wrapper; use
+    /// [`EdgeIndex`] directly for a long-lived, incrementally synced
+    /// index).
+    fn edge_index(&self) -> &EdgeIndex {
+        self.edges.get_or_init(|| {
+            let mut ix = EdgeIndex::new();
+            ix.sync(self.db);
+            ix
+        })
+    }
+
+    /// Ceiling on BFS visits: proportional to the store so honest queries
+    /// never hit it, finite so adversarial edge structures (cycles, fanout
+    /// bombs) can't loop or blow memory.
+    fn bfs_cap(&self) -> usize {
+        self.db.len().saturating_mul(4).max(1024)
     }
 
     /// The decoded history of one object, in `seqID` order.
@@ -101,8 +204,10 @@ impl<'a> ProvenanceQuery<'a> {
     }
 
     /// Objects that `oid` (transitively) derives from through aggregation:
-    /// its lineage closure, nearest first (BFS order).
+    /// its lineage closure, nearest first (BFS order). Visits are bounded
+    /// by [`Self::bfs_cap`] so adversarial edge structures terminate.
     pub fn derivation_sources(&self, oid: ObjectId) -> Result<Vec<ObjectId>, CoreError> {
+        let cap = self.bfs_cap();
         let mut seen: BTreeSet<ObjectId> = BTreeSet::new();
         let mut order = Vec::new();
         let mut queue = VecDeque::from([oid]);
@@ -112,6 +217,9 @@ impl<'a> ProvenanceQuery<'a> {
                     continue;
                 }
                 for input in &rec.inputs {
+                    if seen.len() >= cap {
+                        return Ok(order);
+                    }
                     if input.oid != cur && seen.insert(input.oid) {
                         order.push(input.oid);
                         queue.push_back(input.oid);
@@ -123,22 +231,45 @@ impl<'a> ProvenanceQuery<'a> {
     }
 
     /// `true` iff `oid` derives (transitively) from `source` via
-    /// aggregation.
+    /// aggregation. Early-exits on the first path found; the visited set
+    /// doubles as a cycle guard and is bounded by [`Self::bfs_cap`].
     pub fn derives_from(&self, oid: ObjectId, source: ObjectId) -> Result<bool, CoreError> {
-        Ok(self.derivation_sources(oid)?.contains(&source))
-    }
-
-    /// Objects whose aggregations consumed `oid` (direct consumers only).
-    pub fn consumers_of(&self, oid: ObjectId) -> Vec<ObjectId> {
-        let mut out = BTreeSet::new();
-        for stored in self.db.all_records() {
-            if let Ok(rec) = ProvenanceRecord::from_stored(&stored) {
-                if rec.kind == RecordKind::Aggregate && rec.inputs.iter().any(|i| i.oid == oid) {
-                    out.insert(rec.output_oid);
+        let cap = self.bfs_cap();
+        let mut seen: BTreeSet<ObjectId> = BTreeSet::from([oid]);
+        let mut queue = VecDeque::from([oid]);
+        while let Some(cur) = queue.pop_front() {
+            for rec in self.history_of(cur)? {
+                if rec.kind != RecordKind::Aggregate {
+                    continue;
+                }
+                for input in &rec.inputs {
+                    if input.oid == cur {
+                        continue;
+                    }
+                    if input.oid == source {
+                        return Ok(true);
+                    }
+                    if seen.len() < cap && seen.insert(input.oid) {
+                        queue.push_back(input.oid);
+                    }
                 }
             }
         }
-        out.into_iter().collect()
+        Ok(false)
+    }
+
+    /// Objects whose aggregations consumed `oid` (direct consumers only),
+    /// answered from the reverse-edge index in O(out-degree).
+    pub fn consumers_of(&self, oid: ObjectId) -> Vec<ObjectId> {
+        let mut out: Vec<ObjectId> = self
+            .edge_index()
+            .consumers_of(oid)
+            .iter()
+            .map(|&(consumer, _)| consumer)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
     }
 
     /// Per-participant record counts (activity profile).
@@ -251,6 +382,39 @@ mod tests {
         assert!(!q.derives_from(a, d).unwrap());
         // a's consumers: only c (directly).
         assert_eq!(q.consumers_of(a), vec![c]);
+        assert_eq!(q.consumers_of(d), Vec::<ObjectId>::new());
+    }
+
+    #[test]
+    fn edge_index_syncs_incrementally() {
+        let (mut t, alice, _) = world();
+        let (a, _) = t.insert(&alice, Value::Int(1), None).unwrap();
+        let (b, _) = t.insert(&alice, Value::Int(2), None).unwrap();
+        let (c, _) = t
+            .aggregate(&alice, &[a, b], Value::Int(3), AggregateMode::Atomic)
+            .unwrap();
+        let mut ix = EdgeIndex::new();
+        let first = ix.sync(t.db());
+        assert_eq!(first, t.db().len());
+        // Aggregate seq = 1 + max input seq: c is (a,b) at seq 1.
+        assert_eq!(ix.consumers_of(a), &[(c, 1)]);
+        assert_eq!(ix.consumers_of(b), &[(c, 1)]);
+        assert_eq!(ix.edge_count(), 2);
+
+        // Appending more records only reads the tail.
+        let (d, _) = t
+            .aggregate(&alice, &[a, c], Value::Int(4), AggregateMode::Atomic)
+            .unwrap();
+        let second = ix.sync(t.db());
+        assert_eq!(first + second, t.db().len());
+        assert_eq!(ix.consumers_of(a), &[(c, 1), (d, 2)]);
+        assert_eq!(ix.consumers_of(c), &[(d, 2)]);
+        assert_eq!(ix.sync(t.db()), 0);
+        assert_eq!(ix.synced(), t.db().len());
+
+        // The rerouted lookup agrees with what a full scan used to say.
+        let q = ProvenanceQuery::new(t.db());
+        assert_eq!(q.consumers_of(a), vec![c, d]);
         assert_eq!(q.consumers_of(d), Vec::<ObjectId>::new());
     }
 

@@ -21,6 +21,9 @@
 use crate::parallel::parallel_map;
 use crate::provenance::ProvenanceObject;
 use crate::record::{checksum_message, ProvenanceRecord, RecordKind};
+use crate::slice::{
+    backward_closure, forward_closure, polynomial_over, AggEdge, QueryAnswer, QueryOp, SliceProof,
+};
 use crate::streaming::{CheckpointError, RecordSlot, RecordStreamDigest, VerifierCheckpoint};
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::fmt;
@@ -583,6 +586,261 @@ impl<'a> Verifier<'a> {
         threads: usize,
     ) -> Vec<Verification> {
         parallel_map(threads, jobs, |_, (hash, prov)| self.verify(hash, prov))
+    }
+
+    /// Re-verifies a query [`SliceProof`] without trusting the server that
+    /// produced it: re-runs the R1–R8 checks over just the slice and
+    /// re-computes the answer from the records.
+    ///
+    /// Checks, in order:
+    ///
+    /// 1. algorithm agreement and canonical `(oid, seq)` ordering of
+    ///    records and boundary links (reordered slices are
+    ///    `MalformedRecord`, forks `DuplicateRecord`);
+    /// 2. every record's structural shape and checksum signature, with
+    ///    predecessor checksums resolving through the slice first and the
+    ///    boundary links second — an unresolvable predecessor is
+    ///    `MissingRecord`, a forged record `BadSignature`;
+    /// 3. **coverage**: the operator's own traversal is re-run over the
+    ///    slice. In-bounds nodes the traversal demands must be present as
+    ///    records (`MissingRecord`), out-of-bounds crossings must carry a
+    ///    boundary checksum (`MissingRecord`), and records or boundary
+    ///    links the traversal never touches are `ExtraneousRecord`;
+    /// 4. the shipped answer must equal the answer recomputed from the
+    ///    slice, else `OutputMismatch`.
+    ///
+    /// Soundness caveat (also in the `slice` module docs): backward
+    /// queries are complete relative to the signed records; for
+    /// descendants/audit slices a server can omit qualifying records
+    /// undetectably until authenticated denial lands — every record it
+    /// *does* return is still fully verified.
+    pub fn verify_slice(&self, proof: &SliceProof) -> Verification {
+        let timer = self.obs.as_ref().map(|o| o.latency_ns.start_timer());
+        let v = self.verify_slice_inner(proof);
+        if let Some(obs) = &self.obs {
+            obs.record_outcome(&v);
+        }
+        drop(timer);
+        v
+    }
+
+    fn verify_slice_inner(&self, proof: &SliceProof) -> Verification {
+        let mut v = Verification::default();
+        let spec = &proof.spec;
+
+        if proof.alg != self.alg {
+            v.issues.push(TamperEvidence::MalformedRecord {
+                oid: spec.target,
+                seq: proof.target_seq,
+                why: "slice hash algorithm mismatch",
+            });
+            return v;
+        }
+
+        // Canonical ordering: the encoding is bijective, so enforcing
+        // sorted order here means a reordered slice can never verify.
+        for w in proof.records.windows(2) {
+            if (w[0].output_oid, w[0].seq_id) >= (w[1].output_oid, w[1].seq_id) {
+                v.issues.push(TamperEvidence::MalformedRecord {
+                    oid: w[1].output_oid,
+                    seq: w[1].seq_id,
+                    why: "slice records out of canonical order",
+                });
+            }
+        }
+        for w in proof.boundary.windows(2) {
+            if (w[0].oid, w[0].seq) >= (w[1].oid, w[1].seq) {
+                v.issues.push(TamperEvidence::MalformedRecord {
+                    oid: w[1].oid,
+                    seq: w[1].seq,
+                    why: "boundary links out of canonical order",
+                });
+            }
+        }
+
+        // Index the slice; forks inside it are duplicates, and a boundary
+        // link shadowing an in-slice record is a fork too.
+        let mut index: HashMap<(ObjectId, u64), &ProvenanceRecord> = HashMap::new();
+        for r in &proof.records {
+            if index.insert((r.output_oid, r.seq_id), r).is_some() {
+                v.issues.push(TamperEvidence::DuplicateRecord {
+                    oid: r.output_oid,
+                    seq: r.seq_id,
+                });
+            }
+        }
+        let mut boundary: HashMap<(ObjectId, u64), &[u8]> = HashMap::new();
+        for b in &proof.boundary {
+            let key = (b.oid, b.seq);
+            if index.contains_key(&key) || boundary.insert(key, &b.checksum).is_some() {
+                v.issues.push(TamperEvidence::DuplicateRecord {
+                    oid: b.oid,
+                    seq: b.seq,
+                });
+            }
+        }
+
+        // Shape + signature of every record, predecessor checksums
+        // resolving slice-first, boundary-second. The boundary checksums
+        // are covered by the in-slice signatures that chain to them, so a
+        // flipped boundary link surfaces as BadSignature.
+        for r in &proof.records {
+            check_record_shape(r, &mut v.issues);
+            check_record_signature(
+                self.keys,
+                self.alg,
+                r,
+                |oid, seq| {
+                    index
+                        .get(&(oid, seq))
+                        .map(|p| p.checksum.clone())
+                        .or_else(|| boundary.get(&(oid, seq)).map(|c| c.to_vec()))
+                },
+                &mut v.issues,
+            );
+            v.records_checked += 1;
+            v.participants.insert(r.participant);
+        }
+
+        // Coverage + answer recomputation, per operator. `allowed_boundary`
+        // accumulates every (oid, seq) a boundary link may legitimately
+        // stand for; anything else shipped in the boundary is extraneous.
+        let mut allowed_boundary: HashSet<(ObjectId, u64)> = proof
+            .records
+            .iter()
+            .flat_map(|r| {
+                r.inputs
+                    .iter()
+                    .filter_map(|i| i.prev_seq.map(|p| (i.oid, p)))
+            })
+            .collect();
+
+        let expected = match spec.op {
+            QueryOp::Ancestors | QueryOp::LineageSlice | QueryOp::Polynomial => {
+                let closure = backward_closure(
+                    &spec.bounds,
+                    (spec.target, proof.target_seq),
+                    usize::MAX,
+                    |oid, seq| index.get(&(oid, seq)).map(|r| (*r).clone()),
+                );
+                for &(oid, seq) in &closure.missing {
+                    v.issues.push(TamperEvidence::MissingRecord { oid, seq });
+                }
+                let kept: HashSet<(ObjectId, u64)> = closure.kept.iter().copied().collect();
+                for r in &proof.records {
+                    if !kept.contains(&(r.output_oid, r.seq_id)) {
+                        v.issues.push(TamperEvidence::ExtraneousRecord {
+                            oid: r.output_oid,
+                            seq: r.seq_id,
+                        });
+                    }
+                }
+                // Every clipped crossing must ship its checksum so the
+                // recipient can keep auditing past the bounds.
+                for &(oid, seq) in &closure.clipped {
+                    allowed_boundary.insert((oid, seq));
+                    if !boundary.contains_key(&(oid, seq)) {
+                        v.issues.push(TamperEvidence::MissingRecord { oid, seq });
+                    }
+                }
+                if spec.op == QueryOp::Polynomial {
+                    QueryAnswer::Polynomial(polynomial_over(
+                        &proof.records,
+                        (spec.target, proof.target_seq),
+                    ))
+                } else {
+                    let mut oids: Vec<ObjectId> = closure
+                        .kept
+                        .iter()
+                        .map(|&(o, _)| o)
+                        .filter(|&o| o != spec.target)
+                        .collect();
+                    oids.sort();
+                    oids.dedup();
+                    QueryAnswer::Objects(oids)
+                }
+            }
+            QueryOp::Descendants => {
+                // Anchor: the target's record at target_seq proves the
+                // subject exists and pins the traversal root.
+                let anchor = (spec.target, proof.target_seq);
+                if !index.contains_key(&anchor) {
+                    v.issues.push(TamperEvidence::MissingRecord {
+                        oid: anchor.0,
+                        seq: anchor.1,
+                    });
+                }
+                let aggs: Vec<AggEdge> = proof
+                    .records
+                    .iter()
+                    .filter(|r| r.kind == RecordKind::Aggregate)
+                    .map(|r| {
+                        (
+                            r.output_oid,
+                            r.seq_id,
+                            r.inputs.iter().map(|i| i.oid).collect(),
+                        )
+                    })
+                    .collect();
+                let (kept_idx, depth) = forward_closure(&spec.bounds, spec.target, &aggs);
+                let kept: HashSet<(ObjectId, u64)> =
+                    kept_idx.iter().map(|&i| (aggs[i].0, aggs[i].1)).collect();
+                for r in &proof.records {
+                    let key = (r.output_oid, r.seq_id);
+                    if key != anchor && !kept.contains(&key) {
+                        v.issues.push(TamperEvidence::ExtraneousRecord {
+                            oid: key.0,
+                            seq: key.1,
+                        });
+                    }
+                }
+                QueryAnswer::Objects(
+                    depth
+                        .keys()
+                        .copied()
+                        .filter(|&o| o != spec.target)
+                        .collect(),
+                )
+            }
+            QueryOp::AuditSlice => {
+                let Some(who) = spec.participant else {
+                    v.issues.push(TamperEvidence::MalformedRecord {
+                        oid: spec.target,
+                        seq: proof.target_seq,
+                        why: "audit slice without a participant",
+                    });
+                    return v;
+                };
+                for r in &proof.records {
+                    if r.participant != who || !spec.bounds.seq_in_range(r.seq_id) {
+                        v.issues.push(TamperEvidence::ExtraneousRecord {
+                            oid: r.output_oid,
+                            seq: r.seq_id,
+                        });
+                    }
+                }
+                let mut oids: Vec<ObjectId> = proof.records.iter().map(|r| r.output_oid).collect();
+                oids.sort();
+                oids.dedup();
+                QueryAnswer::Objects(oids)
+            }
+        };
+
+        for b in &proof.boundary {
+            if !allowed_boundary.contains(&(b.oid, b.seq)) && !index.contains_key(&(b.oid, b.seq)) {
+                v.issues.push(TamperEvidence::ExtraneousRecord {
+                    oid: b.oid,
+                    seq: b.seq,
+                });
+            }
+        }
+
+        if expected != proof.answer {
+            v.issues
+                .push(TamperEvidence::OutputMismatch { oid: spec.target });
+        }
+
+        v
     }
 
     fn check_shape(&self, r: &ProvenanceRecord, v: &mut Verification) {

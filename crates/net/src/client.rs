@@ -38,9 +38,10 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tep_core::metrics::{TransferCounters, TransferSnapshot};
+use tep_core::slice::{QuerySpec, SliceProof};
 use tep_core::streaming::{DepthStreamHasher, StreamError};
 use tep_core::verify::{
-    EvidenceCounters, EvidenceKind, StreamingVerifier, TamperEvidence, Verification,
+    EvidenceCounters, EvidenceKind, StreamingVerifier, TamperEvidence, Verification, Verifier,
 };
 use tep_core::{ProvenanceObject, ProvenanceRecord, VerifyBatcher};
 use tep_crypto::digest::HashAlgorithm;
@@ -129,6 +130,16 @@ pub struct FetchReport {
     /// order — two transfers delivered the byte-identical record sequence
     /// iff their digests are equal.
     pub stream_digest: Vec<u8>,
+}
+
+/// Successful, fully re-verified query.
+#[derive(Clone, Debug)]
+pub struct QueryReport {
+    /// The decoded slice proof: records, boundary links, and the answer.
+    pub proof: SliceProof,
+    /// The client-side re-verification verdict (always `verified()` on
+    /// the `Ok` path).
+    pub verification: Verification,
 }
 
 /// Client-side failure.
@@ -298,6 +309,73 @@ impl Client {
     /// Connects and returns the server's OFFER manifest (with retry).
     pub fn offer(&mut self) -> Result<Vec<OfferEntry>, NetError> {
         self.with_retry(|conn| conn.offer.clone().ok_or(NetError::Protocol("no OFFER")))
+    }
+
+    /// Runs a provenance query on the server and **re-verifies the slice
+    /// proof locally** before returning it: the records' signatures and
+    /// chains are checked against `keys`, the traversal is re-run over the
+    /// slice, and the answer recomputed. The server is never trusted — a
+    /// QRESULT that fails any check is rejected as
+    /// [`NetError::TamperDetected`] (never retried), including a proof
+    /// answering a *different* question than the one asked.
+    pub fn query(
+        &mut self,
+        spec: &QuerySpec,
+        keys: &KeyDirectory,
+    ) -> Result<QueryReport, NetError> {
+        let cfg = self.cfg;
+        let counters = Arc::clone(&self.counters);
+        let registry = self.registry.clone();
+        self.with_retry(move |conn| {
+            conn.writer.write_message(&Message::Query { spec: *spec })?;
+            let frame = conn.reader.frames();
+            match conn.reader.read_message()? {
+                Some(Message::QResult { proof }) => {
+                    let Ok(proof) = SliceProof::from_bytes(&proof) else {
+                        // The frame CRC passed, so these bytes are what the
+                        // server sent — a non-canonical or truncated proof
+                        // is a lie, not line noise.
+                        counters.verify_failure();
+                        record_malformed_stream(registry.as_ref());
+                        return Err(NetError::Protocol("QRESULT proof failed to decode"));
+                    };
+                    if proof.spec != *spec {
+                        // An answer to a different question than asked.
+                        counters.verify_failure();
+                        if let Some(reg) = registry.as_ref() {
+                            EvidenceCounters::new(reg).record(EvidenceKind::OutputMismatch);
+                        }
+                        return Err(NetError::TamperDetected {
+                            frame: Some(frame),
+                            issues: vec![TamperEvidence::OutputMismatch { oid: spec.target }],
+                        });
+                    }
+                    let mut verifier = Verifier::new(keys, cfg.alg);
+                    if let Some(reg) = registry.as_ref() {
+                        verifier.attach_obs(reg);
+                    }
+                    let verification = verifier.verify_slice(&proof);
+                    if !verification.verified() {
+                        counters.verify_failure();
+                        return Err(NetError::TamperDetected {
+                            frame: Some(frame),
+                            issues: verification.issues,
+                        });
+                    }
+                    Ok(QueryReport {
+                        proof,
+                        verification,
+                    })
+                }
+                Some(Message::Error {
+                    code,
+                    retry_after_ms,
+                    detail,
+                }) => Err(remote_error(code, retry_after_ms, detail)),
+                Some(_) => Err(NetError::Protocol("expected QRESULT")),
+                None => Err(NetError::Interrupted),
+            }
+        })
     }
 
     /// Fetches `oid`, verifying every record as it arrives and the

@@ -28,6 +28,13 @@
 //!   codec at any byte, [`fault::FaultListener`] crashes a live TCP path
 //!   at any frame — resets, torn frames, bit flips, stalls.
 //!
+//! Beyond full transfers, QUERY/QRESULT frames serve *verifiable query
+//! answers*: the server runs a `tep_query::QueryEngine` over its record
+//! log and ships each answer as a `SliceProof`; `Client::query` re-runs
+//! the verification over just that slice (`Verifier::verify_slice`) and
+//! recomputes the answer before accepting it — a tampered or incomplete
+//! slice is rejected with attributed evidence, never retried.
+//!
 //! Transfers are *resumable*: a client cut after k verified records
 //! reconnects with a RESUME frame proving its position via a rolling
 //! record-stream digest, and continues verify-on-receive from k+1. A
@@ -50,7 +57,9 @@ pub mod server;
 pub mod sys;
 pub mod wire;
 
-pub use client::{scaled_read_timeout, Client, ClientConfig, FetchReport, NetError, RetryPolicy};
+pub use client::{
+    scaled_read_timeout, Client, ClientConfig, FetchReport, NetError, QueryReport, RetryPolicy,
+};
 pub use fault::{FaultKind, FaultListener, FaultPlan, FaultStream, StreamFault, StreamFaultPlan};
 pub use proxy::{ProxyAction, TamperProxy};
 pub use server::{serve, serve_with_registry, Catalog, ServerConfig, ServerHandle};

@@ -58,6 +58,7 @@ use tep_core::streaming::RecordStreamDigest;
 use tep_crypto::digest::HashAlgorithm;
 use tep_model::{Forest, ObjectId};
 use tep_obs::{names, Counter, Gauge, Histogram, Registry};
+use tep_query::{QueryEngine, QueryError};
 use tep_storage::crc::frame_crc;
 use tep_storage::ProvenanceDb;
 
@@ -264,6 +265,7 @@ struct ServerObs {
     fetches: Counter,
     resumes: Counter,
     stats_requests: Counter,
+    queries: Counter,
     shed: Counter,
     deadline_closes: Counter,
     write_aborts: Counter,
@@ -277,6 +279,7 @@ impl ServerObs {
             fetches: registry.counter(names::NET_FETCHES),
             resumes: registry.counter(names::NET_RESUMES),
             stats_requests: registry.counter(names::NET_STATS_REQUESTS),
+            queries: registry.counter(names::NET_QUERIES),
             shed: registry.counter(names::NET_SHED),
             deadline_closes: registry.counter(names::NET_DEADLINE_CLOSES),
             write_aborts: registry.counter(names::NET_WRITE_ABORTS),
@@ -319,6 +322,9 @@ struct Env {
     obs: ServerObs,
     loop_obs: LoopObs,
     registry: Registry,
+    /// Serves QUERY frames over the catalog's record log; its secondary
+    /// indexes tail the log lazily on each request.
+    query: QueryEngine,
 }
 
 /// Connection state-machine phases.
@@ -784,12 +790,56 @@ fn on_request<S: Read + Write>(conn: &mut Conn<S>, msg: Message, env: &Env, now:
                 now,
             );
         }
+        Message::Query { spec } => {
+            env.obs.queries.inc();
+            match env.query.execute(&spec) {
+                Ok(proof) => {
+                    let bytes = proof.to_bytes();
+                    // The whole proof must travel as one frame (payload =
+                    // type byte + proof) so the client verifies an atomic
+                    // unit; an answer past the cap is refused, not split.
+                    if bytes.len() + 1 > MAX_FRAME {
+                        conn.queue_frame(
+                            &Message::Error {
+                                code: ErrorCode::BadRequest,
+                                retry_after_ms: 0,
+                                detail: "slice proof exceeds frame cap; tighten the query bounds"
+                                    .into(),
+                            },
+                            true,
+                            env,
+                            now,
+                        );
+                    } else {
+                        conn.queue_frame(&Message::QResult { proof: bytes }, true, env, now);
+                    }
+                }
+                Err(e) => {
+                    let code = match e {
+                        QueryError::UnknownObject(_) => ErrorCode::UnknownObject,
+                        QueryError::MissingParticipant | QueryError::SliceTooLarge { .. } => {
+                            ErrorCode::BadRequest
+                        }
+                    };
+                    conn.queue_frame(
+                        &Message::Error {
+                            code,
+                            retry_after_ms: 0,
+                            detail: e.to_string(),
+                        },
+                        true,
+                        env,
+                        now,
+                    );
+                }
+            }
+        }
         _ => {
             conn.queue_frame(
                 &Message::Error {
                     code: ErrorCode::BadRequest,
                     retry_after_ms: 0,
-                    detail: "expected FETCH or RESUME".into(),
+                    detail: "expected FETCH, RESUME, QUERY, or STATS".into(),
                 },
                 false,
                 env,
@@ -1239,12 +1289,15 @@ pub fn serve_with_registry(
         shutdown: AtomicBool::new(false),
     });
     let counters = Arc::new(TransferCounters::observed(&registry));
+    let mut query = QueryEngine::new(Arc::clone(&catalog.db), catalog.alg);
+    query.attach_obs(&registry);
     let env = Env {
         catalog,
         counters: Arc::clone(&counters),
         obs: ServerObs::new(&registry),
         loop_obs: LoopObs::new(&registry),
         registry: registry.clone(),
+        query,
     };
     let ev = EventLoop {
         env,
@@ -1437,12 +1490,15 @@ mod tests {
     fn test_env() -> (Env, ObjectId) {
         let (catalog, root) = shared_world();
         let registry = Registry::new();
+        let mut query = QueryEngine::new(Arc::clone(&catalog.db), catalog.alg);
+        query.attach_obs(&registry);
         let env = Env {
             catalog: Arc::clone(catalog),
             counters: Arc::new(TransferCounters::new()),
             obs: ServerObs::new(&registry),
             loop_obs: LoopObs::new(&registry),
             registry: registry.clone(),
+            query,
         };
         (env, *root)
     }

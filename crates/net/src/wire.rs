@@ -33,6 +33,7 @@ use std::io::{self, Read, Write};
 use std::sync::Arc;
 
 use tep_core::metrics::TransferCounters;
+use tep_core::slice::QuerySpec;
 use tep_crypto::digest::HashAlgorithm;
 use tep_model::encode::{decode_value, encode_value, DecodeError, Reader};
 use tep_model::{ObjectId, Value};
@@ -65,6 +66,8 @@ const TYPE_STATS_REQ: u8 = 0x08;
 const TYPE_STATS: u8 = 0x09;
 const TYPE_RESUME: u8 = 0x0A;
 const TYPE_RESUME_OK: u8 = 0x0B;
+const TYPE_QUERY: u8 = 0x0C;
+const TYPE_QRESULT: u8 = 0x0D;
 
 /// Why a peer refused a request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -226,6 +229,18 @@ pub enum Message {
         /// `records` records.
         digest: Vec<u8>,
     },
+    /// Client asks the server to run a provenance query.
+    Query {
+        /// What to compute, over which object, under which bounds.
+        spec: QuerySpec,
+    },
+    /// The server's answer: an encoded `tep_core::slice::SliceProof` the
+    /// client decodes and re-verifies with `Verifier::verify_slice`. The
+    /// bytes travel opaquely — the wire layer never vouches for them.
+    QResult {
+        /// The proof in its canonical slice encoding.
+        proof: Vec<u8>,
+    },
 }
 
 /// Wire-layer failure.
@@ -371,6 +386,14 @@ pub fn encode_message_into(msg: &Message, out: &mut Vec<u8>) {
             out.extend_from_slice(&(digest.len() as u64).to_be_bytes());
             out.extend_from_slice(digest);
         }
+        Message::Query { spec } => {
+            out.push(TYPE_QUERY);
+            spec.encode_into(out);
+        }
+        Message::QResult { proof } => {
+            out.push(TYPE_QRESULT);
+            out.extend_from_slice(proof);
+        }
     }
 }
 
@@ -453,6 +476,16 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, WireError> {
             records: r.u64()?,
             digest: r.len_prefixed()?.to_vec(),
         },
+        TYPE_QUERY => Message::Query {
+            spec: QuerySpec::decode(&mut r)?,
+        },
+        TYPE_QRESULT => {
+            // The proof body is the rest of the payload, verbatim; its own
+            // magic/length discipline lives in `SliceProof::from_bytes`.
+            return Ok(Message::QResult {
+                proof: payload[1..].to_vec(),
+            });
+        }
         t => return Err(WireError::BadType(t)),
     };
     r.expect_end()?;
@@ -684,6 +717,20 @@ mod tests {
             Message::ResumeOk {
                 records: 3,
                 digest: vec![0x5A; 32],
+            },
+            Message::Query {
+                spec: QuerySpec {
+                    op: tep_core::slice::QueryOp::Ancestors,
+                    target: ObjectId(7),
+                    participant: Some(ParticipantId(2)),
+                    bounds: tep_core::slice::QueryBounds {
+                        max_depth: Some(3),
+                        seq_range: Some((1, 9)),
+                    },
+                },
+            },
+            Message::QResult {
+                proof: b"TEPSLICE\x01 opaque proof bytes".to_vec(),
             },
         ]
     }

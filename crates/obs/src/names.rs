@@ -24,6 +24,10 @@ pub const NET_RESUMES: &str = "tep_net_resumes_total";
 /// STATS requests served.
 pub const NET_STATS_REQUESTS: &str = "tep_net_stats_requests_total";
 
+/// QUERY requests served (successfully or not); the per-operator split
+/// lives in `tep_query_requests_<op>_total`.
+pub const NET_QUERIES: &str = "tep_net_queries_total";
+
 /// Connections shed at the load-shedding watermark with `ERR busy` +
 /// a `Retry-After` hint (a subset of, or equal to, busy rejections).
 pub const NET_SHED: &str = "tep_net_shed_total";
@@ -71,3 +75,21 @@ pub const NET_CONNS_STREAMING: &str = "tep_net_conns_streaming";
 /// Gauge of connections currently in the `Draining` state (a terminal
 /// reply is queued; the connection closes once it flushes).
 pub const NET_CONNS_DRAINING: &str = "tep_net_conns_draining";
+
+/// QUERY requests served by the query engine, across all operators
+/// (per-operator counters are `tep_query_requests_<op>_total`, named by
+/// `QueryOp::counter_name`).
+pub const QUERY_REQUESTS: &str = "tep_query_requests_total";
+
+/// Histogram of records shipped per slice proof — the size of the
+/// verifiable evidence a query answer drags along.
+pub const QUERY_SLICE_RECORDS: &str = "tep_query_slice_records";
+
+/// Histogram of nanoseconds spent building the secondary indexes from an
+/// empty watermark (first sync over an existing log).
+pub const QUERY_INDEX_BUILD_NS: &str = "tep_query_index_build_ns";
+
+/// Histogram of nanoseconds spent in incremental index syncs (tailing
+/// records appended since the last sync). Wall-clock valued, so only its
+/// `_count` participates in the deterministic metrics block.
+pub const QUERY_INDEX_SYNC_NS: &str = "tep_query_index_sync_ns";

@@ -1,0 +1,209 @@
+//! Incremental secondary indexes over the record log, with sidecar
+//! persistence.
+//!
+//! A [`QueryIndex`] tails the append-ordered record log
+//! ([`ProvenanceDb::records_from`]) and maintains two structures the query
+//! operators need: the reverse derivation-edge index
+//! ([`tep_core::EdgeIndex`]) and a by-participant posting list. Syncing
+//! after `n` fresh appends costs O(n), never a log rescan.
+//!
+//! The index can be persisted to a **sidecar file** next to the log
+//! (`<log>.tepidx`) so a restarted process resumes from the watermark
+//! instead of rebuilding. The sidecar is *not* trusted: its body is
+//! CRC-framed against torn writes, and its watermark is bound to the
+//! checksum of the last record it claims to have indexed — if the log
+//! underneath was truncated, swapped, or regrown differently, the binding
+//! fails and the loader falls back to a clean rebuild. A stale or
+//! corrupted sidecar can therefore cost time, never correctness.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+use tep_core::EdgeIndex;
+use tep_crypto::pki::ParticipantId;
+use tep_model::encode::Reader;
+use tep_model::ObjectId;
+use tep_storage::crc::frame_crc;
+use tep_storage::ProvenanceDb;
+
+/// Format tag of the sidecar encoding.
+const IDX_MAGIC: &[u8] = b"TEPIDX\x01";
+
+/// The secondary indexes the query engine answers from. See the module
+/// docs for the sync and persistence model.
+#[derive(Clone, Debug, Default)]
+pub struct QueryIndex {
+    synced: usize,
+    last_checksum: Vec<u8>,
+    by_participant: BTreeMap<ParticipantId, Vec<(ObjectId, u64)>>,
+    edges: EdgeIndex,
+}
+
+impl QueryIndex {
+    /// An empty index; call [`Self::sync`] to populate it.
+    pub fn new() -> Self {
+        QueryIndex::default()
+    }
+
+    /// Indexes every record appended since the last sync. Returns how
+    /// many records were read.
+    pub fn sync(&mut self, db: &ProvenanceDb) -> usize {
+        let fresh = db.records_from(self.synced);
+        for stored in &fresh {
+            self.by_participant
+                .entry(stored.participant)
+                .or_default()
+                .push((stored.oid, stored.seq_id));
+            self.last_checksum.clear();
+            self.last_checksum.extend_from_slice(&stored.checksum);
+        }
+        self.synced += fresh.len();
+        self.edges.sync(db);
+        fresh.len()
+    }
+
+    /// Log position up to which this index is current.
+    pub fn synced(&self) -> usize {
+        self.synced
+    }
+
+    /// The reverse derivation-edge index.
+    pub fn edges(&self) -> &EdgeIndex {
+        &self.edges
+    }
+
+    /// Records authored by `participant`, as `(object, seq_id)` in append
+    /// order.
+    pub fn by_participant(&self, participant: ParticipantId) -> &[(ObjectId, u64)] {
+        self.by_participant
+            .get(&participant)
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Participants with at least one indexed record, sorted.
+    pub fn participants(&self) -> Vec<ParticipantId> {
+        self.by_participant.keys().copied().collect()
+    }
+
+    /// Serializes the index to sidecar bytes: magic, then a CRC-framed
+    /// body carrying the watermark, its checksum binding, and both maps.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(64 + self.by_participant.len() * 32);
+        body.extend_from_slice(&(self.synced as u64).to_be_bytes());
+        body.extend_from_slice(&(self.last_checksum.len() as u64).to_be_bytes());
+        body.extend_from_slice(&self.last_checksum);
+        body.extend_from_slice(&(self.by_participant.len() as u64).to_be_bytes());
+        for (pid, posts) in &self.by_participant {
+            body.extend_from_slice(&pid.0.to_be_bytes());
+            body.extend_from_slice(&(posts.len() as u64).to_be_bytes());
+            for &(oid, seq) in posts {
+                body.extend_from_slice(&oid.raw().to_be_bytes());
+                body.extend_from_slice(&seq.to_be_bytes());
+            }
+        }
+        let edge_sources: Vec<_> = self.edges.iter().collect();
+        body.extend_from_slice(&(edge_sources.len() as u64).to_be_bytes());
+        for (oid, consumers) in edge_sources {
+            body.extend_from_slice(&oid.raw().to_be_bytes());
+            body.extend_from_slice(&(consumers.len() as u64).to_be_bytes());
+            for &(consumer, seq) in consumers {
+                body.extend_from_slice(&consumer.raw().to_be_bytes());
+                body.extend_from_slice(&seq.to_be_bytes());
+            }
+        }
+
+        let len = body.len() as u32;
+        let crc = frame_crc(len, &body);
+        let mut out = Vec::with_capacity(IDX_MAGIC.len() + 8 + body.len());
+        out.extend_from_slice(IDX_MAGIC);
+        out.extend_from_slice(&len.to_be_bytes());
+        out.extend_from_slice(&crc.to_be_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Parses sidecar bytes. Returns `None` on any structural problem —
+    /// bad magic, CRC mismatch, truncation, trailing bytes — because a
+    /// sidecar is always safely replaceable by a rebuild.
+    pub fn from_bytes(buf: &[u8]) -> Option<Self> {
+        let rest = buf.strip_prefix(IDX_MAGIC)?;
+        if rest.len() < 8 {
+            return None;
+        }
+        let len = u32::from_be_bytes(rest[0..4].try_into().ok()?);
+        let crc = u32::from_be_bytes(rest[4..8].try_into().ok()?);
+        let body = &rest[8..];
+        if body.len() != len as usize || frame_crc(len, body) != crc {
+            return None;
+        }
+        let parse = || -> Result<QueryIndex, tep_model::encode::DecodeError> {
+            let mut r = Reader::new(body);
+            let synced = r.u64()? as usize;
+            let last_checksum = r.len_prefixed()?.to_vec();
+            let np = r.u64()? as usize;
+            let mut by_participant = BTreeMap::new();
+            for _ in 0..np {
+                let pid = ParticipantId(r.u64()?);
+                let n = r.u64()? as usize;
+                let mut posts = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    posts.push((ObjectId(r.u64()?), r.u64()?));
+                }
+                by_participant.insert(pid, posts);
+            }
+            let ns = r.u64()? as usize;
+            let mut edge_entries = Vec::with_capacity(ns.min(4096));
+            for _ in 0..ns {
+                let oid = ObjectId(r.u64()?);
+                let n = r.u64()? as usize;
+                let mut consumers = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    consumers.push((ObjectId(r.u64()?), r.u64()?));
+                }
+                edge_entries.push((oid, consumers));
+            }
+            r.expect_end()?;
+            Ok(QueryIndex {
+                synced,
+                last_checksum,
+                by_participant,
+                edges: EdgeIndex::from_parts(synced, edge_entries),
+            })
+        };
+        parse().ok()
+    }
+
+    /// `true` iff this index's watermark still matches `db`: the position
+    /// is within the log and the record just below it carries the bound
+    /// checksum. A truncated, swapped, or differently regrown log fails.
+    pub fn binds_to(&self, db: &ProvenanceDb) -> bool {
+        if self.synced > db.len() {
+            return false;
+        }
+        if self.synced == 0 {
+            return self.last_checksum.is_empty();
+        }
+        db.records_from(self.synced - 1)
+            .first()
+            .is_some_and(|r| r.checksum == self.last_checksum)
+    }
+
+    /// Writes the sidecar atomically (temp file + rename) next to `path`.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension("tepidx.tmp");
+        std::fs::write(&tmp, self.to_bytes())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads a sidecar and validates its binding against `db`; any
+    /// failure (absent file, corrupt bytes, stale binding) yields a fresh
+    /// empty index instead. Either way the caller should [`Self::sync`]
+    /// afterwards to pick up the tail.
+    pub fn load_or_default(path: &Path, db: &ProvenanceDb) -> Self {
+        std::fs::read(path)
+            .ok()
+            .and_then(|bytes| QueryIndex::from_bytes(&bytes))
+            .filter(|ix| ix.binds_to(db))
+            .unwrap_or_default()
+    }
+}

@@ -1,0 +1,115 @@
+//! Pinned text exposition of the query layer's metrics. Dashboards parse
+//! these names and shapes; renaming a counter or changing the slice-size
+//! histogram's buckets must fail here, consciously.
+//!
+//! The workload is fully deterministic (seeded keys, fixed DAG, one query
+//! per operator), so the counter values, bucket counts, and even the
+//! slice-size histogram's `_sum` are exact. Only the index build/sync
+//! latency histograms carry wall-clock time — those are pinned by
+//! observation count, never by sum.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use tep_core::prelude::*;
+use tep_model::{AggregateMode, Value};
+use tep_obs::Registry;
+use tep_query::{QueryEngine, QueryOp, QuerySpec};
+use tep_storage::ProvenanceDb;
+
+const ALG: HashAlgorithm = HashAlgorithm::Sha256;
+
+#[test]
+fn query_metric_exposition_is_pinned() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let ca = CertificateAuthority::new(512, ALG, &mut rng);
+    let alice = ca.enroll(ParticipantId(1), 512, &mut rng);
+    let bob = ca.enroll(ParticipantId(2), 512, &mut rng);
+
+    // The engine-test diamond: a (insert+update) and b feed c; d and e
+    // aggregate onward, e re-using a.
+    let db = Arc::new(ProvenanceDb::in_memory());
+    let mut t = ProvenanceTracker::new(TrackerConfig::default(), db.clone());
+    let (a, _) = t.insert(&alice, Value::Int(1), None).unwrap();
+    t.update(&alice, a, Value::Int(2)).unwrap();
+    let (b, _) = t.insert(&bob, Value::Int(3), None).unwrap();
+    let (c, _) = t
+        .aggregate(&alice, &[a, b], Value::Int(4), AggregateMode::Atomic)
+        .unwrap();
+    let (_d, _) = t
+        .aggregate(&bob, &[c], Value::Int(5), AggregateMode::Atomic)
+        .unwrap();
+    let (e, _) = t
+        .aggregate(&alice, &[a, c], Value::Int(6), AggregateMode::Atomic)
+        .unwrap();
+
+    let registry = Registry::new();
+    let mut engine = QueryEngine::new(db, ALG);
+    engine.attach_obs(&registry);
+
+    // One query per operator; the slice sizes these produce are part of
+    // the pin (they feed the histogram's exact bucket counts and sum).
+    let sizes: Vec<usize> = [
+        QuerySpec::new(QueryOp::Ancestors, e),
+        QuerySpec::new(QueryOp::Descendants, a),
+        QuerySpec::new(QueryOp::LineageSlice, e),
+        QuerySpec::audit(alice.id()),
+        QuerySpec::new(QueryOp::Polynomial, e),
+    ]
+    .iter()
+    .map(|spec| engine.execute(spec).unwrap().records.len())
+    .collect();
+    assert_eq!(sizes, vec![5, 4, 5, 4, 5], "slice sizes drifted");
+
+    let text = registry.render_text();
+
+    // Counters: the total and the per-operator split, one each.
+    let pinned_counters = "\
+# TYPE tep_query_requests_ancestors_total counter
+tep_query_requests_ancestors_total 1
+# TYPE tep_query_requests_audit_total counter
+tep_query_requests_audit_total 1
+# TYPE tep_query_requests_descendants_total counter
+tep_query_requests_descendants_total 1
+# TYPE tep_query_requests_lineage_total counter
+tep_query_requests_lineage_total 1
+# TYPE tep_query_requests_polynomial_total counter
+tep_query_requests_polynomial_total 1
+# TYPE tep_query_requests_total counter
+tep_query_requests_total 5
+";
+    for line in pinned_counters.lines() {
+        assert!(
+            text.contains(line),
+            "missing pinned line {line:?} in:\n{text}"
+        );
+    }
+
+    // The slice-size histogram: fully deterministic, pinned whole.
+    let pinned_hist = "\
+# TYPE tep_query_slice_records histogram
+tep_query_slice_records_bucket{le=\"1\"} 0
+tep_query_slice_records_bucket{le=\"2\"} 0
+tep_query_slice_records_bucket{le=\"4\"} 2
+tep_query_slice_records_bucket{le=\"8\"} 5
+tep_query_slice_records_bucket{le=\"16\"} 5
+tep_query_slice_records_bucket{le=\"32\"} 5
+tep_query_slice_records_bucket{le=\"64\"} 5
+tep_query_slice_records_bucket{le=\"128\"} 5
+tep_query_slice_records_bucket{le=\"256\"} 5
+tep_query_slice_records_bucket{le=\"512\"} 5
+tep_query_slice_records_bucket{le=\"1024\"} 5
+tep_query_slice_records_bucket{le=\"2048\"} 5
+tep_query_slice_records_bucket{le=\"+Inf\"} 5
+tep_query_slice_records_sum 23
+tep_query_slice_records_count 5";
+    assert!(
+        text.contains(pinned_hist),
+        "slice-records histogram exposition drifted:\n{text}"
+    );
+
+    // Index latency histograms carry timing; pin their observation counts:
+    // the first execute builds (1), the other four incrementally sync (4).
+    assert!(text.contains("tep_query_index_build_ns_count 1"), "{text}");
+    assert!(text.contains("tep_query_index_sync_ns_count 4"), "{text}");
+}

@@ -1,0 +1,278 @@
+//! Adversarial slice-proof fuzzing: no truncation, bit flip, record
+//! omission, reordering, boundary tamper, or answer rewrite of a valid
+//! QRESULT may ever verify clean — and each structured tamper must carry
+//! the *right* `EvidenceKind`, so a recipient always learns what kind of
+//! lie it was told.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Arc, OnceLock};
+use tep_core::prelude::*;
+use tep_core::verify::EvidenceKind;
+use tep_model::{AggregateMode, ObjectId, Value};
+use tep_query::{QueryAnswer, QueryBounds, QueryEngine, QueryOp, QuerySpec, SliceProof};
+use tep_storage::ProvenanceDb;
+
+const ALG: HashAlgorithm = HashAlgorithm::Sha256;
+
+struct World {
+    keys: KeyDirectory,
+    /// Unbounded lineage proof (no boundary links).
+    lineage: SliceProof,
+    /// Depth-bounded ancestors proof (has boundary links).
+    bounded: SliceProof,
+    /// Polynomial proof over a diamond DAG.
+    poly: SliceProof,
+}
+
+fn world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0x51C3);
+        let ca = CertificateAuthority::new(512, ALG, &mut rng);
+        let alice = ca.enroll(ParticipantId(1), 512, &mut rng);
+        let bob = ca.enroll(ParticipantId(2), 512, &mut rng);
+        let mut keys = KeyDirectory::new(ca.public_key().clone(), ALG);
+        keys.register(alice.certificate().clone()).unwrap();
+        keys.register(bob.certificate().clone()).unwrap();
+
+        let db = Arc::new(ProvenanceDb::in_memory());
+        let mut t = ProvenanceTracker::new(TrackerConfig::default(), db.clone());
+        let (a, _) = t.insert(&alice, Value::Int(1), None).unwrap();
+        t.update(&alice, a, Value::Int(2)).unwrap();
+        let (b, _) = t.insert(&bob, Value::Int(3), None).unwrap();
+        let (c, _) = t
+            .aggregate(&alice, &[a, b], Value::Int(4), AggregateMode::Atomic)
+            .unwrap();
+        let (d, _) = t
+            .aggregate(&bob, &[c], Value::Int(5), AggregateMode::Atomic)
+            .unwrap();
+        let (e, _) = t
+            .aggregate(&alice, &[a, c], Value::Int(6), AggregateMode::Atomic)
+            .unwrap();
+        let _ = (d, e);
+
+        let engine = QueryEngine::new(db, ALG);
+        let lineage = engine
+            .execute(&QuerySpec::new(QueryOp::LineageSlice, d))
+            .unwrap();
+        let bounded = engine
+            .execute(&QuerySpec {
+                op: QueryOp::Ancestors,
+                target: d,
+                participant: None,
+                bounds: QueryBounds {
+                    max_depth: Some(1),
+                    seq_range: None,
+                },
+            })
+            .unwrap();
+        let poly = engine
+            .execute(&QuerySpec::new(QueryOp::Polynomial, e))
+            .unwrap();
+        assert!(!bounded.boundary.is_empty(), "bounded proof needs boundary");
+        World {
+            keys,
+            lineage,
+            bounded,
+            poly,
+        }
+    })
+}
+
+fn verify(proof: &SliceProof) -> Verification {
+    Verifier::new(&world().keys, ALG).verify_slice(proof)
+}
+
+fn has_kind(v: &Verification, kind: EvidenceKind) -> bool {
+    v.issues.iter().any(|i| i.kind() == kind)
+}
+
+fn proofs() -> Vec<&'static SliceProof> {
+    let w = world();
+    vec![&w.lineage, &w.bounded, &w.poly]
+}
+
+#[test]
+fn baseline_proofs_verify_clean() {
+    for proof in proofs() {
+        let v = verify(proof);
+        assert!(v.verified(), "{:?}", v.issues);
+        assert_eq!(
+            &SliceProof::from_bytes(&proof.to_bytes()).unwrap(),
+            proof,
+            "roundtrip must be lossless"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any strict prefix of the encoding fails to decode — a truncated
+    /// QRESULT can never be mistaken for a complete one.
+    #[test]
+    fn truncation_never_decodes(which in 0usize..3, cut_sel in any::<usize>()) {
+        let bytes = proofs()[which].to_bytes();
+        let cut = cut_sel % bytes.len();
+        prop_assert!(SliceProof::from_bytes(&bytes[..cut]).is_err());
+    }
+
+    /// Any single bit flip either fails to decode or yields attributed
+    /// evidence; it never verifies clean.
+    #[test]
+    fn bit_flips_never_verify(which in 0usize..3, pos in any::<usize>(), bit in 0u32..8) {
+        let bytes = proofs()[which].to_bytes();
+        let mut bad = bytes.clone();
+        let i = pos % bad.len();
+        bad[i] ^= 1 << bit;
+        if let Ok(proof) = SliceProof::from_bytes(&bad) {
+            let v = verify(&proof);
+            prop_assert!(
+                !v.verified(),
+                "flipped bit {bit} of byte {i} verified clean"
+            );
+        }
+    }
+
+    /// Omitting any record from the slice is detected — backward slices
+    /// are complete relative to the signed records, so a hole is always
+    /// either a missing demanded record or a broken signature chain.
+    #[test]
+    fn record_omission_never_verifies(which in 0usize..3, pick in any::<usize>()) {
+        let base = proofs()[which];
+        let mut proof = base.clone();
+        let i = pick % proof.records.len();
+        proof.records.remove(i);
+        let v = verify(&proof);
+        prop_assert!(!v.verified(), "omitting record {i} verified clean");
+        prop_assert!(
+            has_kind(&v, EvidenceKind::MissingRecord) || has_kind(&v, EvidenceKind::OutputMismatch),
+            "omission evidence should name the hole: {:?}",
+            v.issues
+        );
+    }
+
+    /// Reordering the slice breaks the canonical encoding and is flagged
+    /// as a malformed slice.
+    #[test]
+    fn reordering_never_verifies(which in 0usize..3, x in any::<usize>(), y in any::<usize>()) {
+        let base = proofs()[which];
+        let mut proof = base.clone();
+        let n = proof.records.len();
+        let (i, j) = (x % n, y % n);
+        prop_assume!(i != j);
+        proof.records.swap(i, j);
+        let v = verify(&proof);
+        prop_assert!(!v.verified());
+        prop_assert!(has_kind(&v, EvidenceKind::MalformedRecord), "{:?}", v.issues);
+    }
+
+    /// Flipping a boundary checksum breaks the signatures chaining to it.
+    #[test]
+    fn boundary_tamper_never_verifies(pick in any::<usize>(), byte in any::<usize>()) {
+        let base = &world().bounded;
+        let mut proof = base.clone();
+        let i = pick % proof.boundary.len();
+        let n = proof.boundary[i].checksum.len();
+        proof.boundary[i].checksum[byte % n] ^= 0x01;
+        let v = verify(&proof);
+        prop_assert!(!v.verified());
+        prop_assert!(has_kind(&v, EvidenceKind::BadSignature), "{:?}", v.issues);
+    }
+
+    /// Rewriting the shipped answer (adding, dropping, or renaming an
+    /// object) is an output mismatch.
+    #[test]
+    fn answer_tamper_never_verifies(which in 0usize..2, oid in 0u64..64) {
+        let base = proofs()[which];
+        let mut proof = base.clone();
+        let QueryAnswer::Objects(oids) = &mut proof.answer else {
+            unreachable!("lineage/ancestors answers are object lists")
+        };
+        let fake = ObjectId(oid);
+        match oids.iter().position(|&o| o == fake) {
+            Some(i) => { oids.remove(i); }
+            None => {
+                oids.push(fake);
+                oids.sort();
+            }
+        }
+        let v = verify(&proof);
+        prop_assert!(!v.verified());
+        prop_assert!(has_kind(&v, EvidenceKind::OutputMismatch), "{:?}", v.issues);
+    }
+}
+
+#[test]
+fn extraneous_record_is_attributed() {
+    let w = world();
+    // Graft a record from the polynomial slice (e's closure) into d's
+    // bounded ancestors slice: signed, genuine, but not part of the
+    // answer's coverage — planted evidence is still evidence.
+    let mut proof = w.bounded.clone();
+    let foreign = w
+        .poly
+        .records
+        .iter()
+        .find(|r| {
+            !proof
+                .records
+                .iter()
+                .any(|p| (p.output_oid, p.seq_id) == (r.output_oid, r.seq_id))
+        })
+        .expect("poly slice has a record outside the bounded slice")
+        .clone();
+    proof.records.push(foreign);
+    proof.records.sort_by_key(|r| (r.output_oid, r.seq_id));
+    let v = verify(&proof);
+    assert!(!v.verified());
+    assert!(
+        v.issues
+            .iter()
+            .any(|i| i.kind() == EvidenceKind::ExtraneousRecord),
+        "{:?}",
+        v.issues
+    );
+}
+
+#[test]
+fn duplicate_record_is_attributed() {
+    let w = world();
+    let mut proof = w.lineage.clone();
+    let dup = proof.records[0].clone();
+    proof.records.insert(0, dup);
+    let v = verify(&proof);
+    assert!(!v.verified());
+    assert!(
+        v.issues
+            .iter()
+            .any(|i| i.kind() == EvidenceKind::DuplicateRecord),
+        "{:?}",
+        v.issues
+    );
+}
+
+#[test]
+fn wrong_question_wrong_algorithm_are_flagged() {
+    let w = world();
+    // Same records, different claimed operator: the recomputed answer
+    // diverges (ancestors vs lineage share shape; flip to descendants).
+    let mut proof = w.lineage.clone();
+    proof.spec.op = QueryOp::Descendants;
+    let v = verify(&proof);
+    assert!(!v.verified(), "operator swap must not verify");
+
+    let mut proof = w.lineage.clone();
+    proof.alg = HashAlgorithm::Sha1;
+    let v = Verifier::new(&w.keys, ALG).verify_slice(&proof);
+    assert!(!v.verified());
+    assert!(
+        v.issues
+            .iter()
+            .any(|i| i.kind() == EvidenceKind::MalformedRecord),
+        "{:?}",
+        v.issues
+    );
+}

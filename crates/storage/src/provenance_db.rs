@@ -312,6 +312,19 @@ impl ProvenanceDb {
         self.inner.read().records.clone()
     }
 
+    /// Snapshot of the records at append positions `pos..`, in append
+    /// order — the incremental feed secondary indexes tail to stay in sync
+    /// without rescanning the whole log. An out-of-range `pos` yields an
+    /// empty vec.
+    pub fn records_from(&self, pos: usize) -> Vec<StoredRecord> {
+        let inner = self.inner.read();
+        inner
+            .records
+            .get(pos..)
+            .map(|s| s.to_vec())
+            .unwrap_or_default()
+    }
+
     /// Ids of all objects that have at least one record.
     pub fn object_ids(&self) -> Vec<ObjectId> {
         let mut ids: Vec<ObjectId> = self.inner.read().by_object.keys().copied().collect();

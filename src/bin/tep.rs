@@ -11,6 +11,10 @@
 //! tep export <log> <oid>              provenance DAG as OPM-style JSON
 //! tep verify <log> <oid> --keys <kr>  verify provenance integrity
 //!            [--hash <hex>]           …against a delivered object hash
+//! tep query <log> <op> <target>       provenance query with slice proof
+//!           [--participant N] [--depth N] [--seq-range A..B] [--keys <kr>]
+//!                                     op: ancestors | descendants |
+//!                                     lineage | audit | polynomial
 //! tep compact <log> <out> --live a,b  GC: keep only records reachable
 //!                                     from the listed live objects
 //! tep prove <snapshot> <root> <target> --out <file>
@@ -42,6 +46,9 @@ fn main() -> ExitCode {
             eprintln!("  tep dot <log> <oid>");
             eprintln!("  tep export <log> <oid>");
             eprintln!("  tep verify <log> <oid> --keys <keyring> [--hash <hex>]");
+            eprintln!(
+                "  tep query <log> <op> <target> [--participant N] [--depth N] [--seq-range A..B] [--keys <keyring>]"
+            );
             eprintln!("  tep compact <log> <out> --live <oid,oid,...>");
             eprintln!("  tep prove <snapshot> <root> <target> --out <file>");
             eprintln!("  tep check-proof <file> --root-hash <hex> [--int N | --text S]");
@@ -61,6 +68,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "dot" => dot(open_db(args.get(1))?, parse_oid(args.get(2))?),
         "export" => export(open_db(args.get(1))?, parse_oid(args.get(2))?),
         "verify" => verify(args),
+        "query" => query_cmd(args),
         "compact" => compact(args),
         "prove" => prove_cmd(args),
         "check-proof" => check_proof(args),
@@ -242,6 +250,127 @@ fn verify(args: &[String]) -> Result<(), String> {
             println!("TAMPER EVIDENCE: {issue}");
         }
         Err(format!("{} integrity violation(s) found", v.issues.len()))
+    }
+}
+
+fn query_cmd(args: &[String]) -> Result<(), String> {
+    use tepdb::query::{QueryAnswer, QueryBounds, QueryEngine, QueryOp, QuerySpec};
+
+    let path = args.get(1).ok_or("missing <log> path")?;
+    let op_raw = args
+        .get(2)
+        .ok_or("query needs an operator: ancestors | descendants | lineage | audit | polynomial")?;
+    let op = QueryOp::parse(op_raw).ok_or_else(|| format!("unknown operator: {op_raw}"))?;
+
+    let mut bounds = QueryBounds::default();
+    if let Some(d) = flag_value(args, "--depth") {
+        bounds.max_depth = Some(d.parse().map_err(|_| "invalid --depth")?);
+    }
+    if let Some(r) = flag_value(args, "--seq-range") {
+        let (lo, hi) = r.split_once("..").ok_or("--seq-range wants A..B")?;
+        bounds.seq_range = Some((
+            lo.parse().map_err(|_| "invalid --seq-range start")?,
+            hi.parse().map_err(|_| "invalid --seq-range end")?,
+        ));
+    }
+    let participant = flag_value(args, "--participant")
+        .map(|p| p.parse::<u64>().map(ParticipantId))
+        .transpose()
+        .map_err(|_| "invalid --participant")?;
+    let spec = if op == QueryOp::AuditSlice {
+        // The audit target is a participant; accept it positionally too.
+        let p = participant
+            .or_else(|| {
+                args.get(3)
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .map(ParticipantId)
+            })
+            .ok_or("audit needs --participant <id> (or a positional participant id)")?;
+        QuerySpec {
+            bounds,
+            ..QuerySpec::audit(p)
+        }
+    } else {
+        QuerySpec {
+            op,
+            target: parse_oid(args.get(3))?,
+            participant,
+            bounds,
+        }
+    };
+
+    // The keyring (when given) pins the hash algorithm and enables the
+    // recipient-side proof check; without it the slice is computed but
+    // explicitly reported as unverified.
+    let keys = match flag_value(args, "--keys") {
+        Some(kr_path) => {
+            let bytes =
+                std::fs::read(kr_path).map_err(|e| format!("cannot read {kr_path}: {e}"))?;
+            let keyring = Keyring::from_bytes(&bytes).ok_or("malformed keyring file")?;
+            let alg = keyring.algorithm();
+            let keys = keyring
+                .into_directory()
+                .map_err(|e| format!("keyring validation failed: {e}"))?;
+            Some((keys, alg))
+        }
+        None => None,
+    };
+    let alg = keys.as_ref().map_or(HashAlgorithm::Sha256, |(_, alg)| *alg);
+
+    let db = Arc::new(open_db(Some(path))?);
+    // The secondary indexes persist in a sidecar next to the log; a stale
+    // or corrupt sidecar is silently rebuilt from the log.
+    let sidecar = format!("{path}.tepidx");
+    let engine = QueryEngine::with_sidecar(Arc::clone(&db), alg, std::path::Path::new(&sidecar));
+    let proof = engine.execute(&spec).map_err(|e| e.to_string())?;
+    if let Err(e) = engine.save_index() {
+        eprintln!("warning: could not save index sidecar {sidecar}: {e}");
+    }
+
+    println!(
+        "{} of {} — {} record(s) in slice, {} boundary link(s), proof {} bytes",
+        spec.op,
+        if op == QueryOp::AuditSlice {
+            format!("participant {}", spec.participant.expect("audit has one").0)
+        } else {
+            spec.target.to_string()
+        },
+        proof.records.len(),
+        proof.boundary.len(),
+        proof.to_bytes().len(),
+    );
+    match &proof.answer {
+        QueryAnswer::Objects(oids) => {
+            for oid in oids {
+                println!("  {oid}");
+            }
+            if oids.is_empty() {
+                println!("  (none)");
+            }
+        }
+        QueryAnswer::Polynomial(p) => println!("  {p}"),
+    }
+
+    match keys {
+        Some((keys, alg)) => {
+            let v = Verifier::new(&keys, alg).verify_slice(&proof);
+            if v.verified() {
+                println!(
+                    "VERIFIED: slice proof checks out ({} records)",
+                    v.records_checked
+                );
+                Ok(())
+            } else {
+                for issue in &v.issues {
+                    println!("TAMPER EVIDENCE: {issue}");
+                }
+                Err(format!("{} integrity violation(s) found", v.issues.len()))
+            }
+        }
+        None => {
+            eprintln!("note: no --keys given; slice proof NOT verified");
+            Ok(())
+        }
     }
 }
 

@@ -20,6 +20,9 @@
 //! * [`core`] — provenance records & checksums, Basic/Economical compound
 //!   hashing, inheritance, complex operations, DAG assembly, verification,
 //!   and an attack toolkit.
+//! * [`query`] — verifiable provenance queries over the record log:
+//!   secondary indexes, ancestors/descendants/lineage/audit/polynomial
+//!   operators, every answer shipped as a re-verifiable slice proof.
 //! * [`net`] — provenance exchange over TCP: deterministic wire format,
 //!   multithreaded server, and a retrying client with streaming
 //!   verify-on-receive.
@@ -61,6 +64,7 @@ pub use tep_crypto as crypto;
 pub use tep_model as model;
 pub use tep_net as net;
 pub use tep_obs as obs;
+pub use tep_query as query;
 pub use tep_storage as storage;
 pub use tep_workloads as workloads;
 

@@ -9,7 +9,10 @@
 //!   and verify via [`Verifier::verify_recovered`];
 //! * **wire** — serve the honest catalog and replay the tamper in flight
 //!   through a [`TamperProxy`], letting the client's streaming verifier
-//!   catch it.
+//!   catch it;
+//! * **query slice** — plant the tamper inside a [`SliceProof`] answering a
+//!   lineage query over the same history, and let the recipient's
+//!   [`Verifier::verify_slice`] attribute it.
 //!
 //! Each detection is asserted twice: the verdict itself, and the matching
 //! `tep_core_evidence_<kind>_total` counter in a per-case [`Registry`] —
@@ -30,6 +33,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tepdb::core::attack::{apply_tamper, collusion_splice, forge_insertion, Tamper};
 use tepdb::core::provenance::ProvenanceObject;
+use tepdb::core::slice::{QueryAnswer, QueryOp, QuerySpec, SliceProof};
 use tepdb::core::verify::EvidenceKind;
 use tepdb::core::{
     collect, ProvenanceRecord, ProvenanceTracker, TamperEvidence, TrackerConfig, Verifier,
@@ -502,6 +506,97 @@ fn wire_surface_detects_every_expressible_attack() {
     // R1 (×3), R2, R4, R5, R7, R8 all have wire forms.
     assert_eq!(covered, 8, "wire coverage shrank");
     srv.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Surface 4: query slices (`Verifier::verify_slice`)
+// ---------------------------------------------------------------------------
+
+/// The honest lineage slice of `doc`: its full 5-record chain, produced by
+/// a real `tep_query::QueryEngine` over a store holding the clean history.
+fn honest_doc_slice(w: &World) -> SliceProof {
+    let db = Arc::new(ProvenanceDb::in_memory());
+    for r in &w.clean.records {
+        db.append(r.to_stored()).unwrap();
+    }
+    let engine = tepdb::query::QueryEngine::new(db, ALG);
+    engine
+        .execute(&QuerySpec::new(QueryOp::LineageSlice, w.doc))
+        .unwrap()
+}
+
+/// The slice form of each attack, when one exists, with the evidence kind
+/// `verify_slice` must attribute. Record-level attacks transplant the
+/// tampered records into the proof; the R4 analogue tampers the *answer*
+/// (the slice's counterpart of delivering modified data). R5
+/// (substitution — a genuine proof presented for a different question) is
+/// intentionally absent: it is caught by the recipient's spec-echo check
+/// in `Client::query`, exercised in the tep-net query tests, before
+/// `verify_slice` ever runs.
+fn slice_scenario(w: &World, case: &Case) -> Option<(SliceProof, EvidenceKind)> {
+    let mut proof = honest_doc_slice(w);
+    let expect = match &case.attack {
+        Attack::Tamper(_) | Attack::ForgeInterior | Attack::ForgeAppend | Attack::Splice => {
+            let (_, tampered) = scenario(w, &case.attack);
+            proof.records = tampered.records;
+            proof.records.sort_by_key(|r| (r.output_oid, r.seq_id));
+            match case.attack {
+                // Coverage re-traversal: the interior gap is a missing
+                // record, a forged most-recent record lies outside the
+                // closure from the anchored target seq.
+                Attack::Tamper(Tamper::Remove { .. }) => EvidenceKind::MissingRecord,
+                Attack::ForgeInterior => EvidenceKind::DuplicateRecord,
+                Attack::ForgeAppend => EvidenceKind::ExtraneousRecord,
+                _ => EvidenceKind::BadSignature,
+            }
+        }
+        // R4's slice analogue: the records are honest, the claimed answer
+        // is not — the recomputed answer must win.
+        Attack::DataModification => {
+            let QueryAnswer::Objects(ref mut oids) = proof.answer else {
+                panic!("lineage answers are object lists");
+            };
+            oids.push(ObjectId(999));
+            EvidenceKind::OutputMismatch
+        }
+        Attack::Substitution => return None,
+    };
+    Some((proof, expect))
+}
+
+#[test]
+fn query_slice_surface_detects_every_expressible_attack() {
+    let w = world();
+    let mut covered = 0;
+    for case in cases() {
+        let Some((proof, expect)) = slice_scenario(w, &case) else {
+            continue;
+        };
+        covered += 1;
+        let ctx = format!("{} ({}, query slice)", case.guarantee, case.name);
+        let reg = Registry::new();
+        let mut verifier = Verifier::new(&w.keys, ALG);
+        verifier.attach_obs(&reg);
+        let v = verifier.verify_slice(&proof);
+        assert!(!v.verified(), "{ctx}: attack went undetected");
+        assert!(
+            v.issues.iter().any(|i| i.kind() == expect),
+            "{ctx}: expected {:?} among {:?}",
+            expect,
+            v.issues,
+        );
+        assert_evidence_counters(&reg, &v.issues, &ctx);
+    }
+    // Everything except R5's substitution has a slice form.
+    assert_eq!(covered, 9, "query-slice coverage shrank");
+
+    // Control: the honest slice verifies clean on this surface too.
+    let reg = Registry::new();
+    let mut verifier = Verifier::new(&w.keys, ALG);
+    verifier.attach_obs(&reg);
+    let v = verifier.verify_slice(&honest_doc_slice(w));
+    assert!(v.verified(), "honest slice must verify: {:?}", v.issues);
+    assert_evidence_counters(&reg, &[], "honest query slice");
 }
 
 // ---------------------------------------------------------------------------

@@ -3,8 +3,9 @@
 //! ```text
 //! repro [--all] [--table1] [--fig6] [--fig7] [--fig8] [--fig9]
 //!       [--fig10] [--fig11] [--large [ROWS|paper]] [--chaining] [--verify-cost]
-//!       [--net] [--net-scale [CONNS]] [--crash] [--resume] [--query [RECORDS]]
-//!       [--json] [--runs N] [--key-bits N] [--alg sha1|sha256] [--seed N] [--csv]
+//!       [--net] [--net-scale [CONNS]] [--crash] [--resume] [--replication]
+//!       [--query [RECORDS]] [--json] [--runs N] [--key-bits N]
+//!       [--alg sha1|sha256] [--seed N] [--csv]
 //! ```
 //!
 //! With no experiment flags, runs everything at laptop-friendly defaults
@@ -35,6 +36,7 @@ struct Args {
     net_scale: Option<usize>,
     crash: bool,
     resume: bool,
+    replication: bool,
     query: Option<u64>,
     json: bool,
     csv: bool,
@@ -75,6 +77,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--crash" => args.crash = true,
             "--resume" => args.resume = true,
+            "--replication" => args.replication = true,
             "--query" => {
                 let records = match it.peek() {
                     Some(v) if !v.starts_with("--") => {
@@ -131,6 +134,7 @@ fn parse_args() -> Result<Args, String> {
         || args.net_scale.is_some()
         || args.crash
         || args.resume
+        || args.replication
         || args.query.is_some()
         || args.json;
     if args.all || !experiments_requested {
@@ -149,6 +153,7 @@ fn parse_args() -> Result<Args, String> {
         args.net_scale.get_or_insert(64);
         args.crash = true;
         args.resume = true;
+        args.replication = true;
         args.query.get_or_insert(1_000_000);
     }
     Ok(args)
@@ -181,7 +186,7 @@ fn main() -> ExitCode {
                 "usage: repro [--all] [--table1] [--fig6] [--fig7] [--fig8] [--fig9] [--fig10] [--fig11]"
             );
             eprintln!(
-                "             [--large [ROWS|paper]] [--chaining] [--verify-cost] [--net] [--net-scale [CONNS]] [--crash] [--resume] [--query [RECORDS]] [--json]"
+                "             [--large [ROWS|paper]] [--chaining] [--verify-cost] [--net] [--net-scale [CONNS]] [--crash] [--resume] [--replication] [--query [RECORDS]] [--json]"
             );
             eprintln!(
                 "             [--runs N] [--key-bits N] [--alg sha1|sha256] [--seed N] [--csv]"
@@ -521,6 +526,50 @@ fn main() -> ExitCode {
             &format!(
                 "RESUME vs restart-from-zero ({} records, {} bytes uncut)",
                 r.records, r.full_transfer_bytes
+            ),
+            &t,
+            args.csv,
+        );
+    }
+
+    if args.replication {
+        let r = run_replication(
+            &cfg,
+            (cfg.runs as u64 * 128).clamp(256, 2048),
+            100_000,
+            (cfg.runs as u64 * 40).clamp(120, 600),
+        );
+        let mut t = TextTable::new(&["divergence at leaf", "rounds", "bound (depth+2)"]);
+        for p in &r.ae_rounds {
+            t.row(&[
+                p.position.to_string(),
+                p.rounds.to_string(),
+                r.ae_rounds_bound.to_string(),
+            ]);
+        }
+        emit(
+            &format!(
+                "Replication: anti-entropy descent over a {}-object shard (depth {}; converged audit = {} round)",
+                r.ae_leaves, r.ae_depth, r.converged_rounds
+            ),
+            &t,
+            args.csv,
+        );
+        let mut t = TextTable::new(&["replicas", "objects", "objects/s", "sheds", "scaling"]);
+        let base = r.fanout.first().map_or(1.0, |p| p.objects_per_sec);
+        for p in &r.fanout {
+            t.row(&[
+                p.replicas.to_string(),
+                p.objects.to_string(),
+                format!("{:.1}", p.objects_per_sec),
+                p.sheds.to_string(),
+                format!("{:.2}x", p.objects_per_sec / base),
+            ]);
+        }
+        emit(
+            &format!(
+                "Replication: verified-read fan-out ({} closed-loop clients, capacity {} conn/replica; catch-up {:.0} records/s over {} records)",
+                r.fanout_clients, r.fanout_capacity, r.catchup_records_per_sec, r.catchup_records
             ),
             &t,
             args.csv,

@@ -1287,6 +1287,316 @@ pub fn run_resume_savings(cfg: &ExperimentConfig, records: u64) -> ResumeSavings
 }
 
 // ---------------------------------------------------------------------------
+// Replication — catch-up throughput, anti-entropy descent, read fan-out
+// ---------------------------------------------------------------------------
+
+/// One anti-entropy descent against a peer diverging at one leaf.
+#[derive(Clone, Copy, Debug)]
+pub struct AeRoundsPoint {
+    /// Leaf index of the single divergent object.
+    pub position: u64,
+    /// Round trips `locate_divergence` spent pinpointing it.
+    pub rounds: u64,
+}
+
+/// One read-scaling point: the same closed-loop client pool fanned out
+/// over `replicas` capacity-limited servers.
+#[derive(Clone, Copy, Debug)]
+pub struct FanoutPoint {
+    /// Replica servers in the rotation.
+    pub replicas: usize,
+    /// Verified fetches completed by the pool.
+    pub objects: u64,
+    /// Aggregate verified objects per second.
+    pub objects_per_sec: f64,
+    /// Connections refused with `ERR busy` at the capacity watermark —
+    /// each refusal costs a client a `Retry-After` backoff sleep, which
+    /// is where the single-replica configuration loses its throughput.
+    pub sheds: u64,
+}
+
+/// Replication measurements: replica catch-up throughput, Merkle
+/// anti-entropy descent cost vs divergence position, and verified-read
+/// scaling across capacity-limited replicas.
+#[derive(Clone, Debug)]
+pub struct ReplicationBenchResult {
+    /// Objects the replica synchronized during catch-up.
+    pub catchup_objects: u64,
+    /// Records verified, appended, and fsynced during catch-up.
+    pub catchup_records: u64,
+    /// Catch-up throughput — verify-on-receive + append + batched fsync +
+    /// sealed-checkpoint write per batch — in records/s.
+    pub catchup_records_per_sec: f64,
+    /// Anti-entropy round trips for the caught-up (converged) pair — the
+    /// steady-state cost of one audit, always 1.
+    pub converged_rounds: u64,
+    /// Leaves in the synthetic divergence-sweep shard.
+    pub ae_leaves: u64,
+    /// Shard tree depth (the `log2 n` term of the descent bound).
+    pub ae_depth: u32,
+    /// The bound every descent must respect: `depth + 2` (summary
+    /// exchange + per-level probe + leaf probe).
+    pub ae_rounds_bound: u64,
+    /// Descent cost at each divergence position across the leaf space.
+    pub ae_rounds: Vec<AeRoundsPoint>,
+    /// Closed-loop client threads in the fan-out pool.
+    pub fanout_clients: usize,
+    /// Per-replica concurrent-connection capacity (shed watermark).
+    pub fanout_capacity: usize,
+    /// Read scaling at 1, 2, and 4 replicas.
+    pub fanout: Vec<FanoutPoint>,
+}
+
+/// Client threads in the fan-out pool — oversubscribes the single-replica
+/// configuration 8:1 and exactly matches the aggregate capacity of four.
+const FANOUT_CLIENTS: usize = 8;
+
+/// Concurrent connections each replica serves before shedding. One slot
+/// per replica makes "replicas" the unit of read capacity.
+const FANOUT_CAPACITY: usize = 1;
+
+/// Think time between a client's fetches. Closed-loop clients with think
+/// time keep the pool from re-grabbing a just-released slot instantly,
+/// which would let two threads monopolize a single replica and hide the
+/// capacity bottleneck the experiment measures.
+const FANOUT_THINK: Duration = Duration::from_millis(6);
+
+/// Measures the three replication paths DESIGN.md §12 commits to:
+///
+/// 1. **Catch-up**: a fresh replica (durable log + sealed-verifier
+///    checkpoints on a deterministic in-memory disk) tails a primary
+///    serving `catchup_records` across 16 chains, then runs one
+///    anti-entropy audit (which must converge in a single round trip).
+/// 2. **Anti-entropy descent**: `locate_divergence` against an
+///    `ae_leaves`-object shard whose peer diverges at one leaf, swept
+///    across divergence positions {0, n/4, n/2, 3n/4, n-1}. Synthetic
+///    leaf digests (no signing) so the measurement is the descent, not
+///    key generation; each descent is asserted ≤ `depth + 2` rounds.
+/// 3. **Read fan-out**: 8 closed-loop clients fetch-verify through a
+///    [`tep_net::FanoutFetcher`] over 1, 2, and 4 replicas, each replica
+///    shedding beyond 1 concurrent connection. Replicas add connection
+///    capacity: the 1-replica pool burns wall-clock in `Retry-After`
+///    backoff, the 4-replica pool almost never sheds.
+pub fn run_replication(
+    cfg: &ExperimentConfig,
+    catchup_records: u64,
+    ae_leaves: u64,
+    fanout_objects: u64,
+) -> ReplicationBenchResult {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use tep_core::merkle::{locate_divergence, AeOutcome, ShardTree, TreeOracle};
+    use tep_net::{
+        serve, serve_with_registry, AeStatus, Catalog, ClientConfig, FanoutFetcher, Replica,
+        ReplicaConfig, RetryPolicy, ServerConfig,
+    };
+    use tep_obs::Registry;
+    use tep_storage::vfs::{FaultConfig, FaultVfs};
+
+    // --- Catch-up throughput -----------------------------------------
+    let (signer, keys) = cfg.make_signer();
+    let db = Arc::new(ProvenanceDb::in_memory());
+    let mut tracker = ProvenanceTracker::new(
+        TrackerConfig {
+            alg: cfg.alg,
+            strategy: HashingStrategy::Economical,
+        },
+        Arc::clone(&db),
+    );
+    let chains = 16u64;
+    let per_chain = (catchup_records / chains).max(2);
+    let mut offered = Vec::new();
+    for c in 0..chains {
+        let (oid, _) = tracker
+            .insert(&signer, tep_model::Value::Int(c as i64), None)
+            .unwrap();
+        for i in 1..per_chain {
+            tracker
+                .update(&signer, oid, tep_model::Value::Int(i as i64))
+                .unwrap();
+        }
+        offered.push(oid);
+    }
+    let catalog = || {
+        Arc::new(Catalog::new(
+            tracker.forest().clone(),
+            Arc::clone(&db),
+            cfg.alg,
+            offered.clone(),
+        ))
+    };
+    let primary = serve(
+        catalog(),
+        "127.0.0.1:0".parse().unwrap(),
+        ServerConfig::default(),
+    )
+    .unwrap();
+
+    let vfs = FaultVfs::new(FaultConfig {
+        seed: cfg.seed,
+        ..FaultConfig::default()
+    });
+    let replica_db = Arc::new(
+        ProvenanceDb::durable_with(vfs.clone(), std::path::Path::new("/replica.teplog")).unwrap(),
+    );
+    let replica = Replica::new(
+        primary.addr(),
+        ReplicaConfig::new(cfg.alg),
+        replica_db,
+        vfs,
+        std::path::PathBuf::from("/ckpt"),
+    );
+    let t = Instant::now();
+    let report = replica.catch_up(&keys).unwrap();
+    let catchup_secs = t.elapsed().as_secs_f64();
+    let ae = replica.anti_entropy(&keys).unwrap();
+    assert!(
+        matches!(ae.status, AeStatus::Converged),
+        "caught-up replica must audit clean: {:?}",
+        ae.status
+    );
+    primary.shutdown();
+
+    // --- Anti-entropy descent vs divergence position -----------------
+    let n = ae_leaves.max(2);
+    let leaf = |i: u64, tag: u8| {
+        let mut buf = [0u8; 9];
+        buf[..8].copy_from_slice(&i.to_be_bytes());
+        buf[8] = tag;
+        (ObjectId(i), cfg.alg.digest(&buf))
+    };
+    let local = ShardTree::build(cfg.alg, (0..n).map(|i| leaf(i, 0)).collect());
+    let ae_depth = local.depth();
+    let ae_rounds_bound = ae_depth as u64 + 2;
+    let mut positions = vec![0, n / 4, n / 2, 3 * n / 4, n - 1];
+    positions.dedup();
+    let ae_rounds = positions
+        .iter()
+        .map(|&p| {
+            let peer =
+                ShardTree::build(cfg.alg, (0..n).map(|i| leaf(i, u8::from(i == p))).collect());
+            let mut oracle = TreeOracle::new(&peer);
+            match locate_divergence(&local, &mut oracle).unwrap() {
+                AeOutcome::Diverged { index, rounds, .. } => {
+                    assert_eq!(index, p, "descent located the wrong leaf");
+                    assert!(
+                        rounds <= ae_rounds_bound,
+                        "divergence at {p}: {rounds} rounds exceeds bound {ae_rounds_bound}"
+                    );
+                    AeRoundsPoint {
+                        position: p,
+                        rounds,
+                    }
+                }
+                other => panic!("expected Diverged at leaf {p}, got {other:?}"),
+            }
+        })
+        .collect();
+
+    // --- Read fan-out across capacity-limited replicas ---------------
+    let keys = Arc::new(keys);
+    let fanout = [1usize, 2, 4]
+        .iter()
+        .map(|&replicas| {
+            let registry = Registry::new();
+            let servers: Vec<_> = (0..replicas)
+                .map(|_| {
+                    serve_with_registry(
+                        catalog(),
+                        "127.0.0.1:0".parse().unwrap(),
+                        ServerConfig {
+                            shed_watermark: FANOUT_CAPACITY,
+                            ..ServerConfig::default()
+                        },
+                        registry.clone(),
+                    )
+                    .unwrap()
+                })
+                .collect();
+            let addrs: Vec<std::net::SocketAddr> = servers.iter().map(|s| s.addr()).collect();
+            let remaining = AtomicU64::new(fanout_objects);
+            let t = Instant::now();
+            std::thread::scope(|s| {
+                for tid in 0..FANOUT_CLIENTS {
+                    let mut order = addrs.clone();
+                    let shift = tid % order.len();
+                    order.rotate_left(shift);
+                    let keys = Arc::clone(&keys);
+                    let remaining = &remaining;
+                    let oid = offered[tid % offered.len()];
+                    let mut client_cfg = ClientConfig::new(cfg.alg);
+                    client_cfg.jitter_seed = cfg.seed ^ tid as u64;
+                    // No in-client retries: a shed endpoint fails over to
+                    // the next replica in rotation immediately; only a
+                    // full rotation of refusals costs a backoff sleep.
+                    client_cfg.retry = RetryPolicy {
+                        max_attempts: 1,
+                        ..RetryPolicy::default()
+                    };
+                    s.spawn(move || {
+                        let mut fetcher = FanoutFetcher::new(&order, client_cfg);
+                        loop {
+                            let cur = remaining.load(Ordering::Relaxed);
+                            if cur == 0
+                                || remaining
+                                    .compare_exchange(
+                                        cur,
+                                        cur - 1,
+                                        Ordering::Relaxed,
+                                        Ordering::Relaxed,
+                                    )
+                                    .is_err()
+                            {
+                                if cur == 0 {
+                                    return;
+                                }
+                                continue;
+                            }
+                            loop {
+                                match fetcher.fetch_verified(oid, &keys) {
+                                    Ok(_) => break,
+                                    Err(e) if e.is_retryable() => std::thread::sleep(
+                                        e.retry_after()
+                                            .unwrap_or(Duration::from_millis(5))
+                                            .min(Duration::from_millis(100)),
+                                    ),
+                                    Err(e) => panic!("replicated fetch failed terminally: {e:?}"),
+                                }
+                            }
+                            std::thread::sleep(FANOUT_THINK);
+                        }
+                    });
+                }
+            });
+            let secs = t.elapsed().as_secs_f64();
+            let sheds = registry.counter_value(tep_obs::names::NET_SHED);
+            for server in servers {
+                server.shutdown();
+            }
+            FanoutPoint {
+                replicas,
+                objects: fanout_objects,
+                objects_per_sec: fanout_objects as f64 / secs,
+                sheds,
+            }
+        })
+        .collect();
+
+    ReplicationBenchResult {
+        catchup_objects: report.objects,
+        catchup_records: report.new_records,
+        catchup_records_per_sec: report.new_records as f64 / catchup_secs,
+        converged_rounds: ae.rounds,
+        ae_leaves: n,
+        ae_depth,
+        ae_rounds_bound,
+        ae_rounds,
+        fanout_clients: FANOUT_CLIENTS,
+        fanout_capacity: FANOUT_CAPACITY,
+        fanout,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Machine-readable hot-path baseline (`repro --json`)
 // ---------------------------------------------------------------------------
 
@@ -1322,6 +1632,9 @@ pub struct BaselineResult {
     pub resume: ResumeSavings,
     /// Verifiable query throughput over a lineage DAG (`tep-query`).
     pub query: QueryBenchResult,
+    /// Replica catch-up, anti-entropy descent, and read fan-out
+    /// (`tep-net` replication).
+    pub replication: ReplicationBenchResult,
     /// Deterministic metric counts from a small fully instrumented workload
     /// spanning every layer (see [`run_instrumented_metrics`]). Counter
     /// values and histogram counts only — no timing sums — so two runs with
@@ -1365,6 +1678,31 @@ impl BaselineResult {
             })
             .collect::<Vec<_>>()
             .join(", ");
+        let ae_rounds = self
+            .replication
+            .ae_rounds
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{ \"position\": {}, \"rounds\": {} }}",
+                    p.position, p.rounds
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let fanout = self
+            .replication
+            .fanout
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{ \"replicas\": {}, \"objects\": {}, \"objects_per_sec\": {:.1}, \
+                     \"sheds\": {} }}",
+                    p.replicas, p.objects, p.objects_per_sec, p.sheds
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
         format!(
             "{{\n  \"alg\": \"{:?}\",\n  \"key_bits\": {},\n  \"seed\": {},\n  \
              \"sign_per_sec\": {:.1},\n  \"verify_per_sec\": {:.1},\n  \
@@ -1384,6 +1722,11 @@ impl BaselineResult {
              \"cuts\": [{cuts}] }},\n  \
              \"query\": {{ \"records\": {}, \"objects\": {}, \"participants\": {}, \
              \"index_build_ms\": {:.2}, \"ops\": {{ {query_ops} }} }},\n  \
+             \"replication\": {{ \"catchup_objects\": {}, \"catchup_records\": {}, \
+             \"catchup_records_per_sec\": {:.1}, \"converged_rounds\": {}, \
+             \"ae_leaves\": {}, \"ae_depth\": {}, \"ae_rounds_bound\": {}, \
+             \"ae_rounds\": [{ae_rounds}], \"fanout_clients\": {}, \
+             \"fanout_capacity\": {}, \"fanout\": [{fanout}] }},\n  \
              \"metrics\": {{{metrics}\n  }}\n}}\n",
             self.alg,
             self.key_bits,
@@ -1417,6 +1760,15 @@ impl BaselineResult {
             self.query.objects,
             self.query.participants,
             self.query.index_build_ms,
+            self.replication.catchup_objects,
+            self.replication.catchup_records,
+            self.replication.catchup_records_per_sec,
+            self.replication.converged_rounds,
+            self.replication.ae_leaves,
+            self.replication.ae_depth,
+            self.replication.ae_rounds_bound,
+            self.replication.fanout_clients,
+            self.replication.fanout_capacity,
         )
     }
 }
@@ -1630,6 +1982,15 @@ pub fn run_baseline(cfg: &ExperimentConfig) -> BaselineResult {
     // the headline 1M-record version).
     let query = run_query(cfg, (cfg.runs as u64 * 10_000).clamp(20_000, 100_000));
 
+    // Replica catch-up, Merkle anti-entropy on a 100k-object shard, and
+    // verified-read fan-out at 1/2/4 capacity-limited replicas.
+    let replication = run_replication(
+        cfg,
+        (cfg.runs as u64 * 128).clamp(256, 1024),
+        100_000,
+        (cfg.runs as u64 * 40).clamp(120, 400),
+    );
+
     BaselineResult {
         alg: cfg.alg,
         key_bits: cfg.key_bits,
@@ -1644,6 +2005,7 @@ pub fn run_baseline(cfg: &ExperimentConfig) -> BaselineResult {
         recovery,
         resume,
         query,
+        replication,
         metrics: run_instrumented_metrics(cfg),
     }
 }
@@ -1785,6 +2147,34 @@ mod tests {
         // not single records.
         let lineage = r.ops.iter().find(|o| o.op == "lineage").unwrap();
         assert!(lineage.mean_slice_records > 2.0);
+    }
+
+    #[test]
+    fn replication_bench_converges_and_respects_descent_bound() {
+        let cfg = tiny_cfg();
+        let r = run_replication(&cfg, 64, 1 << 10, 24);
+        // Catch-up: 16 chains of 4 records, all new on a fresh replica.
+        assert_eq!(r.catchup_objects, 16);
+        assert_eq!(r.catchup_records, 64);
+        assert!(r.catchup_records_per_sec > 0.0);
+        assert_eq!(r.converged_rounds, 1);
+        // Descent: a 1024-leaf shard is 10 deep, bound 12, and every
+        // swept position stays within it (asserted inside the runner too).
+        assert_eq!(r.ae_leaves, 1 << 10);
+        assert_eq!(r.ae_depth, 10);
+        assert_eq!(r.ae_rounds_bound, 12);
+        assert_eq!(r.ae_rounds.len(), 5);
+        assert!(r.ae_rounds.iter().all(|p| p.rounds <= r.ae_rounds_bound));
+        // Fan-out: all three points complete the full fetch count.
+        assert_eq!(r.fanout.len(), 3);
+        for p in &r.fanout {
+            assert_eq!(p.objects, 24);
+            assert!(
+                p.objects_per_sec > 0.0,
+                "{} replicas: no progress",
+                p.replicas
+            );
+        }
     }
 
     #[test]

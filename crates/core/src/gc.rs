@@ -104,6 +104,31 @@ mod tests {
 
     const ALG: HashAlgorithm = HashAlgorithm::Sha256;
 
+    /// A temp-log path that unlinks itself on scope exit — including the
+    /// unwind path of a failed assertion, which the old trailing
+    /// `remove_file` call missed, leaking `tep-gc-*.teplog` files into
+    /// `temp_dir()` on every red run.
+    struct TempLog(std::path::PathBuf);
+
+    impl TempLog {
+        fn new(line: u32) -> Self {
+            let path =
+                std::env::temp_dir().join(format!("tep-gc-{}-{}.teplog", std::process::id(), line));
+            let _ = std::fs::remove_file(&path);
+            TempLog(path)
+        }
+
+        fn path(&self) -> &std::path::Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempLog {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
     fn world() -> (AtomicLedger, KeyDirectory, Participant) {
         let mut rng = StdRng::seed_from_u64(44);
         let ca = CertificateAuthority::new(512, ALG, &mut rng);
@@ -178,17 +203,14 @@ mod tests {
         let b = ledger.insert(&p, Value::Int(2)).unwrap();
         ledger.delete(b).unwrap();
 
-        let path =
-            std::env::temp_dir().join(format!("tep-gc-{}-{}.teplog", std::process::id(), line!()));
-        let _ = std::fs::remove_file(&path);
-        let (new_db, report) = prune_into(ledger.db(), &path, &[a]).unwrap();
+        let log = TempLog::new(line!());
+        let (new_db, report) = prune_into(ledger.db(), log.path(), &[a]).unwrap();
         assert_eq!(report.dropped, 1);
         assert_eq!(new_db.len(), 1);
 
         let prov = collect(&new_db, a).unwrap();
         let hash = ledger.object_hash(a).unwrap();
         assert!(Verifier::new(&keys, ALG).verify(&hash, &prov).verified());
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]

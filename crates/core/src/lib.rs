@@ -59,6 +59,7 @@ pub mod error;
 pub mod export;
 pub mod gc;
 pub mod hashing;
+pub mod merkle;
 pub mod metrics;
 pub mod parallel;
 pub mod proof;
@@ -77,6 +78,10 @@ pub use error::CoreError;
 pub use export::to_opm_json;
 pub use gc::{prune, prune_into, PruneReport};
 pub use hashing::{hash_atom, subtree_hash, HashCache, HashingStrategy};
+pub use merkle::{
+    leaf_hash, locate_divergence, shard_tree_of, AeError, AeNodeInfo, AeOracle, AeOutcome,
+    AeSummary, ShardTree, TreeOracle,
+};
 pub use metrics::{Metrics, TransferCounters, TransferSnapshot};
 pub use parallel::{default_threads, parallel_map};
 pub use proof::{prove, ProofError, SubtreeProof};

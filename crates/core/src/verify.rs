@@ -68,11 +68,15 @@ pub enum EvidenceKind {
     MalformedStream,
     /// [`TamperEvidence::ResumeMismatch`].
     ResumeMismatch,
+    /// [`TamperEvidence::ReplicaDivergence`].
+    ReplicaDivergence,
+    /// [`TamperEvidence::ForgedRoot`].
+    ForgedRoot,
 }
 
 impl EvidenceKind {
     /// Every kind, in counter/display order.
-    pub const ALL: [EvidenceKind; 13] = [
+    pub const ALL: [EvidenceKind; 15] = [
         EvidenceKind::OutputMismatch,
         EvidenceKind::BadSignature,
         EvidenceKind::MissingRecord,
@@ -86,6 +90,8 @@ impl EvidenceKind {
         EvidenceKind::StorageQuarantine,
         EvidenceKind::MalformedStream,
         EvidenceKind::ResumeMismatch,
+        EvidenceKind::ReplicaDivergence,
+        EvidenceKind::ForgedRoot,
     ];
 
     /// Stable snake_case name, used as the counter-name suffix.
@@ -104,6 +110,8 @@ impl EvidenceKind {
             EvidenceKind::StorageQuarantine => "storage_quarantine",
             EvidenceKind::MalformedStream => "malformed_stream",
             EvidenceKind::ResumeMismatch => "resume_mismatch",
+            EvidenceKind::ReplicaDivergence => "replica_divergence",
+            EvidenceKind::ForgedRoot => "forged_root",
         }
     }
 
@@ -293,6 +301,33 @@ pub enum TamperEvidence {
         /// `claimed` when the offsets agree but the digests do not).
         confirmed: u64,
     },
+    /// Anti-entropy located an object whose record history differs between
+    /// a replica and its primary: the per-shard Merkle trees disagree at a
+    /// leaf, and re-fetching that object did not produce a stream that
+    /// both verifies *and* extends the replica's verified local prefix.
+    /// One of the two histories was tampered with (a bit-flipped replica
+    /// log, a lying primary, or a fork where both sides verify but
+    /// diverge) — an R2/R3-grade discontinuity attributed to replication,
+    /// never silently "repaired" by overwriting verified local state.
+    ReplicaDivergence {
+        /// The divergent object.
+        oid: ObjectId,
+        /// Merkle levels descended to locate the leaf (the anti-entropy
+        /// round-trip count for this divergence).
+        depth: u32,
+    },
+    /// An anti-entropy response failed structural self-authentication:
+    /// the child hashes a peer presented do not recombine to the parent
+    /// hash the same peer claimed one round earlier. No valid tree can do
+    /// this regardless of which side's data is correct, so the root (or an
+    /// interior node) was forged in flight or by the peer itself.
+    ForgedRoot {
+        /// Tree level of the node whose children fail to authenticate
+        /// (leaves are level 0).
+        level: u32,
+        /// Index of that node within its level.
+        index: u64,
+    },
 }
 
 impl TamperEvidence {
@@ -311,6 +346,8 @@ impl TamperEvidence {
             TamperEvidence::AnchorViolation { .. } => EvidenceKind::AnchorViolation,
             TamperEvidence::StorageQuarantine { .. } => EvidenceKind::StorageQuarantine,
             TamperEvidence::ResumeMismatch { .. } => EvidenceKind::ResumeMismatch,
+            TamperEvidence::ReplicaDivergence { .. } => EvidenceKind::ReplicaDivergence,
+            TamperEvidence::ForgedRoot { .. } => EvidenceKind::ForgedRoot,
         }
     }
 }
@@ -380,6 +417,18 @@ impl fmt::Display for TamperEvidence {
                 write!(
                     f,
                     "resume point for object {oid} does not verify: checkpoint proves {claimed} record(s), peer confirmed {confirmed} — history diverged or peer is lying (R2/R3)"
+                )
+            }
+            TamperEvidence::ReplicaDivergence { oid, depth } => {
+                write!(
+                    f,
+                    "replica and primary histories diverge at object {oid} (located in {depth} anti-entropy round(s)) — replicated history altered or forked (R2/R3)"
+                )
+            }
+            TamperEvidence::ForgedRoot { level, index } => {
+                write!(
+                    f,
+                    "anti-entropy node (level {level}, index {index}) fails self-authentication: presented children do not hash to the claimed parent — forged root or tree (R1/R8)"
                 )
             }
         }

@@ -1,0 +1,151 @@
+//! Property tests for [`StreamingVerifier`] checkpoint/restore — the
+//! sealed state replicas persist through the Vfs seam between catch-up
+//! batches. Two edge cases matter beyond the unit tests' fixed cuts:
+//!
+//! * **Restore-then-checkpoint idempotence**: sealing, restoring, and
+//!   sealing again must yield a byte-identical blob at *any* cut point,
+//!   or a replica that power-cycles twice in a row would drift from the
+//!   state it proved.
+//! * **Empty-stream offset-0 resume**: a checkpoint sealed before any
+//!   record arrived must restore to a verifier whose proof-of-position
+//!   is the empty rolling digest — resuming "from zero" is the same as
+//!   starting fresh, not an error.
+
+use std::sync::{Arc, OnceLock};
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tep_core::hashing::HashingStrategy;
+use tep_core::provenance::collect;
+use tep_core::streaming::RecordStreamDigest;
+use tep_core::verify::StreamingVerifier;
+use tep_core::{ProvenanceRecord, ProvenanceTracker, TrackerConfig};
+use tep_crypto::digest::HashAlgorithm;
+use tep_crypto::pki::{CertificateAuthority, KeyDirectory, Participant, ParticipantId};
+use tep_model::{ObjectId, Value};
+use tep_storage::ProvenanceDb;
+
+const ALG: HashAlgorithm = HashAlgorithm::Sha256;
+
+struct World {
+    keys: KeyDirectory,
+    signer: Participant,
+}
+
+static WORLD: OnceLock<World> = OnceLock::new();
+
+fn world() -> &'static World {
+    WORLD.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0x0C11E7);
+        let ca = CertificateAuthority::new(512, ALG, &mut rng);
+        let signer = ca.enroll(ParticipantId(1), 512, &mut rng);
+        let mut keys = KeyDirectory::new(ca.public_key().clone(), ALG);
+        keys.register(signer.certificate().clone()).unwrap();
+        World { keys, signer }
+    })
+}
+
+/// One honest linear chain over `values`, with its object hash.
+fn chain(values: &[i64]) -> (Vec<ProvenanceRecord>, Vec<u8>, ObjectId) {
+    let w = world();
+    let db = Arc::new(ProvenanceDb::in_memory());
+    let mut tracker = ProvenanceTracker::new(
+        TrackerConfig {
+            alg: ALG,
+            strategy: HashingStrategy::Economical,
+        },
+        Arc::clone(&db),
+    );
+    let (oid, _) = tracker
+        .insert(&w.signer, Value::Int(values[0]), None)
+        .unwrap();
+    for &v in &values[1..] {
+        tracker.update(&w.signer, oid, Value::Int(v)).unwrap();
+    }
+    let prov = collect(&db, oid).unwrap();
+    let hash = tracker.object_hash(oid).unwrap();
+    (prov.records, hash, oid)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn restore_then_checkpoint_is_byte_identical(
+        values in proptest::collection::vec(-1000i64..1000, 1..8),
+        cut_frac in 0usize..=100,
+    ) {
+        let w = world();
+        let (records, _hash, oid) = chain(&values);
+        let cut = (cut_frac * records.len() / 100).min(records.len());
+
+        let mut sv = StreamingVerifier::new(&w.keys, ALG, oid);
+        for r in &records[..cut] {
+            prop_assert_eq!(sv.push_record(r), 0);
+        }
+        let blob1 = sv.checkpoint().expect("clean verifier checkpoints");
+        let restored = StreamingVerifier::restore(&w.keys, &blob1).unwrap();
+        prop_assert_eq!(restored.records_checked(), cut);
+        prop_assert_eq!(restored.stream_digest(), sv.stream_digest());
+        let blob2 = restored.checkpoint().expect("restored verifier re-checkpoints");
+        prop_assert_eq!(blob1, blob2);
+    }
+
+    #[test]
+    fn checkpoint_cut_resume_matches_uncut_run(
+        values in proptest::collection::vec(-1000i64..1000, 1..8),
+        cut_frac in 0usize..=100,
+    ) {
+        let w = world();
+        let (records, hash, oid) = chain(&values);
+        let cut = (cut_frac * records.len() / 100).min(records.len());
+
+        let mut uncut = StreamingVerifier::new(&w.keys, ALG, oid);
+        for r in &records {
+            uncut.push_record(r);
+        }
+
+        let mut sv = StreamingVerifier::new(&w.keys, ALG, oid);
+        for r in &records[..cut] {
+            sv.push_record(r);
+        }
+        let blob = sv.checkpoint().expect("clean verifier checkpoints");
+        let mut resumed = StreamingVerifier::restore(&w.keys, &blob).unwrap();
+        for r in &records[cut..] {
+            resumed.push_record(r);
+        }
+        prop_assert_eq!(resumed.records_checked(), records.len());
+        prop_assert_eq!(resumed.stream_digest(), uncut.stream_digest());
+
+        let cut_verdict = resumed.finish(&hash);
+        prop_assert!(cut_verdict.verified(), "{:?}", cut_verdict.issues);
+        let uncut_verdict = uncut.finish(&hash);
+        prop_assert!(uncut_verdict.verified());
+    }
+
+    #[test]
+    fn empty_stream_checkpoint_resumes_from_offset_zero(
+        values in proptest::collection::vec(-1000i64..1000, 1..8),
+    ) {
+        let w = world();
+        let (records, hash, oid) = chain(&values);
+
+        let fresh = StreamingVerifier::new(&w.keys, ALG, oid);
+        prop_assert_eq!(fresh.records_checked(), 0);
+        let empty_digest = RecordStreamDigest::new(ALG, oid);
+        prop_assert_eq!(
+            fresh.stream_digest(),
+            empty_digest.current(),
+            "offset-0 proof-of-position must be the empty rolling digest"
+        );
+        let blob = fresh.checkpoint().expect("an empty verifier checkpoints");
+        let mut resumed = StreamingVerifier::restore(&w.keys, &blob).unwrap();
+        prop_assert_eq!(resumed.records_checked(), 0);
+        for r in &records {
+            prop_assert_eq!(resumed.push_record(r), 0);
+        }
+        let verdict = resumed.finish(&hash);
+        prop_assert!(verdict.verified(), "{:?}", verdict.issues);
+    }
+}

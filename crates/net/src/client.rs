@@ -437,7 +437,9 @@ impl Client {
     /// Runs `op` on a fresh connection, retrying transient failures with
     /// decorrelated jitter until the attempt cap or the wall-clock deadline
     /// is hit — whichever comes first. A server `Retry-After` hint floors
-    /// the jittered delay.
+    /// the jittered delay, but the final wait is clamped to the time left
+    /// before [`RetryPolicy::deadline`] so one oversized hint cannot park
+    /// the client past its own budget.
     fn with_retry<T>(
         &mut self,
         mut op: impl FnMut(&mut Connection) -> Result<T, NetError>,
@@ -458,7 +460,8 @@ impl Client {
                 {
                     self.counters.retry();
                     delay = self.next_delay(delay, policy);
-                    let wait = e.retry_after().map_or(delay, |hint| delay.max(hint));
+                    let remaining = policy.deadline.saturating_sub(started.elapsed());
+                    let wait = clamp_retry_wait(delay, e.retry_after(), remaining);
                     std::thread::sleep(wait);
                 }
                 Err(e) => return Err(e),
@@ -593,8 +596,18 @@ pub fn scaled_read_timeout(base: Duration, records: u64) -> Duration {
     ))
 }
 
+/// Picks the wait before the next retry attempt: the jittered `delay`,
+/// floored by the server's `Retry-After` `hint` — then clamped to the
+/// `remaining` wall-clock budget. The clamp is what keeps one oversized
+/// (or hostile) hint from overshooting [`RetryPolicy::deadline`]: the
+/// client sleeps at most until the deadline, wakes, and the deadline
+/// check in the retry loop converts the failure into a clean error.
+fn clamp_retry_wait(delay: Duration, hint: Option<Duration>, remaining: Duration) -> Duration {
+    hint.map_or(delay, |h| delay.max(h)).min(remaining)
+}
+
 /// Converts a wire ERR into [`NetError::Remote`], decoding the hint.
-fn remote_error(code: ErrorCode, retry_after_ms: u64, detail: String) -> NetError {
+pub(crate) fn remote_error(code: ErrorCode, retry_after_ms: u64, detail: String) -> NetError {
     NetError::Remote {
         code,
         retry_after: (retry_after_ms > 0).then(|| Duration::from_millis(retry_after_ms)),
@@ -606,7 +619,7 @@ fn remote_error(code: ErrorCode, retry_after_ms: u64, detail: String) -> NetErro
 /// peer either refused a checkpoint this client verified record-by-record,
 /// or confirmed a resume point it cannot prove. Either way the two ends
 /// disagree about history, which is an R2/R3 violation, not a retry.
-fn resume_mismatch(
+pub(crate) fn resume_mismatch(
     oid: ObjectId,
     claimed: u64,
     confirmed: u64,
@@ -1006,6 +1019,42 @@ mod tests {
             assert!(delay >= Duration::from_millis(10));
             assert!(delay <= policy.cap);
         }
+    }
+
+    /// A server-supplied `Retry-After` hint is clamped to the remaining
+    /// wall-clock deadline: one huge (or hostile) hint can no longer park
+    /// the client asleep past `RetryPolicy::deadline`.
+    #[test]
+    fn retry_after_hint_is_clamped_to_the_remaining_deadline() {
+        let delay = Duration::from_millis(20);
+        let remaining = Duration::from_millis(150);
+        // Hint within budget: still floors the jittered delay.
+        assert_eq!(
+            clamp_retry_wait(delay, Some(Duration::from_millis(90)), remaining),
+            Duration::from_millis(90)
+        );
+        // Oversized hint: clamped to exactly what is left of the deadline.
+        assert_eq!(
+            clamp_retry_wait(delay, Some(Duration::from_secs(3600)), remaining),
+            remaining
+        );
+        // No hint, but the jittered delay itself outlives the deadline:
+        // same clamp applies.
+        assert_eq!(
+            clamp_retry_wait(Duration::from_secs(10), None, remaining),
+            remaining
+        );
+        // Deadline already spent: the retry wakes immediately and the
+        // loop's deadline check surfaces the error.
+        assert_eq!(
+            clamp_retry_wait(delay, Some(Duration::from_secs(1)), Duration::ZERO),
+            Duration::ZERO
+        );
+        // Plenty of budget: the hintless path is untouched jitter.
+        assert_eq!(
+            clamp_retry_wait(delay, None, Duration::from_secs(30)),
+            delay
+        );
     }
 
     /// A zero/degenerate policy must not panic (empty sample ranges).

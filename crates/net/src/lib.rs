@@ -23,6 +23,11 @@
 //! * [`proxy`] — a man-in-the-middle harness that tampers with frames *in
 //!   flight* (recomputing the CRC, as a real attacker would) so tests can
 //!   demonstrate the R1–R5 guarantees hold on the wire.
+//! * [`replica`] — primary→replica replication: a replica tails the
+//!   primary's record log with verify-on-receive (resuming crash-safe
+//!   from durable sealed-verifier checkpoints), runs periodic Merkle
+//!   anti-entropy over the object-id space to locate divergence in
+//!   O(log n) round trips, and fans verified reads out across replicas.
 //! * [`fault`] — deterministic seeded fault injection (the network twin of
 //!   `tep_storage::vfs::FaultVfs`): [`fault::FaultStream`] crashes the
 //!   codec at any byte, [`fault::FaultListener`] crashes a live TCP path
@@ -53,6 +58,7 @@
 pub mod client;
 pub mod fault;
 pub mod proxy;
+pub mod replica;
 pub mod server;
 pub mod sys;
 pub mod wire;
@@ -62,5 +68,6 @@ pub use client::{
 };
 pub use fault::{FaultKind, FaultListener, FaultPlan, FaultStream, StreamFault, StreamFaultPlan};
 pub use proxy::{ProxyAction, TamperProxy};
+pub use replica::{AeReport, AeStatus, CatchUpReport, FanoutFetcher, Replica, ReplicaConfig};
 pub use server::{serve, serve_with_registry, Catalog, ServerConfig, ServerHandle};
 pub use wire::{DataEntry, ErrorCode, Message, OfferEntry, WireError, MAX_FRAME, WIRE_VERSION};

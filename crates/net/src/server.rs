@@ -52,6 +52,7 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use tep_core::merkle::{shard_tree_of, ShardTree};
 use tep_core::metrics::{TransferCounters, TransferSnapshot};
 use tep_core::provenance::{collect, ProvenanceObject};
 use tep_core::streaming::RecordStreamDigest;
@@ -266,6 +267,7 @@ struct ServerObs {
     resumes: Counter,
     stats_requests: Counter,
     queries: Counter,
+    ae_requests: Counter,
     shed: Counter,
     deadline_closes: Counter,
     write_aborts: Counter,
@@ -280,6 +282,7 @@ impl ServerObs {
             resumes: registry.counter(names::NET_RESUMES),
             stats_requests: registry.counter(names::NET_STATS_REQUESTS),
             queries: registry.counter(names::NET_QUERIES),
+            ae_requests: registry.counter(names::NET_AE_REQUESTS),
             shed: registry.counter(names::NET_SHED),
             deadline_closes: registry.counter(names::NET_DEADLINE_CLOSES),
             write_aborts: registry.counter(names::NET_WRITE_ABORTS),
@@ -325,6 +328,27 @@ struct Env {
     /// Serves QUERY frames over the catalog's record log; its secondary
     /// indexes tail the log lazily on each request.
     query: QueryEngine,
+    /// Anti-entropy shard tree over the catalog's record log, cached
+    /// behind a record-count watermark: rebuilt only when the log has
+    /// grown since the cached build (the log is append-only, so equal
+    /// length ⇒ identical tree).
+    ae_cache: Mutex<Option<(usize, Arc<ShardTree>)>>,
+}
+
+impl Env {
+    /// The current shard tree, rebuilding on record-log growth.
+    fn shard_tree(&self) -> Arc<ShardTree> {
+        let mut cache = self.ae_cache.lock().unwrap_or_else(PoisonError::into_inner);
+        let len = self.catalog.db.len();
+        match cache.as_ref() {
+            Some((watermark, tree)) if *watermark == len => Arc::clone(tree),
+            _ => {
+                let tree = Arc::new(shard_tree_of(self.catalog.alg, &self.catalog.db));
+                *cache = Some((len, Arc::clone(&tree)));
+                tree
+            }
+        }
+    }
 }
 
 /// Connection state-machine phases.
@@ -834,12 +858,47 @@ fn on_request<S: Read + Write>(conn: &mut Conn<S>, msg: Message, env: &Env, now:
                 }
             }
         }
+        Message::AeReq { level, index } => {
+            env.obs.ae_requests.inc();
+            let tree = env.shard_tree();
+            let reply = if level == crate::wire::AE_SUMMARY_LEVEL {
+                let s = tree.summary();
+                Some(Message::AeResp {
+                    leaf_count: s.leaf_count,
+                    depth: s.depth,
+                    hash: s.root,
+                    children: Vec::new(),
+                    oid: None,
+                })
+            } else {
+                tree.node_info(level, index).map(|info| Message::AeResp {
+                    leaf_count: tree.leaf_count(),
+                    depth: tree.depth(),
+                    hash: info.hash,
+                    children: info.children,
+                    oid: info.oid,
+                })
+            };
+            match reply {
+                Some(resp) => conn.queue_frame(&resp, true, env, now),
+                None => conn.queue_frame(
+                    &Message::Error {
+                        code: ErrorCode::BadRequest,
+                        retry_after_ms: 0,
+                        detail: format!("no anti-entropy node at level {level} index {index}"),
+                    },
+                    true,
+                    env,
+                    now,
+                ),
+            }
+        }
         _ => {
             conn.queue_frame(
                 &Message::Error {
                     code: ErrorCode::BadRequest,
                     retry_after_ms: 0,
-                    detail: "expected FETCH, RESUME, QUERY, or STATS".into(),
+                    detail: "expected FETCH, RESUME, QUERY, AE, or STATS".into(),
                 },
                 false,
                 env,
@@ -1298,6 +1357,7 @@ pub fn serve_with_registry(
         loop_obs: LoopObs::new(&registry),
         registry: registry.clone(),
         query,
+        ae_cache: Mutex::new(None),
     };
     let ev = EventLoop {
         env,
@@ -1499,6 +1559,7 @@ mod tests {
             loop_obs: LoopObs::new(&registry),
             registry: registry.clone(),
             query,
+            ae_cache: Mutex::new(None),
         };
         (env, *root)
     }

@@ -68,6 +68,13 @@ const TYPE_RESUME: u8 = 0x0A;
 const TYPE_RESUME_OK: u8 = 0x0B;
 const TYPE_QUERY: u8 = 0x0C;
 const TYPE_QRESULT: u8 = 0x0D;
+const TYPE_AE_REQ: u8 = 0x0E;
+const TYPE_AE_RESP: u8 = 0x0F;
+
+/// `AeReq.level` value that asks for the tree summary (root exchange)
+/// instead of a specific node — a replica cannot know the primary's tree
+/// depth before the first exchange.
+pub const AE_SUMMARY_LEVEL: u32 = u32::MAX;
 
 /// Why a peer refused a request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -241,6 +248,39 @@ pub enum Message {
         /// The proof in its canonical slice encoding.
         proof: Vec<u8>,
     },
+    /// Replica asks for one node of the primary's per-shard Merkle tree
+    /// over the object-ID space ([`tep_core::merkle::ShardTree`]) during
+    /// an anti-entropy pass. `level == `[`AE_SUMMARY_LEVEL`] requests the
+    /// root exchange (tree summary); otherwise `(level, index)` addresses
+    /// a specific node, leaves at level 0.
+    AeReq {
+        /// Tree level (leaves = 0), or [`AE_SUMMARY_LEVEL`] for the
+        /// summary.
+        level: u32,
+        /// Node index within the level (0 for the summary).
+        index: u64,
+    },
+    /// One node of the responder's shard tree. Every response carries the
+    /// shard's leaf count and depth (they are cheap and let the requester
+    /// cross-check shape claims); `children` are the node's 1–2 child
+    /// hashes (empty at leaf level), and `oid` names the leaf's object at
+    /// leaf level. The requester authenticates each response structurally:
+    /// the children must hash to the parent hash claimed one round
+    /// earlier, so a forged node or root surfaces as
+    /// `TamperEvidence::ForgedRoot` rather than steering the descent.
+    AeResp {
+        /// Leaves (objects) in the responder's shard.
+        leaf_count: u64,
+        /// Levels above the leaves.
+        depth: u32,
+        /// The addressed node's hash (the root hash for a summary).
+        hash: Vec<u8>,
+        /// The node's child hashes, in order; empty at leaf level and in
+        /// summaries.
+        children: Vec<Vec<u8>>,
+        /// At leaf level, the leaf's object id.
+        oid: Option<ObjectId>,
+    },
 }
 
 /// Wire-layer failure.
@@ -394,6 +434,36 @@ pub fn encode_message_into(msg: &Message, out: &mut Vec<u8>) {
             out.push(TYPE_QRESULT);
             out.extend_from_slice(proof);
         }
+        Message::AeReq { level, index } => {
+            out.push(TYPE_AE_REQ);
+            out.extend_from_slice(&level.to_be_bytes());
+            out.extend_from_slice(&index.to_be_bytes());
+        }
+        Message::AeResp {
+            leaf_count,
+            depth,
+            hash,
+            children,
+            oid,
+        } => {
+            out.push(TYPE_AE_RESP);
+            out.extend_from_slice(&leaf_count.to_be_bytes());
+            out.extend_from_slice(&depth.to_be_bytes());
+            out.extend_from_slice(&(hash.len() as u64).to_be_bytes());
+            out.extend_from_slice(hash);
+            out.push(children.len() as u8);
+            for c in children {
+                out.extend_from_slice(&(c.len() as u64).to_be_bytes());
+                out.extend_from_slice(c);
+            }
+            match oid {
+                Some(oid) => {
+                    out.push(1);
+                    out.extend_from_slice(&oid.raw().to_be_bytes());
+                }
+                None => out.push(0),
+            }
+        }
     }
 }
 
@@ -485,6 +555,34 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, WireError> {
             return Ok(Message::QResult {
                 proof: payload[1..].to_vec(),
             });
+        }
+        TYPE_AE_REQ => Message::AeReq {
+            level: r.u32()?,
+            index: r.u64()?,
+        },
+        TYPE_AE_RESP => {
+            let leaf_count = r.u64()?;
+            let depth = r.u32()?;
+            let hash = r.len_prefixed()?.to_vec();
+            let count = r.u8()? as usize;
+            // Never trust the count for allocation; each child costs at
+            // least its 8-byte length prefix.
+            let mut children = Vec::with_capacity(count.min(r.remaining() / 8 + 1));
+            for _ in 0..count {
+                children.push(r.len_prefixed()?.to_vec());
+            }
+            let oid = match r.u8()? {
+                0 => None,
+                1 => Some(ObjectId(r.u64()?)),
+                t => return Err(WireError::Decode(DecodeError::BadTag(t))),
+            };
+            Message::AeResp {
+                leaf_count,
+                depth,
+                hash,
+                children,
+                oid,
+            }
         }
         t => return Err(WireError::BadType(t)),
     };
@@ -731,6 +829,25 @@ mod tests {
             },
             Message::QResult {
                 proof: b"TEPSLICE\x01 opaque proof bytes".to_vec(),
+            },
+            Message::AeReq {
+                level: AE_SUMMARY_LEVEL,
+                index: 0,
+            },
+            Message::AeReq { level: 3, index: 5 },
+            Message::AeResp {
+                leaf_count: 12,
+                depth: 4,
+                hash: vec![0x6B; 32],
+                children: vec![vec![0x11; 32], vec![0x22; 32]],
+                oid: None,
+            },
+            Message::AeResp {
+                leaf_count: 12,
+                depth: 4,
+                hash: vec![0x6C; 32],
+                children: vec![],
+                oid: Some(ObjectId(9)),
             },
         ]
     }

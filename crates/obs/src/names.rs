@@ -76,6 +76,34 @@ pub const NET_CONNS_STREAMING: &str = "tep_net_conns_streaming";
 /// reply is queued; the connection closes once it flushes).
 pub const NET_CONNS_DRAINING: &str = "tep_net_conns_draining";
 
+/// Anti-entropy node requests served by the server (AE_REQ frames
+/// answered, summaries and node lookups alike).
+pub const NET_AE_REQUESTS: &str = "tep_net_ae_requests_total";
+
+/// Records a replica fetched, verified, and durably applied during
+/// catch-up (counted after the batch fsync, so the counter never runs
+/// ahead of what a power cycle preserves).
+pub const NET_REPL_CATCHUP_RECORDS: &str = "tep_net_repl_catchup_records_total";
+
+/// Catch-up sessions a replica resumed from a sealed verifier checkpoint
+/// (as opposed to replaying its local log from offset 0).
+pub const NET_REPL_CHECKPOINT_RESUMES: &str = "tep_net_repl_checkpoint_resumes_total";
+
+/// Anti-entropy round trips spent across all passes (1 per converged
+/// pass; `depth + 2` at most to locate a single divergent leaf).
+pub const NET_REPL_ANTI_ENTROPY_ROUNDS: &str = "tep_net_repl_anti_entropy_rounds_total";
+
+/// Anti-entropy passes that ended converged (roots agreed).
+pub const NET_REPL_CONVERGED: &str = "tep_net_repl_converged_total";
+
+/// Histogram of tree depths at which anti-entropy located a divergent
+/// leaf — the observable form of the O(log n) round-trip claim.
+pub const NET_REPL_DIVERGENCE_DEPTH: &str = "tep_net_repl_divergence_depth";
+
+/// Gauge of this process's replication role: 0 = primary (serves
+/// AE_REQ), 1 = replica (tails a primary).
+pub const NET_REPL_ROLE: &str = "tep_net_repl_role";
+
 /// QUERY requests served by the query engine, across all operators
 /// (per-operator counters are `tep_query_requests_<op>_total`, named by
 /// `QueryOp::counter_name`).

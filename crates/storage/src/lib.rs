@@ -5,6 +5,9 @@
 //! provenance database, §5.1); this crate provides the equivalent
 //! self-contained storage engine:
 //!
+//! * [`checkpoint_store`] — atomically-replaced durable blob storage for
+//!   replica catch-up checkpoints (sealed verifier state survives a
+//!   power cycle; a torn file honestly reads as absent).
 //! * [`crc`] — CRC-32 frame checksums (accidental-corruption protection,
 //!   distinct from the cryptographic tamper-evidence layer).
 //! * [`log`] — a CRC-framed append-only log with torn-write recovery, the
@@ -25,6 +28,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod checkpoint_store;
 pub mod crc;
 pub mod log;
 pub mod obs_vfs;
@@ -32,6 +36,7 @@ pub mod provenance_db;
 pub mod snapshot;
 pub mod vfs;
 
+pub use checkpoint_store::CheckpointStore;
 pub use log::{quarantine_path, AppendLog, LogError, LogGap, RecoveredLog};
 pub use obs_vfs::{record_recovery, ObservedVfs};
 pub use provenance_db::{ProvenanceDb, RecoveryReport, StoreError, StoredRecord};

@@ -4,8 +4,8 @@
 //! repro [--all] [--table1] [--fig6] [--fig7] [--fig8] [--fig9]
 //!       [--fig10] [--fig11] [--large [ROWS|paper]] [--chaining] [--verify-cost]
 //!       [--net] [--net-scale [CONNS]] [--crash] [--resume] [--replication]
-//!       [--query [RECORDS]] [--json] [--runs N] [--key-bits N]
-//!       [--alg sha1|sha256] [--seed N] [--csv]
+//!       [--query [RECORDS]] [--compaction [RECORDS]] [--json] [--runs N]
+//!       [--key-bits N] [--alg sha1|sha256] [--seed N] [--csv]
 //! ```
 //!
 //! With no experiment flags, runs everything at laptop-friendly defaults
@@ -38,6 +38,7 @@ struct Args {
     resume: bool,
     replication: bool,
     query: Option<u64>,
+    compaction: Option<u64>,
     json: bool,
     csv: bool,
     all: bool,
@@ -88,6 +89,16 @@ fn parse_args() -> Result<Args, String> {
                 };
                 args.query = Some(records);
             }
+            "--compaction" => {
+                let records = match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let v = it.next().expect("peeked");
+                        v.parse().map_err(|_| format!("bad record count: {v}"))?
+                    }
+                    _ => 100_000,
+                };
+                args.compaction = Some(records);
+            }
             "--json" => args.json = true,
             "--large" => {
                 let rows = match it.peek() {
@@ -136,6 +147,7 @@ fn parse_args() -> Result<Args, String> {
         || args.resume
         || args.replication
         || args.query.is_some()
+        || args.compaction.is_some()
         || args.json;
     if args.all || !experiments_requested {
         args.table1 = true;
@@ -155,6 +167,7 @@ fn parse_args() -> Result<Args, String> {
         args.resume = true;
         args.replication = true;
         args.query.get_or_insert(1_000_000);
+        args.compaction.get_or_insert(100_000);
     }
     Ok(args)
 }
@@ -186,7 +199,7 @@ fn main() -> ExitCode {
                 "usage: repro [--all] [--table1] [--fig6] [--fig7] [--fig8] [--fig9] [--fig10] [--fig11]"
             );
             eprintln!(
-                "             [--large [ROWS|paper]] [--chaining] [--verify-cost] [--net] [--net-scale [CONNS]] [--crash] [--resume] [--replication] [--query [RECORDS]] [--json]"
+                "             [--large [ROWS|paper]] [--chaining] [--verify-cost] [--net] [--net-scale [CONNS]] [--crash] [--resume] [--replication] [--query [RECORDS]] [--compaction [RECORDS]] [--json]"
             );
             eprintln!(
                 "             [--runs N] [--key-bits N] [--alg sha1|sha256] [--seed N] [--csv]"
@@ -592,6 +605,54 @@ fn main() -> ExitCode {
             &format!(
                 "tep-query: verifiable slices over a {}-record lineage DAG ({} objects, {} participants; generated in {:.0} ms, index built in {:.0} ms)",
                 r.records, r.objects, r.participants, r.generate_ms, r.index_build_ms
+            ),
+            &t,
+            args.csv,
+        );
+    }
+
+    if let Some(records) = args.compaction {
+        let r = run_compaction(&cfg, records);
+        let mut t = TextTable::new(&[
+            "records",
+            "bytes before",
+            "bytes after",
+            "ratio",
+            "excised",
+            "kept",
+            "seal (ms)",
+            "compact (ms)",
+            "reopen (ms)",
+        ]);
+        t.row(&[
+            (r.records + r.tail_records).to_string(),
+            r.bytes_before.to_string(),
+            r.bytes_after.to_string(),
+            format!("{:.2}x", r.ratio),
+            r.excised_frames.to_string(),
+            r.kept_frames.to_string(),
+            format!("{:.2}", r.seal_ms),
+            format!("{:.2}", r.compact_ms),
+            format!("{:.2}", r.reopen_ms),
+        ]);
+        emit(
+            &format!(
+                "Checkpointed log compaction ({} sealed records + {} tail)",
+                r.records, r.tail_records
+            ),
+            &t,
+            args.csv,
+        );
+        let mut t = TextTable::new(&["proofs", "prove p99 (us)", "verify p99 (us)"]);
+        t.row(&[
+            r.denial_proofs.to_string(),
+            format!("{:.1}", r.denial_prove_p99_us),
+            format!("{:.1}", r.denial_verify_p99_us),
+        ]);
+        emit(
+            &format!(
+                "Signed non-membership proofs over the {}-record shard tree",
+                r.records
             ),
             &t,
             args.csv,

@@ -1149,6 +1149,168 @@ pub fn run_recovery(cfg: &ExperimentConfig, records: u64) -> RecoveryResult {
 }
 
 // ---------------------------------------------------------------------------
+// Checkpointed compaction + authenticated denial (`repro --compaction`)
+// ---------------------------------------------------------------------------
+
+/// Cost and payoff of checkpoint-anchored log compaction, plus the
+/// latency of building and verifying signed non-membership proofs over
+/// the pre-compaction shard tree.
+#[derive(Clone, Debug)]
+pub struct CompactionBenchResult {
+    /// Records in the log when the checkpoint was sealed.
+    pub records: u64,
+    /// Records appended after the seal (survive compaction).
+    pub tail_records: u64,
+    /// Live-log bytes before compaction.
+    pub bytes_before: u64,
+    /// Live-log bytes after (stamp + surviving tail).
+    pub bytes_after: u64,
+    /// `bytes_before / bytes_after` — the acceptance floor is 2×.
+    pub ratio: f64,
+    /// Frames excised into the cold archive.
+    pub excised_frames: u64,
+    /// Frames kept in the live log.
+    pub kept_frames: u64,
+    /// Capture + seal + persist latency (one RSA sign) in ms.
+    pub seal_ms: f64,
+    /// Archive + truncate + stamp latency in ms.
+    pub compact_ms: f64,
+    /// Reopen latency of the compacted log in ms.
+    pub reopen_ms: f64,
+    /// Denial proofs built and verified for the latency distribution.
+    pub denial_proofs: u64,
+    /// p99 of building one gap proof (µs; pure hashing, no signature).
+    pub denial_prove_p99_us: f64,
+    /// p99 of fully verifying one signed denial (µs; one RSA public-key
+    /// operation + two authenticated sibling paths).
+    pub denial_verify_p99_us: f64,
+}
+
+fn p99_us(mut ns: Vec<u64>) -> f64 {
+    ns.sort_unstable();
+    let idx = (ns.len().saturating_sub(1)) * 99 / 100;
+    ns.get(idx).copied().unwrap_or(0) as f64 / 1e3
+}
+
+/// Builds a `records`-record durable log (objects hold ~8-record chains,
+/// even-numbered IDs only, so odd IDs are provably absent), measures the
+/// denial-proof pipeline over its shard tree, then seals a checkpoint,
+/// appends a 1% tail, compacts, and reopens. Records carry realistic
+/// sizes but no signatures — compaction cost is framing and I/O; the one
+/// real signature is the checkpoint seal (and each denial verify pays a
+/// real RSA public-key operation).
+pub fn run_compaction(cfg: &ExperimentConfig, records: u64) -> CompactionBenchResult {
+    use tep_core::denial::{DenialProof, SignedDenial, SignedRoot};
+    use tep_core::merkle::shard_tree_of;
+    use tep_core::{checkpoint_path, compact_log, seal_checkpoint};
+    use tep_storage::{RealVfs, Vfs};
+
+    let (signer, keys) = cfg.make_signer();
+    let path = std::env::temp_dir().join(format!(
+        "tep-bench-compaction-{}-{}.teplog",
+        std::process::id(),
+        cfg.seed
+    ));
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(checkpoint_path(&path));
+    let vfs: Arc<dyn Vfs> = Arc::new(RealVfs);
+
+    let nobj = (records / 8).max(1);
+    {
+        let db = ProvenanceDb::durable_with(vfs.clone(), &path).unwrap();
+        for seq in 0..records {
+            db.append(StoredRecord {
+                seq_id: seq / nobj,
+                participant: ParticipantId(1),
+                oid: ObjectId((seq % nobj) * 2),
+                checksum: vec![0xC5; 128],
+                payload: vec![0x7E; 64],
+            })
+            .unwrap();
+        }
+        db.sync().unwrap();
+
+        // Denial latency over the full pre-compaction tree: prove and
+        // verify non-membership of odd (absent) IDs.
+        let tree = shard_tree_of(cfg.alg, &db);
+        let root = SignedRoot::sign(&tree, records, &signer).unwrap();
+        let iters = (cfg.runs as u64 * 100).clamp(200, 2_000);
+        let mut prove_ns = Vec::with_capacity(iters as usize);
+        let mut verify_ns = Vec::with_capacity(iters as usize);
+        for i in 0..iters {
+            let absent = ObjectId((i % nobj) * 2 + 1);
+            let t = Instant::now();
+            let proof = DenialProof::prove(&tree, absent).expect("odd IDs are absent");
+            prove_ns.push(t.elapsed().as_nanos() as u64);
+            let denial = SignedDenial {
+                root: root.clone(),
+                proof,
+            };
+            let t = Instant::now();
+            denial.check(&keys).expect("honest denial verifies");
+            verify_ns.push(t.elapsed().as_nanos() as u64);
+        }
+        drop(db);
+
+        let bytes_before = std::fs::metadata(&path).unwrap().len();
+        let t = Instant::now();
+        seal_checkpoint(vfs.clone(), &path, cfg.alg, &signer).unwrap();
+        let seal_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        // A 1% tail appended after the seal survives compaction.
+        let tail_records = (records / 100).max(1);
+        let db = ProvenanceDb::durable_with(vfs.clone(), &path).unwrap();
+        for seq in 0..tail_records {
+            db.append(StoredRecord {
+                seq_id: records / nobj + seq / nobj,
+                participant: ParticipantId(1),
+                oid: ObjectId((seq % nobj) * 2),
+                checksum: vec![0xC5; 128],
+                payload: vec![0x7E; 64],
+            })
+            .unwrap();
+        }
+        db.sync().unwrap();
+        drop(db);
+
+        let t = Instant::now();
+        let (_sealed, report) = compact_log(vfs.clone(), &path).unwrap();
+        let compact_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let db = ProvenanceDb::durable_with(vfs.clone(), &path).unwrap();
+        let reopen_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(db.len() as u64, tail_records, "compaction lost the tail");
+        assert_eq!(db.recovery().corruption_gaps(), 0);
+        drop(db);
+        let bytes_after = std::fs::metadata(&path).unwrap().len();
+
+        let archive = report.archive_path.clone();
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(checkpoint_path(&path));
+        if let Some(a) = archive {
+            let _ = std::fs::remove_file(a);
+        }
+
+        CompactionBenchResult {
+            records,
+            tail_records,
+            bytes_before,
+            bytes_after,
+            ratio: bytes_before as f64 / bytes_after.max(1) as f64,
+            excised_frames: report.excised_frames,
+            kept_frames: report.kept_frames,
+            seal_ms,
+            compact_ms,
+            reopen_ms,
+            denial_proofs: iters,
+            denial_prove_p99_us: p99_us(prove_ns),
+            denial_verify_p99_us: p99_us(verify_ns),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Resume savings: RESUME vs restart-from-zero after a mid-transfer cut
 // ---------------------------------------------------------------------------
 
@@ -1635,6 +1797,10 @@ pub struct BaselineResult {
     /// Replica catch-up, anti-entropy descent, and read fan-out
     /// (`tep-net` replication).
     pub replication: ReplicationBenchResult,
+    /// Checkpointed log compaction and signed denial-proof latency
+    /// (`tep-core` gc + denial; `repro --compaction` runs the headline
+    /// 100k-record version).
+    pub compaction: CompactionBenchResult,
     /// Deterministic metric counts from a small fully instrumented workload
     /// spanning every layer (see [`run_instrumented_metrics`]). Counter
     /// values and histogram counts only — no timing sums — so two runs with
@@ -1727,6 +1893,11 @@ impl BaselineResult {
              \"ae_leaves\": {}, \"ae_depth\": {}, \"ae_rounds_bound\": {}, \
              \"ae_rounds\": [{ae_rounds}], \"fanout_clients\": {}, \
              \"fanout_capacity\": {}, \"fanout\": [{fanout}] }},\n  \
+             \"compaction\": {{ \"records\": {}, \"tail_records\": {}, \
+             \"bytes_before\": {}, \"bytes_after\": {}, \"ratio\": {:.2}, \
+             \"excised_frames\": {}, \"kept_frames\": {}, \"seal_ms\": {:.2}, \
+             \"compact_ms\": {:.2}, \"reopen_ms\": {:.2}, \"denial_proofs\": {}, \
+             \"denial_prove_p99_us\": {:.1}, \"denial_verify_p99_us\": {:.1} }},\n  \
              \"metrics\": {{{metrics}\n  }}\n}}\n",
             self.alg,
             self.key_bits,
@@ -1769,6 +1940,19 @@ impl BaselineResult {
             self.replication.ae_rounds_bound,
             self.replication.fanout_clients,
             self.replication.fanout_capacity,
+            self.compaction.records,
+            self.compaction.tail_records,
+            self.compaction.bytes_before,
+            self.compaction.bytes_after,
+            self.compaction.ratio,
+            self.compaction.excised_frames,
+            self.compaction.kept_frames,
+            self.compaction.seal_ms,
+            self.compaction.compact_ms,
+            self.compaction.reopen_ms,
+            self.compaction.denial_proofs,
+            self.compaction.denial_prove_p99_us,
+            self.compaction.denial_verify_p99_us,
         )
     }
 }
@@ -1991,6 +2175,10 @@ pub fn run_baseline(cfg: &ExperimentConfig) -> BaselineResult {
         (cfg.runs as u64 * 40).clamp(120, 400),
     );
 
+    // Checkpoint seal → compact → reopen, plus denial-proof p99s, at a
+    // reduced size (`repro --compaction` runs the headline 100k version).
+    let compaction = run_compaction(cfg, (cfg.runs as u64 * 5000).clamp(10_000, 100_000));
+
     BaselineResult {
         alg: cfg.alg,
         key_bits: cfg.key_bits,
@@ -2006,6 +2194,7 @@ pub fn run_baseline(cfg: &ExperimentConfig) -> BaselineResult {
         resume,
         query,
         replication,
+        compaction,
         metrics: run_instrumented_metrics(cfg),
     }
 }

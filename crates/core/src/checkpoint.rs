@@ -13,11 +13,32 @@
 //! truncation or splicing across the anchor becomes detectable
 //! ([`TamperEvidence::AnchorViolation`]). This is the natural
 //! "remember-the-head" extension the paper leaves as engineering.
+//!
+//! ## Sealed compaction checkpoints
+//!
+//! A [`Checkpoint`] turns the same idea into a *server-side* commitment
+//! that makes log compaction safe: it captures the shard-tree root over
+//! the whole object space plus a [`TrustAnchor`] per object (its chain
+//! head), stamped with the cumulative record count. Once
+//! [sealed](Checkpoint::seal) by the serving participant, records at or
+//! before the checkpoint can be truncated into a cold archive — a later
+//! recipient verifies the surviving chain *through* the checkpoint
+//! ([`Verifier::verify_through_checkpoint`]): a chain-start whose
+//! predecessor was excised resolves structurally and cryptographically
+//! against the anchored checksum, so R2/R3 continuity is attested across
+//! the compaction boundary instead of silently waived. A checkpoint that
+//! conflicts with the presented records (or whose seal fails) is
+//! [`TamperEvidence::CheckpointMismatch`].
 
+use crate::merkle::shard_tree_of;
 use crate::provenance::ProvenanceObject;
 use crate::verify::{TamperEvidence, Verification, Verifier};
+use std::collections::HashMap;
+use tep_crypto::digest::HashAlgorithm;
+use tep_crypto::pki::{KeyDirectory, Participant, ParticipantId};
 use tep_model::encode::{DecodeError, Reader};
 use tep_model::ObjectId;
+use tep_storage::ProvenanceDb;
 
 /// A remembered chain position for one object.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -67,6 +88,188 @@ impl TrustAnchor {
     }
 }
 
+/// Magic prefix of the [`Checkpoint`] encoding.
+const CKPT_MAGIC: &[u8] = b"TEPCKPT\x01";
+/// Domain separator for checkpoint seals.
+const CKPT_SIGN_TAG: &[u8] = b"tep-ckpt-sign\x01";
+
+/// A compaction checkpoint: the forest-wide shard root plus one
+/// [`TrustAnchor`] per object (its chain head at capture time), stamped
+/// with the cumulative record count the checkpoint covers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Hash algorithm of the tree and anchors.
+    pub alg: HashAlgorithm,
+    /// Cumulative records covered: every record appended before this
+    /// checkpoint, across all prior compaction generations. Monotonic —
+    /// the high-water mark compaction truncates up to.
+    pub log_records: u64,
+    /// Root of the [`ShardTree`](crate::merkle::ShardTree) over the whole
+    /// object space at capture time.
+    pub tree_root: Vec<u8>,
+    /// Leaves under `tree_root`.
+    pub leaf_count: u64,
+    /// Chain head of every object, sorted by object id.
+    pub anchors: Vec<TrustAnchor>,
+}
+
+impl Checkpoint {
+    /// Captures a checkpoint over `db`'s current state. `prior_records`
+    /// is the cumulative record count excised by earlier compactions
+    /// (`0` for a never-compacted log); the checkpoint covers
+    /// `prior_records + db.len()` records.
+    pub fn capture(alg: HashAlgorithm, db: &ProvenanceDb, prior_records: u64) -> Checkpoint {
+        let tree = shard_tree_of(alg, db);
+        let anchors = db
+            .object_ids()
+            .into_iter()
+            .filter_map(|oid| {
+                db.latest_for(oid).map(|r| TrustAnchor {
+                    oid,
+                    seq: r.seq_id,
+                    checksum: r.checksum,
+                })
+            })
+            .collect();
+        Checkpoint {
+            alg,
+            log_records: prior_records + db.len() as u64,
+            tree_root: tree.root(),
+            leaf_count: tree.leaf_count(),
+            anchors,
+        }
+    }
+
+    /// Stable byte encoding.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.anchors.len() * 64);
+        out.extend_from_slice(CKPT_MAGIC);
+        out.push(self.alg.wire_id());
+        out.extend_from_slice(&self.log_records.to_be_bytes());
+        out.extend_from_slice(&self.leaf_count.to_be_bytes());
+        out.extend_from_slice(&(self.tree_root.len() as u64).to_be_bytes());
+        out.extend_from_slice(&self.tree_root);
+        out.extend_from_slice(&(self.anchors.len() as u32).to_be_bytes());
+        for anchor in &self.anchors {
+            let bytes = anchor.to_bytes();
+            out.extend_from_slice(&(bytes.len() as u64).to_be_bytes());
+            out.extend_from_slice(&bytes);
+        }
+        out
+    }
+
+    /// Inverse of [`Self::to_bytes`].
+    pub fn from_bytes(buf: &[u8]) -> Result<Checkpoint, DecodeError> {
+        let mut r = Reader::new(buf);
+        let magic = r.bytes(CKPT_MAGIC.len())?;
+        if magic != CKPT_MAGIC {
+            return Err(DecodeError::BadTag(magic.first().copied().unwrap_or(0)));
+        }
+        let alg_id = r.u8()?;
+        let alg = HashAlgorithm::from_wire_id(alg_id).ok_or(DecodeError::BadTag(alg_id))?;
+        let log_records = r.u64()?;
+        let leaf_count = r.u64()?;
+        let tree_root = r.len_prefixed()?.to_vec();
+        let n = r.u32()? as usize;
+        let mut anchors = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            anchors.push(TrustAnchor::from_bytes(r.len_prefixed()?)?);
+        }
+        r.expect_end()?;
+        Ok(Checkpoint {
+            alg,
+            log_records,
+            tree_root,
+            leaf_count,
+            anchors,
+        })
+    }
+
+    /// Digest of the canonical encoding — what the seal signs and what
+    /// compaction stamps into the archive/log headers, binding both to
+    /// this exact checkpoint.
+    pub fn digest(&self) -> Vec<u8> {
+        self.alg.digest(&self.to_bytes())
+    }
+
+    /// Seals the checkpoint under `signer`'s key.
+    pub fn seal(self, signer: &Participant) -> Result<SealedCheckpoint, crate::error::CoreError> {
+        let msg = seal_message(&self.digest());
+        let sig = signer
+            .sign(self.alg, &msg)
+            .map_err(crate::error::CoreError::Rsa)?;
+        Ok(SealedCheckpoint {
+            signer: signer.id(),
+            sig,
+            checkpoint: self,
+        })
+    }
+}
+
+fn seal_message(digest: &[u8]) -> Vec<u8> {
+    let mut m = Vec::with_capacity(CKPT_SIGN_TAG.len() + digest.len());
+    m.extend_from_slice(CKPT_SIGN_TAG);
+    m.extend_from_slice(digest);
+    m
+}
+
+/// A [`Checkpoint`] signed by the compacting participant — the artifact
+/// persisted beside the log (and referenced by digest from the compaction
+/// stamp) that makes truncation attributable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SealedCheckpoint {
+    /// The sealed checkpoint.
+    pub checkpoint: Checkpoint,
+    /// Who sealed it.
+    pub signer: ParticipantId,
+    /// Signature over the domain-tagged checkpoint digest.
+    pub sig: Vec<u8>,
+}
+
+impl SealedCheckpoint {
+    /// Verifies the seal against the key directory.
+    pub fn verify(&self, keys: &KeyDirectory) -> bool {
+        let msg = seal_message(&self.checkpoint.digest());
+        keys.verify_signature(self.signer, self.checkpoint.alg, &msg, &self.sig)
+            .is_ok()
+    }
+
+    /// The anchor for `oid`, if the checkpoint covered it.
+    pub fn anchor_for(&self, oid: ObjectId) -> Option<&TrustAnchor> {
+        self.checkpoint
+            .anchors
+            .binary_search_by_key(&oid, |a| a.oid)
+            .ok()
+            .map(|i| &self.checkpoint.anchors[i])
+    }
+
+    /// Stable byte encoding.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let ckpt = self.checkpoint.to_bytes();
+        let mut out = Vec::with_capacity(24 + ckpt.len() + self.sig.len());
+        out.extend_from_slice(&(ckpt.len() as u64).to_be_bytes());
+        out.extend_from_slice(&ckpt);
+        out.extend_from_slice(&self.signer.0.to_be_bytes());
+        out.extend_from_slice(&(self.sig.len() as u64).to_be_bytes());
+        out.extend_from_slice(&self.sig);
+        out
+    }
+
+    /// Inverse of [`Self::to_bytes`].
+    pub fn from_bytes(buf: &[u8]) -> Result<SealedCheckpoint, DecodeError> {
+        let mut r = Reader::new(buf);
+        let checkpoint = Checkpoint::from_bytes(r.len_prefixed()?)?;
+        let signer = ParticipantId(r.u64()?);
+        let sig = r.len_prefixed()?.to_vec();
+        r.expect_end()?;
+        Ok(SealedCheckpoint {
+            checkpoint,
+            signer,
+            sig,
+        })
+    }
+}
+
 impl Verifier<'_> {
     /// Like [`Verifier::verify`], additionally requiring that the
     /// provenance still contains each anchored record with its exact
@@ -103,6 +306,60 @@ impl Verifier<'_> {
                 });
             }
         }
+        v
+    }
+
+    /// Verifies provenance whose oldest records were compacted away behind
+    /// `sealed` — R2/R3 continuity attested *through* the checkpoint.
+    ///
+    /// Differences from [`Verifier::verify`]:
+    ///
+    /// * a chain-start record whose claimed predecessor is exactly its
+    ///   object's anchored `(seq, checksum)` slot resolves cleanly — the
+    ///   record's signature is verified over the *anchored* checksum, so a
+    ///   forged splice at the compaction boundary is still
+    ///   `BadSignature`;
+    /// * a failing seal signature is
+    ///   [`TamperEvidence::CheckpointMismatch`] (and the attested slots
+    ///   are not honored — the verdict falls back to plain verification);
+    /// * a presented record that *occupies* an anchored slot with a
+    ///   different checksum is `CheckpointMismatch` for that slot: the
+    ///   server rewrote history it had already sealed.
+    pub fn verify_through_checkpoint(
+        &self,
+        object_hash: &[u8],
+        prov: &ProvenanceObject,
+        sealed: &SealedCheckpoint,
+    ) -> Verification {
+        let mut prior: HashMap<ObjectId, (u64, Vec<u8>)> = HashMap::new();
+        let seal_ok = sealed.verify(self.keys());
+        if seal_ok {
+            for anchor in &sealed.checkpoint.anchors {
+                prior.insert(anchor.oid, (anchor.seq, anchor.checksum.clone()));
+            }
+        }
+        let mut v = self.verify_inner_with_prior(object_hash, prov, &prior);
+        if !seal_ok {
+            v.issues.push(TamperEvidence::CheckpointMismatch {
+                oid: prov.target,
+                seq: 0,
+            });
+        } else {
+            // A record presented *at* an anchored slot must carry the
+            // sealed checksum — otherwise the server rewrote history it
+            // already committed to.
+            for anchor in &sealed.checkpoint.anchors {
+                if let Some(r) = prov.record(anchor.oid, anchor.seq) {
+                    if r.checksum != anchor.checksum {
+                        v.issues.push(TamperEvidence::CheckpointMismatch {
+                            oid: anchor.oid,
+                            seq: anchor.seq,
+                        });
+                    }
+                }
+            }
+        }
+        self.record_outcome(&v);
         v
     }
 }

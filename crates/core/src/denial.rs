@@ -1,0 +1,849 @@
+//! Authenticated denial: signed non-membership and completeness proofs.
+//!
+//! The paper makes tampering with *present* records evident; a server can
+//! still lie by **omission** — "no such entry" is unfalsifiable, and a
+//! range answer can silently withhold a match. This module closes both
+//! gaps on top of the [`ShardTree`](crate::merkle::ShardTree) over the
+//! sorted object-ID space:
+//!
+//! * a **non-membership proof** ([`DenialProof`]) shows the two leaves
+//!   adjacent to where an absent ID *would* sort, each carrying an
+//!   authenticated sibling path to the root — since leaves are sorted and
+//!   the paths pin their positions, adjacent leaves straddling the ID
+//!   prove no leaf between them exists;
+//! * a **completeness proof** ([`RangeProof`]) shows a contiguous run of
+//!   leaves covering an ID range plus the straddling boundary leaves —
+//!   any withheld match would have to occupy one of the proven positions;
+//! * a [`SignedRoot`] binds either proof to a server identity: the root,
+//!   shape, and a monotonic `log_records` high-water mark are signed by
+//!   the serving participant, so a forged proof is *attributable* and a
+//!   pre-compaction stale root is detectable by replicas.
+//!
+//! Verification failures are typed ([`DenialFault`]) so the caller can
+//! attribute the right evidence kind: a proof that does not verify is
+//! `ForgedDenial`, a range answer that omits a proven member is
+//! `IncompleteResponse` (see `crate::verify`).
+
+use crate::merkle::{leaf_hash, ShardTree};
+use tep_crypto::digest::HashAlgorithm;
+use tep_crypto::pki::{KeyDirectory, Participant};
+use tep_model::encode::{DecodeError, Reader};
+use tep_model::{ObjectId, ParticipantId};
+
+/// Domain separator for root signatures.
+const ROOT_SIGN_TAG: &[u8] = b"tep-root-sign\x01";
+
+/// Why a denial or completeness proof failed verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DenialFault {
+    /// The root signature does not verify against the claimed signer.
+    BadRootSignature,
+    /// The denial targets an ID the proof itself shows to be present, or
+    /// the witnesses do not straddle the target.
+    TargetCovered,
+    /// A witness leaf's sibling path does not recombine to the signed
+    /// root at its claimed position.
+    BadPath,
+    /// The witnesses are not adjacent leaves (a leaf could hide between
+    /// them).
+    NotAdjacent,
+    /// Leaf object IDs violate sorted order relative to the claim.
+    OrderViolation,
+    /// A boundary witness is missing where the shape requires one (e.g.
+    /// no predecessor presented but the successor is not leaf 0).
+    MissingWitness,
+    /// The proof bytes do not decode.
+    Malformed,
+}
+
+impl std::fmt::Display for DenialFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DenialFault::BadRootSignature => write!(f, "root signature does not verify"),
+            DenialFault::TargetCovered => write!(f, "denial target is covered by a leaf"),
+            DenialFault::BadPath => write!(f, "sibling path fails authentication"),
+            DenialFault::NotAdjacent => write!(f, "witness leaves are not adjacent"),
+            DenialFault::OrderViolation => write!(f, "leaf order contradicts the claim"),
+            DenialFault::MissingWitness => write!(f, "required boundary witness missing"),
+            DenialFault::Malformed => write!(f, "proof bytes do not decode"),
+        }
+    }
+}
+
+/// One witness leaf: its position, identity, history digest (the
+/// leaf-hash preimage) and authenticated sibling path to the root.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DenialLeaf {
+    /// The leaf's index in the sorted leaf space.
+    pub index: u64,
+    /// The object stored at that leaf.
+    pub oid: ObjectId,
+    /// The object's record-history digest (leaf-hash preimage).
+    pub digest: Vec<u8>,
+    /// Sibling hash per level below the root (`None` = unpaired tail).
+    pub path: Vec<Option<Vec<u8>>>,
+}
+
+impl DenialLeaf {
+    /// Extracts the witness for leaf `index` of `tree`.
+    pub fn witness(tree: &ShardTree, index: u64) -> Option<DenialLeaf> {
+        Some(DenialLeaf {
+            index,
+            oid: tree.leaf_oid(index)?,
+            digest: tree.leaf_digest(index)?.to_vec(),
+            path: tree.leaf_path(index)?,
+        })
+    }
+
+    /// Checks this witness against a root: recomputes the leaf hash from
+    /// `(oid, digest)` — binding the claimed identity — and verifies the
+    /// positional sibling path.
+    pub fn check(&self, alg: HashAlgorithm, root: &[u8], leaf_count: u64) -> bool {
+        let leaf = leaf_hash(alg, self.oid, &self.digest);
+        ShardTree::verify_leaf_path(alg, root, leaf_count, self.index, &leaf, &self.path)
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.index.to_be_bytes());
+        out.extend_from_slice(&self.oid.raw().to_be_bytes());
+        out.extend_from_slice(&(self.digest.len() as u64).to_be_bytes());
+        out.extend_from_slice(&self.digest);
+        out.extend_from_slice(&(self.path.len() as u32).to_be_bytes());
+        for entry in &self.path {
+            match entry {
+                Some(h) => {
+                    out.push(1);
+                    out.extend_from_slice(&(h.len() as u64).to_be_bytes());
+                    out.extend_from_slice(h);
+                }
+                None => out.push(0),
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let index = r.u64()?;
+        let oid = ObjectId(r.u64()?);
+        let digest = r.len_prefixed()?.to_vec();
+        let n = r.u32()? as usize;
+        // A path longer than 64 levels is impossible for a u64 ID space.
+        if n > 64 {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        let mut path = Vec::with_capacity(n);
+        for _ in 0..n {
+            path.push(match r.u8()? {
+                0 => None,
+                1 => Some(r.len_prefixed()?.to_vec()),
+                t => return Err(DecodeError::BadTag(t)),
+            });
+        }
+        Ok(DenialLeaf {
+            index,
+            oid,
+            digest,
+            path,
+        })
+    }
+}
+
+fn encode_opt_leaf(leaf: &Option<DenialLeaf>, out: &mut Vec<u8>) {
+    match leaf {
+        Some(l) => {
+            out.push(1);
+            l.encode_into(out);
+        }
+        None => out.push(0),
+    }
+}
+
+fn decode_opt_leaf(r: &mut Reader<'_>) -> Result<Option<DenialLeaf>, DecodeError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(DenialLeaf::decode(r)?)),
+        t => Err(DecodeError::BadTag(t)),
+    }
+}
+
+/// A non-membership ("gap") proof for one absent object ID.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DenialProof {
+    /// The ID claimed absent.
+    pub absent: ObjectId,
+    /// The greatest leaf below `absent` (`None` when `absent` sorts
+    /// before the whole shard).
+    pub pred: Option<DenialLeaf>,
+    /// The least leaf above `absent` (`None` when `absent` sorts after
+    /// the whole shard).
+    pub succ: Option<DenialLeaf>,
+}
+
+impl DenialProof {
+    /// Builds the gap proof for `oid` from `tree`, or `None` when the
+    /// object is present (a present ID has no honest denial).
+    pub fn prove(tree: &ShardTree, oid: ObjectId) -> Option<DenialProof> {
+        let insertion = match tree.oid_position(oid) {
+            Ok(_) => return None,
+            Err(i) => i,
+        };
+        let pred = insertion
+            .checked_sub(1)
+            .and_then(|i| DenialLeaf::witness(tree, i));
+        let succ = if insertion < tree.leaf_count() {
+            DenialLeaf::witness(tree, insertion)
+        } else {
+            None
+        };
+        Some(DenialProof {
+            absent: oid,
+            pred,
+            succ,
+        })
+    }
+
+    /// Verifies the gap claim against a root: both witnesses authenticate
+    /// at their positions, they are adjacent, and they straddle `absent`.
+    pub fn check(
+        &self,
+        alg: HashAlgorithm,
+        root: &[u8],
+        leaf_count: u64,
+    ) -> Result<(), DenialFault> {
+        if leaf_count == 0 {
+            // An empty shard denies everything; the root must be the
+            // canonical empty root and no witnesses may be presented.
+            if self.pred.is_some() || self.succ.is_some() {
+                return Err(DenialFault::MissingWitness);
+            }
+            if root != ShardTree::empty_root(alg) {
+                return Err(DenialFault::BadPath);
+            }
+            return Ok(());
+        }
+        match (&self.pred, &self.succ) {
+            (None, None) => Err(DenialFault::MissingWitness),
+            (None, Some(succ)) => {
+                if succ.index != 0 {
+                    return Err(DenialFault::MissingWitness);
+                }
+                if !succ.check(alg, root, leaf_count) {
+                    return Err(DenialFault::BadPath);
+                }
+                if self.absent >= succ.oid {
+                    return Err(DenialFault::OrderViolation);
+                }
+                Ok(())
+            }
+            (Some(pred), None) => {
+                if pred.index + 1 != leaf_count {
+                    return Err(DenialFault::MissingWitness);
+                }
+                if !pred.check(alg, root, leaf_count) {
+                    return Err(DenialFault::BadPath);
+                }
+                if self.absent <= pred.oid {
+                    return Err(DenialFault::OrderViolation);
+                }
+                Ok(())
+            }
+            (Some(pred), Some(succ)) => {
+                if succ.index != pred.index + 1 {
+                    return Err(DenialFault::NotAdjacent);
+                }
+                if !pred.check(alg, root, leaf_count) || !succ.check(alg, root, leaf_count) {
+                    return Err(DenialFault::BadPath);
+                }
+                if !(pred.oid < self.absent && self.absent < succ.oid) {
+                    return Err(DenialFault::OrderViolation);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Canonical encoding.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.absent.raw().to_be_bytes());
+        encode_opt_leaf(&self.pred, &mut out);
+        encode_opt_leaf(&self.succ, &mut out);
+        out
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let absent = ObjectId(r.u64()?);
+        let pred = decode_opt_leaf(r)?;
+        let succ = decode_opt_leaf(r)?;
+        Ok(DenialProof { absent, pred, succ })
+    }
+
+    /// Decodes a [`DenialProof::to_bytes`] encoding.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(buf);
+        let p = Self::decode(&mut r)?;
+        r.expect_end()?;
+        Ok(p)
+    }
+}
+
+/// A completeness proof for an inclusive object-ID range: every member is
+/// presented with an authenticated path, the members are contiguous in
+/// the leaf space, and boundary witnesses straddle the range — no
+/// qualifying leaf can have been withheld.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RangeProof {
+    /// Inclusive lower bound of the claimed range.
+    pub lo: ObjectId,
+    /// Inclusive upper bound.
+    pub hi: ObjectId,
+    /// Every leaf whose object falls in `[lo, hi]`, in leaf order.
+    pub members: Vec<DenialLeaf>,
+    /// The greatest leaf below `lo` (`None` when the members start at
+    /// leaf 0).
+    pub pred: Option<DenialLeaf>,
+    /// The least leaf above `hi` (`None` when the members end the shard).
+    pub succ: Option<DenialLeaf>,
+}
+
+impl RangeProof {
+    /// Builds the completeness proof for `[lo, hi]` from `tree`.
+    pub fn prove(tree: &ShardTree, lo: ObjectId, hi: ObjectId) -> RangeProof {
+        let start = match tree.oid_position(lo) {
+            Ok(i) | Err(i) => i,
+        };
+        let mut members = Vec::new();
+        let mut at = start;
+        while let Some(oid) = tree.leaf_oid(at) {
+            if oid > hi {
+                break;
+            }
+            members.push(DenialLeaf::witness(tree, at).expect("in-range leaf"));
+            at += 1;
+        }
+        let pred = start
+            .checked_sub(1)
+            .and_then(|i| DenialLeaf::witness(tree, i));
+        let succ = if at < tree.leaf_count() {
+            DenialLeaf::witness(tree, at)
+        } else {
+            None
+        };
+        RangeProof {
+            lo,
+            hi,
+            members,
+            pred,
+            succ,
+        }
+    }
+
+    /// Verifies completeness against a root and returns the proven member
+    /// set — the caller cross-checks it against whatever the server
+    /// actually answered (an answer missing a proven member, or a proof
+    /// missing a leaf the boundaries require, is an omission).
+    pub fn check(
+        &self,
+        alg: HashAlgorithm,
+        root: &[u8],
+        leaf_count: u64,
+    ) -> Result<Vec<ObjectId>, DenialFault> {
+        if self.lo > self.hi {
+            return Err(DenialFault::OrderViolation);
+        }
+        if leaf_count == 0 {
+            if self.pred.is_some() || self.succ.is_some() || !self.members.is_empty() {
+                return Err(DenialFault::MissingWitness);
+            }
+            if root != ShardTree::empty_root(alg) {
+                return Err(DenialFault::BadPath);
+            }
+            return Ok(Vec::new());
+        }
+
+        // Establish the contiguous index run the proof must cover.
+        let first = match &self.pred {
+            Some(pred) => {
+                if !pred.check(alg, root, leaf_count) {
+                    return Err(DenialFault::BadPath);
+                }
+                if pred.oid >= self.lo {
+                    return Err(DenialFault::OrderViolation);
+                }
+                pred.index + 1
+            }
+            None => 0,
+        };
+        let mut at = first;
+        let mut prev_oid: Option<ObjectId> = self.pred.as_ref().map(|p| p.oid);
+        for m in &self.members {
+            if m.index != at {
+                return Err(DenialFault::NotAdjacent);
+            }
+            if !m.check(alg, root, leaf_count) {
+                return Err(DenialFault::BadPath);
+            }
+            if m.oid < self.lo || m.oid > self.hi {
+                return Err(DenialFault::OrderViolation);
+            }
+            if prev_oid.is_some_and(|p| p >= m.oid) {
+                return Err(DenialFault::OrderViolation);
+            }
+            prev_oid = Some(m.oid);
+            at += 1;
+        }
+        match &self.succ {
+            Some(succ) => {
+                if succ.index != at {
+                    return Err(DenialFault::NotAdjacent);
+                }
+                if !succ.check(alg, root, leaf_count) {
+                    return Err(DenialFault::BadPath);
+                }
+                if succ.oid <= self.hi {
+                    return Err(DenialFault::OrderViolation);
+                }
+                if prev_oid.is_some_and(|p| p >= succ.oid) {
+                    return Err(DenialFault::OrderViolation);
+                }
+            }
+            None => {
+                // Without a successor the members must run to the end of
+                // the shard — otherwise a leaf after them could qualify.
+                if at != leaf_count {
+                    return Err(DenialFault::MissingWitness);
+                }
+            }
+        }
+        Ok(self.members.iter().map(|m| m.oid).collect())
+    }
+
+    /// Canonical encoding.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.lo.raw().to_be_bytes());
+        out.extend_from_slice(&self.hi.raw().to_be_bytes());
+        out.extend_from_slice(&(self.members.len() as u32).to_be_bytes());
+        for m in &self.members {
+            m.encode_into(&mut out);
+        }
+        encode_opt_leaf(&self.pred, &mut out);
+        encode_opt_leaf(&self.succ, &mut out);
+        out
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let lo = ObjectId(r.u64()?);
+        let hi = ObjectId(r.u64()?);
+        let n = r.u32()? as usize;
+        let mut members = Vec::new();
+        for _ in 0..n {
+            members.push(DenialLeaf::decode(r)?);
+        }
+        let pred = decode_opt_leaf(r)?;
+        let succ = decode_opt_leaf(r)?;
+        Ok(RangeProof {
+            lo,
+            hi,
+            members,
+            pred,
+            succ,
+        })
+    }
+
+    /// Decodes a [`RangeProof::to_bytes`] encoding.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(buf);
+        let p = Self::decode(&mut r)?;
+        r.expect_end()?;
+        Ok(p)
+    }
+}
+
+/// A shard root signed by the serving participant: the trust anchor every
+/// denial and completeness proof hangs off, carrying a monotonic
+/// `log_records` high-water mark so a rolled-back (pre-compaction, stale)
+/// root is detectable by anyone who has seen a fresher one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SignedRoot {
+    /// Hash algorithm of the tree.
+    pub alg: HashAlgorithm,
+    /// The shard root hash.
+    pub root: Vec<u8>,
+    /// Leaves under the root.
+    pub leaf_count: u64,
+    /// Tree depth (levels above the leaves).
+    pub depth: u32,
+    /// Cumulative records appended when the root was signed — monotonic;
+    /// a peer presenting a *lower* value than previously attested is
+    /// serving a stale (pre-compaction rollback) view.
+    pub log_records: u64,
+    /// Who signed.
+    pub signer: ParticipantId,
+    /// Signature over the domain-tagged root statement.
+    pub sig: Vec<u8>,
+}
+
+impl SignedRoot {
+    fn message(
+        alg: HashAlgorithm,
+        root: &[u8],
+        leaf_count: u64,
+        depth: u32,
+        log_records: u64,
+    ) -> Vec<u8> {
+        let mut m = Vec::with_capacity(ROOT_SIGN_TAG.len() + 29 + root.len());
+        m.extend_from_slice(ROOT_SIGN_TAG);
+        m.push(alg.wire_id());
+        m.extend_from_slice(&leaf_count.to_be_bytes());
+        m.extend_from_slice(&depth.to_be_bytes());
+        m.extend_from_slice(&log_records.to_be_bytes());
+        m.extend_from_slice(&(root.len() as u64).to_be_bytes());
+        m.extend_from_slice(root);
+        m
+    }
+
+    /// Signs `tree`'s root with `signer`.
+    pub fn sign(
+        tree: &ShardTree,
+        log_records: u64,
+        signer: &Participant,
+    ) -> Result<SignedRoot, crate::error::CoreError> {
+        let alg = tree.alg();
+        let root = tree.root();
+        let leaf_count = tree.leaf_count();
+        let depth = tree.depth();
+        let msg = Self::message(alg, &root, leaf_count, depth, log_records);
+        let sig = signer
+            .sign(alg, &msg)
+            .map_err(crate::error::CoreError::Rsa)?;
+        Ok(SignedRoot {
+            alg,
+            root,
+            leaf_count,
+            depth,
+            log_records,
+            signer: signer.id(),
+            sig,
+        })
+    }
+
+    /// Verifies the signature against the key directory.
+    pub fn verify(&self, keys: &KeyDirectory) -> bool {
+        let msg = Self::message(
+            self.alg,
+            &self.root,
+            self.leaf_count,
+            self.depth,
+            self.log_records,
+        );
+        keys.verify_signature(self.signer, self.alg, &msg, &self.sig)
+            .is_ok()
+    }
+
+    /// Canonical encoding.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(40 + self.root.len() + self.sig.len());
+        out.push(self.alg.wire_id());
+        out.extend_from_slice(&(self.root.len() as u64).to_be_bytes());
+        out.extend_from_slice(&self.root);
+        out.extend_from_slice(&self.leaf_count.to_be_bytes());
+        out.extend_from_slice(&self.depth.to_be_bytes());
+        out.extend_from_slice(&self.log_records.to_be_bytes());
+        out.extend_from_slice(&self.signer.0.to_be_bytes());
+        out.extend_from_slice(&(self.sig.len() as u64).to_be_bytes());
+        out.extend_from_slice(&self.sig);
+        out
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let alg_id = r.u8()?;
+        let alg = HashAlgorithm::from_wire_id(alg_id).ok_or(DecodeError::BadTag(alg_id))?;
+        let root = r.len_prefixed()?.to_vec();
+        let leaf_count = r.u64()?;
+        let depth = r.u32()?;
+        let log_records = r.u64()?;
+        let signer = ParticipantId(r.u64()?);
+        let sig = r.len_prefixed()?.to_vec();
+        Ok(SignedRoot {
+            alg,
+            root,
+            leaf_count,
+            depth,
+            log_records,
+            signer,
+            sig,
+        })
+    }
+
+    /// Decodes a [`SignedRoot::to_bytes`] encoding.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(buf);
+        let s = Self::decode(&mut r)?;
+        r.expect_end()?;
+        Ok(s)
+    }
+}
+
+/// A denial proof bundled with the signed root it verifies against —
+/// what a NOT_FOUND wire response actually carries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SignedDenial {
+    /// The serving participant's signed shard root.
+    pub root: SignedRoot,
+    /// The gap proof under that root.
+    pub proof: DenialProof,
+}
+
+impl SignedDenial {
+    /// Full verification: root signature, then the gap proof under it.
+    pub fn check(&self, keys: &KeyDirectory) -> Result<(), DenialFault> {
+        if !self.root.verify(keys) {
+            return Err(DenialFault::BadRootSignature);
+        }
+        self.proof
+            .check(self.root.alg, &self.root.root, self.root.leaf_count)
+    }
+
+    /// Canonical encoding (root, then proof, each length-prefixed).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let root = self.root.to_bytes();
+        let proof = self.proof.to_bytes();
+        let mut out = Vec::with_capacity(16 + root.len() + proof.len());
+        out.extend_from_slice(&(root.len() as u64).to_be_bytes());
+        out.extend_from_slice(&root);
+        out.extend_from_slice(&(proof.len() as u64).to_be_bytes());
+        out.extend_from_slice(&proof);
+        out
+    }
+
+    /// Decodes a [`SignedDenial::to_bytes`] encoding.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(buf);
+        let root = SignedRoot::from_bytes(r.len_prefixed()?)?;
+        let proof = DenialProof::from_bytes(r.len_prefixed()?)?;
+        r.expect_end()?;
+        Ok(SignedDenial { root, proof })
+    }
+}
+
+/// A completeness proof bundled with its signed root — what a range/query
+/// response carries alongside the actual records.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SignedRange {
+    /// The serving participant's signed shard root.
+    pub root: SignedRoot,
+    /// The completeness proof under that root.
+    pub proof: RangeProof,
+}
+
+impl SignedRange {
+    /// Full verification: root signature, then completeness; returns the
+    /// proven member set.
+    pub fn check(&self, keys: &KeyDirectory) -> Result<Vec<ObjectId>, DenialFault> {
+        if !self.root.verify(keys) {
+            return Err(DenialFault::BadRootSignature);
+        }
+        self.proof
+            .check(self.root.alg, &self.root.root, self.root.leaf_count)
+    }
+
+    /// Canonical encoding (root, then proof, each length-prefixed).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let root = self.root.to_bytes();
+        let proof = self.proof.to_bytes();
+        let mut out = Vec::with_capacity(16 + root.len() + proof.len());
+        out.extend_from_slice(&(root.len() as u64).to_be_bytes());
+        out.extend_from_slice(&root);
+        out.extend_from_slice(&(proof.len() as u64).to_be_bytes());
+        out.extend_from_slice(&proof);
+        out
+    }
+
+    /// Decodes a [`SignedRange::to_bytes`] encoding.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(buf);
+        let root = SignedRoot::from_bytes(r.len_prefixed()?)?;
+        let proof = RangeProof::from_bytes(r.len_prefixed()?)?;
+        r.expect_end()?;
+        Ok(SignedRange { root, proof })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tep_crypto::pki::CertificateAuthority;
+
+    const ALG: HashAlgorithm = HashAlgorithm::Sha256;
+
+    fn tree(ids: &[u64]) -> ShardTree {
+        ShardTree::build(
+            ALG,
+            ids.iter()
+                .map(|&i| (ObjectId(i), ALG.digest(&i.to_be_bytes())))
+                .collect(),
+        )
+    }
+
+    fn pki() -> (KeyDirectory, Participant) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let ca = CertificateAuthority::new(512, ALG, &mut rng);
+        let p = ca.enroll(ParticipantId(1), 512, &mut rng);
+        let mut keys = KeyDirectory::new(ca.public_key().clone(), ALG);
+        keys.register(p.certificate().clone()).unwrap();
+        (keys, p)
+    }
+
+    #[test]
+    fn leaf_paths_authenticate_at_every_position_and_size() {
+        for n in [1u64, 2, 3, 4, 5, 7, 8, 9, 33, 100] {
+            let t = tree(&(1..=n).collect::<Vec<_>>());
+            let root = t.root();
+            for i in 0..n {
+                let leaf = DenialLeaf::witness(&t, i).unwrap();
+                assert!(leaf.check(ALG, &root, n), "n={n} i={i}");
+                // Wrong position fails.
+                let mut moved = leaf.clone();
+                moved.index = (i + 1) % n;
+                if n > 1 {
+                    assert!(!moved.check(ALG, &root, n), "n={n} i={i} moved");
+                }
+                // Claiming a different oid with the same path fails.
+                let mut relabeled = leaf.clone();
+                relabeled.oid = ObjectId(999);
+                assert!(!relabeled.check(ALG, &root, n), "n={n} i={i} relabel");
+            }
+        }
+    }
+
+    #[test]
+    fn absent_ids_prove_and_verify_everywhere() {
+        let ids = [2u64, 4, 6, 8, 10];
+        let t = tree(&ids);
+        let root = t.root();
+        for absent in [1u64, 3, 5, 7, 9, 11, 100] {
+            let proof = DenialProof::prove(&t, ObjectId(absent)).unwrap();
+            proof
+                .check(ALG, &root, t.leaf_count())
+                .unwrap_or_else(|f| panic!("absent={absent}: {f}"));
+        }
+        // Present IDs have no denial.
+        for present in ids {
+            assert!(DenialProof::prove(&t, ObjectId(present)).is_none());
+        }
+    }
+
+    #[test]
+    fn empty_tree_denies_everything() {
+        let t = tree(&[]);
+        let proof = DenialProof::prove(&t, ObjectId(5)).unwrap();
+        assert!(proof.pred.is_none() && proof.succ.is_none());
+        proof.check(ALG, &t.root(), 0).unwrap();
+        // …but only under the genuine empty root.
+        assert_eq!(
+            proof.check(ALG, &ALG.digest(b"fake"), 0),
+            Err(DenialFault::BadPath)
+        );
+    }
+
+    #[test]
+    fn non_adjacent_witnesses_rejected() {
+        let t = tree(&[2, 4, 6, 8]);
+        let root = t.root();
+        // Honest proof for 5 uses leaves 1 and 2; widen the gap to 1..3.
+        let mut proof = DenialProof::prove(&t, ObjectId(5)).unwrap();
+        proof.succ = DenialLeaf::witness(&t, 3);
+        assert_eq!(
+            proof.check(ALG, &root, t.leaf_count()),
+            Err(DenialFault::NotAdjacent)
+        );
+    }
+
+    #[test]
+    fn denial_of_present_id_rejected() {
+        let t = tree(&[2, 4, 6]);
+        let root = t.root();
+        // Forge: claim 4 absent using the honest witnesses around 3.
+        let mut proof = DenialProof::prove(&t, ObjectId(3)).unwrap();
+        proof.absent = ObjectId(4);
+        assert_eq!(
+            proof.check(ALG, &root, t.leaf_count()),
+            Err(DenialFault::OrderViolation)
+        );
+    }
+
+    #[test]
+    fn range_proofs_are_complete_and_ordered() {
+        let t = tree(&[2, 4, 6, 8, 10]);
+        let root = t.root();
+        let cases: [(u64, u64, &[u64]); 6] = [
+            (3, 9, &[4, 6, 8]),
+            (2, 10, &[2, 4, 6, 8, 10]),
+            (1, 1, &[]),
+            (11, 20, &[]),
+            (4, 4, &[4]),
+            (0, 100, &[2, 4, 6, 8, 10]),
+        ];
+        for (lo, hi, want) in cases {
+            let proof = RangeProof::prove(&t, ObjectId(lo), ObjectId(hi));
+            let members = proof
+                .check(ALG, &root, t.leaf_count())
+                .unwrap_or_else(|f| panic!("[{lo},{hi}]: {f}"));
+            let want: Vec<ObjectId> = want.iter().map(|&i| ObjectId(i)).collect();
+            assert_eq!(members, want, "[{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn withheld_range_member_is_caught() {
+        let t = tree(&[2, 4, 6, 8, 10]);
+        let root = t.root();
+        let mut proof = RangeProof::prove(&t, ObjectId(3), ObjectId(9));
+        // Server withholds the middle match (6).
+        proof.members.retain(|m| m.oid != ObjectId(6));
+        assert_eq!(
+            proof.check(ALG, &root, t.leaf_count()),
+            Err(DenialFault::NotAdjacent)
+        );
+        // Withholding the last match breaks the successor adjacency too.
+        let mut proof = RangeProof::prove(&t, ObjectId(3), ObjectId(9));
+        proof.members.pop();
+        assert_eq!(
+            proof.check(ALG, &root, t.leaf_count()),
+            Err(DenialFault::NotAdjacent)
+        );
+    }
+
+    #[test]
+    fn signed_root_and_bundles_roundtrip_and_verify() {
+        let (keys, p) = pki();
+        let t = tree(&[1, 3, 5]);
+        let signed = SignedRoot::sign(&t, 42, &p).unwrap();
+        assert!(signed.verify(&keys));
+        assert_eq!(SignedRoot::from_bytes(&signed.to_bytes()).unwrap(), signed);
+
+        let denial = SignedDenial {
+            root: signed.clone(),
+            proof: DenialProof::prove(&t, ObjectId(2)).unwrap(),
+        };
+        denial.check(&keys).unwrap();
+        assert_eq!(
+            SignedDenial::from_bytes(&denial.to_bytes()).unwrap(),
+            denial
+        );
+
+        let range = SignedRange {
+            root: signed.clone(),
+            proof: RangeProof::prove(&t, ObjectId(2), ObjectId(4)),
+        };
+        assert_eq!(range.check(&keys).unwrap(), vec![ObjectId(3)]);
+        assert_eq!(SignedRange::from_bytes(&range.to_bytes()).unwrap(), range);
+
+        // Tampering with the signed statement invalidates the bundle.
+        let mut stale = denial.clone();
+        stale.root.log_records = 41;
+        assert_eq!(stale.check(&keys), Err(DenialFault::BadRootSignature));
+    }
+}

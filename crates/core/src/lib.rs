@@ -55,6 +55,7 @@ pub mod attack;
 pub mod batch;
 pub mod chain;
 pub mod checkpoint;
+pub mod denial;
 pub mod error;
 pub mod export;
 pub mod gc;
@@ -73,10 +74,15 @@ pub mod verify;
 
 pub use atomic::AtomicLedger;
 pub use batch::{BatcherConfig, VerifyBatcher, VerifyTicket};
-pub use checkpoint::TrustAnchor;
+pub use checkpoint::{Checkpoint, SealedCheckpoint, TrustAnchor};
+pub use denial::{
+    DenialFault, DenialLeaf, DenialProof, RangeProof, SignedDenial, SignedRange, SignedRoot,
+};
 pub use error::CoreError;
 pub use export::to_opm_json;
-pub use gc::{prune, prune_into, PruneReport};
+pub use gc::{
+    checkpoint_path, compact_log, load_checkpoint, prune, prune_into, seal_checkpoint, PruneReport,
+};
 pub use hashing::{hash_atom, subtree_hash, HashCache, HashingStrategy};
 pub use merkle::{
     leaf_hash, locate_divergence, shard_tree_of, AeError, AeNodeInfo, AeOracle, AeOutcome,

@@ -47,7 +47,7 @@ pub fn leaf_hash(alg: HashAlgorithm, oid: ObjectId, history_digest: &[u8]) -> Ve
 }
 
 /// Hash of an interior node over its (1 or 2) children, in order.
-fn combine(alg: HashAlgorithm, children: &[Vec<u8>]) -> Vec<u8> {
+pub(crate) fn combine(alg: HashAlgorithm, children: &[Vec<u8>]) -> Vec<u8> {
     let mut h = alg.hasher();
     h.update(NODE_TAG);
     for c in children {
@@ -66,6 +66,11 @@ fn combine(alg: HashAlgorithm, children: &[Vec<u8>]) -> Vec<u8> {
 pub struct ShardTree {
     alg: HashAlgorithm,
     oids: Vec<ObjectId>,
+    /// History digests, index-aligned with `oids` — the leaf-hash
+    /// preimages, retained so non-membership proofs can ship them (a
+    /// verifier must recompute `leaf_hash(oid, digest)` itself to know the
+    /// claimed `oid` is really bound into the presented leaf).
+    digests: Vec<Vec<u8>>,
     /// `levels[0]` = leaf hashes … `levels[depth]` = `[root]`.
     levels: Vec<Vec<Vec<u8>>>,
 }
@@ -81,13 +86,25 @@ impl ShardTree {
             .iter()
             .map(|(oid, d)| leaf_hash(alg, *oid, d))
             .collect();
+        let digests: Vec<Vec<u8>> = leaves.into_iter().map(|(_, d)| d).collect();
         let mut levels = vec![base];
         while levels.last().map(Vec::len).unwrap_or(0) > 1 {
             let below = levels.last().expect("at least one level");
             let up: Vec<Vec<u8>> = below.chunks(2).map(|pair| combine(alg, pair)).collect();
             levels.push(up);
         }
-        ShardTree { alg, oids, levels }
+        ShardTree {
+            alg,
+            oids,
+            digests,
+            levels,
+        }
+    }
+
+    /// The well-defined root of an **empty** shard (the tagged empty
+    /// hash), against which non-membership in an empty tree verifies.
+    pub fn empty_root(alg: HashAlgorithm) -> Vec<u8> {
+        alg.digest(EMPTY_TAG)
     }
 
     /// The shard's hash algorithm.
@@ -139,6 +156,99 @@ impl ShardTree {
     /// The object at leaf `index`, if in range.
     pub fn leaf_oid(&self, index: u64) -> Option<ObjectId> {
         self.oids.get(index as usize).copied()
+    }
+
+    /// The history digest (leaf-hash preimage) at leaf `index`.
+    pub fn leaf_digest(&self, index: u64) -> Option<&[u8]> {
+        self.digests.get(index as usize).map(Vec::as_slice)
+    }
+
+    /// Where `oid` sits in the sorted leaf space: `Ok(index)` when
+    /// present, `Err(insertion_point)` when absent — the two adjacent
+    /// leaves around an insertion point are exactly a non-membership
+    /// proof's witnesses.
+    pub fn oid_position(&self, oid: ObjectId) -> Result<u64, u64> {
+        self.oids
+            .binary_search(&oid)
+            .map(|i| i as u64)
+            .map_err(|i| i as u64)
+    }
+
+    /// The authenticated sibling path from leaf `index` to the root: one
+    /// entry per level below the root, `Some(sibling_hash)` when the node
+    /// has a sibling at that level and `None` when it is an odd tail
+    /// hashed alone. Verify with [`ShardTree::verify_leaf_path`].
+    pub fn leaf_path(&self, index: u64) -> Option<Vec<Option<Vec<u8>>>> {
+        if index >= self.leaf_count() {
+            return None;
+        }
+        let mut path = Vec::with_capacity(self.depth() as usize);
+        for level in 0..self.depth() {
+            let idx = (index >> level) as usize;
+            let sibling = idx ^ 1;
+            path.push(
+                self.levels[level as usize]
+                    .get(sibling)
+                    .cloned(),
+            );
+        }
+        Some(path)
+    }
+
+    /// Recomputes the root from a leaf hash and its sibling path,
+    /// checking the path's **position** at every level: a `Some` sibling
+    /// combines on the side `index` dictates, and a `None` entry is only
+    /// legal where the tree shape for `leaf_count` really has an unpaired
+    /// tail node. Returns `true` iff the recombination lands on `root`.
+    pub fn verify_leaf_path(
+        alg: HashAlgorithm,
+        root: &[u8],
+        leaf_count: u64,
+        index: u64,
+        leaf: &[u8],
+        path: &[Option<Vec<u8>>],
+    ) -> bool {
+        if index >= leaf_count {
+            return false;
+        }
+        // Expected depth for this cardinality.
+        let mut expected_depth = 0u32;
+        let mut c = leaf_count;
+        while c > 1 {
+            c = c.div_ceil(2);
+            expected_depth += 1;
+        }
+        if path.len() != expected_depth as usize {
+            return false;
+        }
+        let mut h = leaf.to_vec();
+        let mut idx = index;
+        let mut count = leaf_count;
+        for sibling in path {
+            match sibling {
+                Some(sib) => {
+                    if idx % 2 == 0 {
+                        // A right sibling must actually exist at this level.
+                        if idx + 1 >= count {
+                            return false;
+                        }
+                        h = combine(alg, &[h, sib.clone()]);
+                    } else {
+                        h = combine(alg, &[sib.clone(), h]);
+                    }
+                }
+                None => {
+                    // Only the unpaired tail node may combine alone.
+                    if idx % 2 != 0 || idx + 1 != count {
+                        return false;
+                    }
+                    h = combine(alg, std::slice::from_ref(&h));
+                }
+            }
+            idx >>= 1;
+            count = count.div_ceil(2);
+        }
+        h == root
     }
 
     /// This shard's [`AeSummary`] (what a root exchange ships).

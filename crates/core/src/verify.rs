@@ -72,11 +72,17 @@ pub enum EvidenceKind {
     ReplicaDivergence,
     /// [`TamperEvidence::ForgedRoot`].
     ForgedRoot,
+    /// [`TamperEvidence::ForgedDenial`].
+    ForgedDenial,
+    /// [`TamperEvidence::IncompleteResponse`].
+    IncompleteResponse,
+    /// [`TamperEvidence::CheckpointMismatch`].
+    CheckpointMismatch,
 }
 
 impl EvidenceKind {
     /// Every kind, in counter/display order.
-    pub const ALL: [EvidenceKind; 15] = [
+    pub const ALL: [EvidenceKind; 18] = [
         EvidenceKind::OutputMismatch,
         EvidenceKind::BadSignature,
         EvidenceKind::MissingRecord,
@@ -92,6 +98,9 @@ impl EvidenceKind {
         EvidenceKind::ResumeMismatch,
         EvidenceKind::ReplicaDivergence,
         EvidenceKind::ForgedRoot,
+        EvidenceKind::ForgedDenial,
+        EvidenceKind::IncompleteResponse,
+        EvidenceKind::CheckpointMismatch,
     ];
 
     /// Stable snake_case name, used as the counter-name suffix.
@@ -112,6 +121,9 @@ impl EvidenceKind {
             EvidenceKind::ResumeMismatch => "resume_mismatch",
             EvidenceKind::ReplicaDivergence => "replica_divergence",
             EvidenceKind::ForgedRoot => "forged_root",
+            EvidenceKind::ForgedDenial => "forged_denial",
+            EvidenceKind::IncompleteResponse => "incomplete_response",
+            EvidenceKind::CheckpointMismatch => "checkpoint_mismatch",
         }
     }
 
@@ -328,6 +340,44 @@ pub enum TamperEvidence {
         /// Index of that node within its level.
         index: u64,
     },
+    /// A NOT_FOUND answer's non-membership proof
+    /// ([`crate::denial::SignedDenial`]) failed verification: the root
+    /// signature is bad, a witness path does not authenticate, the
+    /// witnesses are not adjacent, or the target is in fact covered by a
+    /// leaf. Either the server denied an object it *does* hold, or the
+    /// proof was forged/mutated in flight — an attributable omission
+    /// attack (R2/R7-grade: records withheld rather than removed).
+    ForgedDenial {
+        /// The object whose absence was (falsely) claimed. For a range
+        /// completeness proof that fails verification, the range's lower
+        /// bound.
+        oid: ObjectId,
+    },
+    /// A range answer omitted a member its own completeness proof
+    /// ([`crate::denial::SignedRange`]) shows to exist: the proof verifies
+    /// — so the leaf run is authentic and gap-free — but the served
+    /// answer is missing at least one proven member. The server withheld a
+    /// match it provably holds (R2/R7-grade omission).
+    IncompleteResponse {
+        /// Inclusive lower bound of the range queried.
+        lo: ObjectId,
+        /// Inclusive upper bound of the range queried.
+        hi: ObjectId,
+    },
+    /// A sealed compaction checkpoint
+    /// ([`crate::checkpoint::SealedCheckpoint`]) conflicts with the
+    /// presented provenance: the seal itself fails signature verification,
+    /// or a record at an anchored `(object, seqID)` slot carries a
+    /// different checksum than the checkpoint attests — the excised
+    /// history was swapped out from under the checkpoint (R2/R3 across
+    /// the compaction boundary).
+    CheckpointMismatch {
+        /// The anchored object (the verification target when the seal
+        /// itself fails).
+        oid: ObjectId,
+        /// The anchored sequence id (0 when the seal itself fails).
+        seq: u64,
+    },
 }
 
 impl TamperEvidence {
@@ -348,6 +398,9 @@ impl TamperEvidence {
             TamperEvidence::ResumeMismatch { .. } => EvidenceKind::ResumeMismatch,
             TamperEvidence::ReplicaDivergence { .. } => EvidenceKind::ReplicaDivergence,
             TamperEvidence::ForgedRoot { .. } => EvidenceKind::ForgedRoot,
+            TamperEvidence::ForgedDenial { .. } => EvidenceKind::ForgedDenial,
+            TamperEvidence::IncompleteResponse { .. } => EvidenceKind::IncompleteResponse,
+            TamperEvidence::CheckpointMismatch { .. } => EvidenceKind::CheckpointMismatch,
         }
     }
 }
@@ -431,6 +484,24 @@ impl fmt::Display for TamperEvidence {
                     "anti-entropy node (level {level}, index {index}) fails self-authentication: presented children do not hash to the claimed parent — forged root or tree (R1/R8)"
                 )
             }
+            TamperEvidence::ForgedDenial { oid } => {
+                write!(
+                    f,
+                    "non-membership proof for object {oid} fails verification — denial forged or the object is held and withheld (R2/R7)"
+                )
+            }
+            TamperEvidence::IncompleteResponse { lo, hi } => {
+                write!(
+                    f,
+                    "range answer [{lo}, {hi}] omits a member its own completeness proof covers — match withheld (R2/R7)"
+                )
+            }
+            TamperEvidence::CheckpointMismatch { oid, seq } => {
+                write!(
+                    f,
+                    "sealed checkpoint conflicts with presented provenance at ({oid}, seq {seq}) — excised history swapped across the compaction boundary (R2/R3)"
+                )
+            }
         }
     }
 }
@@ -489,6 +560,21 @@ impl<'a> Verifier<'a> {
     }
 
     fn verify_inner(&self, object_hash: &[u8], prov: &ProvenanceObject) -> Verification {
+        self.verify_inner_with_prior(object_hash, prov, &HashMap::new())
+    }
+
+    /// Like [`Self::verify_inner`], but with a map of *attested prior
+    /// records*: `oid → (seq, checksum)` slots a sealed compaction
+    /// checkpoint vouches for. A chain-start record whose predecessor was
+    /// compacted away resolves through this map — both structurally and
+    /// for signature verification (the anchor checksum substitutes for the
+    /// excised record's) — instead of surfacing as `MissingRecord`.
+    pub(crate) fn verify_inner_with_prior(
+        &self,
+        object_hash: &[u8],
+        prov: &ProvenanceObject,
+        prior: &HashMap<ObjectId, (u64, Vec<u8>)>,
+    ) -> Verification {
         let mut v = Verification::default();
         let target = prov.target;
 
@@ -533,11 +619,16 @@ impl<'a> Verifier<'a> {
                 if i == 0 {
                     // Chain start: must not claim a predecessor we can't see
                     // ... unless it's an aggregate (whose "predecessors" are
-                    // the input objects, checked below) or a first-touch
-                    // update (prev None).
+                    // the input objects, checked below), a first-touch
+                    // update (prev None), or the predecessor is an attested
+                    // prior slot (compacted away behind a sealed
+                    // checkpoint).
                     if let Some(prev) = links_to_prior {
-                        v.issues
-                            .push(TamperEvidence::MissingRecord { oid, seq: prev });
+                        let attested = prior.get(&oid).is_some_and(|(seq, _)| *seq == prev);
+                        if !attested {
+                            v.issues
+                                .push(TamperEvidence::MissingRecord { oid, seq: prev });
+                        }
                     }
                 } else {
                     let prior = chain[i - 1];
@@ -553,9 +644,10 @@ impl<'a> Verifier<'a> {
         }
 
         // Condition 2: every checksum verifies over the record's fields and
-        // the stored predecessor checksums.
+        // the stored predecessor checksums (attested prior checksums
+        // substitute for compacted-away predecessors).
         for r in &prov.records {
-            self.check_signature(r, &index, &mut v);
+            self.check_signature(r, &index, prior, &mut v);
             v.records_checked += 1;
             v.participants.insert(r.participant);
         }
@@ -604,8 +696,11 @@ impl<'a> Verifier<'a> {
     ) -> Verification {
         let mut v = self.verify(object_hash, prov);
         if report.is_degraded() {
+            // Count only *corruption* gaps: compaction-excised ranges are
+            // intentional holes (attested by the compaction stamp), not
+            // quarantined damage.
             let evidence = TamperEvidence::StorageQuarantine {
-                gaps: report.gaps.len() as u64 + report.decode_failures,
+                gaps: report.corruption_gaps() as u64 + report.decode_failures,
                 bytes: report.quarantined_bytes,
             };
             if let Some(obs) = &self.obs {
@@ -900,15 +995,106 @@ impl<'a> Verifier<'a> {
         &self,
         r: &ProvenanceRecord,
         index: &HashMap<(ObjectId, u64), &ProvenanceRecord>,
+        prior: &HashMap<ObjectId, (u64, Vec<u8>)>,
         v: &mut Verification,
     ) {
         check_record_signature(
             self.keys,
             self.alg,
             r,
-            |oid, seq| index.get(&(oid, seq)).map(|p| p.checksum.clone()),
+            |oid, seq| {
+                index
+                    .get(&(oid, seq))
+                    .map(|p| p.checksum.clone())
+                    .or_else(|| {
+                        prior
+                            .get(&oid)
+                            .filter(|(s, _)| *s == seq)
+                            .map(|(_, c)| c.clone())
+                    })
+            },
             &mut v.issues,
         );
+    }
+
+    /// Resolves the key directory for crate-internal verify surfaces
+    /// (checkpoint-attested verification lives in `checkpoint.rs`).
+    pub(crate) fn keys(&self) -> &KeyDirectory {
+        self.keys
+    }
+
+    /// Records a finished verification in the attached observability (if
+    /// any) — for crate-internal verify surfaces built outside this
+    /// module.
+    pub(crate) fn record_outcome(&self, v: &Verification) {
+        if let Some(obs) = &self.obs {
+            obs.record_outcome(v);
+        }
+    }
+
+    /// Verifies a signed non-membership proof. A proof that fails — bad
+    /// root signature, non-authenticating witness path, non-adjacent
+    /// witnesses, or a target the witnesses do not straddle — yields
+    /// [`TamperEvidence::ForgedDenial`], attributed to the signing (or
+    /// claimed) server. An empty issue list means the denial is honest:
+    /// the object provably has no leaf under the signed root.
+    pub fn verify_denial(&self, denial: &crate::denial::SignedDenial) -> Verification {
+        let timer = self.obs.as_ref().map(|o| o.latency_ns.start_timer());
+        let mut v = Verification::default();
+        if denial.check(self.keys).is_err() {
+            v.issues.push(TamperEvidence::ForgedDenial {
+                oid: denial.proof.absent,
+            });
+        }
+        if let Some(obs) = &self.obs {
+            obs.record_outcome(&v);
+        }
+        drop(timer);
+        v
+    }
+
+    /// Verifies a range answer against its signed completeness proof.
+    /// `answered` is the member set the server actually served. A proof
+    /// that fails verification is [`TamperEvidence::ForgedDenial`] (forged
+    /// proof material, anchored at the range's lower bound); a proof that
+    /// *verifies* while `answered` omits one of its proven members is
+    /// [`TamperEvidence::IncompleteResponse`] (the server withheld a match
+    /// it provably holds). Members in `answered` that the proof does not
+    /// cover are also `ForgedDenial` — the proof denies them.
+    pub fn verify_range(
+        &self,
+        range: &crate::denial::SignedRange,
+        answered: &[ObjectId],
+    ) -> Verification {
+        let timer = self.obs.as_ref().map(|o| o.latency_ns.start_timer());
+        let mut v = Verification::default();
+        match range.check(self.keys) {
+            Err(_) => {
+                v.issues.push(TamperEvidence::ForgedDenial {
+                    oid: range.proof.lo,
+                });
+            }
+            Ok(proven) => {
+                let proven_set: HashSet<ObjectId> = proven.iter().copied().collect();
+                let answered_set: HashSet<ObjectId> = answered.iter().copied().collect();
+                if proven.iter().any(|m| !answered_set.contains(m)) {
+                    v.issues.push(TamperEvidence::IncompleteResponse {
+                        lo: range.proof.lo,
+                        hi: range.proof.hi,
+                    });
+                }
+                for &extra in answered {
+                    if !proven_set.contains(&extra) {
+                        v.issues.push(TamperEvidence::ForgedDenial { oid: extra });
+                    }
+                }
+            }
+        }
+        if let Some(obs) = &self.obs {
+            obs.record_outcome(&v);
+        }
+        drop(timer);
+        v
     }
 }
 
@@ -1404,7 +1590,7 @@ mod tests {
 
     #[test]
     fn degraded_recovery_adds_storage_quarantine_evidence() {
-        use tep_storage::{LogGap, RecoveryReport};
+        use tep_storage::{GapKind, LogGap, RecoveryReport};
         let mut w = world();
         let (a, _) = w.tracker.insert(&w.alice, Value::Int(1), None).unwrap();
         w.tracker.update(&w.bob, a, Value::Int(2)).unwrap();
@@ -1424,18 +1610,74 @@ mod tests {
         let degraded = RecoveryReport {
             truncated_bytes: 0,
             gaps: vec![LogGap {
+                kind: GapKind::Corruption,
                 preceding_frames: 1,
                 offset: 40,
                 bytes: 64,
             }],
             quarantined_bytes: 64,
             decode_failures: 1,
+            compaction: None,
         };
         let v = verifier.verify_recovered(&hash, &prov, &degraded);
         assert!(!v.verified());
         assert!(v
             .issues
             .contains(&TamperEvidence::StorageQuarantine { gaps: 2, bytes: 64 }));
+    }
+
+    /// Regression: a compaction-excised gap is an *intentional* hole — it
+    /// must never inflate `StorageQuarantine` counts or flip a clean
+    /// history to degraded, even alongside a real corruption gap.
+    #[test]
+    fn compaction_gap_is_not_storage_quarantine() {
+        use tep_storage::{GapKind, LogGap, RecoveryReport};
+        let mut w = world();
+        let (a, _) = w.tracker.insert(&w.alice, Value::Int(1), None).unwrap();
+        let prov = collect(w.tracker.db(), a).unwrap();
+        let hash = w.tracker.object_hash(a).unwrap();
+        let verifier = Verifier::new(&w.keys, ALG);
+
+        // Compaction-only recovery stays clean.
+        let compacted = RecoveryReport {
+            gaps: vec![LogGap {
+                kind: GapKind::Compacted,
+                preceding_frames: 0,
+                offset: 12,
+                bytes: 4096,
+            }],
+            ..RecoveryReport::default()
+        };
+        assert!(
+            verifier
+                .verify_recovered(&hash, &prov, &compacted)
+                .verified(),
+            "compaction gap must not degrade recovery"
+        );
+
+        // Mixed compaction + corruption: only the corruption gap counts.
+        let mixed = RecoveryReport {
+            gaps: vec![
+                LogGap {
+                    kind: GapKind::Compacted,
+                    preceding_frames: 0,
+                    offset: 12,
+                    bytes: 4096,
+                },
+                LogGap {
+                    kind: GapKind::Corruption,
+                    preceding_frames: 3,
+                    offset: 512,
+                    bytes: 64,
+                },
+            ],
+            quarantined_bytes: 64,
+            ..RecoveryReport::default()
+        };
+        let v = verifier.verify_recovered(&hash, &prov, &mixed);
+        assert!(v
+            .issues
+            .contains(&TamperEvidence::StorageQuarantine { gaps: 1, bytes: 64 }));
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! Omission torture tests for authenticated denial: property tests over
+//! random shard populations that pin the three claims DESIGN.md §13
+//! makes about non-membership and completeness proofs:
+//!
+//! * **Honest denials verify**: for any shard population, every absent ID
+//!   admits a gap proof that verifies against the signed root — "no such
+//!   entry" is never unfalsifiable.
+//! * **Present IDs admit no denial**: `DenialProof::prove` refuses them,
+//!   and a forged denial built from the neighbouring honest witnesses is
+//!   rejected with a typed fault.
+//! * **Every single-bit mutation is caught and attributed**: flipping any
+//!   one bit of an encoded `SignedDenial`/`SignedRange` either fails to
+//!   decode, decodes to a different denial target (the client's
+//!   anti-replay echo check), or fails verification — and the verifier
+//!   attributes the failure to the right [`EvidenceKind`]
+//!   (`forged_denial` / `incomplete_response`), never to a generic error
+//!   and never silently.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tep_core::denial::{
+    DenialFault, DenialProof, RangeProof, SignedDenial, SignedRange, SignedRoot,
+};
+use tep_core::merkle::ShardTree;
+use tep_core::verify::{EvidenceKind, TamperEvidence, Verifier};
+use tep_crypto::digest::HashAlgorithm;
+use tep_crypto::pki::{CertificateAuthority, KeyDirectory, Participant, ParticipantId};
+use tep_model::ObjectId;
+
+const ALG: HashAlgorithm = HashAlgorithm::Sha256;
+
+struct World {
+    keys: KeyDirectory,
+    signer: Participant,
+}
+
+static WORLD: OnceLock<World> = OnceLock::new();
+
+fn world() -> &'static World {
+    WORLD.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xDE_11A1);
+        let ca = CertificateAuthority::new(512, ALG, &mut rng);
+        let signer = ca.enroll(ParticipantId(1), 512, &mut rng);
+        let mut keys = KeyDirectory::new(ca.public_key().clone(), ALG);
+        keys.register(signer.certificate().clone()).unwrap();
+        World { keys, signer }
+    })
+}
+
+/// Builds a shard over the given IDs (deduplicated, any order).
+fn tree_of(ids: &[u64]) -> ShardTree {
+    let mut sorted: Vec<u64> = ids.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    ShardTree::build(
+        ALG,
+        sorted
+            .into_iter()
+            .map(|i| (ObjectId(i), ALG.digest(&i.to_be_bytes())))
+            .collect(),
+    )
+}
+
+/// Population strategy: a set of even IDs, so every odd ID is a
+/// guaranteed-absent denial target in the same numeric neighbourhood.
+fn even_ids() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..500, 0..24).prop_map(|v| v.into_iter().map(|i| i * 2).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any absent ID over any population yields a verifying gap proof,
+    /// and the full signed bundle survives an encode/decode round trip.
+    #[test]
+    fn absent_ids_yield_verifying_denials(ids in even_ids(), target in 0u64..500) {
+        let w = world();
+        let tree = tree_of(&ids);
+        let absent = ObjectId(target * 2 + 1);
+        let proof = DenialProof::prove(&tree, absent).expect("odd IDs are absent");
+        prop_assert_eq!(proof.check(ALG, &tree.root(), tree.leaf_count()), Ok(()));
+
+        let denial = SignedDenial {
+            root: SignedRoot::sign(&tree, tree.leaf_count(), &w.signer).unwrap(),
+            proof,
+        };
+        prop_assert_eq!(denial.check(&w.keys), Ok(()));
+        let rt = SignedDenial::from_bytes(&denial.to_bytes()).unwrap();
+        prop_assert_eq!(rt, denial.clone());
+        let verifier = Verifier::new(&w.keys, ALG);
+        prop_assert!(verifier.verify_denial(&denial).verified());
+    }
+
+    /// Present IDs admit no denial: `prove` refuses them, and a denial
+    /// forged from the honest witnesses around a neighbouring gap is
+    /// rejected with a typed fault and attributed as `ForgedDenial`.
+    #[test]
+    fn present_ids_admit_no_denial(ids in even_ids(), pick in 0usize..4096) {
+        prop_assume!(!ids.is_empty());
+        let w = world();
+        let tree = tree_of(&ids);
+        let present = ObjectId(ids[pick % ids.len()]);
+        prop_assert!(DenialProof::prove(&tree, present).is_none());
+
+        // Forge: take the honest proof for the odd neighbour and relabel
+        // its target as the present ID.
+        let mut forged = DenialProof::prove(&tree, ObjectId(present.raw() + 1))
+            .expect("odd neighbour is absent");
+        forged.absent = present;
+        let fault = forged
+            .check(ALG, &tree.root(), tree.leaf_count())
+            .expect_err("present ID must not verify as absent");
+        prop_assert!(
+            matches!(fault, DenialFault::OrderViolation | DenialFault::MissingWitness),
+            "unexpected fault {fault:?}"
+        );
+        let denial = SignedDenial {
+            root: SignedRoot::sign(&tree, tree.leaf_count(), &w.signer).unwrap(),
+            proof: forged,
+        };
+        let verifier = Verifier::new(&w.keys, ALG);
+        let v = verifier.verify_denial(&denial);
+        prop_assert_eq!(
+            v.issues,
+            vec![TamperEvidence::ForgedDenial { oid: present }]
+        );
+    }
+
+    /// Flipping any single bit of an encoded `SignedDenial` is caught:
+    /// the mutation fails to decode, or decodes to a different target
+    /// (anti-replay echo check), or fails verification attributed as
+    /// `ForgedDenial` — it never passes off as the honest denial.
+    #[test]
+    fn every_denial_bit_flip_is_caught(ids in even_ids(), target in 0u64..500) {
+        let w = world();
+        let tree = tree_of(&ids);
+        let absent = ObjectId(target * 2 + 1);
+        let denial = SignedDenial {
+            root: SignedRoot::sign(&tree, tree.leaf_count(), &w.signer).unwrap(),
+            proof: DenialProof::prove(&tree, absent).unwrap(),
+        };
+        let honest = denial.to_bytes();
+        let verifier = Verifier::new(&w.keys, ALG);
+        for bit in 0..honest.len() * 8 {
+            let mut bytes = honest.clone();
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            let Ok(mutated) = SignedDenial::from_bytes(&bytes) else {
+                continue; // malformed: the client rejects it undecoded
+            };
+            prop_assert!(mutated != denial, "bit {bit} round-trips");
+            if mutated.proof.absent != absent {
+                continue; // replayed denial of a different ID: echo check
+            }
+            let v = verifier.verify_denial(&mutated);
+            prop_assert_eq!(
+                v.issues.clone(),
+                vec![TamperEvidence::ForgedDenial { oid: absent }],
+                "bit {} escaped attribution", bit
+            );
+        }
+    }
+
+    /// Honest range proofs return exactly the sorted members in bounds;
+    /// flipping any single bit of the encoded `SignedRange` is caught:
+    /// decode failure, bounds-echo mismatch, proof failure
+    /// (`ForgedDenial`), or a proven-member set that exposes the served
+    /// answer as incomplete/padded.
+    #[test]
+    fn every_range_bit_flip_is_caught(ids in even_ids(), lo in 0u64..500, span in 0u64..40) {
+        let w = world();
+        let tree = tree_of(&ids);
+        let (lo, hi) = (ObjectId(lo), ObjectId(lo + span));
+        let proof = RangeProof::prove(&tree, lo, hi);
+        let range = SignedRange {
+            root: SignedRoot::sign(&tree, tree.leaf_count(), &w.signer).unwrap(),
+            proof,
+        };
+        let answered = range.check(&w.keys).expect("honest range verifies");
+        let mut expect: Vec<ObjectId> = {
+            let mut v: Vec<u64> = ids.iter().copied().collect();
+            v.sort_unstable();
+            v.dedup();
+            v.into_iter()
+                .filter(|&i| lo.raw() <= i && i <= hi.raw())
+                .map(ObjectId)
+                .collect()
+        };
+        expect.sort_unstable_by_key(|o| o.raw());
+        prop_assert_eq!(&answered, &expect);
+        let verifier = Verifier::new(&w.keys, ALG);
+        prop_assert!(verifier.verify_range(&range, &answered).verified());
+
+        let honest = range.to_bytes();
+        for bit in 0..honest.len() * 8 {
+            let mut bytes = honest.clone();
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            let Ok(mutated) = SignedRange::from_bytes(&bytes) else {
+                continue; // malformed: rejected undecoded
+            };
+            prop_assert!(mutated != range, "bit {bit} round-trips");
+            if mutated.proof.lo != lo || mutated.proof.hi != hi {
+                continue; // bounds-echo mismatch: the client rejects it
+            }
+            let v = verifier.verify_range(&mutated, &answered);
+            prop_assert!(!v.verified(), "bit {} escaped verification", bit);
+            prop_assert!(
+                v.issues.iter().all(|i| matches!(
+                    i,
+                    TamperEvidence::ForgedDenial { .. }
+                        | TamperEvidence::IncompleteResponse { .. }
+                )),
+                "bit {} misattributed: {:?}", bit, v.issues
+            );
+        }
+    }
+
+    /// A range answer that silently drops a proven member is attributed
+    /// as `IncompleteResponse` for exactly the queried bounds, and one
+    /// padded with an unproven extra is `ForgedDenial` for that extra.
+    #[test]
+    fn withheld_and_padded_answers_are_attributed(
+        ids in even_ids(),
+        drop in 0usize..4096,
+    ) {
+        prop_assume!(!ids.is_empty());
+        let w = world();
+        let tree = tree_of(&ids);
+        let (lo, hi) = (ObjectId(0), ObjectId(1000));
+        let range = SignedRange {
+            root: SignedRoot::sign(&tree, tree.leaf_count(), &w.signer).unwrap(),
+            proof: RangeProof::prove(&tree, lo, hi),
+        };
+        let full = range.check(&w.keys).unwrap();
+        prop_assume!(!full.is_empty());
+        let verifier = Verifier::new(&w.keys, ALG);
+
+        let withheld = full[drop % full.len()];
+        let served: Vec<ObjectId> = full.iter().copied().filter(|&o| o != withheld).collect();
+        let v = verifier.verify_range(&range, &served);
+        prop_assert_eq!(
+            v.issues,
+            vec![TamperEvidence::IncompleteResponse { lo, hi }]
+        );
+
+        let extra = ObjectId(1001);
+        let mut padded = full.clone();
+        padded.push(extra);
+        let v = verifier.verify_range(&range, &padded);
+        prop_assert_eq!(v.issues, vec![TamperEvidence::ForgedDenial { oid: extra }]);
+    }
+}
+
+/// Attribution lands in the observability registry under the exact
+/// per-kind counter names the conformance matrix accounts against.
+#[test]
+fn attributed_evidence_reaches_per_kind_counters() {
+    let w = world();
+    let registry = tep_obs::Registry::new();
+    let mut verifier = Verifier::new(&w.keys, ALG);
+    verifier.attach_obs(&registry);
+
+    let tree = tree_of(&[2, 4, 6, 8]);
+    let root = SignedRoot::sign(&tree, 4, &w.signer).unwrap();
+
+    // Forged denial: target a present ID with the neighbouring witnesses.
+    let mut proof = DenialProof::prove(&tree, ObjectId(5)).unwrap();
+    proof.absent = ObjectId(4);
+    assert!(!verifier
+        .verify_denial(&SignedDenial {
+            root: root.clone(),
+            proof,
+        })
+        .verified());
+
+    // Incomplete response: withhold a proven member from the answer.
+    let range = SignedRange {
+        root,
+        proof: RangeProof::prove(&tree, ObjectId(2), ObjectId(8)),
+    };
+    assert!(!verifier
+        .verify_range(&range, &[ObjectId(2), ObjectId(4), ObjectId(6)])
+        .verified());
+
+    let count = |name: &str| {
+        registry
+            .snapshot()
+            .into_iter()
+            .find(|s| s.name == name)
+            .map(|s| s.value.deterministic_count())
+            .unwrap_or(0)
+    };
+    assert_eq!(count(&EvidenceKind::ForgedDenial.counter_name()), 1);
+    assert_eq!(count(&EvidenceKind::IncompleteResponse.counter_name()), 1);
+}

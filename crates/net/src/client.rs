@@ -37,6 +37,7 @@ use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use tep_core::denial::{SignedDenial, SignedRange};
 use tep_core::metrics::{TransferCounters, TransferSnapshot};
 use tep_core::slice::{QuerySpec, SliceProof};
 use tep_core::streaming::{DepthStreamHasher, StreamError};
@@ -142,6 +143,20 @@ pub struct QueryReport {
     pub verification: Verification,
 }
 
+/// Successful, completeness-proven range listing ([`Client::range`]).
+#[derive(Clone, Debug)]
+pub struct RangeReport {
+    /// Every object in the requested range, ascending — proven complete
+    /// by the verified [`SignedRange`]: the server cannot have withheld a
+    /// member without the proof failing.
+    pub members: Vec<ObjectId>,
+    /// Cumulative log high-water mark the signed root attests.
+    pub log_records: u64,
+    /// The client-side verification verdict (always `verified()` on the
+    /// `Ok` path).
+    pub verification: Verification,
+}
+
 /// Client-side failure.
 #[derive(Debug)]
 pub enum NetError {
@@ -180,6 +195,16 @@ pub enum NetError {
         /// The structural error.
         error: StreamError,
     },
+    /// The server proved — with a verified signed non-membership proof —
+    /// that the requested object is absent. An honest answer, not a
+    /// failure: **never retried** (the proof is cryptographic; asking
+    /// again cannot make the object exist).
+    Denied {
+        /// The object the verified proof covers.
+        oid: ObjectId,
+        /// Cumulative log high-water mark the signed root attests.
+        log_records: u64,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -204,6 +229,12 @@ impl fmt::Display for NetError {
             }
             NetError::MalformedStream { frame, error } => {
                 write!(f, "malformed data stream at frame {frame}: {error}")
+            }
+            NetError::Denied { oid, log_records } => {
+                write!(
+                    f,
+                    "server proved non-membership of {oid} (signed root at log high-water {log_records})"
+                )
             }
         }
     }
@@ -367,12 +398,92 @@ impl Client {
                         verification,
                     })
                 }
+                Some(Message::Denial { proof }) => Err(denial_outcome(
+                    &proof,
+                    spec.target,
+                    keys,
+                    cfg.alg,
+                    frame,
+                    &counters,
+                    registry.as_ref(),
+                )),
                 Some(Message::Error {
                     code,
                     retry_after_ms,
                     detail,
                 }) => Err(remote_error(code, retry_after_ms, detail)),
                 Some(_) => Err(NetError::Protocol("expected QRESULT")),
+                None => Err(NetError::Interrupted),
+            }
+        })
+    }
+
+    /// Lists every object the server stores in `[lo, hi]`, demanding a
+    /// **signed completeness proof** and re-verifying it locally: the
+    /// returned member set is exactly what the proof authenticates, with
+    /// straddling boundary witnesses showing nothing in the range was
+    /// withheld. A response whose proof fails any check — or that answers
+    /// a different range than asked — is [`NetError::TamperDetected`]
+    /// ([`TamperEvidence::ForgedDenial`] /
+    /// [`TamperEvidence::IncompleteResponse`]), never retried.
+    pub fn range(
+        &mut self,
+        lo: ObjectId,
+        hi: ObjectId,
+        keys: &KeyDirectory,
+    ) -> Result<RangeReport, NetError> {
+        let cfg = self.cfg;
+        let counters = Arc::clone(&self.counters);
+        let registry = self.registry.clone();
+        self.with_retry(move |conn| {
+            conn.writer.write_message(&Message::RangeReq { lo, hi })?;
+            let frame = conn.reader.frames();
+            match conn.reader.read_message()? {
+                Some(Message::RangeResp { oids, proof }) => {
+                    let forged = || {
+                        counters.verify_failure();
+                        if let Some(reg) = registry.as_ref() {
+                            EvidenceCounters::new(reg).record(EvidenceKind::ForgedDenial);
+                        }
+                        NetError::TamperDetected {
+                            frame: Some(frame),
+                            issues: vec![TamperEvidence::ForgedDenial { oid: lo }],
+                        }
+                    };
+                    let Ok(range) = SignedRange::from_bytes(&proof) else {
+                        return Err(forged());
+                    };
+                    if range.proof.lo != lo || range.proof.hi != hi {
+                        // An answer to a different question than asked.
+                        return Err(forged());
+                    }
+                    let mut verifier = Verifier::new(keys, cfg.alg);
+                    if let Some(reg) = registry.as_ref() {
+                        verifier.attach_obs(reg);
+                    }
+                    // verify_range records failing evidence itself —
+                    // including a member the proof covers but the answer
+                    // omits (IncompleteResponse).
+                    let verification = verifier.verify_range(&range, &oids);
+                    if !verification.verified() {
+                        counters.verify_failure();
+                        return Err(NetError::TamperDetected {
+                            frame: Some(frame),
+                            issues: verification.issues,
+                        });
+                    }
+                    Ok(RangeReport {
+                        members: oids,
+                        log_records: range.root.log_records,
+                        verification,
+                    })
+                }
+                Some(Message::Error {
+                    code,
+                    retry_after_ms,
+                    detail,
+                }) => Err(remote_error(code, retry_after_ms, detail)),
+                Some(_) => Err(NetError::Protocol("expected RANGE_RESP")),
                 None => Err(NetError::Interrupted),
             }
         })
@@ -698,6 +809,14 @@ fn open_transfer<'a>(
                         retry_after_ms,
                         detail,
                     }) => Err(remote_error(code, retry_after_ms, detail)),
+                    Some(Message::Denial { proof }) => {
+                        // The object this client once verified records for
+                        // is now provably absent (e.g. pruned upstream).
+                        // The denial still has to prove itself.
+                        Err(denial_outcome(
+                            &proof, oid, keys, cfg.alg, frame, counters, registry,
+                        ))
+                    }
                     Some(_) | None => Err(NetError::Protocol("expected RESUME_OK")),
                 };
             }
@@ -816,6 +935,9 @@ fn fetch_on(
                     stream_digest,
                 });
             }
+            Message::Denial { proof } => {
+                break denial_outcome(&proof, oid, keys, cfg.alg, frame, counters, registry)
+            }
             Message::Error {
                 code,
                 retry_after_ms,
@@ -921,6 +1043,15 @@ fn fetch_batched_on(
                 }
                 return Ok(verification);
             }
+            Message::Denial { .. } => {
+                // A batched fetch carries no key directory, so the proof
+                // cannot be vouched for here; refuse it rather than treat
+                // an unverified claim as an honest not-found. Non-
+                // retryable — use fetch_verified for denial-aware misses.
+                return Err(NetError::Protocol(
+                    "DENIAL on a batched fetch; use fetch_verified to check the proof",
+                ));
+            }
             Message::Error {
                 code,
                 retry_after_ms,
@@ -937,6 +1068,61 @@ fn fetch_batched_on(
 fn record_malformed_stream(registry: Option<&Registry>) {
     if let Some(reg) = registry {
         EvidenceCounters::new(reg).record(EvidenceKind::MalformedStream);
+    }
+}
+
+/// Settles a DENIAL frame received in place of the provenance of `oid`.
+///
+/// A denial is only as good as its proof: the bytes must decode, the
+/// proof must be *about* the requested object (a replayed denial for some
+/// other absent ID proves nothing), the root signature must verify, and
+/// the gap must authenticate under the signed root. A proof that clears
+/// every check is an honest not-found ([`NetError::Denied`]); anything
+/// less is [`TamperEvidence::ForgedDenial`]. Both are terminal — an
+/// honest absence will not appear on retry, and a forged one must not be
+/// laundered through one.
+fn denial_outcome(
+    bytes: &[u8],
+    oid: ObjectId,
+    keys: &KeyDirectory,
+    alg: HashAlgorithm,
+    frame: u64,
+    counters: &TransferCounters,
+    registry: Option<&Registry>,
+) -> NetError {
+    let forged = || {
+        counters.verify_failure();
+        if let Some(reg) = registry {
+            EvidenceCounters::new(reg).record(EvidenceKind::ForgedDenial);
+        }
+        NetError::TamperDetected {
+            frame: Some(frame),
+            issues: vec![TamperEvidence::ForgedDenial { oid }],
+        }
+    };
+    let Ok(denial) = SignedDenial::from_bytes(bytes) else {
+        return forged();
+    };
+    if denial.proof.absent != oid {
+        return forged();
+    }
+    let mut verifier = Verifier::new(keys, alg);
+    if let Some(reg) = registry {
+        verifier.attach_obs(reg);
+    }
+    // verify_denial records failing evidence into the registry itself.
+    let verification = verifier.verify_denial(&denial);
+    if verification.verified() {
+        NetError::Denied {
+            oid,
+            log_records: denial.root.log_records,
+        }
+    } else {
+        counters.verify_failure();
+        NetError::TamperDetected {
+            frame: Some(frame),
+            issues: verification.issues,
+        }
     }
 }
 

@@ -64,7 +64,8 @@ pub mod sys;
 pub mod wire;
 
 pub use client::{
-    scaled_read_timeout, Client, ClientConfig, FetchReport, NetError, QueryReport, RetryPolicy,
+    scaled_read_timeout, Client, ClientConfig, FetchReport, NetError, QueryReport, RangeReport,
+    RetryPolicy,
 };
 pub use fault::{FaultKind, FaultListener, FaultPlan, FaultStream, StreamFault, StreamFaultPlan};
 pub use proxy::{ProxyAction, TamperProxy};

@@ -34,9 +34,10 @@
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
+use tep_core::denial::SignedRoot;
 use tep_core::merkle::{
     locate_divergence, shard_tree_of, AeError, AeNodeInfo, AeOracle, AeOutcome, AeSummary,
 };
@@ -175,6 +176,11 @@ pub struct Replica {
     counters: Arc<TransferCounters>,
     registry: Option<Registry>,
     obs: Option<ReplObs>,
+    /// Highest `log_records` attested by a verified signed shard root from
+    /// the primary. Monotonic: a later root claiming *fewer* cumulative
+    /// log records means the primary rolled back to a pre-compaction
+    /// state — [`TamperEvidence::CheckpointMismatch`].
+    root_highwater: Mutex<u64>,
 }
 
 impl Replica {
@@ -196,7 +202,17 @@ impl Replica {
             counters: Arc::new(TransferCounters::new()),
             registry: None,
             obs: None,
+            root_highwater: Mutex::new(0),
         }
+    }
+
+    /// The highest cumulative `log_records` a verified signed root from
+    /// the primary has attested so far (0 before any signed summary).
+    pub fn pinned_log_records(&self) -> u64 {
+        *self
+            .root_highwater
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Attaches metric instrumentation: traffic mirrors under `tep_net_*`,
@@ -258,7 +274,10 @@ impl Replica {
             }
             let local = shard_tree_of(self.cfg.alg, &self.db);
             let mut conn = self.dial()?;
-            let mut oracle = WireOracle { conn: &mut conn };
+            let mut oracle = WireOracle {
+                conn: &mut conn,
+                summary_root: None,
+            };
             let outcome = match locate_divergence(&local, &mut oracle) {
                 Ok(o) => o,
                 Err(AeError::Transport(_)) => return Err(NetError::Interrupted),
@@ -266,6 +285,12 @@ impl Replica {
                     return Err(NetError::Protocol("anti-entropy protocol violation"))
                 }
             };
+            // Validate and pin the signed root before acting on the
+            // outcome: a stale or forged root poisons everything the
+            // descent concluded.
+            if let Some((bytes, hash, leaf_count)) = oracle.summary_root.take() {
+                self.pin_signed_root(keys, &bytes, &hash, leaf_count)?;
+            }
             match outcome {
                 AeOutcome::Converged { rounds } => {
                     report.rounds += rounds;
@@ -334,6 +359,56 @@ impl Replica {
                 }
             }
         }
+    }
+
+    /// Validates a signed shard root received on an anti-entropy summary
+    /// and advances the monotonic `log_records` high-water mark.
+    ///
+    /// Terminal evidence on failure: a root whose signature, hash, or
+    /// leaf count does not authenticate the summary it rode on is
+    /// [`TamperEvidence::ForgedRoot`]; a *verified* root attesting fewer
+    /// cumulative log records than an earlier one is
+    /// [`TamperEvidence::CheckpointMismatch`] — the primary is replaying
+    /// a pre-compaction state to resurrect excised history.
+    fn pin_signed_root(
+        &self,
+        keys: &KeyDirectory,
+        bytes: &[u8],
+        summary_hash: &[u8],
+        summary_leaves: u64,
+    ) -> Result<(), NetError> {
+        let forged = |self_: &Self| {
+            self_.record_evidence(EvidenceKind::ForgedRoot);
+            Err(NetError::TamperDetected {
+                frame: None,
+                issues: vec![TamperEvidence::ForgedRoot {
+                    level: AE_SUMMARY_LEVEL,
+                    index: 0,
+                }],
+            })
+        };
+        let Ok(root) = SignedRoot::from_bytes(bytes) else {
+            return forged(self);
+        };
+        if !root.verify(keys) || root.root != summary_hash || root.leaf_count != summary_leaves {
+            return forged(self);
+        }
+        let mut highwater = self
+            .root_highwater
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if root.log_records < *highwater {
+            self.record_evidence(EvidenceKind::CheckpointMismatch);
+            return Err(NetError::TamperDetected {
+                frame: None,
+                issues: vec![TamperEvidence::CheckpointMismatch {
+                    oid: ObjectId(0),
+                    seq: root.log_records,
+                }],
+            });
+        }
+        *highwater = root.log_records;
+        Ok(())
     }
 
     /// Re-fetches one divergent object from scratch (the stale checkpoint
@@ -698,6 +773,10 @@ struct ReplicaConn {
 /// AE_REQ/AE_RESP round trip on an established connection.
 struct WireOracle<'a> {
     conn: &'a mut ReplicaConn,
+    /// Signed-root bytes from the latest summary reply that carried one,
+    /// with the `(hash, leaf_count)` of that reply — validated by
+    /// [`Replica::pin_signed_root`] after the descent.
+    summary_root: Option<(Vec<u8>, Vec<u8>, u64)>,
 }
 
 impl WireOracle<'_> {
@@ -718,15 +797,21 @@ impl WireOracle<'_> {
                 hash,
                 children,
                 oid,
-            }) => Ok((
-                leaf_count,
-                depth,
-                AeNodeInfo {
-                    hash,
-                    children,
-                    oid,
-                },
-            )),
+                signed_root,
+            }) => {
+                if let Some(bytes) = signed_root {
+                    self.summary_root = Some((bytes, hash.clone(), leaf_count));
+                }
+                Ok((
+                    leaf_count,
+                    depth,
+                    AeNodeInfo {
+                        hash,
+                        children,
+                        oid,
+                    },
+                ))
+            }
             Some(Message::Error { code, detail, .. }) => Err(AeError::Protocol(format!(
                 "peer refused AE_REQ ({code}): {detail}"
             ))),

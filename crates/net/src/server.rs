@@ -52,11 +52,13 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use tep_core::denial::{DenialProof, RangeProof, SignedDenial, SignedRange, SignedRoot};
 use tep_core::merkle::{shard_tree_of, ShardTree};
 use tep_core::metrics::{TransferCounters, TransferSnapshot};
 use tep_core::provenance::{collect, ProvenanceObject};
 use tep_core::streaming::RecordStreamDigest;
 use tep_crypto::digest::HashAlgorithm;
+use tep_crypto::pki::Participant;
 use tep_model::{Forest, ObjectId};
 use tep_obs::{names, Counter, Gauge, Histogram, Registry};
 use tep_query::{QueryEngine, QueryError};
@@ -76,6 +78,10 @@ pub struct Catalog {
     db: Arc<ProvenanceDb>,
     alg: HashAlgorithm,
     offered: Vec<ObjectId>,
+    /// When set, misses are answered with signed non-membership proofs
+    /// (DENIAL frames) and RANGE_REQ is served with completeness proofs;
+    /// without it the server falls back to plain `ERR unknown-object`.
+    signer: Option<Arc<Participant>>,
 }
 
 impl Catalog {
@@ -93,7 +99,16 @@ impl Catalog {
             db,
             alg,
             offered,
+            signer: None,
         }
+    }
+
+    /// Equips the catalog with a signing identity: misses become signed
+    /// DENIAL proofs, range requests carry completeness proofs, and
+    /// anti-entropy summary replies attach the signed shard root.
+    pub fn with_signer(mut self, signer: Arc<Participant>) -> Self {
+        self.signer = Some(signer);
+        self
     }
 
     /// The hash algorithm this catalog's hashes use.
@@ -268,6 +283,8 @@ struct ServerObs {
     stats_requests: Counter,
     queries: Counter,
     ae_requests: Counter,
+    denials: Counter,
+    range_requests: Counter,
     shed: Counter,
     deadline_closes: Counter,
     write_aborts: Counter,
@@ -283,6 +300,8 @@ impl ServerObs {
             stats_requests: registry.counter(names::NET_STATS_REQUESTS),
             queries: registry.counter(names::NET_QUERIES),
             ae_requests: registry.counter(names::NET_AE_REQUESTS),
+            denials: registry.counter(names::NET_DENIALS),
+            range_requests: registry.counter(names::NET_RANGE_REQUESTS),
             shed: registry.counter(names::NET_SHED),
             deadline_closes: registry.counter(names::NET_DEADLINE_CLOSES),
             write_aborts: registry.counter(names::NET_WRITE_ABORTS),
@@ -333,6 +352,11 @@ struct Env {
     /// grown since the cached build (the log is append-only, so equal
     /// length ⇒ identical tree).
     ae_cache: Mutex<Option<(usize, Arc<ShardTree>)>>,
+    /// Signed shard root, cached behind the same record-count watermark
+    /// as `ae_cache` (signing is an RSA operation — far too expensive to
+    /// redo per miss). `None` until first use or when the catalog has no
+    /// signer.
+    root_cache: Mutex<Option<(usize, Arc<SignedRoot>)>>,
 }
 
 impl Env {
@@ -348,6 +372,37 @@ impl Env {
                 tree
             }
         }
+    }
+
+    /// The signed shard root over `tree`, re-signed only on record-log
+    /// growth. `None` when the catalog has no signing identity (or the
+    /// signer's key refuses, which 512-bit test keys never do).
+    ///
+    /// `log_records` is the *cumulative* log high-water mark — frames
+    /// excised by compaction still count — so a replica holding an older
+    /// root can detect a server rolled back to a pre-compaction state.
+    fn signed_root(&self, tree: &ShardTree) -> Option<Arc<SignedRoot>> {
+        let signer = self.catalog.signer.as_ref()?;
+        let mut cache = self
+            .root_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let len = self.catalog.db.len();
+        if let Some((watermark, root)) = cache.as_ref() {
+            if *watermark == len {
+                return Some(Arc::clone(root));
+            }
+        }
+        let excised = self
+            .catalog
+            .db
+            .recovery()
+            .compaction
+            .map(|s| s.excised_frames)
+            .unwrap_or(0);
+        let root = Arc::new(SignedRoot::sign(tree, excised + len as u64, signer).ok()?);
+        *cache = Some((len, Arc::clone(&root)));
+        Some(root)
     }
 }
 
@@ -840,7 +895,12 @@ fn on_request<S: Read + Write>(conn: &mut Conn<S>, msg: Message, env: &Env, now:
                 }
                 Err(e) => {
                     let code = match e {
-                        QueryError::UnknownObject(_) => ErrorCode::UnknownObject,
+                        QueryError::UnknownObject(oid) => {
+                            if deny(conn, oid, env, now) {
+                                return;
+                            }
+                            ErrorCode::UnknownObject
+                        }
                         QueryError::MissingParticipant | QueryError::SliceTooLarge { .. } => {
                             ErrorCode::BadRequest
                         }
@@ -863,12 +923,17 @@ fn on_request<S: Read + Write>(conn: &mut Conn<S>, msg: Message, env: &Env, now:
             let tree = env.shard_tree();
             let reply = if level == crate::wire::AE_SUMMARY_LEVEL {
                 let s = tree.summary();
+                // Summary replies from a signing server carry the signed
+                // root so replicas can pin a monotonic high-water mark;
+                // node replies stay lean (the summary already vouched).
+                let signed_root = env.signed_root(&tree).map(|r| r.to_bytes());
                 Some(Message::AeResp {
                     leaf_count: s.leaf_count,
                     depth: s.depth,
                     hash: s.root,
                     children: Vec::new(),
                     oid: None,
+                    signed_root,
                 })
             } else {
                 tree.node_info(level, index).map(|info| Message::AeResp {
@@ -877,6 +942,7 @@ fn on_request<S: Read + Write>(conn: &mut Conn<S>, msg: Message, env: &Env, now:
                     hash: info.hash,
                     children: info.children,
                     oid: info.oid,
+                    signed_root: None,
                 })
             };
             match reply {
@@ -893,12 +959,76 @@ fn on_request<S: Read + Write>(conn: &mut Conn<S>, msg: Message, env: &Env, now:
                 ),
             }
         }
+        Message::RangeReq { lo, hi } => {
+            if lo > hi {
+                conn.queue_frame(
+                    &Message::Error {
+                        code: ErrorCode::BadRequest,
+                        retry_after_ms: 0,
+                        detail: format!("range lower bound {lo} exceeds upper bound {hi}"),
+                    },
+                    true,
+                    env,
+                    now,
+                );
+                return;
+            }
+            if env.catalog.signer.is_none() {
+                conn.queue_frame(
+                    &Message::Error {
+                        code: ErrorCode::BadRequest,
+                        retry_after_ms: 0,
+                        detail: "server has no signing identity; completeness proofs unavailable"
+                            .into(),
+                    },
+                    true,
+                    env,
+                    now,
+                );
+                return;
+            }
+            let tree = env.shard_tree();
+            let Some(root) = env.signed_root(&tree) else {
+                conn.queue_frame(
+                    &Message::Error {
+                        code: ErrorCode::BadRequest,
+                        retry_after_ms: 0,
+                        detail: "signing the shard root failed".into(),
+                    },
+                    true,
+                    env,
+                    now,
+                );
+                return;
+            };
+            let range = SignedRange {
+                root: (*root).clone(),
+                proof: RangeProof::prove(&tree, lo, hi),
+            };
+            let oids: Vec<ObjectId> = range.proof.members.iter().map(|m| m.oid).collect();
+            let bytes = range.to_bytes();
+            if bytes.len() + oids.len() * 8 + 16 > MAX_FRAME {
+                conn.queue_frame(
+                    &Message::Error {
+                        code: ErrorCode::BadRequest,
+                        retry_after_ms: 0,
+                        detail: "range proof exceeds frame cap; tighten the bounds".into(),
+                    },
+                    true,
+                    env,
+                    now,
+                );
+                return;
+            }
+            env.obs.range_requests.inc();
+            conn.queue_frame(&Message::RangeResp { oids, proof: bytes }, true, env, now);
+        }
         _ => {
             conn.queue_frame(
                 &Message::Error {
                     code: ErrorCode::BadRequest,
                     retry_after_ms: 0,
-                    detail: "expected FETCH, RESUME, QUERY, AE, or STATS".into(),
+                    detail: "expected FETCH, RESUME, QUERY, RANGE, AE, or STATS".into(),
                 },
                 false,
                 env,
@@ -909,8 +1039,43 @@ fn on_request<S: Read + Write>(conn: &mut Conn<S>, msg: Message, env: &Env, now:
     }
 }
 
-/// Looks up `oid`'s provenance, answering `ERR unknown-object` on misses
-/// (the connection stays usable).
+/// Tries to answer a miss on `oid` with a signed non-membership proof.
+///
+/// Returns `false` (caller falls back to `ERR unknown-object`) when the
+/// catalog has no signing identity — or when `oid` actually has records
+/// in the shard tree, since a present ID admits no honest gap proof: an
+/// offered-list miss on a present object stays a plain error rather than
+/// a forged denial.
+fn deny<S: Read + Write>(conn: &mut Conn<S>, oid: ObjectId, env: &Env, now: Instant) -> bool {
+    if env.catalog.signer.is_none() {
+        return false;
+    }
+    let tree = env.shard_tree();
+    let Some(proof) = DenialProof::prove(&tree, oid) else {
+        return false;
+    };
+    let Some(root) = env.signed_root(&tree) else {
+        return false;
+    };
+    let denial = SignedDenial {
+        root: (*root).clone(),
+        proof,
+    };
+    env.obs.denials.inc();
+    conn.queue_frame(
+        &Message::Denial {
+            proof: denial.to_bytes(),
+        },
+        true,
+        env,
+        now,
+    );
+    true
+}
+
+/// Looks up `oid`'s provenance, answering misses with a signed DENIAL
+/// proof when the catalog can produce one, else `ERR unknown-object`
+/// (the connection stays usable either way).
 fn lookup<S: Read + Write>(
     conn: &mut Conn<S>,
     oid: ObjectId,
@@ -918,31 +1083,35 @@ fn lookup<S: Read + Write>(
     now: Instant,
 ) -> Option<ProvenanceObject> {
     if !env.catalog.is_offered(oid) || !env.catalog.forest.contains(oid) {
-        conn.queue_frame(
-            &Message::Error {
-                code: ErrorCode::UnknownObject,
-                retry_after_ms: 0,
-                detail: format!("object {oid} is not offered"),
-            },
-            true,
-            env,
-            now,
-        );
-        return None;
-    }
-    match collect(&env.catalog.db, oid) {
-        Ok(p) => Some(p),
-        Err(_) => {
+        if !deny(conn, oid, env, now) {
             conn.queue_frame(
                 &Message::Error {
                     code: ErrorCode::UnknownObject,
                     retry_after_ms: 0,
-                    detail: format!("object {oid} has no provenance"),
+                    detail: format!("object {oid} is not offered"),
                 },
                 true,
                 env,
                 now,
             );
+        }
+        return None;
+    }
+    match collect(&env.catalog.db, oid) {
+        Ok(p) => Some(p),
+        Err(_) => {
+            if !deny(conn, oid, env, now) {
+                conn.queue_frame(
+                    &Message::Error {
+                        code: ErrorCode::UnknownObject,
+                        retry_after_ms: 0,
+                        detail: format!("object {oid} has no provenance"),
+                    },
+                    true,
+                    env,
+                    now,
+                );
+            }
             None
         }
     }
@@ -1358,6 +1527,7 @@ pub fn serve_with_registry(
         registry: registry.clone(),
         query,
         ae_cache: Mutex::new(None),
+        root_cache: Mutex::new(None),
     };
     let ev = EventLoop {
         env,
@@ -1560,6 +1730,7 @@ mod tests {
             registry: registry.clone(),
             query,
             ae_cache: Mutex::new(None),
+            root_cache: Mutex::new(None),
         };
         (env, *root)
     }

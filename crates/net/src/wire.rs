@@ -44,8 +44,10 @@ use tep_storage::StoredRecord;
 pub const WIRE_MAGIC: [u8; 8] = *b"TEPNET\x00\x01";
 
 /// Protocol version negotiated in HELLO. v2 added RESUME/RESUME_OK and the
-/// ERR `retry_after_ms` hint.
-pub const WIRE_VERSION: u16 = 2;
+/// ERR `retry_after_ms` hint; v3 added DENIAL, RANGE_REQ/RANGE_RESP and
+/// the optional signed root on AE summary responses (authenticated
+/// denial).
+pub const WIRE_VERSION: u16 = 3;
 
 /// Hard cap on a frame's payload length. Enforced before allocating, so a
 /// hostile 4 GiB length prefix costs the decoder nothing.
@@ -70,6 +72,9 @@ const TYPE_QUERY: u8 = 0x0C;
 const TYPE_QRESULT: u8 = 0x0D;
 const TYPE_AE_REQ: u8 = 0x0E;
 const TYPE_AE_RESP: u8 = 0x0F;
+const TYPE_DENIAL: u8 = 0x10;
+const TYPE_RANGE_REQ: u8 = 0x11;
+const TYPE_RANGE_RESP: u8 = 0x12;
 
 /// `AeReq.level` value that asks for the tree summary (root exchange)
 /// instead of a specific node — a replica cannot know the primary's tree
@@ -280,6 +285,46 @@ pub enum Message {
         children: Vec<Vec<u8>>,
         /// At leaf level, the leaf's object id.
         oid: Option<ObjectId>,
+        /// On summary responses from a signing server, the encoded
+        /// [`tep_core::denial::SignedRoot`] over the shard — replicas
+        /// refresh their non-membership root (and its monotonic
+        /// `log_records` high-water mark) from it each anti-entropy
+        /// round. The bytes travel opaquely; the receiver verifies the
+        /// signature itself.
+        signed_root: Option<Vec<u8>>,
+    },
+    /// Authenticated NOT_FOUND: the server's answer to a FETCH or QUERY
+    /// for an object it does not hold. Carries an encoded
+    /// [`tep_core::denial::SignedDenial`] — a signed non-membership proof
+    /// the client verifies before accepting the denial as honest; a
+    /// denial that fails verification is `ForgedDenial` evidence and is
+    /// never retried.
+    Denial {
+        /// The proof in its canonical [`SignedDenial`] encoding
+        /// ([`tep_core::denial::SignedDenial::to_bytes`]), opaque to the
+        /// wire layer.
+        proof: Vec<u8>,
+    },
+    /// Client asks which offered objects fall in an inclusive object-ID
+    /// range — with proof that the answer is complete.
+    RangeReq {
+        /// Inclusive lower bound.
+        lo: ObjectId,
+        /// Inclusive upper bound.
+        hi: ObjectId,
+    },
+    /// The server's range answer: the member object-IDs plus an encoded
+    /// [`tep_core::denial::SignedRange`] completeness proof. The client
+    /// cross-checks the served members against the proof's proven set —
+    /// an answer missing a proven member is `IncompleteResponse`
+    /// evidence.
+    RangeResp {
+        /// The members served, in ascending order.
+        oids: Vec<ObjectId>,
+        /// The completeness proof in its canonical [`SignedRange`]
+        /// encoding ([`tep_core::denial::SignedRange::to_bytes`]), opaque
+        /// to the wire layer.
+        proof: Vec<u8>,
     },
 }
 
@@ -445,6 +490,7 @@ pub fn encode_message_into(msg: &Message, out: &mut Vec<u8>) {
             hash,
             children,
             oid,
+            signed_root,
         } => {
             out.push(TYPE_AE_RESP);
             out.extend_from_slice(&leaf_count.to_be_bytes());
@@ -463,6 +509,32 @@ pub fn encode_message_into(msg: &Message, out: &mut Vec<u8>) {
                 }
                 None => out.push(0),
             }
+            match signed_root {
+                Some(root) => {
+                    out.push(1);
+                    out.extend_from_slice(&(root.len() as u64).to_be_bytes());
+                    out.extend_from_slice(root);
+                }
+                None => out.push(0),
+            }
+        }
+        Message::Denial { proof } => {
+            out.push(TYPE_DENIAL);
+            out.extend_from_slice(proof);
+        }
+        Message::RangeReq { lo, hi } => {
+            out.push(TYPE_RANGE_REQ);
+            out.extend_from_slice(&lo.raw().to_be_bytes());
+            out.extend_from_slice(&hi.raw().to_be_bytes());
+        }
+        Message::RangeResp { oids, proof } => {
+            out.push(TYPE_RANGE_RESP);
+            out.extend_from_slice(&(oids.len() as u32).to_be_bytes());
+            for oid in oids {
+                out.extend_from_slice(&oid.raw().to_be_bytes());
+            }
+            out.extend_from_slice(&(proof.len() as u64).to_be_bytes());
+            out.extend_from_slice(proof);
         }
     }
 }
@@ -576,13 +648,40 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, WireError> {
                 1 => Some(ObjectId(r.u64()?)),
                 t => return Err(WireError::Decode(DecodeError::BadTag(t))),
             };
+            let signed_root = match r.u8()? {
+                0 => None,
+                1 => Some(r.len_prefixed()?.to_vec()),
+                t => return Err(WireError::Decode(DecodeError::BadTag(t))),
+            };
             Message::AeResp {
                 leaf_count,
                 depth,
                 hash,
                 children,
                 oid,
+                signed_root,
             }
+        }
+        TYPE_DENIAL => {
+            // The proof body is the rest of the payload, verbatim; its own
+            // structure lives in `SignedDenial::from_bytes`.
+            return Ok(Message::Denial {
+                proof: payload[1..].to_vec(),
+            });
+        }
+        TYPE_RANGE_REQ => Message::RangeReq {
+            lo: ObjectId(r.u64()?),
+            hi: ObjectId(r.u64()?),
+        },
+        TYPE_RANGE_RESP => {
+            let count = r.u32()? as usize;
+            // Never trust the count for allocation; each oid is 8 bytes.
+            let mut oids = Vec::with_capacity(count.min(r.remaining() / 8 + 1));
+            for _ in 0..count {
+                oids.push(ObjectId(r.u64()?));
+            }
+            let proof = r.len_prefixed()?.to_vec();
+            Message::RangeResp { oids, proof }
         }
         t => return Err(WireError::BadType(t)),
     };
@@ -841,6 +940,7 @@ mod tests {
                 hash: vec![0x6B; 32],
                 children: vec![vec![0x11; 32], vec![0x22; 32]],
                 oid: None,
+                signed_root: None,
             },
             Message::AeResp {
                 leaf_count: 12,
@@ -848,6 +948,30 @@ mod tests {
                 hash: vec![0x6C; 32],
                 children: vec![],
                 oid: Some(ObjectId(9)),
+                signed_root: None,
+            },
+            Message::AeResp {
+                leaf_count: 12,
+                depth: 4,
+                hash: vec![0x6D; 32],
+                children: vec![],
+                oid: None,
+                signed_root: Some(vec![0x7E; 96]),
+            },
+            Message::Denial {
+                proof: b"opaque signed-denial bytes".to_vec(),
+            },
+            Message::RangeReq {
+                lo: ObjectId(3),
+                hi: ObjectId(9),
+            },
+            Message::RangeResp {
+                oids: vec![ObjectId(4), ObjectId(7)],
+                proof: b"opaque signed-range bytes".to_vec(),
+            },
+            Message::RangeResp {
+                oids: vec![],
+                proof: b"empty range still proves completeness".to_vec(),
             },
         ]
     }

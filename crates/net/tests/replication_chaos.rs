@@ -621,6 +621,7 @@ fn forged_anti_entropy_root_is_terminal_forgery_evidence() {
                 hash,
                 children,
                 oid,
+                signed_root,
             } => {
                 let mut forged = hash.clone();
                 forged[0] ^= 0x01;
@@ -630,6 +631,7 @@ fn forged_anti_entropy_root_is_terminal_forgery_evidence() {
                     hash: forged,
                     children: children.clone(),
                     oid: *oid,
+                    signed_root: signed_root.clone(),
                 })
             }
             _ => ProxyAction::Forward,

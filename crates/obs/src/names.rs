@@ -80,6 +80,14 @@ pub const NET_CONNS_DRAINING: &str = "tep_net_conns_draining";
 /// answered, summaries and node lookups alike).
 pub const NET_AE_REQUESTS: &str = "tep_net_ae_requests_total";
 
+/// Signed non-membership (DENIAL) proofs the server emitted in place of
+/// plain `ERR unknown-object` — counts only proofs actually built and
+/// framed, not misses a signerless server answered with an error.
+pub const NET_DENIALS: &str = "tep_net_denials_total";
+
+/// RANGE_REQ frames served with a signed completeness proof.
+pub const NET_RANGE_REQUESTS: &str = "tep_net_range_requests_total";
+
 /// Records a replica fetched, verified, and durably applied during
 /// catch-up (counted after the batch fsync, so the counter never runs
 /// ahead of what a power cycle preserves).
@@ -108,6 +116,10 @@ pub const NET_REPL_ROLE: &str = "tep_net_repl_role";
 /// (per-operator counters are `tep_query_requests_<op>_total`, named by
 /// `QueryOp::counter_name`).
 pub const QUERY_REQUESTS: &str = "tep_query_requests_total";
+
+/// Completeness-proven range listings served by the query engine
+/// (`QueryEngine::execute_range`).
+pub const QUERY_RANGE_REQUESTS: &str = "tep_query_range_requests_total";
 
 /// Histogram of records shipped per slice proof — the size of the
 /// verifiable evidence a query answer drags along.

@@ -66,6 +66,7 @@ impl std::error::Error for QueryError {}
 /// tep-obs instrumentation for the query layer.
 struct QueryObs {
     requests: Counter,
+    range_requests: Counter,
     per_op: Vec<Counter>,
     slice_records: Histogram,
     index_build_ns: Histogram,
@@ -76,6 +77,7 @@ impl QueryObs {
     fn new(registry: &Registry) -> Self {
         QueryObs {
             requests: registry.counter(names::QUERY_REQUESTS),
+            range_requests: registry.counter(names::QUERY_RANGE_REQUESTS),
             per_op: QueryOp::ALL
                 .iter()
                 .map(|op| registry.counter(&op.counter_name()))
@@ -197,6 +199,29 @@ impl QueryEngine {
             Some(path) => self.index.lock().save(path),
             None => Ok(()),
         }
+    }
+
+    /// Lists every object with records in `[lo, hi]` (bounds normalized:
+    /// swapped when given backwards), paired with a **completeness
+    /// proof** over the store's current shard tree: the member set is
+    /// exactly the run of leaves the proof authenticates, with
+    /// straddling boundary witnesses pinning both edges. A recipient
+    /// re-verifies with `RangeProof::check` (or, over the wire, the
+    /// signed-root form via `Verifier::verify_range`) — the engine
+    /// cannot withhold a match without the proof failing.
+    pub fn execute_range(
+        &self,
+        lo: ObjectId,
+        hi: ObjectId,
+    ) -> (Vec<ObjectId>, tep_core::denial::RangeProof) {
+        if let Some(obs) = &self.obs {
+            obs.range_requests.inc();
+        }
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let tree = tep_core::merkle::shard_tree_of(self.alg, &self.db);
+        let proof = tep_core::denial::RangeProof::prove(&tree, lo, hi);
+        let members = proof.members.iter().map(|m| m.oid).collect();
+        (members, proof)
     }
 
     /// Executes `spec`, returning a self-contained [`SliceProof`] the

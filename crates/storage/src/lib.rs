@@ -5,6 +5,9 @@
 //! provenance database, §5.1); this crate provides the equivalent
 //! self-contained storage engine:
 //!
+//! * [`archive`] — checkpoint-anchored log compaction: pre-checkpoint
+//!   frames move to cold CRC-framed archive segments and the live log is
+//!   rewritten behind a cumulative compaction stamp.
 //! * [`checkpoint_store`] — atomically-replaced durable blob storage for
 //!   replica catch-up checkpoints (sealed verifier state survives a
 //!   power cycle; a torn file honestly reads as absent).
@@ -28,6 +31,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod archive;
 pub mod checkpoint_store;
 pub mod crc;
 pub mod log;
@@ -36,8 +40,12 @@ pub mod provenance_db;
 pub mod snapshot;
 pub mod vfs;
 
+pub use archive::{
+    archive_path_for, compact_durable_log, read_archive, ArchiveSegment, CompactionReport,
+    CompactionStamp,
+};
 pub use checkpoint_store::CheckpointStore;
-pub use log::{quarantine_path, AppendLog, LogError, LogGap, RecoveredLog};
+pub use log::{quarantine_path, AppendLog, GapKind, LogError, LogGap, RecoveredLog};
 pub use obs_vfs::{record_recovery, ObservedVfs};
 pub use provenance_db::{ProvenanceDb, RecoveryReport, StoreError, StoredRecord};
 pub use snapshot::{load_forest, load_forest_with, save_forest, save_forest_with, SnapshotError};

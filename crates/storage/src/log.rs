@@ -39,8 +39,8 @@ use std::sync::Arc;
 
 const MAGIC: &[u8; 8] = b"TEPLOG\x00\x01";
 const VERSION: u16 = 1;
-const HEADER_LEN: u64 = 12;
-const FRAME_HEADER_LEN: usize = 8;
+pub(crate) const HEADER_LEN: u64 = 12;
+pub(crate) const FRAME_HEADER_LEN: usize = 8;
 
 /// Maximum payload size (guards against reading a garbage length field).
 pub const MAX_PAYLOAD: u32 = 64 * 1024 * 1024;
@@ -74,9 +74,26 @@ impl From<std::io::Error> for LogError {
     }
 }
 
-/// An interior corrupt byte range excised into the quarantine sidecar.
+/// Why a byte range is missing from the live log.
+///
+/// The distinction matters to the verification layer: [`GapKind::Corruption`]
+/// is potential tamper evidence (`StorageQuarantine`), while
+/// [`GapKind::Compacted`] records a deliberate, checkpoint-anchored excision
+/// whose continuity is attested through the sealed checkpoint instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GapKind {
+    /// Interior corruption excised into the `.quarantine` sidecar.
+    Corruption,
+    /// Pre-checkpoint frames excised into a cold archive by compaction.
+    Compacted,
+}
+
+/// An interior byte range missing from the live log — either corruption
+/// quarantined on open, or a compaction-excised segment (see [`GapKind`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LogGap {
+    /// What removed the range from the live log.
+    pub kind: GapKind,
     /// Intact frames recovered before this gap (the gap sits between
     /// record `preceding_frames - 1` and record `preceding_frames`).
     pub preceding_frames: u64,
@@ -158,6 +175,7 @@ fn scan_frames(rest: &[u8]) -> Scan {
             if let Some(bad) = bad_start.take() {
                 // Valid frame after a corrupt range: interior corruption.
                 gaps.push(LogGap {
+                    kind: GapKind::Corruption,
                     preceding_frames: payloads.len() as u64,
                     offset: HEADER_LEN + bad as u64,
                     bytes: (pos - bad) as u64,
@@ -336,7 +354,7 @@ impl AppendLog {
 
     /// Rewrites `path` to contain exactly `payloads`, via a unique O_EXCL
     /// temp sibling + fsync + rename + parent-directory fsync.
-    fn rewrite_atomically(
+    pub(crate) fn rewrite_atomically(
         vfs: &Arc<dyn Vfs>,
         path: &Path,
         payloads: &[Vec<u8>],

@@ -192,10 +192,15 @@ impl VirtualFile for ObservedFile {
 /// * `tep_storage_recovery_degraded_total` — recoveries where
 ///   [`RecoveryReport::is_degraded`] held;
 /// * `tep_storage_recovery_truncated_bytes_total` — torn tail bytes dropped;
-/// * `tep_storage_recovery_gaps_total` — interior gaps skipped;
+/// * `tep_storage_recovery_gaps_total` — interior **corruption** gaps
+///   skipped (compaction-excised ranges are deliberate and counted under
+///   `tep_storage_compaction_excised_bytes_total` instead);
 /// * `tep_storage_quarantine_bytes_total` — bytes moved to quarantine;
 /// * `tep_storage_recovery_decode_failures_total` — frames whose payload
-///   failed record decoding.
+///   failed record decoding;
+/// * `tep_storage_compacted_opens_total` /
+///   `tep_storage_compaction_excised_bytes_total` — opens of a
+///   compaction-stamped log and the cumulative bytes its stamp attests.
 pub fn record_recovery(registry: &Registry, report: &RecoveryReport) {
     registry.counter("tep_storage_recovery_total").inc();
     if report.is_degraded() {
@@ -208,7 +213,13 @@ pub fn record_recovery(registry: &Registry, report: &RecoveryReport) {
         .add(report.truncated_bytes);
     registry
         .counter("tep_storage_recovery_gaps_total")
-        .add(report.gaps.len() as u64);
+        .add(report.corruption_gaps() as u64);
+    if let Some(stamp) = &report.compaction {
+        registry.counter("tep_storage_compacted_opens_total").inc();
+        registry
+            .counter("tep_storage_compaction_excised_bytes_total")
+            .add(stamp.excised_bytes);
+    }
     registry
         .counter("tep_storage_quarantine_bytes_total")
         .add(report.quarantined_bytes);
@@ -266,15 +277,31 @@ mod tests {
     fn recovery_report_is_recorded() {
         let registry = Registry::new();
         let gap = crate::log::LogGap {
+            kind: crate::log::GapKind::Corruption,
             preceding_frames: 3,
             offset: 128,
             bytes: 32,
         };
+        // One compaction-excised gap rides along: it must not inflate the
+        // corruption gap counter, only the compaction counters.
+        let excised = crate::log::LogGap {
+            kind: crate::log::GapKind::Compacted,
+            preceding_frames: 0,
+            offset: 12,
+            bytes: 4096,
+        };
         let report = RecoveryReport {
             truncated_bytes: 17,
-            gaps: vec![gap, gap],
+            gaps: vec![excised, gap, gap],
             quarantined_bytes: 64,
             decode_failures: 1,
+            compaction: Some(crate::archive::CompactionStamp {
+                generation: 1,
+                excised_frames: 50,
+                excised_bytes: 4096,
+                watermark: 50,
+                checkpoint_digest: vec![0xCD; 32],
+            }),
         };
         record_recovery(&registry, &report);
         record_recovery(&registry, &RecoveryReport::default());
@@ -285,5 +312,7 @@ mod tests {
         assert_eq!(c("tep_storage_recovery_gaps_total"), 2);
         assert_eq!(c("tep_storage_quarantine_bytes_total"), 64);
         assert_eq!(c("tep_storage_recovery_decode_failures_total"), 1);
+        assert_eq!(c("tep_storage_compacted_opens_total"), 1);
+        assert_eq!(c("tep_storage_compaction_excised_bytes_total"), 4096);
     }
 }

@@ -10,7 +10,8 @@
 //! order. The store runs in-memory, optionally backed by a durable
 //! [`AppendLog`] with recovery on open.
 
-use crate::log::{AppendLog, LogError, LogGap};
+use crate::archive::CompactionStamp;
+use crate::log::{AppendLog, GapKind, LogError, LogGap};
 use crate::vfs::{real_vfs, Vfs};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -132,13 +133,28 @@ pub struct RecoveryReport {
     /// CRC-valid frames that failed to decode as records (skipped, but
     /// counted: a well-formed frame with garbage inside is suspicious).
     pub decode_failures: u64,
+    /// The compaction stamp found leading the log, when this store has
+    /// been compacted (see [`crate::archive`]). Excised ranges appear in
+    /// [`RecoveryReport::gaps`] tagged [`GapKind::Compacted`] — they are a
+    /// deliberate, checkpoint-attested truncation, never tamper evidence.
+    pub compaction: Option<CompactionStamp>,
 }
 
 impl RecoveryReport {
     /// `true` when recovery found interior damage or undecodable records —
-    /// anything beyond the benign torn tail.
+    /// anything beyond the benign torn tail. Compaction-excised gaps are
+    /// deliberate and do **not** degrade the store.
     pub fn is_degraded(&self) -> bool {
-        !self.gaps.is_empty() || self.decode_failures > 0
+        self.corruption_gaps() > 0 || self.decode_failures > 0
+    }
+
+    /// Number of gaps caused by actual corruption (quarantine), excluding
+    /// compaction-excised ranges.
+    pub fn corruption_gaps(&self) -> usize {
+        self.gaps
+            .iter()
+            .filter(|g| g.kind == GapKind::Corruption)
+            .count()
     }
 }
 
@@ -227,9 +243,27 @@ impl ProvenanceDb {
                 gaps: recovered.gaps,
                 quarantined_bytes: recovered.quarantined_bytes,
                 decode_failures: 0,
+                compaction: None,
             },
         };
-        for frame in &recovered.payloads {
+        // A compacted log leads with its stamp frame: surface the excision
+        // as a `Compacted` gap (attested through the checkpoint, not
+        // quarantine evidence) and decode the rest as records.
+        let mut frames = recovered.payloads.as_slice();
+        if let Some(stamp) = frames.first().and_then(|f| CompactionStamp::from_bytes(f).ok()) {
+            inner.recovery.gaps.insert(
+                0,
+                LogGap {
+                    kind: GapKind::Compacted,
+                    preceding_frames: 0,
+                    offset: crate::log::HEADER_LEN,
+                    bytes: stamp.excised_bytes,
+                },
+            );
+            inner.recovery.compaction = Some(stamp);
+            frames = &frames[1..];
+        }
+        for frame in frames {
             match StoredRecord::decode(frame) {
                 Ok(rec) => index_record(&mut inner, rec),
                 Err(_) => inner.recovery.decode_failures += 1,

@@ -12,7 +12,12 @@
 //!   catch it;
 //! * **query slice** — plant the tamper inside a [`SliceProof`] answering a
 //!   lineage query over the same history, and let the recipient's
-//!   [`Verifier::verify_slice`] attribute it.
+//!   [`Verifier::verify_slice`] attribute it;
+//! * **omission** — attacks on what the server *refuses to say*: a forged
+//!   denial of an object it does hold, a range answer that silently drops
+//!   a proven member, and a pre-compaction stale state served after a
+//!   sealed checkpoint attested more history — in memory, on the wire,
+//!   and against a replica's pinned signed root.
 //!
 //! Each detection is asserted twice: the verdict itself, and the matching
 //! `tep_core_evidence_<kind>_total` counter in a per-case [`Registry`] —
@@ -26,12 +31,17 @@
 
 use std::collections::HashMap;
 use std::io::{Seek, SeekFrom};
-use std::path::Path;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tepdb::core::attack::{apply_tamper, collusion_splice, forge_insertion, Tamper};
+use tepdb::core::checkpoint::Checkpoint;
+use tepdb::core::denial::{DenialProof, RangeProof, SignedDenial, SignedRange, SignedRoot};
+use tepdb::core::merkle::shard_tree_of;
 use tepdb::core::provenance::ProvenanceObject;
 use tepdb::core::slice::{QueryAnswer, QueryOp, QuerySpec, SliceProof};
 use tepdb::core::verify::EvidenceKind;
@@ -42,9 +52,10 @@ use tepdb::model::ObjectId;
 use tepdb::net::proxy::Mutator;
 use tepdb::net::wire::Message;
 use tepdb::net::{
-    serve, Catalog, Client, ClientConfig, NetError, ProxyAction, ServerConfig, TamperProxy,
+    serve, serve_with_registry, AeStatus, Catalog, Client, ClientConfig, NetError, ProxyAction,
+    Replica, ReplicaConfig, ServerConfig, ServerHandle, TamperProxy,
 };
-use tepdb::obs::Registry;
+use tepdb::obs::{names, Registry};
 use tepdb::prelude::*;
 use tepdb::storage::vfs::{FaultConfig, FaultVfs, Vfs};
 use tepdb::storage::ProvenanceDb;
@@ -650,5 +661,463 @@ fn honest_history_verifies_on_every_surface() {
     assert!(report.verification.verified());
     assert_eq!(report.object_hash, w.doc_hash);
     assert_evidence_counters(&reg, &[], "honest wire");
+    srv.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Surface 5: omission — authenticated denial, range completeness, and
+// compaction-checkpoint continuity
+// ---------------------------------------------------------------------------
+
+/// A deterministic two-object history signed by one participant. Worlds
+/// built from the same seed share identical keys and a byte-identical
+/// operation prefix, so `omission_history(3, 3)` is exactly the state
+/// `omission_history(5, 1000)` had two records ago — a rollback — while
+/// `omission_history(5, 2000)` is a same-length twin whose final record
+/// was swapped — a rewrite under a sealed checkpoint.
+struct OmissionWorld {
+    keys: KeyDirectory,
+    signer: Arc<Participant>,
+    tracker: ProvenanceTracker,
+    db: Arc<ProvenanceDb>,
+    doc: ObjectId,
+    doc2: ObjectId,
+    doc_hash: Vec<u8>,
+}
+
+fn omission_history(updates: u64, tail: i64) -> OmissionWorld {
+    let mut rng = StdRng::seed_from_u64(0x0DE_11A2);
+    let ca = CertificateAuthority::new(512, ALG, &mut rng);
+    let signer = ca.enroll(ParticipantId(7), 512, &mut rng);
+    let mut keys = KeyDirectory::new(ca.public_key().clone(), ALG);
+    keys.register(signer.certificate().clone()).unwrap();
+
+    let db = Arc::new(ProvenanceDb::in_memory());
+    let mut tracker = ProvenanceTracker::new(
+        TrackerConfig {
+            alg: ALG,
+            ..Default::default()
+        },
+        Arc::clone(&db),
+    );
+    let (doc, _) = tracker.insert(&signer, Value::Int(0), None).unwrap();
+    let (doc2, _) = tracker.insert(&signer, Value::Int(50), None).unwrap();
+    for i in 1..updates {
+        tracker.update(&signer, doc, Value::Int(i as i64)).unwrap();
+    }
+    tracker.update(&signer, doc, Value::Int(tail)).unwrap();
+    let doc_hash = tracker.object_hash(doc).unwrap();
+    OmissionWorld {
+        keys,
+        signer: Arc::new(signer),
+        tracker,
+        db,
+        doc,
+        doc2,
+        doc_hash,
+    }
+}
+
+impl OmissionWorld {
+    /// A signing catalog: misses become signed denials, range requests
+    /// carry completeness proofs, anti-entropy summaries attach the
+    /// signed shard root.
+    fn catalog(&self) -> Arc<Catalog> {
+        Arc::new(
+            Catalog::new(
+                self.tracker.forest().clone(),
+                Arc::clone(&self.db),
+                ALG,
+                vec![self.doc, self.doc2],
+            )
+            .with_signer(Arc::clone(&self.signer)),
+        )
+    }
+
+    /// An ID guaranteed absent from the shard (only `doc`/`doc2` bear
+    /// records).
+    fn absent(&self) -> ObjectId {
+        ObjectId(self.doc.raw().max(self.doc2.raw()) + 101)
+    }
+
+    /// The shard members, ascending — what a complete range answer over
+    /// everything must return.
+    fn members(&self) -> Vec<ObjectId> {
+        let mut m = vec![self.doc, self.doc2];
+        m.sort_unstable_by_key(|o| o.raw());
+        m
+    }
+}
+
+#[test]
+fn omission_in_memory_surface_detects_every_attack() {
+    let a = omission_history(5, 1000);
+    let tree = shard_tree_of(ALG, &a.db);
+    let log_records = a.db.len() as u64;
+    let root = SignedRoot::sign(&tree, log_records, &a.signer).unwrap();
+    let absent = a.absent();
+    let (lo, hi) = (ObjectId(0), absent);
+
+    // Controls: an honest denial and an honest range answer verify clean.
+    let reg = Registry::new();
+    let mut verifier = Verifier::new(&a.keys, ALG);
+    verifier.attach_obs(&reg);
+    let honest = SignedDenial {
+        root: root.clone(),
+        proof: DenialProof::prove(&tree, absent).unwrap(),
+    };
+    assert!(verifier.verify_denial(&honest).verified());
+    let range = SignedRange {
+        root: root.clone(),
+        proof: RangeProof::prove(&tree, lo, hi),
+    };
+    assert!(verifier.verify_range(&range, &a.members()).verified());
+    assert_evidence_counters(&reg, &[], "honest denial + range (in-memory)");
+
+    // Omission attack: deny an object the shard does hold, forged from
+    // the honest witnesses around a neighbouring gap.
+    let ctx = "deny existing object (in-memory)";
+    let reg = Registry::new();
+    let mut verifier = Verifier::new(&a.keys, ALG);
+    verifier.attach_obs(&reg);
+    let mut forged = DenialProof::prove(&tree, absent).unwrap();
+    forged.absent = a.doc;
+    let v = verifier.verify_denial(&SignedDenial {
+        root: root.clone(),
+        proof: forged,
+    });
+    assert_eq!(
+        v.issues,
+        vec![TamperEvidence::ForgedDenial { oid: a.doc }],
+        "{ctx}"
+    );
+    assert_evidence_counters(&reg, &v.issues, ctx);
+
+    // Omission attack: withhold a proven range member.
+    let ctx = "withhold range member (in-memory)";
+    let reg = Registry::new();
+    let mut verifier = Verifier::new(&a.keys, ALG);
+    verifier.attach_obs(&reg);
+    let v = verifier.verify_range(&range, &a.members()[..1]);
+    assert_eq!(
+        v.issues,
+        vec![TamperEvidence::IncompleteResponse { lo, hi }],
+        "{ctx}"
+    );
+    assert_evidence_counters(&reg, &v.issues, ctx);
+
+    // Its dual: pad the answer with a member the proof never covered.
+    let ctx = "pad range answer (in-memory)";
+    let reg = Registry::new();
+    let mut verifier = Verifier::new(&a.keys, ALG);
+    verifier.attach_obs(&reg);
+    let mut padded = a.members();
+    padded.push(absent);
+    let v = verifier.verify_range(&range, &padded);
+    assert_eq!(
+        v.issues,
+        vec![TamperEvidence::ForgedDenial { oid: absent }],
+        "{ctx}"
+    );
+    assert_evidence_counters(&reg, &v.issues, ctx);
+
+    // Omission attack: serve pre-compaction stale state — a same-length
+    // twin history whose record at a sealed-and-anchored slot was
+    // rewritten. The twin verifies clean on its own; only the checkpoint
+    // exposes the swap.
+    let sealed = Checkpoint::capture(ALG, &a.db, 0).seal(&a.signer).unwrap();
+    let reg = Registry::new();
+    let mut verifier = Verifier::new(&a.keys, ALG);
+    verifier.attach_obs(&reg);
+    let v = verifier.verify_through_checkpoint(&a.doc_hash, &collect(&a.db, a.doc).unwrap(), &sealed);
+    assert!(v.verified(), "honest state through checkpoint: {:?}", v.issues);
+    assert_evidence_counters(&reg, &[], "honest state through checkpoint");
+
+    let ctx = "stale state under sealed checkpoint (in-memory)";
+    let twin = omission_history(5, 2000);
+    let stale = collect(&twin.db, twin.doc).unwrap();
+    let anchored_seq = a.db.records_for(a.doc).len() as u64 - 1;
+    let reg = Registry::new();
+    let mut verifier = Verifier::new(&a.keys, ALG);
+    verifier.attach_obs(&reg);
+    assert!(
+        verifier.verify(&twin.doc_hash, &stale).verified(),
+        "the twin must be internally clean — only the checkpoint catches it"
+    );
+    let v = verifier.verify_through_checkpoint(&twin.doc_hash, &stale, &sealed);
+    assert_eq!(
+        v.issues,
+        vec![TamperEvidence::CheckpointMismatch {
+            oid: a.doc,
+            seq: anchored_seq,
+        }],
+        "{ctx}"
+    );
+    // The clean twin verify above recorded nothing; the counters must
+    // account for exactly the checkpoint mismatch.
+    assert_evidence_counters(&reg, &v.issues, ctx);
+}
+
+#[test]
+fn omission_wire_surface_detects_every_attack() {
+    let w = omission_history(5, 1000);
+    let tree = shard_tree_of(ALG, &w.db);
+    let log_records = w.db.len() as u64;
+    let absent = w.absent();
+    let (lo, hi) = (ObjectId(0), absent);
+    let server_reg = Registry::new();
+    let srv = serve_with_registry(
+        w.catalog(),
+        "127.0.0.1:0".parse().unwrap(),
+        ServerConfig::default(),
+        server_reg.clone(),
+    )
+    .unwrap();
+
+    // Control: a miss is an authenticated denial the client verifies and
+    // accepts as terminal — with zero evidence recorded.
+    let reg = Registry::new();
+    let mut client = Client::new(srv.addr(), ClientConfig::new(ALG));
+    client.attach_obs(&reg);
+    match client.fetch_verified(absent, &w.keys) {
+        Err(NetError::Denied { oid, log_records: at }) => {
+            assert_eq!(oid, absent);
+            assert_eq!(at, log_records, "denial must attest the log high-water");
+        }
+        other => panic!("honest wire denial: expected Denied, got {other:?}"),
+    }
+    assert_evidence_counters(&reg, &[], "honest wire denial");
+
+    // Omission attack: deny an existing object — a path attacker swaps
+    // the object's stream for a *genuine* denial replayed from an absent
+    // ID. The denial verifies; it just doesn't answer the question.
+    let ctx = "deny existing object (wire)";
+    let replay = SignedDenial {
+        root: SignedRoot::sign(&tree, log_records, &w.signer).unwrap(),
+        proof: DenialProof::prove(&tree, absent).unwrap(),
+    }
+    .to_bytes();
+    let proxy = TamperProxy::spawn(
+        srv.addr(),
+        Box::new(move |_frame, msg| {
+            if matches!(msg, Message::Prov { .. }) {
+                ProxyAction::Replace(Message::Denial {
+                    proof: replay.clone(),
+                })
+            } else {
+                ProxyAction::Forward
+            }
+        }),
+    )
+    .unwrap();
+    let reg = Registry::new();
+    let mut client = Client::new(proxy.addr(), ClientConfig::new(ALG));
+    client.attach_obs(&reg);
+    match client.fetch_verified(w.doc, &w.keys) {
+        Err(NetError::TamperDetected { issues, .. }) => {
+            assert_eq!(
+                issues,
+                vec![TamperEvidence::ForgedDenial { oid: w.doc }],
+                "{ctx}"
+            );
+            assert_evidence_counters(&reg, &issues, ctx);
+        }
+        other => panic!("{ctx}: expected TamperDetected, got {other:?}"),
+    }
+    proxy.shutdown();
+
+    // Omission attack: mutate an honest denial in flight — caught as a
+    // forgery against the requested ID, whichever byte was damaged.
+    let ctx = "mutated denial (wire)";
+    let proxy = TamperProxy::spawn(
+        srv.addr(),
+        Box::new(|_frame, msg| {
+            let Message::Denial { proof } = msg else {
+                return ProxyAction::Forward;
+            };
+            let mut proof = proof.clone();
+            let last = proof.len() - 1;
+            proof[last] ^= 0x01;
+            ProxyAction::Replace(Message::Denial { proof })
+        }),
+    )
+    .unwrap();
+    let reg = Registry::new();
+    let mut client = Client::new(proxy.addr(), ClientConfig::new(ALG));
+    client.attach_obs(&reg);
+    match client.fetch_verified(absent, &w.keys) {
+        Err(NetError::TamperDetected { issues, .. }) => {
+            assert_eq!(
+                issues,
+                vec![TamperEvidence::ForgedDenial { oid: absent }],
+                "{ctx}"
+            );
+            assert_evidence_counters(&reg, &issues, ctx);
+        }
+        other => panic!("{ctx}: expected TamperDetected, got {other:?}"),
+    }
+    proxy.shutdown();
+
+    // Control: the honest range lists every member, completeness-proven.
+    let reg = Registry::new();
+    let mut client = Client::new(srv.addr(), ClientConfig::new(ALG));
+    client.attach_obs(&reg);
+    let report = client.range(lo, hi, &w.keys).unwrap();
+    assert_eq!(report.members, w.members());
+    assert_eq!(report.log_records, log_records);
+    assert_evidence_counters(&reg, &[], "honest wire range");
+
+    // Omission attack: withhold a range match in flight.
+    let ctx = "withhold range member (wire)";
+    let proxy = TamperProxy::spawn(
+        srv.addr(),
+        Box::new(|_frame, msg| {
+            let Message::RangeResp { oids, proof } = msg else {
+                return ProxyAction::Forward;
+            };
+            let mut oids = oids.clone();
+            oids.pop();
+            ProxyAction::Replace(Message::RangeResp {
+                oids,
+                proof: proof.clone(),
+            })
+        }),
+    )
+    .unwrap();
+    let reg = Registry::new();
+    let mut client = Client::new(proxy.addr(), ClientConfig::new(ALG));
+    client.attach_obs(&reg);
+    match client.range(lo, hi, &w.keys) {
+        Err(NetError::TamperDetected { issues, .. }) => {
+            assert_eq!(
+                issues,
+                vec![TamperEvidence::IncompleteResponse { lo, hi }],
+                "{ctx}"
+            );
+            assert_evidence_counters(&reg, &issues, ctx);
+        }
+        other => panic!("{ctx}: expected TamperDetected, got {other:?}"),
+    }
+    proxy.shutdown();
+
+    // Its dual: pad the answer with an unproven member.
+    let ctx = "pad range answer (wire)";
+    let proxy = TamperProxy::spawn(
+        srv.addr(),
+        Box::new(move |_frame, msg| {
+            let Message::RangeResp { oids, proof } = msg else {
+                return ProxyAction::Forward;
+            };
+            let mut oids = oids.clone();
+            oids.push(absent);
+            ProxyAction::Replace(Message::RangeResp {
+                oids,
+                proof: proof.clone(),
+            })
+        }),
+    )
+    .unwrap();
+    let reg = Registry::new();
+    let mut client = Client::new(proxy.addr(), ClientConfig::new(ALG));
+    client.attach_obs(&reg);
+    match client.range(lo, hi, &w.keys) {
+        Err(NetError::TamperDetected { issues, .. }) => {
+            assert_eq!(
+                issues,
+                vec![TamperEvidence::ForgedDenial { oid: absent }],
+                "{ctx}"
+            );
+            assert_evidence_counters(&reg, &issues, ctx);
+        }
+        other => panic!("{ctx}: expected TamperDetected, got {other:?}"),
+    }
+    proxy.shutdown();
+
+    // The server's own ledger of what it proved: two signed denials (the
+    // honest control and the one mutated in flight — the replayed-denial
+    // case streamed `doc` normally) and three proven range answers.
+    assert_eq!(server_reg.counter_value(names::NET_DENIALS), 2);
+    assert_eq!(server_reg.counter_value(names::NET_RANGE_REQUESTS), 3);
+    srv.shutdown();
+}
+
+/// Binds a server on an exact (recently freed) address, retrying while
+/// the OS releases the old listener.
+fn serve_at(catalog: Arc<Catalog>, addr: SocketAddr) -> ServerHandle {
+    for _ in 0..50 {
+        match serve(Arc::clone(&catalog), addr, ServerConfig::default()) {
+            Ok(h) => return h,
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    panic!("could not rebind {addr}");
+}
+
+/// Omission across replication: a replica pins the primary's signed root
+/// high-water; a primary later serving a pre-compaction rollback — fewer
+/// cumulative log records under a validly signed root — is terminal
+/// `CheckpointMismatch` evidence, and the pin never regresses.
+#[test]
+fn omission_replica_surface_detects_stale_root() {
+    let a = omission_history(5, 1000);
+    let rolled = omission_history(3, 3);
+    assert_eq!(
+        shard_tree_of(ALG, &rolled.db).leaf_count(),
+        shard_tree_of(ALG, &a.db).leaf_count(),
+        "the rollback must look like the same shard, just older"
+    );
+
+    let srv = serve(
+        a.catalog(),
+        "127.0.0.1:0".parse().unwrap(),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let addr = srv.addr();
+
+    let vfs = FaultVfs::new(FaultConfig::default());
+    let db = Arc::new(ProvenanceDb::durable_with(vfs.clone(), Path::new("/om-replica.teplog")).unwrap());
+    let reg = Registry::new();
+    let mut repl = Replica::new(
+        addr,
+        ReplicaConfig::new(ALG),
+        db,
+        vfs.clone(),
+        PathBuf::from("/om-ckpt"),
+    );
+    repl.attach_obs(&reg);
+
+    // Control: honest sync pins the attested high-water, evidence-free.
+    repl.catch_up(&a.keys).unwrap();
+    let ae = repl.anti_entropy(&a.keys).unwrap();
+    assert_eq!(ae.status, AeStatus::Converged);
+    assert_eq!(repl.pinned_log_records(), a.db.len() as u64);
+    assert_evidence_counters(&reg, &[], "honest replica sync");
+    srv.shutdown();
+
+    // The primary "restores from backup": same signer, same objects, two
+    // fewer records — rebound on the same address, so to the replica it
+    // IS its primary, with excised history resurrected.
+    let srv = serve_at(rolled.catalog(), addr);
+    let err = repl.anti_entropy(&a.keys).unwrap_err();
+    match &err {
+        NetError::TamperDetected { issues, .. } => {
+            assert_eq!(
+                *issues,
+                vec![TamperEvidence::CheckpointMismatch {
+                    oid: ObjectId(0),
+                    seq: rolled.db.len() as u64,
+                }],
+                "replica stale root"
+            );
+            assert_evidence_counters(&reg, issues, "replica stale root");
+        }
+        other => panic!("replica stale root: expected TamperDetected, got {other}"),
+    }
+    assert_eq!(
+        repl.pinned_log_records(),
+        a.db.len() as u64,
+        "a rejected stale root must not move the pin"
+    );
     srv.shutdown();
 }

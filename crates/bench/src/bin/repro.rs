@@ -4,7 +4,8 @@
 //! repro [--all] [--table1] [--fig6] [--fig7] [--fig8] [--fig9]
 //!       [--fig10] [--fig11] [--large [ROWS|paper]] [--chaining] [--verify-cost]
 //!       [--net] [--net-scale [CONNS]] [--crash] [--resume] [--replication]
-//!       [--query [RECORDS]] [--compaction [RECORDS]] [--json] [--runs N]
+//!       [--query [RECORDS]] [--compaction [RECORDS]] [--tenants [N]] [--json]
+//!       [--runs N]
 //!       [--key-bits N] [--alg sha1|sha256] [--seed N] [--csv]
 //! ```
 //!
@@ -39,6 +40,7 @@ struct Args {
     replication: bool,
     query: Option<u64>,
     compaction: Option<u64>,
+    tenants: Option<usize>,
     json: bool,
     csv: bool,
     all: bool,
@@ -99,6 +101,16 @@ fn parse_args() -> Result<Args, String> {
                 };
                 args.compaction = Some(records);
             }
+            "--tenants" => {
+                let n = match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let v = it.next().expect("peeked");
+                        v.parse().map_err(|_| format!("bad tenant count: {v}"))?
+                    }
+                    _ => 4,
+                };
+                args.tenants = Some(n);
+            }
             "--json" => args.json = true,
             "--large" => {
                 let rows = match it.peek() {
@@ -148,6 +160,7 @@ fn parse_args() -> Result<Args, String> {
         || args.replication
         || args.query.is_some()
         || args.compaction.is_some()
+        || args.tenants.is_some()
         || args.json;
     if args.all || !experiments_requested {
         args.table1 = true;
@@ -168,6 +181,7 @@ fn parse_args() -> Result<Args, String> {
         args.replication = true;
         args.query.get_or_insert(1_000_000);
         args.compaction.get_or_insert(100_000);
+        args.tenants.get_or_insert(4);
     }
     Ok(args)
 }
@@ -199,7 +213,7 @@ fn main() -> ExitCode {
                 "usage: repro [--all] [--table1] [--fig6] [--fig7] [--fig8] [--fig9] [--fig10] [--fig11]"
             );
             eprintln!(
-                "             [--large [ROWS|paper]] [--chaining] [--verify-cost] [--net] [--net-scale [CONNS]] [--crash] [--resume] [--replication] [--query [RECORDS]] [--compaction [RECORDS]] [--json]"
+                "             [--large [ROWS|paper]] [--chaining] [--verify-cost] [--net] [--net-scale [CONNS]] [--crash] [--resume] [--replication] [--query [RECORDS]] [--compaction [RECORDS]] [--tenants [N]] [--json]"
             );
             eprintln!(
                 "             [--runs N] [--key-bits N] [--alg sha1|sha256] [--seed N] [--csv]"
@@ -653,6 +667,46 @@ fn main() -> ExitCode {
             &format!(
                 "Signed non-membership proofs over the {}-record shard tree",
                 r.records
+            ),
+            &t,
+            args.csv,
+        );
+    }
+
+    if let Some(n) = args.tenants {
+        let r = run_tenants(&cfg, n);
+        let mut t = TextTable::new(&[
+            "phase",
+            "objects/s",
+            "t1 p99 (us)",
+            "attacker sheds",
+            "victim sheds",
+        ]);
+        t.row(&[
+            "solo".to_string(),
+            format!("{:.1}", r.solo_objects_per_sec),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+        ]);
+        t.row(&[
+            "shared".to_string(),
+            format!("{:.1}", r.shared_objects_per_sec),
+            format!("{:.1}", r.shared_p99_us),
+            "-".to_string(),
+            "-".to_string(),
+        ]);
+        t.row(&[
+            "attacked".to_string(),
+            "-".to_string(),
+            format!("{:.1}", r.attacked_p99_us),
+            r.attacker_sheds.to_string(),
+            r.victim_sheds.to_string(),
+        ]);
+        emit(
+            &format!(
+                "Multi-tenant fairness ({} tenants, {}-record chains, {} fetches/tenant)",
+                r.tenants, r.records_per_tenant, r.fetches_per_tenant
             ),
             &t,
             args.csv,

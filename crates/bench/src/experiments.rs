@@ -1311,6 +1311,277 @@ pub fn run_compaction(cfg: &ExperimentConfig, records: u64) -> CompactionBenchRe
 }
 
 // ---------------------------------------------------------------------------
+// Multi-tenant fairness (`repro --tenants`)
+// ---------------------------------------------------------------------------
+
+/// Fairness of the tenant bulkheads (DESIGN.md §14): what sharing one
+/// server with N−1 siblings — one of them hammering its own exhausted
+/// connection quota — costs a well-behaved tenant.
+#[derive(Clone, Copy, Debug)]
+pub struct TenantBenchResult {
+    /// Tenants served, each with its own PKI signer, shard, and catalog.
+    pub tenants: usize,
+    /// Records in each tenant's update chain.
+    pub records_per_tenant: u64,
+    /// Verified fetches each honest tenant performs per phase.
+    pub fetches_per_tenant: u64,
+    /// Tenant 1 alone against a single-tenant server, objects/s.
+    pub solo_objects_per_sec: f64,
+    /// All tenants fetching concurrently, aggregate objects/s.
+    pub shared_objects_per_sec: f64,
+    /// Tenant 1's p99 verified-fetch latency during the shared phase (µs).
+    pub shared_p99_us: f64,
+    /// Tenant 1's p99 while the attacker tenant sheds in a loop (µs).
+    pub attacked_p99_us: f64,
+    /// Quota sheds carrying the attacker's label after the attack phase.
+    pub attacker_sheds: u64,
+    /// Quota sheds carrying tenant 1's label — the bulkhead demands zero.
+    pub victim_sheds: u64,
+}
+
+/// Three phases over one sharded deployment: tenant 1 alone (`solo`),
+/// every tenant fetching concurrently (`shared`), and the same honest
+/// load while the highest-numbered tenant hammers a deliberately
+/// exhausted one-connection quota (`attacked`) — every attacker dial is
+/// refused at HELLO with the tenant-scaled `ERR busy`, so the attack
+/// costs the server one admission round-trip per attempt and the
+/// attacker's labeled shed counter records each one. Tenant 1's
+/// latency distribution is measured in both contended phases; its own
+/// shed label must stay at zero.
+pub fn run_tenants(cfg: &ExperimentConfig, tenants: usize) -> TenantBenchResult {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use tep_core::metrics::TransferCounters;
+    use tep_core::tenant::TenantDirectory;
+    use tep_model::TenantId;
+    use tep_net::wire::{FrameReader, FrameWriter, Message, WIRE_VERSION};
+    use tep_net::{
+        serve_tenants, Catalog, Client, ClientConfig, RetryPolicy, ServerConfig, TenantSpec,
+    };
+    use tep_obs::{names, Registry};
+    use tep_storage::vfs::{FaultConfig, FaultVfs};
+    use tep_storage::{TenantShards, Vfs};
+
+    const RECORDS: u64 = 12;
+    let tenants = tenants.max(2);
+    let fetches = (cfg.runs as u64 * 30).clamp(60, 300);
+    let ids: Vec<TenantId> = (1..=tenants as u64).map(TenantId).collect();
+    let victim = ids[0];
+    let attacker = *ids.last().unwrap();
+
+    // Identity + sharded store: one PKI-minted signer and one independent
+    // shard per tenant, on deterministic in-memory disks.
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7E4A_F41B);
+    let key_bits = cfg.key_bits.max(512);
+    let ca = CertificateAuthority::new(key_bits, cfg.alg, &mut rng);
+    let mut dir = TenantDirectory::new(&ca);
+    for &t in &ids {
+        dir.mint(&ca, t, key_bits, &mut rng);
+    }
+    let shards = TenantShards::open_with(
+        "/tenants-bench",
+        ids.iter()
+            .map(|&t| (t, FaultVfs::new(FaultConfig::default()) as Arc<dyn Vfs>)),
+    );
+    let mut chains = Vec::with_capacity(tenants);
+    let mut catalogs = Vec::with_capacity(tenants);
+    for &t in &ids {
+        let signer = dir.signer(t).unwrap();
+        let db = shards.shard(t).unwrap();
+        let mut tracker = ProvenanceTracker::new(
+            TrackerConfig {
+                alg: cfg.alg,
+                strategy: HashingStrategy::Economical,
+            },
+            Arc::clone(&db),
+        );
+        let (chain, _) = tracker
+            .insert(&signer, tep_model::Value::Int(0), None)
+            .unwrap();
+        for i in 1..RECORDS as i64 {
+            tracker
+                .update(&signer, chain, tep_model::Value::Int(i))
+                .unwrap();
+        }
+        db.sync().unwrap();
+        chains.push(chain);
+        catalogs.push(Arc::new(Catalog::new(
+            tracker.forest().clone(),
+            db,
+            cfg.alg,
+            vec![chain],
+        )));
+    }
+
+    let server_cfg = || ServerConfig {
+        read_timeout: Duration::from_secs(30),
+        write_timeout: Duration::from_secs(30),
+        connection_deadline: Duration::from_secs(30),
+        ..ServerConfig::default()
+    };
+    let client_for = |addr: std::net::SocketAddr, t: TenantId, max_attempts: u32| {
+        let mut c = ClientConfig::for_tenant(cfg.alg, t);
+        c.read_timeout = Duration::from_secs(10);
+        c.retry = RetryPolicy {
+            max_attempts,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(10),
+            ..RetryPolicy::default()
+        };
+        Client::new(addr, c)
+    };
+
+    // Phase 1 — solo: tenant 1 alone on a single-tenant server.
+    let server = serve_tenants(
+        vec![TenantSpec::new(victim, Arc::clone(&catalogs[0]))],
+        "127.0.0.1:0".parse().unwrap(),
+        server_cfg(),
+        Registry::new(),
+    )
+    .unwrap();
+    let mut cl = client_for(server.addr(), victim, 3);
+    let t = Instant::now();
+    for _ in 0..fetches {
+        let rep = cl
+            .fetch_verified(chains[0], dir.keys(victim).unwrap())
+            .unwrap();
+        assert!(rep.verification.verified());
+    }
+    let solo_objects_per_sec = fetches as f64 / t.elapsed().as_secs_f64();
+    server.shutdown();
+
+    // Phases 2 + 3 share one server hosting every tenant; the attacker's
+    // spec carries a one-connection quota so its hammer can only shed
+    // against its own bulkhead.
+    let registry = Registry::new();
+    let specs: Vec<TenantSpec> = ids
+        .iter()
+        .zip(&catalogs)
+        .map(|(&t, c)| {
+            let s = TenantSpec::new(t, Arc::clone(c));
+            if t == attacker {
+                s.with_max_connections(1)
+            } else {
+                s
+            }
+        })
+        .collect();
+    let server = serve_tenants(
+        specs,
+        "127.0.0.1:0".parse().unwrap(),
+        server_cfg(),
+        registry.clone(),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // One tenant's closed-loop fetch run, per-fetch latency in ns.
+    let fetch_loop = |t: TenantId, chain: ObjectId| -> Vec<u64> {
+        let mut cl = client_for(addr, t, 3);
+        let keys = dir.keys(t).unwrap();
+        let mut ns = Vec::with_capacity(fetches as usize);
+        for _ in 0..fetches {
+            let t0 = Instant::now();
+            let rep = cl.fetch_verified(chain, keys).unwrap();
+            ns.push(t0.elapsed().as_nanos() as u64);
+            assert!(rep.verification.verified());
+        }
+        ns
+    };
+
+    // Phase 2 — shared: every tenant fetching concurrently.
+    let t = Instant::now();
+    let shared_lat: Vec<Vec<u64>> = std::thread::scope(|s| {
+        let fetch_loop = &fetch_loop;
+        let handles: Vec<_> = ids
+            .iter()
+            .zip(&chains)
+            .map(|(&t, &chain)| s.spawn(move || fetch_loop(t, chain)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let shared_objects_per_sec = (fetches * tenants as u64) as f64 / t.elapsed().as_secs_f64();
+    let shared_p99_us = p99_us(shared_lat[0].clone());
+
+    // Phase 3 — attacked: hold the attacker's only quota slot open, then
+    // hammer single-attempt fetches against it while the honest tenants
+    // re-run the shared loop.
+    let _held = {
+        let stream = std::net::TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let counters = Arc::new(TransferCounters::new());
+        let mut writer = FrameWriter::new(stream.try_clone().unwrap(), Arc::clone(&counters));
+        let mut reader = FrameReader::new(stream, counters);
+        writer
+            .write_message(&Message::Hello {
+                version: WIRE_VERSION,
+                alg: cfg.alg,
+                tenant: attacker.raw(),
+            })
+            .unwrap();
+        match reader.read_message().unwrap() {
+            Some(Message::Hello { .. }) => {}
+            other => panic!("held attacker connection was not admitted: {other:?}"),
+        }
+        (reader, writer)
+    };
+    let stop = AtomicBool::new(false);
+    let attacked_lat: Vec<u64> = std::thread::scope(|s| {
+        let fetch_loop = &fetch_loop;
+        let (stop, dir, chains, client_for) = (&stop, &dir, &chains, &client_for);
+        let hammer = s.spawn(move || {
+            let keys = dir.keys(attacker).unwrap();
+            while !stop.load(Ordering::Relaxed) {
+                let mut cl = client_for(addr, attacker, 1);
+                let _ = cl.fetch_verified(*chains.last().unwrap(), keys);
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        let honest: Vec<_> = ids[..tenants - 1]
+            .iter()
+            .zip(chains)
+            .map(|(&t, &chain)| s.spawn(move || fetch_loop(t, chain)))
+            .collect();
+        let lats: Vec<Vec<u64>> = honest.into_iter().map(|h| h.join().unwrap()).collect();
+        stop.store(true, Ordering::Relaxed);
+        hammer.join().unwrap();
+        lats.into_iter().next().unwrap()
+    });
+    let attacked_p99_us = p99_us(attacked_lat);
+
+    let attacker_sheds = registry.counter_value(&names::with_tenant(
+        names::NET_TENANT_QUOTA_SHEDS,
+        attacker.raw(),
+    ));
+    let victim_sheds = registry.counter_value(&names::with_tenant(
+        names::NET_TENANT_QUOTA_SHEDS,
+        victim.raw(),
+    ));
+    server.shutdown();
+    assert!(
+        attacker_sheds > 0,
+        "the attacker's hammer never hit its quota — the attack phase measured nothing"
+    );
+    assert_eq!(
+        victim_sheds, 0,
+        "quota sheds bled across the bulkhead onto the victim's label"
+    );
+
+    TenantBenchResult {
+        tenants,
+        records_per_tenant: RECORDS,
+        fetches_per_tenant: fetches,
+        solo_objects_per_sec,
+        shared_objects_per_sec,
+        shared_p99_us,
+        attacked_p99_us,
+        attacker_sheds,
+        victim_sheds,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Resume savings: RESUME vs restart-from-zero after a mid-transfer cut
 // ---------------------------------------------------------------------------
 
@@ -1801,6 +2072,10 @@ pub struct BaselineResult {
     /// (`tep-core` gc + denial; `repro --compaction` runs the headline
     /// 100k-record version).
     pub compaction: CompactionBenchResult,
+    /// Multi-tenant fairness: solo vs shared vs under-attack throughput
+    /// and victim latency over one sharded deployment (`tep-net`
+    /// bulkheads; `repro --tenants` runs a configurable tenant count).
+    pub tenants: TenantBenchResult,
     /// Deterministic metric counts from a small fully instrumented workload
     /// spanning every layer (see [`run_instrumented_metrics`]). Counter
     /// values and histogram counts only — no timing sums — so two runs with
@@ -1816,7 +2091,10 @@ impl BaselineResult {
             if i > 0 {
                 metrics.push(',');
             }
-            metrics.push_str(&format!("\n    \"{name}\": {value}"));
+            // Labeled names embed quotes (`…{tenant="t0"}`) that must be
+            // escaped to keep the document valid JSON.
+            let key = name.replace('\\', "\\\\").replace('"', "\\\"");
+            metrics.push_str(&format!("\n    \"{key}\": {value}"));
         }
         let query_ops = self
             .query
@@ -1898,6 +2176,11 @@ impl BaselineResult {
              \"excised_frames\": {}, \"kept_frames\": {}, \"seal_ms\": {:.2}, \
              \"compact_ms\": {:.2}, \"reopen_ms\": {:.2}, \"denial_proofs\": {}, \
              \"denial_prove_p99_us\": {:.1}, \"denial_verify_p99_us\": {:.1} }},\n  \
+             \"tenants\": {{ \"tenants\": {}, \"records_per_tenant\": {}, \
+             \"fetches_per_tenant\": {}, \"solo_objects_per_sec\": {:.1}, \
+             \"shared_objects_per_sec\": {:.1}, \"shared_p99_us\": {:.1}, \
+             \"attacked_p99_us\": {:.1}, \"attacker_sheds\": {}, \
+             \"victim_sheds\": {} }},\n  \
              \"metrics\": {{{metrics}\n  }}\n}}\n",
             self.alg,
             self.key_bits,
@@ -1953,6 +2236,15 @@ impl BaselineResult {
             self.compaction.denial_proofs,
             self.compaction.denial_prove_p99_us,
             self.compaction.denial_verify_p99_us,
+            self.tenants.tenants,
+            self.tenants.records_per_tenant,
+            self.tenants.fetches_per_tenant,
+            self.tenants.solo_objects_per_sec,
+            self.tenants.shared_objects_per_sec,
+            self.tenants.shared_p99_us,
+            self.tenants.attacked_p99_us,
+            self.tenants.attacker_sheds,
+            self.tenants.victim_sheds,
         )
     }
 }
@@ -2179,6 +2471,10 @@ pub fn run_baseline(cfg: &ExperimentConfig) -> BaselineResult {
     // reduced size (`repro --compaction` runs the headline 100k version).
     let compaction = run_compaction(cfg, (cfg.runs as u64 * 5000).clamp(10_000, 100_000));
 
+    // Multi-tenant fairness at the default four tenants (`repro --tenants`
+    // runs a configurable count).
+    let tenants = run_tenants(cfg, 4);
+
     BaselineResult {
         alg: cfg.alg,
         key_bits: cfg.key_bits,
@@ -2195,6 +2491,7 @@ pub fn run_baseline(cfg: &ExperimentConfig) -> BaselineResult {
         query,
         replication,
         compaction,
+        tenants,
         metrics: run_instrumented_metrics(cfg),
     }
 }

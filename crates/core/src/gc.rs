@@ -33,8 +33,7 @@ use tep_crypto::digest::HashAlgorithm;
 use tep_crypto::pki::Participant;
 use tep_model::ObjectId;
 use tep_storage::{
-    compact_durable_log, CheckpointStore, CompactionReport, LogError, ProvenanceDb, StoreError,
-    Vfs,
+    compact_durable_log, CheckpointStore, CompactionReport, LogError, ProvenanceDb, StoreError, Vfs,
 };
 
 /// Outcome of a prune.

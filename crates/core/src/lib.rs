@@ -69,6 +69,7 @@ pub mod query;
 pub mod record;
 pub mod slice;
 pub mod streaming;
+pub mod tenant;
 pub mod tracker;
 pub mod verify;
 
@@ -97,6 +98,9 @@ pub use record::{InputRef, ProvenanceRecord, RecordKind};
 pub use slice::{
     BoundaryLink, Polynomial, QueryAnswer, QueryBounds, QueryOp, QuerySpec, SliceProof,
 };
+pub use tenant::{
+    federated_verify, FederatedReport, TenantDirectory, TenantEvidenceCounters, TenantReport,
+};
 pub use tracker::{ComplexReport, ProvenanceTracker, TrackerConfig};
 pub use verify::{
     EvidenceCounters, EvidenceKind, StreamingVerifier, TamperEvidence, Verification, Verifier,
@@ -111,9 +115,11 @@ pub mod prelude {
     pub use crate::provenance::{collect, ProvenanceObject};
     pub use crate::query::ProvenanceQuery;
     pub use crate::slice::{QueryOp, QuerySpec, SliceProof};
+    pub use crate::tenant::{federated_verify, FederatedReport, TenantDirectory};
     pub use crate::tracker::{ProvenanceTracker, TrackerConfig};
     pub use crate::verify::{StreamingVerifier, TamperEvidence, Verification, Verifier};
     pub use tep_crypto::digest::HashAlgorithm;
     pub use tep_crypto::pki::{CertificateAuthority, KeyDirectory, Participant, ParticipantId};
-    pub use tep_storage::ProvenanceDb;
+    pub use tep_model::TenantId;
+    pub use tep_storage::{ProvenanceDb, TenantShards};
 }

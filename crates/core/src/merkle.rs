@@ -186,11 +186,7 @@ impl ShardTree {
         for level in 0..self.depth() {
             let idx = (index >> level) as usize;
             let sibling = idx ^ 1;
-            path.push(
-                self.levels[level as usize]
-                    .get(sibling)
-                    .cloned(),
-            );
+            path.push(self.levels[level as usize].get(sibling).cloned());
         }
         Some(path)
     }
@@ -227,7 +223,7 @@ impl ShardTree {
         for sibling in path {
             match sibling {
                 Some(sib) => {
-                    if idx % 2 == 0 {
+                    if idx.is_multiple_of(2) {
                         // A right sibling must actually exist at this level.
                         if idx + 1 >= count {
                             return false;
@@ -239,7 +235,7 @@ impl ShardTree {
                 }
                 None => {
                     // Only the unpaired tail node may combine alone.
-                    if idx % 2 != 0 || idx + 1 != count {
+                    if !idx.is_multiple_of(2) || idx + 1 != count {
                         return false;
                     }
                     h = combine(alg, std::slice::from_ref(&h));

@@ -180,7 +180,7 @@ proptest! {
         };
         let answered = range.check(&w.keys).expect("honest range verifies");
         let mut expect: Vec<ObjectId> = {
-            let mut v: Vec<u64> = ids.iter().copied().collect();
+            let mut v: Vec<u64> = ids.to_vec();
             v.sort_unstable();
             v.dedup();
             v.into_iter()

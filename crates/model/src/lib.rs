@@ -30,7 +30,7 @@ pub mod value;
 
 pub use error::ModelError;
 pub use forest::{AggregateMode, DirtyMark, Forest};
-pub use id::ObjectId;
+pub use id::{ObjectId, TenantId};
 pub use node::Node;
 pub use ops::{OpOutcome, PrimitiveOp};
 pub use value::Value;

@@ -47,7 +47,7 @@ use tep_core::verify::{
 use tep_core::{ProvenanceObject, ProvenanceRecord, VerifyBatcher};
 use tep_crypto::digest::HashAlgorithm;
 use tep_crypto::pki::KeyDirectory;
-use tep_model::ObjectId;
+use tep_model::{ObjectId, TenantId};
 use tep_obs::Registry;
 
 use crate::wire::{
@@ -95,6 +95,11 @@ pub struct ClientConfig {
     /// Resume interrupted transfers with RESUME instead of refetching from
     /// record zero (on by default; disable to measure the difference).
     pub resume: bool,
+    /// The tenant scope this client states in HELLO. Every request on the
+    /// connection is scoped to it; a server that does not know (or has
+    /// disabled) the tenant answers with the non-retryable
+    /// `ERR unknown-tenant`. Defaults to [`TenantId::DEFAULT`].
+    pub tenant: TenantId,
 }
 
 impl ClientConfig {
@@ -106,6 +111,15 @@ impl ClientConfig {
             read_timeout: Duration::from_secs(5),
             jitter_seed: 0x7E94_E75D,
             resume: true,
+            tenant: TenantId::DEFAULT,
+        }
+    }
+
+    /// Same defaults, scoped to `tenant`.
+    pub fn for_tenant(alg: HashAlgorithm, tenant: TenantId) -> Self {
+        ClientConfig {
+            tenant,
+            ..Self::new(alg)
         }
     }
 }
@@ -614,10 +628,16 @@ impl Client {
         writer.write_message(&Message::Hello {
             version: WIRE_VERSION,
             alg: self.cfg.alg,
+            tenant: self.cfg.tenant.raw(),
         })?;
         match reader.read_message()? {
-            Some(Message::Hello { version, alg })
-                if version == WIRE_VERSION && alg == self.cfg.alg => {}
+            Some(Message::Hello {
+                version,
+                alg,
+                tenant,
+            }) if version == WIRE_VERSION
+                && alg == self.cfg.alg
+                && tenant == self.cfg.tenant.raw() => {}
             Some(Message::Error {
                 code,
                 retry_after_ms,
@@ -1241,6 +1261,26 @@ mod tests {
             clamp_retry_wait(delay, None, Duration::from_secs(30)),
             delay
         );
+    }
+
+    /// `ERR unknown-tenant` is typed and terminal: a client pointed at a
+    /// scope that will never admit it fails fast instead of burning its
+    /// retry budget the way a `busy` shed (retryable, hinted) would.
+    #[test]
+    fn unknown_tenant_is_terminal_but_busy_is_retryable() {
+        let rejected = NetError::Remote {
+            code: ErrorCode::UnknownTenant,
+            retry_after: None,
+            detail: "tenant t9 is not provisioned here".into(),
+        };
+        assert!(!rejected.is_retryable());
+        assert_eq!(rejected.retry_after(), None);
+        let shed = NetError::Remote {
+            code: ErrorCode::Busy,
+            retry_after: Some(Duration::from_millis(75)),
+            detail: "tenant t1 connection quota reached".into(),
+        };
+        assert!(shed.is_retryable());
     }
 
     /// A zero/degenerate policy must not panic (empty sample ranges).

@@ -70,5 +70,7 @@ pub use client::{
 pub use fault::{FaultKind, FaultListener, FaultPlan, FaultStream, StreamFault, StreamFaultPlan};
 pub use proxy::{ProxyAction, TamperProxy};
 pub use replica::{AeReport, AeStatus, CatchUpReport, FanoutFetcher, Replica, ReplicaConfig};
-pub use server::{serve, serve_with_registry, Catalog, ServerConfig, ServerHandle};
+pub use server::{
+    serve, serve_tenants, serve_with_registry, Catalog, ServerConfig, ServerHandle, TenantSpec,
+};
 pub use wire::{DataEntry, ErrorCode, Message, OfferEntry, WireError, MAX_FRAME, WIRE_VERSION};

@@ -48,7 +48,7 @@ use tep_core::verify::{EvidenceCounters, EvidenceKind, StreamingVerifier, Tamper
 use tep_core::ProvenanceRecord;
 use tep_crypto::digest::HashAlgorithm;
 use tep_crypto::pki::KeyDirectory;
-use tep_model::ObjectId;
+use tep_model::{ObjectId, TenantId};
 use tep_obs::{names, Counter, Histogram, Registry};
 use tep_storage::{CheckpointStore, ProvenanceDb, Vfs};
 
@@ -729,9 +729,10 @@ impl Replica {
         writer.write_message(&Message::Hello {
             version: WIRE_VERSION,
             alg: self.cfg.alg,
+            tenant: TenantId::DEFAULT.raw(),
         })?;
         match reader.read_message()? {
-            Some(Message::Hello { version, alg })
+            Some(Message::Hello { version, alg, .. })
                 if version == WIRE_VERSION && alg == self.cfg.alg => {}
             Some(Message::Error {
                 code,

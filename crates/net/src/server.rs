@@ -43,11 +43,12 @@
 //! the stream only if the prefix is byte-identical — otherwise
 //! `ERR resume-mismatch` (see `tep_core::streaming::RecordStreamDigest`).
 
+use std::collections::BTreeMap;
 use std::io::{self, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -59,7 +60,7 @@ use tep_core::provenance::{collect, ProvenanceObject};
 use tep_core::streaming::RecordStreamDigest;
 use tep_crypto::digest::HashAlgorithm;
 use tep_crypto::pki::Participant;
-use tep_model::{Forest, ObjectId};
+use tep_model::{Forest, ObjectId, TenantId};
 use tep_obs::{names, Counter, Gauge, Histogram, Registry};
 use tep_query::{QueryEngine, QueryError};
 use tep_storage::crc::frame_crc;
@@ -288,6 +289,13 @@ struct ServerObs {
     shed: Counter,
     deadline_closes: Counter,
     write_aborts: Counter,
+    /// HELLOs naming an unprovisioned (or disabled) tenant. Deliberately
+    /// *unlabeled*: the tenant id in a rejected HELLO is attacker-chosen,
+    /// so labeling by it would hand peers unbounded metric cardinality.
+    tenant_rejections: Counter,
+    /// HELLOs refused because the named tenant was over its connection
+    /// quota (also counted per tenant via a labeled counter).
+    tenant_quota_sheds: Counter,
 }
 
 impl ServerObs {
@@ -305,6 +313,8 @@ impl ServerObs {
             shed: registry.counter(names::NET_SHED),
             deadline_closes: registry.counter(names::NET_DEADLINE_CLOSES),
             write_aborts: registry.counter(names::NET_WRITE_ABORTS),
+            tenant_rejections: registry.counter(names::NET_TENANT_REJECTIONS),
+            tenant_quota_sheds: registry.counter(names::NET_TENANT_QUOTA_SHEDS),
         }
     }
 }
@@ -336,18 +346,78 @@ impl LoopObs {
     }
 }
 
-/// Everything a connection's dispatch path needs, bundled so the event
-/// loop can hand out `&Env` alongside a `&mut Conn` (disjoint fields).
-struct Env {
+/// One tenant's serving surface plus its admission-control knobs, handed
+/// to [`serve_tenants`]. Each tenant gets its own catalog (typically over
+/// its own shard of a [`tep_storage::TenantShards`] root) so a fault or
+/// quarantine in one tenant's log never touches another's.
+pub struct TenantSpec {
+    /// The tenant scope this catalog serves.
+    pub tenant: TenantId,
+    /// What this tenant's connections can fetch/query.
+    pub catalog: Arc<Catalog>,
+    /// A disabled tenant is rejected at HELLO with `ERR unknown-tenant`,
+    /// deliberately indistinguishable from an unprovisioned one.
+    pub enabled: bool,
+    /// Max concurrently admitted connections for this tenant. Beyond it,
+    /// HELLO answers retryable `ERR busy` with a `Retry-After` scaled to
+    /// *this tenant's* backlog — one tenant's connect storm cannot eat
+    /// another tenant's slots.
+    pub max_connections: usize,
+    /// Per-tenant wall-clock budget per connection; the effective
+    /// deadline is the tighter of this and the server-wide
+    /// [`ServerConfig::connection_deadline`].
+    pub deadline: Option<Duration>,
+}
+
+impl TenantSpec {
+    /// A spec with no quota and no extra deadline budget: enabled,
+    /// unlimited connections, server-wide deadline only.
+    pub fn new(tenant: TenantId, catalog: Arc<Catalog>) -> Self {
+        TenantSpec {
+            tenant,
+            catalog,
+            enabled: true,
+            max_connections: usize::MAX,
+            deadline: None,
+        }
+    }
+
+    /// Marks the tenant provisioned-but-disabled (rejected at HELLO).
+    pub fn disabled(mut self) -> Self {
+        self.enabled = false;
+        self
+    }
+
+    /// Caps concurrently admitted connections for this tenant.
+    pub fn with_max_connections(mut self, n: usize) -> Self {
+        self.max_connections = n;
+        self
+    }
+
+    /// Sets a per-tenant connection deadline budget.
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+}
+
+/// Per-tenant serving state: the catalog, query engine, anti-entropy
+/// caches, admission knobs, and tenant-labeled counters. Everything a
+/// dispatch touches after admission lives here, so request handling for
+/// tenant A can never read (or poison) tenant B's state.
+struct TenantEnv {
     catalog: Arc<Catalog>,
-    counters: Arc<TransferCounters>,
-    obs: ServerObs,
-    loop_obs: LoopObs,
-    registry: Registry,
-    /// Serves QUERY frames over the catalog's record log; its secondary
+    enabled: bool,
+    max_connections: usize,
+    deadline: Option<Duration>,
+    /// Connections currently admitted under this tenant's scope; the
+    /// quota check compares against this, the event loop decrements it
+    /// when an admitted connection closes.
+    active: AtomicUsize,
+    /// Serves QUERY frames over this tenant's record log; its secondary
     /// indexes tail the log lazily on each request.
     query: QueryEngine,
-    /// Anti-entropy shard tree over the catalog's record log, cached
+    /// Anti-entropy shard tree over this tenant's record log, cached
     /// behind a record-count watermark: rebuilt only when the log has
     /// grown since the cached build (the log is append-only, so equal
     /// length ⇒ identical tree).
@@ -357,9 +427,34 @@ struct Env {
     /// redo per miss). `None` until first use or when the catalog has no
     /// signer.
     root_cache: Mutex<Option<(usize, Arc<SignedRoot>)>>,
+    /// Tenant-labeled mirrors of the admission counters (the unlabeled
+    /// aggregates stay in [`ServerObs`]).
+    connections: Counter,
+    shed: Counter,
+    quota_sheds: Counter,
 }
 
-impl Env {
+impl TenantEnv {
+    fn new(spec: TenantSpec, registry: &Registry) -> (u64, Self) {
+        let t = spec.tenant.raw();
+        let mut query = QueryEngine::new(Arc::clone(&spec.catalog.db), spec.catalog.alg);
+        query.attach_obs(registry);
+        let env = TenantEnv {
+            catalog: spec.catalog,
+            enabled: spec.enabled,
+            max_connections: spec.max_connections,
+            deadline: spec.deadline,
+            active: AtomicUsize::new(0),
+            query,
+            ae_cache: Mutex::new(None),
+            root_cache: Mutex::new(None),
+            connections: registry.counter(&names::with_tenant(names::NET_CONNECTIONS, t)),
+            shed: registry.counter(&names::with_tenant(names::NET_SHED, t)),
+            quota_sheds: registry.counter(&names::with_tenant(names::NET_TENANT_QUOTA_SHEDS, t)),
+        };
+        (t, env)
+    }
+
     /// The current shard tree, rebuilding on record-log growth.
     fn shard_tree(&self) -> Arc<ShardTree> {
         let mut cache = self.ae_cache.lock().unwrap_or_else(PoisonError::into_inner);
@@ -404,6 +499,18 @@ impl Env {
         *cache = Some((len, Arc::clone(&root)));
         Some(root)
     }
+}
+
+/// Everything a connection's dispatch path needs, bundled so the event
+/// loop can hand out `&Env` alongside a `&mut Conn` (disjoint fields).
+/// Per-tenant state hangs off `tenants`; a connection resolves its
+/// [`TenantEnv`] once admitted and never touches another tenant's.
+struct Env {
+    tenants: BTreeMap<u64, TenantEnv>,
+    counters: Arc<TransferCounters>,
+    obs: ServerObs,
+    loop_obs: LoopObs,
+    registry: Registry,
 }
 
 /// Connection state-machine phases.
@@ -471,6 +578,10 @@ struct Conn<S> {
     wpos: usize,
     /// Frame-encode scratch, reused across frames (no per-frame allocs).
     scratch: Vec<u8>,
+    /// The tenant scope this connection was admitted under (set by a
+    /// successful HELLO); every subsequent request resolves state through
+    /// it. `None` until the handshake completes.
+    tenant: Option<u64>,
     job: Option<StreamJob>,
     /// `None` only for deadlines so large the Instant would overflow —
     /// which means "effectively unbounded" anyway.
@@ -492,6 +603,7 @@ impl<S: Read + Write> Conn<S> {
             wbuf: Vec::new(),
             wpos: 0,
             scratch: Vec::new(),
+            tenant: None,
             job: None,
             deadline,
             read_activity: now,
@@ -730,72 +842,164 @@ fn refuse_deadline<S: Read + Write>(conn: &mut Conn<S>, env: &Env, now: Instant)
 fn dispatch<S: Read + Write>(conn: &mut Conn<S>, msg: Message, env: &Env, now: Instant) {
     match conn.state {
         ConnState::Handshake => on_hello(conn, msg, env, now),
-        ConnState::Ready => on_request(conn, msg, env, now),
+        ConnState::Ready => {
+            // An admitted connection always has a tenant; losing the
+            // mapping mid-session (cannot happen under the current API,
+            // which takes the tenant set at serve time) is unrecoverable.
+            let Some(ten) = conn.tenant.and_then(|t| env.tenants.get(&t)) else {
+                conn.close_now();
+                return;
+            };
+            on_request(conn, msg, env, ten, now)
+        }
         // Frames are never parsed in these states (`wants_read` is false).
         ConnState::Streaming | ConnState::Draining => {}
     }
 }
 
-/// HELLO exchange: version and algorithm must match exactly.
-fn on_hello<S: Read + Write>(conn: &mut Conn<S>, msg: Message, env: &Env, now: Instant) {
-    match msg {
-        Message::Hello { version, alg } if version == WIRE_VERSION && alg == env.catalog.alg() => {
-            conn.queue_frame(
-                &Message::Hello {
-                    version: WIRE_VERSION,
-                    alg: env.catalog.alg(),
-                },
-                false,
-                env,
-                now,
-            );
-            conn.queue_frame(
-                &Message::Offer {
-                    entries: env.catalog.offer_entries(),
-                },
-                false,
-                env,
-                now,
-            );
-            conn.state = ConnState::Ready;
-        }
-        Message::Hello { version, alg } => {
-            conn.queue_frame(
-                &Message::Error {
-                    code: ErrorCode::VersionMismatch,
-                    retry_after_ms: 0,
-                    detail: format!(
-                        "server speaks v{WIRE_VERSION}/{:?}, client sent v{version}/{alg:?}",
-                        env.catalog.alg()
-                    ),
-                },
-                false,
-                env,
-                now,
-            );
-            conn.drain_then_close();
-        }
-        _ => {
-            conn.queue_frame(
-                &Message::Error {
-                    code: ErrorCode::BadRequest,
-                    retry_after_ms: 0,
-                    detail: "expected HELLO".into(),
-                },
-                false,
-                env,
-                now,
-            );
-            conn.drain_then_close();
-        }
+/// The tighter of two optional deadlines (`None` = unbounded).
+fn tighter_deadline(a: Option<Instant>, b: Option<Instant>) -> Option<Instant> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, y) => x.or(y),
     }
+}
+
+/// HELLO admission: wire version → tenant provisioning → algorithm →
+/// tenant connection quota, in that order.
+///
+/// An unknown *or disabled* tenant gets a typed, non-retryable
+/// `ERR unknown-tenant` — distinct from `busy`, so a misconfigured client
+/// fails fast instead of burning its retry budget against a scope that
+/// will never admit it. A known tenant over its connection quota gets
+/// retryable `ERR busy` with a `Retry-After` hint scaled to *that
+/// tenant's* backlog, leaving other tenants' admission untouched.
+fn on_hello<S: Read + Write>(conn: &mut Conn<S>, msg: Message, env: &Env, now: Instant) {
+    let Message::Hello {
+        version,
+        alg,
+        tenant,
+    } = msg
+    else {
+        conn.queue_frame(
+            &Message::Error {
+                code: ErrorCode::BadRequest,
+                retry_after_ms: 0,
+                detail: "expected HELLO".into(),
+            },
+            false,
+            env,
+            now,
+        );
+        conn.drain_then_close();
+        return;
+    };
+    if version != WIRE_VERSION {
+        conn.queue_frame(
+            &Message::Error {
+                code: ErrorCode::VersionMismatch,
+                retry_after_ms: 0,
+                detail: format!("server speaks v{WIRE_VERSION}, client sent v{version}"),
+            },
+            false,
+            env,
+            now,
+        );
+        conn.drain_then_close();
+        return;
+    }
+    let ten = match env.tenants.get(&tenant) {
+        Some(ten) if ten.enabled => ten,
+        _ => {
+            // Unprovisioned and disabled are deliberately the same answer:
+            // a probe cannot distinguish "never existed" from "suspended".
+            env.obs.tenant_rejections.inc();
+            conn.queue_frame(
+                &Message::Error {
+                    code: ErrorCode::UnknownTenant,
+                    retry_after_ms: 0,
+                    detail: format!("tenant t{tenant} is not provisioned here"),
+                },
+                false,
+                env,
+                now,
+            );
+            conn.drain_then_close();
+            return;
+        }
+    };
+    if alg != ten.catalog.alg() {
+        conn.queue_frame(
+            &Message::Error {
+                code: ErrorCode::VersionMismatch,
+                retry_after_ms: 0,
+                detail: format!(
+                    "tenant t{tenant} serves {:?}, client sent {alg:?}",
+                    ten.catalog.alg()
+                ),
+            },
+            false,
+            env,
+            now,
+        );
+        conn.drain_then_close();
+        return;
+    }
+    let active = ten.active.load(Ordering::SeqCst);
+    if active >= ten.max_connections {
+        env.obs.shed.inc();
+        env.obs.tenant_quota_sheds.inc();
+        ten.shed.inc();
+        ten.quota_sheds.inc();
+        conn.queue_frame(
+            &Message::Error {
+                code: ErrorCode::Busy,
+                retry_after_ms: shed_retry_after_ms(active),
+                detail: format!("tenant t{tenant} connection quota reached"),
+            },
+            false,
+            env,
+            now,
+        );
+        conn.drain_then_close();
+        return;
+    }
+    ten.active.fetch_add(1, Ordering::SeqCst);
+    ten.connections.inc();
+    conn.tenant = Some(tenant);
+    conn.deadline = tighter_deadline(conn.deadline, ten.deadline.and_then(|d| now.checked_add(d)));
+    conn.queue_frame(
+        &Message::Hello {
+            version: WIRE_VERSION,
+            alg: ten.catalog.alg(),
+            tenant,
+        },
+        false,
+        env,
+        now,
+    );
+    conn.queue_frame(
+        &Message::Offer {
+            entries: ten.catalog.offer_entries(),
+        },
+        false,
+        env,
+        now,
+    );
+    conn.state = ConnState::Ready;
 }
 
 /// One request frame in the `Ready` state. The connection deadline is
 /// checked here — *after* the handshake, before dispatch — so even a
 /// zero-budget connection completes HELLO/OFFER and gets a protocol-level
 /// `ERR deadline` instead of a hang.
-fn on_request<S: Read + Write>(conn: &mut Conn<S>, msg: Message, env: &Env, now: Instant) {
+fn on_request<S: Read + Write>(
+    conn: &mut Conn<S>,
+    msg: Message,
+    env: &Env,
+    ten: &TenantEnv,
+    now: Instant,
+) {
     if past_deadline(conn.deadline) {
         refuse_deadline(conn, env, now);
         return;
@@ -803,8 +1007,8 @@ fn on_request<S: Read + Write>(conn: &mut Conn<S>, msg: Message, env: &Env, now:
     match msg {
         Message::Fetch { oid } => {
             env.obs.fetches.inc();
-            if let Some(prov) = lookup(conn, oid, env, now) {
-                start_stream(conn, oid, prov, 0, env, now);
+            if let Some(prov) = lookup(conn, oid, env, ten, now) {
+                start_stream(conn, oid, prov, 0, env, ten, now);
             }
         }
         Message::Resume {
@@ -813,7 +1017,7 @@ fn on_request<S: Read + Write>(conn: &mut Conn<S>, msg: Message, env: &Env, now:
             digest,
         } => {
             env.obs.resumes.inc();
-            let Some(prov) = lookup(conn, oid, env, now) else {
+            let Some(prov) = lookup(conn, oid, env, ten, now) else {
                 return;
             };
             let total = prov.records.len() as u64;
@@ -830,7 +1034,7 @@ fn on_request<S: Read + Write>(conn: &mut Conn<S>, msg: Message, env: &Env, now:
                 );
                 return;
             }
-            let mut ours = RecordStreamDigest::new(env.catalog.alg, oid);
+            let mut ours = RecordStreamDigest::new(ten.catalog.alg, oid);
             for record in &prov.records[..records as usize] {
                 ours.push(&record.to_stored().to_bytes());
             }
@@ -856,7 +1060,7 @@ fn on_request<S: Read + Write>(conn: &mut Conn<S>, msg: Message, env: &Env, now:
                 env,
                 now,
             );
-            start_stream(conn, oid, prov, records as usize, env, now);
+            start_stream(conn, oid, prov, records as usize, env, ten, now);
         }
         Message::StatsRequest => {
             env.obs.stats_requests.inc();
@@ -871,7 +1075,7 @@ fn on_request<S: Read + Write>(conn: &mut Conn<S>, msg: Message, env: &Env, now:
         }
         Message::Query { spec } => {
             env.obs.queries.inc();
-            match env.query.execute(&spec) {
+            match ten.query.execute(&spec) {
                 Ok(proof) => {
                     let bytes = proof.to_bytes();
                     // The whole proof must travel as one frame (payload =
@@ -896,7 +1100,7 @@ fn on_request<S: Read + Write>(conn: &mut Conn<S>, msg: Message, env: &Env, now:
                 Err(e) => {
                     let code = match e {
                         QueryError::UnknownObject(oid) => {
-                            if deny(conn, oid, env, now) {
+                            if deny(conn, oid, env, ten, now) {
                                 return;
                             }
                             ErrorCode::UnknownObject
@@ -920,13 +1124,13 @@ fn on_request<S: Read + Write>(conn: &mut Conn<S>, msg: Message, env: &Env, now:
         }
         Message::AeReq { level, index } => {
             env.obs.ae_requests.inc();
-            let tree = env.shard_tree();
+            let tree = ten.shard_tree();
             let reply = if level == crate::wire::AE_SUMMARY_LEVEL {
                 let s = tree.summary();
                 // Summary replies from a signing server carry the signed
                 // root so replicas can pin a monotonic high-water mark;
                 // node replies stay lean (the summary already vouched).
-                let signed_root = env.signed_root(&tree).map(|r| r.to_bytes());
+                let signed_root = ten.signed_root(&tree).map(|r| r.to_bytes());
                 Some(Message::AeResp {
                     leaf_count: s.leaf_count,
                     depth: s.depth,
@@ -973,7 +1177,7 @@ fn on_request<S: Read + Write>(conn: &mut Conn<S>, msg: Message, env: &Env, now:
                 );
                 return;
             }
-            if env.catalog.signer.is_none() {
+            if ten.catalog.signer.is_none() {
                 conn.queue_frame(
                     &Message::Error {
                         code: ErrorCode::BadRequest,
@@ -987,8 +1191,8 @@ fn on_request<S: Read + Write>(conn: &mut Conn<S>, msg: Message, env: &Env, now:
                 );
                 return;
             }
-            let tree = env.shard_tree();
-            let Some(root) = env.signed_root(&tree) else {
+            let tree = ten.shard_tree();
+            let Some(root) = ten.signed_root(&tree) else {
                 conn.queue_frame(
                     &Message::Error {
                         code: ErrorCode::BadRequest,
@@ -1046,15 +1250,21 @@ fn on_request<S: Read + Write>(conn: &mut Conn<S>, msg: Message, env: &Env, now:
 /// in the shard tree, since a present ID admits no honest gap proof: an
 /// offered-list miss on a present object stays a plain error rather than
 /// a forged denial.
-fn deny<S: Read + Write>(conn: &mut Conn<S>, oid: ObjectId, env: &Env, now: Instant) -> bool {
-    if env.catalog.signer.is_none() {
+fn deny<S: Read + Write>(
+    conn: &mut Conn<S>,
+    oid: ObjectId,
+    env: &Env,
+    ten: &TenantEnv,
+    now: Instant,
+) -> bool {
+    if ten.catalog.signer.is_none() {
         return false;
     }
-    let tree = env.shard_tree();
+    let tree = ten.shard_tree();
     let Some(proof) = DenialProof::prove(&tree, oid) else {
         return false;
     };
-    let Some(root) = env.signed_root(&tree) else {
+    let Some(root) = ten.signed_root(&tree) else {
         return false;
     };
     let denial = SignedDenial {
@@ -1080,10 +1290,11 @@ fn lookup<S: Read + Write>(
     conn: &mut Conn<S>,
     oid: ObjectId,
     env: &Env,
+    ten: &TenantEnv,
     now: Instant,
 ) -> Option<ProvenanceObject> {
-    if !env.catalog.is_offered(oid) || !env.catalog.forest.contains(oid) {
-        if !deny(conn, oid, env, now) {
+    if !ten.catalog.is_offered(oid) || !ten.catalog.forest.contains(oid) {
+        if !deny(conn, oid, env, ten, now) {
             conn.queue_frame(
                 &Message::Error {
                     code: ErrorCode::UnknownObject,
@@ -1097,10 +1308,10 @@ fn lookup<S: Read + Write>(
         }
         return None;
     }
-    match collect(&env.catalog.db, oid) {
+    match collect(&ten.catalog.db, oid) {
         Ok(p) => Some(p),
         Err(_) => {
-            if !deny(conn, oid, env, now) {
+            if !deny(conn, oid, env, ten, now) {
                 conn.queue_frame(
                     &Message::Error {
                         code: ErrorCode::UnknownObject,
@@ -1127,10 +1338,11 @@ fn start_stream<S: Read + Write>(
     prov: ProvenanceObject,
     skip: usize,
     env: &Env,
+    ten: &TenantEnv,
     now: Instant,
 ) {
     conn.job = Some(StreamJob {
-        data: env.catalog.data_entries(oid),
+        data: ten.catalog.data_entries(oid),
         prov,
         next_record: skip,
         data_pos: 0,
@@ -1308,6 +1520,15 @@ impl EventLoop {
                 for c in &mut self.conns {
                     if (c.pending_write() == 0 && c.job.is_none()) || grace_over {
                         c.close_aborting(&self.env.obs);
+                    }
+                }
+            }
+            // Closed connections release their tenant's admission slot
+            // exactly once: decremented here, then dropped by the retain.
+            for c in &self.conns {
+                if c.closed {
+                    if let Some(te) = c.tenant.and_then(|t| self.env.tenants.get(&t)) {
+                        te.active.fetch_sub(1, Ordering::SeqCst);
                     }
                 }
             }
@@ -1502,9 +1723,30 @@ pub fn serve(
 
 /// Like [`serve`], but records metrics into the caller's `registry` — so a
 /// process embedding the server can expose net traffic next to its other
-/// metrics (and a STATS frame shows them all).
+/// metrics (and a STATS frame shows them all). Single-tenant: the catalog
+/// is provisioned under [`TenantId::DEFAULT`] with no quota, so existing
+/// clients (which state tenant 0) are admitted unchanged.
 pub fn serve_with_registry(
     catalog: Arc<Catalog>,
+    addr: SocketAddr,
+    cfg: ServerConfig,
+    registry: Registry,
+) -> io::Result<ServerHandle> {
+    serve_tenants(
+        vec![TenantSpec::new(TenantId::DEFAULT, catalog)],
+        addr,
+        cfg,
+        registry,
+    )
+}
+
+/// Serves a set of tenants from one listener, each under its own scope:
+/// independent catalog (and thus shard/caches/query engine), its own
+/// connection quota and deadline budget, and tenant-labeled admission
+/// counters. Connections pick their tenant in HELLO; an unknown or
+/// disabled tenant is refused with non-retryable `ERR unknown-tenant`.
+pub fn serve_tenants(
+    tenants: Vec<TenantSpec>,
     addr: SocketAddr,
     cfg: ServerConfig,
     registry: Registry,
@@ -1517,17 +1759,15 @@ pub fn serve_with_registry(
         shutdown: AtomicBool::new(false),
     });
     let counters = Arc::new(TransferCounters::observed(&registry));
-    let mut query = QueryEngine::new(Arc::clone(&catalog.db), catalog.alg);
-    query.attach_obs(&registry);
     let env = Env {
-        catalog,
+        tenants: tenants
+            .into_iter()
+            .map(|spec| TenantEnv::new(spec, &registry))
+            .collect(),
         counters: Arc::clone(&counters),
         obs: ServerObs::new(&registry),
         loop_obs: LoopObs::new(&registry),
         registry: registry.clone(),
-        query,
-        ae_cache: Mutex::new(None),
-        root_cache: Mutex::new(None),
     };
     let ev = EventLoop {
         env,
@@ -1719,20 +1959,25 @@ mod tests {
 
     fn test_env() -> (Env, ObjectId) {
         let (catalog, root) = shared_world();
+        test_env_with(
+            vec![TenantSpec::new(TenantId::DEFAULT, Arc::clone(catalog))],
+            *root,
+        )
+    }
+
+    fn test_env_with(tenants: Vec<TenantSpec>, root: ObjectId) -> (Env, ObjectId) {
         let registry = Registry::new();
-        let mut query = QueryEngine::new(Arc::clone(&catalog.db), catalog.alg);
-        query.attach_obs(&registry);
         let env = Env {
-            catalog: Arc::clone(catalog),
+            tenants: tenants
+                .into_iter()
+                .map(|spec| TenantEnv::new(spec, &registry))
+                .collect(),
             counters: Arc::new(TransferCounters::new()),
             obs: ServerObs::new(&registry),
             loop_obs: LoopObs::new(&registry),
             registry: registry.clone(),
-            query,
-            ae_cache: Mutex::new(None),
-            root_cache: Mutex::new(None),
         };
-        (env, *root)
+        (env, root)
     }
 
     fn frame(msg: &Message) -> Vec<u8> {
@@ -1745,6 +1990,7 @@ mod tests {
         Message::Hello {
             version: WIRE_VERSION,
             alg: ALG,
+            tenant: TenantId::DEFAULT.raw(),
         }
     }
 
@@ -1804,6 +2050,7 @@ mod tests {
         conn.stream.to_read.push_back(frame(&Message::Hello {
             version: WIRE_VERSION + 1,
             alg: ALG,
+            tenant: TenantId::DEFAULT.raw(),
         }));
         drive(&mut conn, &env);
         assert!(conn.closed);
@@ -1836,6 +2083,180 @@ mod tests {
     }
 
     #[test]
+    fn hello_unknown_tenant_is_a_typed_nonretryable_error() {
+        let (env, _) = test_env();
+        let mut conn = Conn::new(FakeStream::default(), None, Instant::now());
+        conn.stream.to_read.push_back(frame(&Message::Hello {
+            version: WIRE_VERSION,
+            alg: ALG,
+            tenant: 9,
+        }));
+        drive(&mut conn, &env);
+        assert!(conn.closed);
+        assert_eq!(env.obs.tenant_rejections.value(), 1);
+        // Distinct from busy: no Retry-After, non-retryable error code.
+        match &written_messages(&conn)[..] {
+            [Message::Error {
+                code: ErrorCode::UnknownTenant,
+                retry_after_ms: 0,
+                detail,
+            }] => assert!(detail.contains("t9"), "detail names the tenant: {detail}"),
+            other => panic!("unexpected replies: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hello_disabled_tenant_is_indistinguishable_from_unknown() {
+        let (catalog, root) = shared_world();
+        let (env, _) = test_env_with(
+            vec![TenantSpec::new(TenantId::DEFAULT, Arc::clone(catalog)).disabled()],
+            *root,
+        );
+        let mut conn = Conn::new(FakeStream::default(), None, Instant::now());
+        conn.stream.to_read.push_back(frame(&hello()));
+        drive(&mut conn, &env);
+        assert!(conn.closed);
+        assert_eq!(env.obs.tenant_rejections.value(), 1);
+        assert!(matches!(
+            &written_messages(&conn)[..],
+            [Message::Error {
+                code: ErrorCode::UnknownTenant,
+                ..
+            }]
+        ));
+    }
+
+    #[test]
+    fn tenant_quota_sheds_with_tenant_scaled_hint() {
+        let (catalog, root) = shared_world();
+        let (env, _) = test_env_with(
+            vec![TenantSpec::new(TenantId::DEFAULT, Arc::clone(catalog)).with_max_connections(2)],
+            *root,
+        );
+        let _a = handshaken(&env);
+        let _b = handshaken(&env);
+        let ten = env.tenants.get(&TenantId::DEFAULT.raw()).unwrap();
+        assert_eq!(ten.active.load(Ordering::SeqCst), 2);
+
+        let mut conn = Conn::new(FakeStream::default(), None, Instant::now());
+        conn.stream.to_read.push_back(frame(&hello()));
+        drive(&mut conn, &env);
+        assert!(conn.closed);
+        match written_messages(&conn).last() {
+            Some(Message::Error {
+                code: ErrorCode::Busy,
+                retry_after_ms,
+                ..
+            }) => assert_eq!(*retry_after_ms, shed_retry_after_ms(2)),
+            other => panic!("expected ERR busy, got {other:?}"),
+        }
+        // Exact accounting, aggregate and tenant-labeled.
+        assert_eq!(env.obs.tenant_quota_sheds.value(), 1);
+        assert_eq!(env.obs.shed.value(), 1);
+        assert_eq!(ten.quota_sheds.value(), 1);
+        assert_eq!(ten.shed.value(), 1);
+        assert_eq!(ten.connections.value(), 2);
+        // The refused HELLO admitted nothing.
+        assert_eq!(ten.active.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn tenant_deadline_budget_tightens_the_connection_deadline() {
+        let (catalog, root) = shared_world();
+        let (env, root) = test_env_with(
+            vec![TenantSpec::new(TenantId::DEFAULT, Arc::clone(catalog))
+                .with_deadline(Duration::from_millis(0))],
+            *root,
+        );
+        // No accept-time deadline at all: the tenant budget alone binds.
+        let mut conn = Conn::new(FakeStream::default(), None, Instant::now());
+        conn.stream.to_read.push_back(frame(&hello()));
+        drive(&mut conn, &env);
+        assert_eq!(conn.state, ConnState::Ready, "handshake still completes");
+        assert!(
+            conn.deadline.is_some(),
+            "tenant budget installed a deadline"
+        );
+        conn.stream
+            .to_read
+            .push_back(frame(&Message::Fetch { oid: root }));
+        drive(&mut conn, &env);
+        assert!(conn.closed);
+        assert_eq!(env.obs.deadline_closes.value(), 1);
+        assert!(matches!(
+            written_messages(&conn).last(),
+            Some(Message::Error {
+                code: ErrorCode::Deadline,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn tenants_are_routed_to_their_own_catalogs() {
+        // Two tenants, two disjoint catalogs: an oid offered to tenant 1
+        // must not resolve for tenant 2, and vice versa.
+        let (catalog, root) = shared_world();
+        let empty = Arc::new(Catalog::new(
+            Forest::new(),
+            Arc::new(ProvenanceDb::in_memory()),
+            ALG,
+            Vec::new(),
+        ));
+        let (env, root) = test_env_with(
+            vec![
+                TenantSpec::new(TenantId(1), Arc::clone(catalog)),
+                TenantSpec::new(TenantId(2), empty),
+            ],
+            *root,
+        );
+        let hello_t = |t: u64| Message::Hello {
+            version: WIRE_VERSION,
+            alg: ALG,
+            tenant: t,
+        };
+
+        let mut one = Conn::new(FakeStream::default(), None, Instant::now());
+        one.stream.to_read.push_back(frame(&hello_t(1)));
+        one.stream
+            .to_read
+            .push_back(frame(&Message::Fetch { oid: root }));
+        drive(&mut one, &env);
+        assert!(matches!(
+            written_messages(&one).last(),
+            Some(Message::Done { .. })
+        ));
+
+        let mut two = Conn::new(FakeStream::default(), None, Instant::now());
+        two.stream.to_read.push_back(frame(&hello_t(2)));
+        two.stream
+            .to_read
+            .push_back(frame(&Message::Fetch { oid: root }));
+        drive(&mut two, &env);
+        assert!(
+            written_messages(&two).iter().any(|m| matches!(
+                m,
+                Message::Error {
+                    code: ErrorCode::UnknownObject,
+                    ..
+                }
+            )),
+            "tenant 2 must not see tenant 1's object"
+        );
+        // Per-tenant OFFER manifests differ too.
+        let offer_of = |msgs: &[Message]| {
+            msgs.iter()
+                .find_map(|m| match m {
+                    Message::Offer { entries } => Some(entries.len()),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert_eq!(offer_of(&written_messages(&one)), 1);
+        assert_eq!(offer_of(&written_messages(&two)), 0);
+    }
+
+    #[test]
     fn fetch_streams_prov_data_done_and_returns_to_ready() {
         let (env, root) = test_env();
         let mut conn = handshaken(&env);
@@ -1846,7 +2267,7 @@ mod tests {
         assert_eq!(conn.state, ConnState::Ready);
         assert!(conn.job.is_none());
         assert_eq!(env.obs.fetches.value(), 1);
-        let prov = collect(&env.catalog.db, root).unwrap();
+        let prov = collect(&shared_world().0.db, root).unwrap();
         let replies = written_messages(&conn);
         let provs = replies
             .iter()
@@ -1985,7 +2406,7 @@ mod tests {
     #[test]
     fn resume_at_offset_replays_only_the_tail() {
         let (env, root) = test_env();
-        let prov = collect(&env.catalog.db, root).unwrap();
+        let prov = collect(&shared_world().0.db, root).unwrap();
         let total = prov.records.len();
         assert!(total >= 2, "world must have a resumable prefix");
         let k = 1usize;

@@ -46,8 +46,10 @@ pub const WIRE_MAGIC: [u8; 8] = *b"TEPNET\x00\x01";
 /// Protocol version negotiated in HELLO. v2 added RESUME/RESUME_OK and the
 /// ERR `retry_after_ms` hint; v3 added DENIAL, RANGE_REQ/RANGE_RESP and
 /// the optional signed root on AE summary responses (authenticated
-/// denial).
-pub const WIRE_VERSION: u16 = 3;
+/// denial); v4 added the tenant scope to HELLO (every subsequent frame on
+/// the connection is scoped to that tenant) and the non-retryable
+/// `unknown tenant` error.
+pub const WIRE_VERSION: u16 = 4;
 
 /// Hard cap on a frame's payload length. Enforced before allocating, so a
 /// hostile 4 GiB length prefix costs the decoder nothing.
@@ -98,6 +100,11 @@ pub enum ErrorCode {
     /// The connection exceeded the server's per-connection deadline and
     /// was closed; reconnect (and resume) to continue.
     Deadline,
+    /// The tenant named in HELLO is unknown to (or disabled at) this
+    /// server. **Non-retryable**, unlike `Busy`: no amount of backoff
+    /// makes an unprovisioned tenant exist, so clients surface it
+    /// immediately instead of burning retry budget.
+    UnknownTenant,
 }
 
 impl ErrorCode {
@@ -109,6 +116,7 @@ impl ErrorCode {
             ErrorCode::BadRequest => 4,
             ErrorCode::ResumeMismatch => 5,
             ErrorCode::Deadline => 6,
+            ErrorCode::UnknownTenant => 7,
         }
     }
 
@@ -120,6 +128,7 @@ impl ErrorCode {
             4 => Some(ErrorCode::BadRequest),
             5 => Some(ErrorCode::ResumeMismatch),
             6 => Some(ErrorCode::Deadline),
+            7 => Some(ErrorCode::UnknownTenant),
             _ => None,
         }
     }
@@ -134,6 +143,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::BadRequest => "bad request",
             ErrorCode::ResumeMismatch => "resume mismatch",
             ErrorCode::Deadline => "connection deadline exceeded",
+            ErrorCode::UnknownTenant => "unknown or disabled tenant",
         };
         f.write_str(s)
     }
@@ -165,12 +175,19 @@ pub struct DataEntry {
 /// A protocol message.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Message {
-    /// Connection opener, sent by both sides: magic, version, algorithm.
+    /// Connection opener, sent by both sides: magic, version, algorithm,
+    /// tenant scope.
     Hello {
         /// Protocol version ([`WIRE_VERSION`]).
         version: u16,
         /// Hash algorithm all hashes on this connection use.
         alg: HashAlgorithm,
+        /// The tenant this connection operates in. Stated by the client,
+        /// checked against the server's tenant directory at admission,
+        /// and echoed back; every OFFER/FETCH/QUERY/DENIAL/AE frame that
+        /// follows is implicitly scoped to it. Single-tenant deployments
+        /// use [`tep_model::TenantId::DEFAULT`] (0).
+        tenant: u64,
     },
     /// Manifest of objects the server serves.
     Offer {
@@ -398,11 +415,16 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
 /// frames with zero allocations.
 pub fn encode_message_into(msg: &Message, out: &mut Vec<u8>) {
     match msg {
-        Message::Hello { version, alg } => {
+        Message::Hello {
+            version,
+            alg,
+            tenant,
+        } => {
             out.push(TYPE_HELLO);
             out.extend_from_slice(&WIRE_MAGIC);
             out.extend_from_slice(&version.to_be_bytes());
             out.push(alg.wire_id());
+            out.extend_from_slice(&tenant.to_be_bytes());
         }
         Message::Offer { entries } => {
             out.push(TYPE_OFFER);
@@ -552,7 +574,12 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, WireError> {
             let alg_id = r.u8()?;
             let alg = HashAlgorithm::from_wire_id(alg_id)
                 .ok_or(WireError::Decode(DecodeError::BadTag(alg_id)))?;
-            Message::Hello { version, alg }
+            let tenant = r.u64()?;
+            Message::Hello {
+                version,
+                alg,
+                tenant,
+            }
         }
         TYPE_OFFER => {
             let count = r.u32()? as usize;
@@ -847,6 +874,12 @@ mod tests {
             Message::Hello {
                 version: WIRE_VERSION,
                 alg: HashAlgorithm::Sha256,
+                tenant: 3,
+            },
+            Message::Error {
+                code: ErrorCode::UnknownTenant,
+                retry_after_ms: 0,
+                detail: "tenant t9 is not provisioned here".into(),
             },
             Message::Offer {
                 entries: vec![
@@ -1070,6 +1103,7 @@ mod tests {
         let msg = Message::Hello {
             version: WIRE_VERSION,
             alg: HashAlgorithm::Sha1,
+            tenant: 0,
         };
         let mut payload = encode_message(&msg);
         payload[1] ^= 0xFF; // first magic byte

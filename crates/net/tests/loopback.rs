@@ -265,6 +265,7 @@ fn version_and_algorithm_skew_are_refused() {
         .write_message(&Message::Hello {
             version: WIRE_VERSION + 1,
             alg: ALG,
+            tenant: 0,
         })
         .unwrap();
     match reader.read_message().unwrap() {
@@ -469,5 +470,30 @@ fn busy_server_refuses_with_protocol_error() {
         other => panic!("expected ERR busy, got: {other}"),
     }
     assert_eq!(cl.counters().retries, 1, "busy is retryable");
+    srv.shutdown();
+}
+
+#[test]
+fn unknown_tenant_fails_fast_without_burning_retry_budget() {
+    // The server provisions only tenant 0; a client scoped to tenant 5
+    // must get the typed `ERR unknown-tenant` and stop immediately —
+    // unlike `busy`, which is retried above.
+    let srv = start_server();
+    let mut cfg = ClientConfig::for_tenant(ALG, tep_model::TenantId(5));
+    cfg.retry = RetryPolicy {
+        max_attempts: 4,
+        base: Duration::from_millis(1),
+        cap: Duration::from_millis(5),
+        ..RetryPolicy::default()
+    };
+    let mut cl = Client::new(srv.addr(), cfg);
+    match cl.fetch_verified(world().root, &world().keys).unwrap_err() {
+        NetError::Remote { code, detail, .. } => {
+            assert_eq!(code, ErrorCode::UnknownTenant);
+            assert!(detail.contains("t5"), "detail names the tenant: {detail}");
+        }
+        other => panic!("expected ERR unknown-tenant, got: {other}"),
+    }
+    assert_eq!(cl.counters().retries, 0, "unknown tenant is terminal");
     srv.shutdown();
 }

@@ -215,6 +215,7 @@ fn resume_offsets_are_honored_exactly_or_refused() {
         .write_message(&Message::Hello {
             version: WIRE_VERSION,
             alg: ALG,
+            tenant: 0,
         })
         .unwrap();
     assert!(matches!(

@@ -40,6 +40,7 @@ fn sample_stream() -> Vec<u8> {
         Message::Hello {
             version: WIRE_VERSION,
             alg: HashAlgorithm::Sha256,
+            tenant: 0,
         },
         Message::Fetch {
             oid: tep_model::ObjectId(42),

@@ -7,6 +7,18 @@
 //! of being retyped in every crate. Names follow the
 //! `tep_<crate>_<name>_total` schema from DESIGN.md §"Observability".
 
+/// Renders `base` with a Prometheus-style `tenant` label. The registry
+/// keys metrics by their full name string, so
+/// `with_tenant(NET_SHED, 3)` = `tep_net_shed_total{tenant="t3"}` is an
+/// independent counter from the unlabeled aggregate — per-tenant
+/// attribution without the registry growing a label system. Every
+/// tenant-scoped metric in the workspace (evidence, shed, quota,
+/// quarantine) goes through this one formatter so scrapers see a single
+/// consistent label schema.
+pub fn with_tenant(base: &str, tenant: u64) -> String {
+    format!("{base}{{tenant=\"t{tenant}\"}}")
+}
+
 /// Connections accepted (or refused) by the server's accept loop.
 pub const NET_CONNECTIONS: &str = "tep_net_connections_total";
 
@@ -35,6 +47,20 @@ pub const NET_SHED: &str = "tep_net_shed_total";
 /// Connections closed because they exceeded the per-connection deadline
 /// (the client is told via `ERR deadline` and may reconnect + RESUME).
 pub const NET_DEADLINE_CLOSES: &str = "tep_net_deadline_closes_total";
+
+/// HELLOs refused with the typed, non-retryable `ERR unknown-tenant`
+/// because the stated tenant is not in the server's [`TenantDirectory`]
+/// or has been disabled. Distinct from `busy`/shed: retrying cannot
+/// help, so clients must not burn retry budget on it. Also emitted
+/// per-tenant via [`with_tenant`] when the tenant id is at least known.
+pub const NET_TENANT_REJECTIONS: &str = "tep_net_tenant_rejections_total";
+
+/// Connections shed at HELLO because the stated tenant was over its
+/// per-tenant connection quota — replied `ERR busy` with a
+/// tenant-scaled `retry_after_ms`, so a greedy tenant backs off while
+/// other tenants keep streaming. Always emitted both unlabeled
+/// (aggregate) and via [`with_tenant`] (attribution).
+pub const NET_TENANT_QUOTA_SHEDS: &str = "tep_net_tenant_quota_sheds_total";
 
 /// Transfer writes aborted because the peer vanished mid-stream (socket
 /// write failure during PROV/DATA/DONE) — distinguishable from shed and

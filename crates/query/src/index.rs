@@ -18,7 +18,7 @@
 
 use std::collections::BTreeMap;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use tep_core::EdgeIndex;
 use tep_crypto::pki::ParticipantId;
 use tep_model::encode::Reader;
@@ -28,6 +28,29 @@ use tep_storage::ProvenanceDb;
 
 /// Format tag of the sidecar encoding.
 const IDX_MAGIC: &[u8] = b"TEPIDX\x01";
+
+/// Canonical sidecar path for the log at `path`: `.tepidx` **appended**
+/// to the full file name (`prov.log` → `prov.log.tepidx`), mirroring
+/// [`tep_storage::quarantine_path`]'s append semantics.
+///
+/// This must never go through `Path::with_extension`, which *replaces*
+/// the last extension: with tenant-sharded logs in one root directory,
+/// `tenant.1` and `tenant.2` would both collapse to `tenant.tepidx` and
+/// the tenants would silently clobber each other's recovery artifacts.
+pub fn sidecar_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".tepidx");
+    PathBuf::from(name)
+}
+
+/// Temp-file path `save` writes before its atomic rename — again append
+/// semantics on the full sidecar name, so two sidecars in one directory
+/// can never share a temp file.
+fn sidecar_tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".tmp");
+    PathBuf::from(name)
+}
 
 /// The secondary indexes the query engine answers from. See the module
 /// docs for the sync and persistence model.
@@ -190,7 +213,7 @@ impl QueryIndex {
 
     /// Writes the sidecar atomically (temp file + rename) next to `path`.
     pub fn save(&self, path: &Path) -> io::Result<()> {
-        let tmp = path.with_extension("tepidx.tmp");
+        let tmp = sidecar_tmp_path(path);
         std::fs::write(&tmp, self.to_bytes())?;
         std::fs::rename(&tmp, path)
     }
@@ -205,5 +228,42 @@ impl QueryIndex {
             .and_then(|bytes| QueryIndex::from_bytes(&bytes))
             .filter(|ix| ix.binds_to(db))
             .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sidecar_paths_append_to_the_full_name() {
+        let p = sidecar_path(Path::new("/root/prov.log"));
+        assert_eq!(p, PathBuf::from("/root/prov.log.tepidx"));
+        assert_eq!(
+            sidecar_tmp_path(&p),
+            PathBuf::from("/root/prov.log.tepidx.tmp")
+        );
+    }
+
+    #[test]
+    fn sidecar_paths_never_collide_across_tenant_shards() {
+        // The `with_extension` failure mode this helper exists to
+        // prevent: dotted shard names in one root must keep disjoint
+        // sidecars (and disjoint save temp files).
+        let a = Path::new("/root/tenant.1");
+        let b = Path::new("/root/tenant.2");
+        assert_eq!(a.with_extension("tepidx"), b.with_extension("tepidx"));
+        assert_ne!(sidecar_path(a), sidecar_path(b));
+        assert_ne!(
+            sidecar_tmp_path(&sidecar_path(a)),
+            sidecar_tmp_path(&sidecar_path(b))
+        );
+
+        // And the real sharded layout (`tenant-<id>.log`) stays disjoint
+        // too, with every artifact derived from the full shard path.
+        let sa = Path::new("/root/tenant-1.log");
+        let sb = Path::new("/root/tenant-2.log");
+        assert_ne!(sidecar_path(sa), sidecar_path(sb));
+        assert_eq!(sidecar_path(sa), PathBuf::from("/root/tenant-1.log.tepidx"));
     }
 }

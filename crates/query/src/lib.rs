@@ -54,7 +54,7 @@ pub mod engine;
 pub mod index;
 
 pub use engine::{QueryEngine, QueryError, MAX_SLICE_RECORDS};
-pub use index::QueryIndex;
+pub use index::{sidecar_path, QueryIndex};
 // Re-export the shared query vocabulary so wire/CLI callers need only
 // one crate in scope.
 pub use tep_core::slice::{

@@ -164,8 +164,7 @@ pub fn read_archive(vfs: Arc<dyn Vfs>, path: &Path) -> Result<ArchiveSegment, Lo
         r.expect_end()?;
         Ok((generation, watermark, digest))
     })();
-    let (generation, watermark, checkpoint_digest) =
-        parsed.map_err(|_| LogError::BadHeader)?;
+    let (generation, watermark, checkpoint_digest) = parsed.map_err(|_| LogError::BadHeader)?;
     Ok(ArchiveSegment {
         generation,
         watermark,
@@ -339,8 +338,7 @@ mod tests {
         seeded_log(&vfs, path, 10);
 
         let report =
-            compact_durable_log(Arc::clone(&vfs), path, |i, _| i >= 6, 6, b"ckpt-digest")
-                .unwrap();
+            compact_durable_log(Arc::clone(&vfs), path, |i, _| i >= 6, 6, b"ckpt-digest").unwrap();
         assert_eq!(report.kept_frames, 4);
         assert_eq!(report.excised_frames, 6);
         assert!(report.bytes_after < report.bytes_before);
@@ -358,11 +356,7 @@ mod tests {
         drop(rec);
 
         // Archive: header + the six excised frames, in order.
-        let seg = read_archive(
-            Arc::clone(&vfs),
-            report.archive_path.as_deref().unwrap(),
-        )
-        .unwrap();
+        let seg = read_archive(Arc::clone(&vfs), report.archive_path.as_deref().unwrap()).unwrap();
         assert_eq!(seg.generation, 1);
         assert_eq!(seg.watermark, 6);
         assert_eq!(seg.checkpoint_digest, b"ckpt-digest");
@@ -412,8 +406,7 @@ mod tests {
         let before = AppendLog::open_with(Arc::clone(&vfs), path)
             .unwrap()
             .payloads;
-        let report =
-            compact_durable_log(Arc::clone(&vfs), path, |_, _| true, 0, b"c").unwrap();
+        let report = compact_durable_log(Arc::clone(&vfs), path, |_, _| true, 0, b"c").unwrap();
         assert_eq!(report.excised_frames, 0);
         assert!(report.archive_path.is_none());
         assert_eq!(report.stamp.generation, 0);

@@ -18,6 +18,9 @@
 //! * [`provenance_db`] — the provenance record store: the paper's
 //!   `⟨SeqID, Participant, Oid, Checksum(128)⟩` rows plus the full record
 //!   payload, indexed by object, optionally durable.
+//! * [`tenant_shards`] — tenant-sharded storage: one independent append
+//!   log (and quarantine sidecar) per tenant under a single root, opened
+//!   independently so one tenant's storage fault never degrades another.
 //! * [`vfs`] — the virtual-filesystem seam every durable structure writes
 //!   through: a real `std::fs` passthrough for production and a seeded
 //!   deterministic fault injector (torn writes, lying fsync, ENOSPC,
@@ -38,6 +41,7 @@ pub mod log;
 pub mod obs_vfs;
 pub mod provenance_db;
 pub mod snapshot;
+pub mod tenant_shards;
 pub mod vfs;
 
 pub use archive::{
@@ -49,4 +53,5 @@ pub use log::{quarantine_path, AppendLog, GapKind, LogError, LogGap, RecoveredLo
 pub use obs_vfs::{record_recovery, ObservedVfs};
 pub use provenance_db::{ProvenanceDb, RecoveryReport, StoreError, StoredRecord};
 pub use snapshot::{load_forest, load_forest_with, save_forest, save_forest_with, SnapshotError};
+pub use tenant_shards::{shard_path, TenantShards};
 pub use vfs::{FaultConfig, FaultVfs, RealVfs, Vfs, VirtualFile};

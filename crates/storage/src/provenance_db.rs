@@ -250,7 +250,10 @@ impl ProvenanceDb {
         // as a `Compacted` gap (attested through the checkpoint, not
         // quarantine evidence) and decode the rest as records.
         let mut frames = recovered.payloads.as_slice();
-        if let Some(stamp) = frames.first().and_then(|f| CompactionStamp::from_bytes(f).ok()) {
+        if let Some(stamp) = frames
+            .first()
+            .and_then(|f| CompactionStamp::from_bytes(f).ok())
+        {
             inner.recovery.gaps.insert(
                 0,
                 LogGap {

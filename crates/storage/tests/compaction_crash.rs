@@ -180,11 +180,8 @@ fn compaction_survives_a_crash_at_every_operation() {
         let (all, committed) = union_of_archives_and_live(&vfs, path);
         assert!(committed, "{ctx}: retry did not commit");
         assert_eq!(all, expected, "{ctx}: records lost after retry");
-        let seg = read_archive(
-            Arc::clone(&vfs) as Arc<dyn Vfs>,
-            &archive_path_for(path, 1),
-        )
-        .unwrap();
+        let seg =
+            read_archive(Arc::clone(&vfs) as Arc<dyn Vfs>, &archive_path_for(path, 1)).unwrap();
         assert_eq!(
             seg.payloads,
             expected[..WATERMARK as usize].to_vec(),

@@ -319,12 +319,17 @@ fn query_cmd(args: &[String]) -> Result<(), String> {
 
     let db = Arc::new(open_db(Some(path))?);
     // The secondary indexes persist in a sidecar next to the log; a stale
-    // or corrupt sidecar is silently rebuilt from the log.
-    let sidecar = format!("{path}.tepidx");
-    let engine = QueryEngine::with_sidecar(Arc::clone(&db), alg, std::path::Path::new(&sidecar));
+    // or corrupt sidecar is silently rebuilt from the log. The path is
+    // derived from the log's full name (append semantics) so co-located
+    // logs — tenant shards in one root — never share a sidecar.
+    let sidecar = tepdb::query::sidecar_path(std::path::Path::new(path));
+    let engine = QueryEngine::with_sidecar(Arc::clone(&db), alg, &sidecar);
     let proof = engine.execute(&spec).map_err(|e| e.to_string())?;
     if let Err(e) = engine.save_index() {
-        eprintln!("warning: could not save index sidecar {sidecar}: {e}");
+        eprintln!(
+            "warning: could not save index sidecar {}: {e}",
+            sidecar.display()
+        );
     }
 
     println!(

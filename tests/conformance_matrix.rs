@@ -17,7 +17,11 @@
 //!   denial of an object it does hold, a range answer that silently drops
 //!   a proven member, and a pre-compaction stale state served after a
 //!   sealed checkpoint attested more history — in memory, on the wire,
-//!   and against a replica's pinned signed root.
+//!   and against a replica's pinned signed root;
+//! * **cross-tenant replay** — tenant A's *genuine* signed artifacts
+//!   (records, denials) presented inside tenant B's scope, against the
+//!   sharded store and over the wire: B's verifier must attribute every
+//!   one (A's signer is not in B's key directory) and accept none.
 //!
 //! Each detection is asserted twice: the verdict itself, and the matching
 //! `tep_core_evidence_<kind>_total` counter in a per-case [`Registry`] —
@@ -829,8 +833,13 @@ fn omission_in_memory_surface_detects_every_attack() {
     let reg = Registry::new();
     let mut verifier = Verifier::new(&a.keys, ALG);
     verifier.attach_obs(&reg);
-    let v = verifier.verify_through_checkpoint(&a.doc_hash, &collect(&a.db, a.doc).unwrap(), &sealed);
-    assert!(v.verified(), "honest state through checkpoint: {:?}", v.issues);
+    let v =
+        verifier.verify_through_checkpoint(&a.doc_hash, &collect(&a.db, a.doc).unwrap(), &sealed);
+    assert!(
+        v.verified(),
+        "honest state through checkpoint: {:?}",
+        v.issues
+    );
     assert_evidence_counters(&reg, &[], "honest state through checkpoint");
 
     let ctx = "stale state under sealed checkpoint (in-memory)";
@@ -880,7 +889,10 @@ fn omission_wire_surface_detects_every_attack() {
     let mut client = Client::new(srv.addr(), ClientConfig::new(ALG));
     client.attach_obs(&reg);
     match client.fetch_verified(absent, &w.keys) {
-        Err(NetError::Denied { oid, log_records: at }) => {
+        Err(NetError::Denied {
+            oid,
+            log_records: at,
+        }) => {
             assert_eq!(oid, absent);
             assert_eq!(at, log_records, "denial must attest the log high-water");
         }
@@ -1076,7 +1088,8 @@ fn omission_replica_surface_detects_stale_root() {
     let addr = srv.addr();
 
     let vfs = FaultVfs::new(FaultConfig::default());
-    let db = Arc::new(ProvenanceDb::durable_with(vfs.clone(), Path::new("/om-replica.teplog")).unwrap());
+    let db =
+        Arc::new(ProvenanceDb::durable_with(vfs.clone(), Path::new("/om-replica.teplog")).unwrap());
     let reg = Registry::new();
     let mut repl = Replica::new(
         addr,
@@ -1119,5 +1132,263 @@ fn omission_replica_surface_detects_stale_root() {
         a.db.len() as u64,
         "a rejected stale root must not move the pin"
     );
+    srv.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Surface 6: cross-tenant replay — tenant A's genuine artifacts presented
+// inside tenant B's scope
+// ---------------------------------------------------------------------------
+
+/// Two tenants with PKI-minted signers and independent shards, each
+/// holding a 5-record chain built by the *same* deterministic recipe — so
+/// the two chains carry identical object ids and seq numbers, and a
+/// replayed record from A aligns perfectly with its slot in B. The
+/// perfectly aligned replay is the strongest form of the attack: nothing
+/// structural gives it away, only the signature scope can. Tenant A also
+/// holds a second chain (`extra_a`) at an id unused in B's scope — the
+/// storage-replay vector, since the store's duplicate-slot collapse keeps
+/// the first record per `(oid, seq)` and would silently shadow a
+/// colliding replay.
+struct TenantReplayWorld {
+    dir: tepdb::core::tenant::TenantDirectory,
+    shards: tepdb::storage::TenantShards,
+    forest_a: Forest,
+    forest_b: Forest,
+    chain_a: ObjectId,
+    chain_b: ObjectId,
+    extra_a: ObjectId,
+}
+
+const TEN_A: tepdb::model::TenantId = tepdb::model::TenantId(1);
+const TEN_B: tepdb::model::TenantId = tepdb::model::TenantId(2);
+
+fn tenant_replay_world() -> TenantReplayWorld {
+    use tepdb::core::tenant::TenantDirectory;
+    use tepdb::storage::TenantShards;
+
+    let mut rng = StdRng::seed_from_u64(0x7E42_C04F);
+    let ca = CertificateAuthority::new(512, ALG, &mut rng);
+    let mut dir = TenantDirectory::new(&ca);
+    dir.mint(&ca, TEN_A, 512, &mut rng);
+    dir.mint(&ca, TEN_B, 512, &mut rng);
+    let shards = TenantShards::open_with(
+        "/replay-matrix",
+        vec![
+            (TEN_A, FaultVfs::new(FaultConfig::default()) as Arc<dyn Vfs>),
+            (TEN_B, FaultVfs::new(FaultConfig::default()) as Arc<dyn Vfs>),
+        ],
+    );
+    let populate = |tenant, extra: bool| {
+        let signer = dir.signer(tenant).unwrap();
+        let db = shards.shard(tenant).unwrap();
+        let mut tracker = ProvenanceTracker::new(
+            TrackerConfig {
+                alg: ALG,
+                ..Default::default()
+            },
+            Arc::clone(&db),
+        );
+        let (chain, _) = tracker.insert(&signer, Value::Int(0), None).unwrap();
+        for i in 1..5 {
+            tracker.update(&signer, chain, Value::Int(i)).unwrap();
+        }
+        let extra_chain = extra.then(|| {
+            let (e, _) = tracker.insert(&signer, Value::Int(100), None).unwrap();
+            tracker.update(&signer, e, Value::Int(101)).unwrap();
+            e
+        });
+        db.sync().unwrap();
+        (tracker.forest().clone(), chain, extra_chain)
+    };
+    let (forest_a, chain_a, extra_a) = populate(TEN_A, true);
+    let (forest_b, chain_b, _) = populate(TEN_B, false);
+    // Identical recipes ⇒ identical ids: the replay aligns slot-for-slot.
+    assert_eq!(chain_a.raw(), chain_b.raw());
+    TenantReplayWorld {
+        dir,
+        shards,
+        forest_a,
+        forest_b,
+        chain_a,
+        chain_b,
+        extra_a: extra_a.unwrap(),
+    }
+}
+
+/// The tenant-labeled mirror of [`assert_evidence_counters`]: `tenant`'s
+/// per-kind ledger must equal exactly the issues attributed to it.
+fn assert_tenant_evidence_counters(
+    reg: &Registry,
+    tenant: tepdb::model::TenantId,
+    issues: &[TamperEvidence],
+    ctx: &str,
+) {
+    let mut want: HashMap<EvidenceKind, u64> = HashMap::new();
+    for issue in issues {
+        *want.entry(issue.kind()).or_insert(0) += 1;
+    }
+    for kind in EvidenceKind::ALL {
+        assert_eq!(
+            reg.counter_value(&names::with_tenant(&kind.counter_name(), tenant.raw())),
+            want.get(&kind).copied().unwrap_or(0),
+            "{ctx}: tenant {} `{kind}` counter does not match reported evidence",
+            tenant.label(),
+        );
+    }
+}
+
+/// Storage form: A's rows for a chain B has never seen, appended
+/// byte-for-byte into B's shard (colliding slots would be shadowed by the
+/// store's first-wins collapse and never reach a verifier). The federated
+/// verify must attribute every replayed record in B's scope (A's signer
+/// has no certificate there), leave A's own report clean, and keep the
+/// per-tenant evidence ledgers exact.
+#[test]
+fn cross_tenant_replay_storage_surface_attributes_never_accepts() {
+    use tepdb::core::tenant::federated_verify;
+
+    let w = tenant_replay_world();
+    let a = w.shards.shard(TEN_A).unwrap();
+    let b = w.shards.shard(TEN_B).unwrap();
+    for rec in a.records_for(w.extra_a) {
+        b.append(rec.clone()).unwrap();
+    }
+
+    let ctx = "cross-tenant replay (storage)";
+    let reg = Registry::new();
+    let report = federated_verify(&w.dir, &w.shards, |_, _| None, Some(&reg));
+    let ta = report.tenant(TEN_A).unwrap();
+    let tb = report.tenant(TEN_B).unwrap();
+    assert!(
+        ta.verified(),
+        "{ctx}: A's own scope must stay clean: {:?}",
+        ta.issues
+    );
+    assert!(
+        !tb.verified(),
+        "{ctx}: replay must not be accepted in B's scope"
+    );
+    assert!(
+        tb.issues
+            .iter()
+            .any(|i| i.kind() == EvidenceKind::UnknownParticipant),
+        "{ctx}: replayed records must be unattributable in B's scope: {:?}",
+        tb.issues,
+    );
+    assert_tenant_evidence_counters(&reg, TEN_B, &tb.issues, ctx);
+    assert_tenant_evidence_counters(&reg, TEN_A, &[], ctx);
+}
+
+/// Wire form: both tenants served from their shards; a path attacker
+/// splices tenant A's genuine signed records into tenant B's stream,
+/// slot-for-slot. B's client verifies under B's key directory and must
+/// attribute every record — the strongest replay (structurally perfect,
+/// cryptographically genuine, only mis-scoped) is still caught.
+#[test]
+fn cross_tenant_replay_wire_surface_attributes_never_accepts() {
+    use tepdb::net::{serve_tenants, TenantSpec};
+
+    let w = tenant_replay_world();
+    let replayed = collect(&w.shards.shard(TEN_A).unwrap(), w.chain_a).unwrap();
+    let srv = serve_tenants(
+        vec![
+            TenantSpec::new(
+                TEN_A,
+                Arc::new(Catalog::new(
+                    w.forest_a.clone(),
+                    w.shards.shard(TEN_A).unwrap(),
+                    ALG,
+                    vec![w.chain_a],
+                )),
+            ),
+            TenantSpec::new(
+                TEN_B,
+                Arc::new(Catalog::new(
+                    w.forest_b.clone(),
+                    w.shards.shard(TEN_B).unwrap(),
+                    ALG,
+                    vec![w.chain_b],
+                )),
+            ),
+        ],
+        "127.0.0.1:0".parse().unwrap(),
+        ServerConfig::default(),
+        Registry::new(),
+    )
+    .unwrap();
+
+    let ctx = "cross-tenant replay (wire)";
+    let proxy = TamperProxy::spawn(srv.addr(), replay_mutator(replayed)).unwrap();
+    let reg = Registry::new();
+    let mut client = Client::new(proxy.addr(), ClientConfig::for_tenant(ALG, TEN_B));
+    client.attach_obs(&reg);
+    match client.fetch_verified(w.chain_b, w.dir.keys(TEN_B).unwrap()) {
+        Err(NetError::TamperDetected { issues, .. }) => {
+            assert!(
+                issues
+                    .iter()
+                    .any(|i| i.kind() == EvidenceKind::UnknownParticipant),
+                "{ctx}: expected UnknownParticipant among {issues:?}",
+            );
+            assert_evidence_counters(&reg, &issues, ctx);
+        }
+        other => panic!("{ctx}: expected TamperDetected, got {other:?}"),
+    }
+    proxy.shutdown();
+
+    // Denial replay: tenant A's *genuinely signed* denial spliced into
+    // B's stream in place of the records. Valid under A's keys, a forgery
+    // under B's — exactly what scoped key directories exist to catch.
+    let ctx = "cross-tenant denial replay (wire)";
+    let a_db = w.shards.shard(TEN_A).unwrap();
+    let tree = shard_tree_of(ALG, &a_db);
+    let absent = ObjectId(w.chain_a.raw() + 101);
+    let replay = SignedDenial {
+        root: SignedRoot::sign(&tree, a_db.len() as u64, &w.dir.signer(TEN_A).unwrap()).unwrap(),
+        proof: DenialProof::prove(&tree, absent).unwrap(),
+    }
+    .to_bytes();
+    let proxy = TamperProxy::spawn(
+        srv.addr(),
+        Box::new(move |_frame, msg| {
+            if matches!(msg, Message::Prov { .. }) {
+                ProxyAction::Replace(Message::Denial {
+                    proof: replay.clone(),
+                })
+            } else {
+                ProxyAction::Forward
+            }
+        }),
+    )
+    .unwrap();
+    let reg = Registry::new();
+    let mut client = Client::new(proxy.addr(), ClientConfig::for_tenant(ALG, TEN_B));
+    client.attach_obs(&reg);
+    match client.fetch_verified(w.chain_b, w.dir.keys(TEN_B).unwrap()) {
+        Err(NetError::TamperDetected { issues, .. }) => {
+            assert_eq!(
+                issues,
+                vec![TamperEvidence::ForgedDenial { oid: w.chain_b }],
+                "{ctx}"
+            );
+            assert_evidence_counters(&reg, &issues, ctx);
+        }
+        other => panic!("{ctx}: expected TamperDetected, got {other:?}"),
+    }
+    proxy.shutdown();
+
+    // Control: both tenants' honest fetches verify clean in their own
+    // scopes on the same server.
+    for (tenant, chain) in [(TEN_A, w.chain_a), (TEN_B, w.chain_b)] {
+        let reg = Registry::new();
+        let mut client = Client::new(srv.addr(), ClientConfig::for_tenant(ALG, tenant));
+        client.attach_obs(&reg);
+        let rep = client
+            .fetch_verified(chain, w.dir.keys(tenant).unwrap())
+            .unwrap_or_else(|e| panic!("honest fetch for {}: {e}", tenant.label()));
+        assert!(rep.verification.verified());
+        assert_evidence_counters(&reg, &[], "honest tenant-scoped fetch");
+    }
     srv.shutdown();
 }
